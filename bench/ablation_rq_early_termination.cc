@@ -1,0 +1,88 @@
+// Ablation: the value of RQ-DB-SKY's early termination (the R(q)
+// mutually-exclusive rewrite of Section 4.1). The same traversal runs
+// with the seen-match check disabled — degenerating to SQ-DB-SKY over
+// the RQ interface — across increasing skyline sizes.
+//
+// Expected shape: with few skyline tuples the two coincide; as |S| grows
+// the ablated variant re-returns skyline tuples combinatorially while
+// the full algorithm's cost stays near-linear in |S| (the Figure 6
+// mechanism isolated to a single switch).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/rq_db_sky.h"
+#include "dataset/small_domain.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int64_t kCap = 100000;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink(
+      "ablation_rq_early_termination",
+      "target_skyline,actual_skyline,with_early_term,without_early_term,"
+      "ablated_capped");
+  return sink;
+}
+
+void BM_EarlyTermination(benchmark::State& state) {
+  const int64_t target = state.range(0);
+  dataset::SmallDomainOptions o;
+  o.num_tuples = bench::Scaled(2000);
+  o.num_attributes = 4;
+  o.domain_size = 16;
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 3200 + static_cast<uint64_t>(target);
+  const data::Table t = bench::Unwrap(
+      dataset::GenerateWithSkylineSize(o, target,
+                                       std::max<int64_t>(2, target / 10)),
+      "data");
+  const int64_t actual = static_cast<int64_t>(
+      skyline::DistinctSkylineValues(t).size());
+
+  int64_t with_cost = 0, without_cost = 0;
+  bool capped = false;
+  for (auto _ : state) {
+    {
+      auto iface = bench::MakeInterface(
+          &t, interface::MakeLayeredRandomRanking(11), 1);
+      with_cost =
+          bench::Unwrap(core::RqDbSky(iface.get()), "rq").query_cost;
+    }
+    {
+      auto iface = bench::MakeInterface(
+          &t, interface::MakeLayeredRandomRanking(11), 1);
+      core::RqDbSkyOptions opts;
+      opts.disable_early_termination = true;
+      opts.common.max_queries = kCap;
+      auto r = bench::Unwrap(core::RqDbSky(iface.get(), opts), "ablated");
+      without_cost = r.query_cost;
+      capped = !r.complete;
+    }
+  }
+  state.counters["skyline"] = static_cast<double>(actual);
+  state.counters["with_early_term"] = static_cast<double>(with_cost);
+  state.counters["without_early_term"] =
+      static_cast<double>(without_cost);
+  Sink().Row("%lld,%lld,%lld,%lld,%d", (long long)target,
+             (long long)actual, (long long)with_cost,
+             (long long)without_cost, capped ? 1 : 0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_EarlyTermination)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure of the paper: it executes the
+// experiment, reports the series through google-benchmark counters (so
+// `./bench/<fig>` prints the rows), and appends machine-readable points
+// to bench_out/<figure>.csv under the working directory.
+//
+// Scale control: HDSKY_SCALE (a float, default 1) multiplies dataset
+// sizes, letting CI smoke-run the full suite quickly while `HDSKY_SCALE=1`
+// reproduces the paper-scale numbers reported in EXPERIMENTS.md.
+
+#ifndef HDSKY_BENCH_BENCH_UTIL_H_
+#define HDSKY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/logging.h"
+#include "interface/top_k_interface.h"
+
+namespace hdsky {
+namespace bench {
+
+/// Dataset scale multiplier from $HDSKY_SCALE, clamped to (0, 1].
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("HDSKY_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return (v > 0.0 && v <= 1.0) ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline int64_t Scaled(int64_t n) {
+  const int64_t s = static_cast<int64_t>(static_cast<double>(n) * Scale());
+  return s < 1 ? 1 : s;
+}
+
+/// Appends rows of one figure's series to bench_out/<name>.csv.
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& figure, const std::string& header) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    path_ = "bench_out/" + figure + ".csv";
+    out_.open(path_, std::ios::trunc);
+    if (out_) out_ << header << "\n";
+  }
+
+  template <typename... Args>
+  void Row(const char* fmt, Args... args) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!out_) return;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out_ << buf << "\n";
+    out_.flush();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mu_;
+};
+
+/// Unwraps a Result in bench context (aborts with a message on failure —
+/// benches have no meaningful error recovery).
+template <typename T>
+T Unwrap(common::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline std::unique_ptr<interface::TopKInterface> MakeInterface(
+    const data::Table* table,
+    std::shared_ptr<interface::RankingPolicy> ranking, int k,
+    int64_t budget = 0) {
+  interface::TopKOptions opts;
+  opts.k = k;
+  opts.query_budget = budget;
+  return Unwrap(
+      interface::TopKInterface::Create(table, std::move(ranking), opts),
+      "TopKInterface::Create");
+}
+
+}  // namespace bench
+}  // namespace hdsky
+
+#endif  // HDSKY_BENCH_BENCH_UTIL_H_

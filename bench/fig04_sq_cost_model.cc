@@ -1,0 +1,49 @@
+// Figure 4: worst-case vs average-case query cost of SQ-DB-SKY as the
+// number of skyline tuples grows, for m = 4 (a) and m = 8 (b).
+//
+// Pure cost-model evaluation (Section 3.2): the worst-case bound
+// m * |S|^{m+1} against the exact expected cost E(C_|S|) of the
+// random-ranking model (recursion (4) / corrected closed form (5)).
+// Expected shape: the average-case curve grows orders of magnitude
+// slower; at |S| = 19 the gap is ~10^2.5 for m = 4 and ~10^7 for m = 8.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cost_model.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+hdsky::bench::CsvSink& Sink() {
+  static hdsky::bench::CsvSink sink("fig04_sq_cost_model",
+                                    "m,skyline,avg_cost,avg_closed_form,"
+                                    "avg_upper_bound,worst_case");
+  return sink;
+}
+
+void BM_Fig04(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int64_t s = state.range(1);
+  double avg = 0, closed = 0, upper = 0, worst = 0;
+  for (auto _ : state) {
+    avg = hdsky::analysis::ExpectedSqCost(m, s);
+    closed = hdsky::analysis::ExpectedSqCostClosedForm(m, s);
+    upper = hdsky::analysis::AverageCaseUpperBound(m, s);
+    worst = hdsky::analysis::WorstCaseSqBound(m, s);
+    benchmark::DoNotOptimize(avg);
+  }
+  state.counters["avg_cost"] = avg;
+  state.counters["avg_upper_bound"] = upper;
+  state.counters["worst_case"] = worst;
+  Sink().Row("%d,%lld,%.6g,%.6g,%.6g,%.6g", m, (long long)s, avg, closed,
+             upper, worst);
+}
+
+}  // namespace
+
+// The paper's x-axis: |S| = 1, 3, 5, ..., 19 for m = 4 and m = 8.
+BENCHMARK(BM_Fig04)
+    ->ArgsProduct({{4, 8}, {1, 3, 5, 7, 9, 11, 13, 15, 17, 19}})
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Figure 6: measured SQ-DB-SKY vs RQ-DB-SKY query cost as the number of
+// skyline tuples grows, on 2,000-tuple small-domain databases whose
+// attribute correlation is tuned to hit each |S| target; 4D (a) and
+// 8D (b), k = 1, layered-random ranking (the Section 3.2 model).
+//
+// Expected shape: the two algorithms track each other at small |S|; as
+// |S| grows the SQ tree revisits skyline tuples and its cost pulls away,
+// while RQ's mutually exclusive R(q) queries keep the cost near-linear
+// in |S|. SQ runs are capped (the paper's worst-case curves reach 10^10+
+// query counts that no experiment can execute); a capped point reports
+// the cap.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "dataset/small_domain.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int64_t kQueryCap = 30000;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink("fig06_sq_vs_rq_simulation",
+                             "m,target_skyline,actual_skyline,sq_cost,"
+                             "rq_cost,sq_capped");
+  return sink;
+}
+
+// One generated database per (m, target), shared between both algorithms.
+const data::Table& TableFor(int m, int64_t target) {
+  static std::map<std::pair<int, int64_t>, data::Table> cache;
+  auto it = cache.find({m, target});
+  if (it == cache.end()) {
+    dataset::SmallDomainOptions o;
+    o.num_tuples = bench::Scaled(2000);
+    o.num_attributes = m;
+    o.domain_size = m <= 4 ? 48 : 6;
+    o.iface = data::InterfaceType::kRQ;
+    o.seed = 600 + static_cast<uint64_t>(m) * 100 +
+             static_cast<uint64_t>(target);
+    it = cache
+             .emplace(std::make_pair(m, target),
+                      bench::Unwrap(
+                          dataset::GenerateWithSkylineSize(
+                              o, target, std::max<int64_t>(2, target / 10)),
+                          "GenerateWithSkylineSize"))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Fig06(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int64_t target = state.range(1);
+  const data::Table& t = TableFor(m, target);
+  const int64_t actual =
+      static_cast<int64_t>(skyline::DistinctSkylineValues(t).size());
+
+  int64_t sq_cost = 0, rq_cost = 0;
+  bool sq_capped = false;
+  for (auto _ : state) {
+    {
+      auto iface = bench::MakeInterface(
+          &t, interface::MakeLayeredRandomRanking(4242), 1);
+      core::SqDbSkyOptions opts;
+      opts.common.max_queries = kQueryCap;
+      auto r = bench::Unwrap(core::SqDbSky(iface.get(), opts), "SqDbSky");
+      sq_cost = r.query_cost;
+      sq_capped = !r.complete;
+    }
+    {
+      auto iface = bench::MakeInterface(
+          &t, interface::MakeLayeredRandomRanking(4242), 1);
+      auto r = bench::Unwrap(core::RqDbSky(iface.get()), "RqDbSky");
+      rq_cost = r.query_cost;
+    }
+  }
+  state.counters["skyline"] = static_cast<double>(actual);
+  state.counters["sq_cost"] = static_cast<double>(sq_cost);
+  state.counters["rq_cost"] = static_cast<double>(rq_cost);
+  Sink().Row("%d,%lld,%lld,%lld,%lld,%d", m, (long long)target,
+             (long long)actual, (long long)sq_cost, (long long)rq_cost,
+             sq_capped ? 1 : 0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig06)
+    ->ArgsProduct({{4, 8}, {5, 15, 25, 35, 45, 55, 65, 75, 85, 95}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Figure 13: query cost of complete skyline discovery, RQ-DB-SKY vs the
+// crawling BASELINE, as the interface's k grows from 1 to 50 (DOT
+// dataset, four RQ attributes).
+//
+// Expected shape: both benefit from larger k, but RQ-DB-SKY beats
+// BASELINE by orders of magnitude at every k (paper: ~10^2 vs ~10^6 at
+// k = 1, ~10^5 at k = 50 for BASELINE).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/baseline_crawler.h"
+#include "core/rq_db_sky.h"
+#include "dataset/flights_on_time.h"
+#include "interface/ranking.h"
+
+namespace {
+
+using namespace hdsky;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink("fig13_rq_vs_baseline_k",
+                             "k,rq_cost,baseline_cost,skyline");
+  return sink;
+}
+
+const data::Table& Dot() {
+  static const data::Table table = [] {
+    dataset::FlightsOptions o;
+    o.num_tuples = bench::Scaled(457013);
+    o.include_derived_groups = false;
+    o.include_filtering = false;
+    data::Table full =
+        bench::Unwrap(dataset::GenerateFlightsOnTime(o), "flights");
+    return bench::Unwrap(
+        full.Project({dataset::FlightsAttrs::kDepDelay,
+                      dataset::FlightsAttrs::kTaxiOut,
+                      dataset::FlightsAttrs::kTaxiIn,
+                      dataset::FlightsAttrs::kActualElapsed}),
+        "project");
+  }();
+  return table;
+}
+
+void BM_Fig13(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const data::Table& t = Dot();
+  int64_t rq_cost = 0, base_cost = 0, skyline = 0;
+  for (auto _ : state) {
+    {
+      auto iface =
+          bench::MakeInterface(&t, interface::MakeSumRanking(), k);
+      auto r = bench::Unwrap(core::RqDbSky(iface.get()), "RqDbSky");
+      rq_cost = r.query_cost;
+      skyline = static_cast<int64_t>(r.skyline.size());
+    }
+    {
+      auto iface =
+          bench::MakeInterface(&t, interface::MakeSumRanking(), k);
+      auto r = bench::Unwrap(core::BaselineSkyline(iface.get()),
+                             "BaselineSkyline");
+      base_cost = r.query_cost;
+    }
+  }
+  state.counters["rq_cost"] = static_cast<double>(rq_cost);
+  state.counters["baseline_cost"] = static_cast<double>(base_cost);
+  state.counters["skyline"] = static_cast<double>(skyline);
+  Sink().Row("%d,%lld,%lld,%lld", k, (long long)rq_cost,
+             (long long)base_cost, (long long)skyline);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig13)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

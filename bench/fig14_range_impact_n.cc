@@ -1,0 +1,109 @@
+// Figure 14: query cost of SQ-DB-SKY and RQ-DB-SKY (and the skyline
+// size) as the database size grows from 50K to 400K uniform samples of
+// the DOT dataset; four range attributes, k = 10.
+//
+// Expected shape: neither algorithm's cost depends much on n; both track
+// the (slow-growing) number of skyline tuples, with RQ <= SQ throughout.
+// The average-case model E(C_|S|) is reported alongside as the paper's
+// "Average Cost" overlay.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cost_model.h"
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "dataset/flights_on_time.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int kK = 10;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink(
+      "fig14_range_impact_n",
+      "n,skyline,sq_cost,rq_cost,avg_model");
+  return sink;
+}
+
+const data::Table& DotFull() {
+  static const data::Table table = [] {
+    dataset::FlightsOptions o;
+    o.num_tuples = bench::Scaled(457013);
+    o.include_derived_groups = false;
+    o.include_filtering = false;
+    data::Table full =
+        bench::Unwrap(dataset::GenerateFlightsOnTime(o), "flights");
+    return bench::Unwrap(
+        full.Project({dataset::FlightsAttrs::kDepDelay,
+                      dataset::FlightsAttrs::kTaxiOut,
+                      dataset::FlightsAttrs::kTaxiIn,
+                      dataset::FlightsAttrs::kActualElapsed}),
+        "project");
+  }();
+  return table;
+}
+
+// Nested uniform samples: one fixed permutation of the full dataset,
+// prefixes of which are the n-samples. This matches the paper's setup
+// where larger samples contain smaller ones, making the reported |S|
+// curve monotone rather than redrawn noise.
+const std::vector<int64_t>& Permutation() {
+  static const std::vector<int64_t> perm = [] {
+    common::Rng rng(1400);
+    return rng.Permutation(DotFull().num_rows());
+  }();
+  return perm;
+}
+
+void BM_Fig14(benchmark::State& state) {
+  const int64_t n =
+      std::min(bench::Scaled(state.range(0) * 1000), DotFull().num_rows());
+  const std::vector<int64_t>& perm = Permutation();
+  data::Table sample(DotFull().schema());
+  sample.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    HDSKY_CHECK(sample.Append(DotFull().GetTuple(perm[static_cast<size_t>(i)]))
+                    .ok());
+  }
+  const int64_t skyline = static_cast<int64_t>(
+      skyline::DistinctSkylineValues(sample).size());
+
+  int64_t sq_cost = 0, rq_cost = 0;
+  for (auto _ : state) {
+    {
+      auto iface =
+          bench::MakeInterface(&sample, interface::MakeSumRanking(), kK);
+      auto r = bench::Unwrap(core::SqDbSky(iface.get()), "SqDbSky");
+      sq_cost = r.query_cost;
+    }
+    {
+      auto iface =
+          bench::MakeInterface(&sample, interface::MakeSumRanking(), kK);
+      auto r = bench::Unwrap(core::RqDbSky(iface.get()), "RqDbSky");
+      rq_cost = r.query_cost;
+    }
+  }
+  const double model = analysis::ExpectedSqCost(4, skyline);
+  state.counters["skyline"] = static_cast<double>(skyline);
+  state.counters["sq_cost"] = static_cast<double>(sq_cost);
+  state.counters["rq_cost"] = static_cast<double>(rq_cost);
+  state.counters["avg_model"] = model;
+  Sink().Row("%lld,%lld,%lld,%lld,%.4g", (long long)n, (long long)skyline,
+             (long long)sq_cost, (long long)rq_cost, model);
+}
+
+}  // namespace
+
+// 50K to 400K in 50K steps (range arg in thousands).
+BENCHMARK(BM_Fig14)
+    ->DenseRange(50, 400, 50)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

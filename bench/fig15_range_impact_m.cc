@@ -1,0 +1,112 @@
+// Figure 15: query cost of SQ-DB-SKY and RQ-DB-SKY as the number of
+// ranking attributes grows from 2 to 10 (DOT dataset, 100K tuples,
+// k = 10), with the average-case model E(C_|S|) overlay.
+//
+// Expected shape: cost climbs steeply with m — largely because the
+// skyline itself explodes with dimensionality — with RQ consistently
+// below SQ and both far below the worst-case bounds.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cost_model.h"
+#include "bench/bench_util.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "dataset/flights_on_time.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int kK = 10;
+constexpr int64_t kQueryCap = 150000;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink(
+      "fig15_range_impact_m",
+      "m,skyline,sq_cost,sq_capped,rq_cost,rq_capped,avg_model");
+  return sink;
+}
+
+// All 13 ranking attributes recast as RQ, in a fixed order that starts
+// with the paper's primary range attributes.
+const data::Table& DotAllRq() {
+  static const data::Table table = [] {
+    dataset::FlightsOptions o;
+    o.num_tuples = bench::Scaled(100000);
+    o.include_filtering = false;
+    o.seed = 1500;
+    data::Table full =
+        bench::Unwrap(dataset::GenerateFlightsOnTime(o), "flights");
+    data::Table ordered = bench::Unwrap(
+        full.Project({dataset::FlightsAttrs::kDepDelay,
+                      dataset::FlightsAttrs::kTaxiOut,
+                      dataset::FlightsAttrs::kTaxiIn,
+                      dataset::FlightsAttrs::kActualElapsed,
+                      dataset::FlightsAttrs::kAirTime,
+                      dataset::FlightsAttrs::kArrivalDelay,
+                      dataset::FlightsAttrs::kDistance,
+                      dataset::FlightsAttrs::kDelayGroup,
+                      dataset::FlightsAttrs::kDistanceGroup,
+                      dataset::FlightsAttrs::kTaxiOutGroup}),
+        "project");
+    for (int a = 0; a < ordered.schema().num_attributes(); ++a) {
+      ordered = bench::Unwrap(
+          ordered.WithInterface(a, data::InterfaceType::kRQ), "recast");
+    }
+    return ordered;
+  }();
+  return table;
+}
+
+void BM_Fig15(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<int> attrs(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) attrs[static_cast<size_t>(i)] = i;
+  const data::Table t =
+      bench::Unwrap(DotAllRq().Project(attrs), "project-m");
+  const int64_t skyline = static_cast<int64_t>(
+      skyline::DistinctSkylineValues(t).size());
+
+  int64_t sq_cost = 0, rq_cost = 0;
+  bool sq_capped = false, rq_capped = false;
+  for (auto _ : state) {
+    {
+      auto iface =
+          bench::MakeInterface(&t, interface::MakeSumRanking(), kK);
+      core::SqDbSkyOptions opts;
+      opts.common.max_queries = kQueryCap;
+      auto r = bench::Unwrap(core::SqDbSky(iface.get(), opts), "SqDbSky");
+      sq_cost = r.query_cost;
+      sq_capped = !r.complete;
+    }
+    {
+      auto iface =
+          bench::MakeInterface(&t, interface::MakeSumRanking(), kK);
+      core::RqDbSkyOptions opts;
+      opts.common.max_queries = kQueryCap;
+      auto r = bench::Unwrap(core::RqDbSky(iface.get(), opts), "RqDbSky");
+      rq_cost = r.query_cost;
+      rq_capped = !r.complete;
+    }
+  }
+  const double model = analysis::ExpectedSqCost(m, skyline);
+  state.counters["skyline"] = static_cast<double>(skyline);
+  state.counters["sq_cost"] = static_cast<double>(sq_cost);
+  state.counters["rq_cost"] = static_cast<double>(rq_cost);
+  state.counters["avg_model"] = model;
+  Sink().Row("%d,%lld,%lld,%d,%lld,%d,%.4g", m, (long long)skyline,
+             (long long)sq_cost, sq_capped ? 1 : 0, (long long)rq_cost,
+             rq_capped ? 1 : 0, model);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig15)
+    ->DenseRange(2, 10, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Figure 19: MQ-DB-SKY query cost under two mixed-interface sweeps on
+// the DOT dataset (50K tuples, k = 10):
+//   (a) one PQ attribute, the number of RQ attributes varying 2..5;
+//   (b) one RQ attribute, the number of PQ attributes varying 2..5.
+//
+// Expected shape: adding PQ attributes raises the cost far more sharply
+// than adding RQ attributes — point predicates multiply the 2D-plane
+// sweeps while range attributes only deepen the (cheap) RQ tree.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/mq_db_sky.h"
+#include "dataset/flights_on_time.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int kK = 50;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink("fig19_mixed_vary_attrs",
+                             "sweep,total_attrs,rq_attrs,pq_attrs,"
+                             "skyline,mq_cost");
+  return sink;
+}
+
+const data::Table& Dot() {
+  static const data::Table table = [] {
+    dataset::FlightsOptions o;
+    o.num_tuples = bench::Scaled(50000);
+    o.seed = 1900;
+    o.include_filtering = false;
+    return bench::Unwrap(dataset::GenerateFlightsOnTime(o), "flights");
+  }();
+  return table;
+}
+
+// Range attributes (RQ) and point attributes (PQ) in a fixed order.
+const int kRangeAttrs[] = {
+    dataset::FlightsAttrs::kDepDelay, dataset::FlightsAttrs::kTaxiOut,
+    dataset::FlightsAttrs::kTaxiIn,
+    dataset::FlightsAttrs::kActualElapsed,
+    dataset::FlightsAttrs::kArrivalDelay};
+const int kPointAttrs[] = {
+    dataset::FlightsAttrs::kDistanceGroup,
+    dataset::FlightsAttrs::kAirTimeGroup,
+    dataset::FlightsAttrs::kDelayGroup,
+    dataset::FlightsAttrs::kTaxiOutGroup,
+    dataset::FlightsAttrs::kArrDelayGroup};
+
+void RunSweep(benchmark::State& state, int num_rq, int num_pq,
+              const char* sweep) {
+  std::vector<int> attrs;
+  for (int i = 0; i < num_rq; ++i) attrs.push_back(kRangeAttrs[i]);
+  for (int i = 0; i < num_pq; ++i) attrs.push_back(kPointAttrs[i]);
+  const data::Table t = bench::Unwrap(Dot().Project(attrs), "project");
+  const int64_t skyline = static_cast<int64_t>(
+      skyline::DistinctSkylineValues(t).size());
+
+  int64_t cost = 0;
+  for (auto _ : state) {
+    auto iface =
+        bench::MakeInterface(&t, interface::MakeSumRanking(), kK);
+    auto r = bench::Unwrap(core::MqDbSky(iface.get()), "MqDbSky");
+    cost = r.query_cost;
+  }
+  state.counters["skyline"] = static_cast<double>(skyline);
+  state.counters["mq_cost"] = static_cast<double>(cost);
+  Sink().Row("%s,%d,%d,%d,%lld,%lld", sweep, num_rq + num_pq, num_rq,
+             num_pq, (long long)skyline, (long long)cost);
+}
+
+void BM_Fig19_VaryRange(benchmark::State& state) {
+  RunSweep(state, static_cast<int>(state.range(0)), 1, "vary_range");
+}
+
+void BM_Fig19_VaryPoint(benchmark::State& state) {
+  RunSweep(state, 1, static_cast<int>(state.range(0)), "vary_point");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig19_VaryRange)
+    ->DenseRange(2, 5, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+BENCHMARK(BM_Fig19_VaryPoint)
+    ->DenseRange(2, 5, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Microbenchmarks of the substrate (classic wall-clock google-benchmark):
+// top-k query evaluation through the interface (broad vs selective, with
+// and without the k-d index), local skyline operators, K-skyband, and
+// k-d index construction. These quantify the simulator itself, not the
+// paper's query-cost metric.
+
+#include <map>
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dataset/synthetic.h"
+#include "interface/kd_index.h"
+#include "interface/ranking.h"
+#include "skyline/bbs.h"
+#include "skyline/compute.h"
+#include "skyline/skyband.h"
+
+namespace {
+
+using namespace hdsky;
+
+const data::Table& Data(int64_t n) {
+  static std::map<int64_t, data::Table> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    dataset::SyntheticOptions o;
+    o.num_tuples = n;
+    o.num_attributes = 4;
+    o.domain_size = 1000;
+    o.seed = 3500;
+    it = cache
+             .emplace(n,
+                      bench::Unwrap(dataset::GenerateSynthetic(o), "data"))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_ExecuteBroadQuery(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
+  interface::Query q(4);
+  q.AddAtMost(0, 900);
+  for (auto _ : state) {
+    auto r = iface->Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ExecuteSelectiveQuery(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
+  interface::Query q(4);
+  q.AddAtMost(0, 50).AddAtMost(1, 50).AddAtLeast(2, 950);
+  for (auto _ : state) {
+    auto r = iface->Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ExecutePointQuery(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
+  interface::Query q(4);
+  q.AddEquals(0, 500).AddEquals(1, 500);
+  for (auto _ : state) {
+    auto r = iface->Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KdIndexBuild(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  std::vector<int64_t> rank(static_cast<size_t>(t.num_rows()));
+  std::iota(rank.begin(), rank.end(), 0);
+  for (auto _ : state) {
+    interface::KdIndex index(&t, rank);
+    benchmark::DoNotOptimize(index.num_nodes());
+  }
+}
+
+void BM_SkylineBNL(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  for (auto _ : state) {
+    auto s = skyline::SkylineBNL(t);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+
+void BM_SkylineSFS(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  for (auto _ : state) {
+    auto s = skyline::SkylineSFS(t);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+
+void BM_SkylineDnC(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  for (auto _ : state) {
+    auto s = skyline::SkylineDnC(t);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+
+void BM_SkylineBBS(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  const skyline::RTree tree =
+      bench::Unwrap(skyline::RTree::Build(&t), "rtree");
+  for (auto _ : state) {
+    auto s = skyline::SkylineBBS(tree);
+    benchmark::DoNotOptimize(s->size());
+  }
+}
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  for (auto _ : state) {
+    auto tree = skyline::RTree::Build(&t);
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+}
+
+void BM_KSkyband(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  for (auto _ : state) {
+    auto s = skyline::KSkyband(t, 3);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExecuteBroadQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ExecuteSelectiveQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ExecutePointQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_KdIndexBuild)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkylineBNL)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkylineSFS)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkylineDnC)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkylineBBS)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RTreeBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KSkyband)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

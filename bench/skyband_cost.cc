@@ -1,0 +1,86 @@
+// Sky-band discovery cost (Section 7.2): query cost of the top-h band
+// for h = 1, 2, 3 through RQ and PQ interfaces. h = 1 is plain skyline
+// discovery; each extra level multiplies the work by roughly the band's
+// growth (RQ re-runs discovery in every band tuple's domination
+// subspace; PQ widens every column's take).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/skyband_discovery.h"
+#include "dataset/synthetic.h"
+#include "interface/ranking.h"
+#include "skyline/skyband.h"
+
+namespace {
+
+using namespace hdsky;
+
+bench::CsvSink& Sink() {
+  static bench::CsvSink sink("skyband_cost",
+                             "interface,band,band_size,query_cost");
+  return sink;
+}
+
+void BM_SkybandRq(benchmark::State& state) {
+  const int band = static_cast<int>(state.range(0));
+  dataset::SyntheticOptions o;
+  o.num_tuples = bench::Scaled(2000);
+  o.num_attributes = 3;
+  o.domain_size = 100;
+  o.distribution = dataset::Distribution::kAntiCorrelated;
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 3400;
+  const data::Table t =
+      bench::Unwrap(dataset::GenerateSynthetic(o), "data");
+  int64_t cost = 0, size = 0;
+  for (auto _ : state) {
+    auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 5);
+    core::SkybandOptions opts;
+    opts.band = band;
+    auto r = bench::Unwrap(core::RqDbSkyband(iface.get(), opts), "band");
+    cost = r.query_cost;
+    size = static_cast<int64_t>(r.skyline.size());
+  }
+  state.counters["band_size"] = static_cast<double>(size);
+  state.counters["query_cost"] = static_cast<double>(cost);
+  Sink().Row("RQ,%d,%lld,%lld", band, (long long)size, (long long)cost);
+}
+
+void BM_SkybandPq(benchmark::State& state) {
+  const int band = static_cast<int>(state.range(0));
+  dataset::SyntheticOptions o;
+  o.num_tuples = bench::Scaled(2000);
+  o.num_attributes = 3;
+  o.domain_size = 10;
+  o.distribution = dataset::Distribution::kAntiCorrelated;
+  o.iface = data::InterfaceType::kPQ;
+  o.seed = 3401;
+  const data::Table t =
+      bench::Unwrap(dataset::GenerateSynthetic(o), "data");
+  int64_t cost = 0, size = 0;
+  for (auto _ : state) {
+    auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 5);
+    core::SkybandOptions opts;
+    opts.band = band;
+    auto r = bench::Unwrap(core::PqDbSkyband(iface.get(), opts), "band");
+    cost = r.query_cost;
+    size = static_cast<int64_t>(r.skyline.size());
+  }
+  state.counters["band_size"] = static_cast<double>(size);
+  state.counters["query_cost"] = static_cast<double>(cost);
+  Sink().Row("PQ,%d,%lld,%lld", band, (long long)size, (long long)cost);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SkybandRq)
+    ->DenseRange(1, 3, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkybandPq)
+    ->DenseRange(1, 3, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

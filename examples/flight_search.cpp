@@ -1,0 +1,90 @@
+// Rate-limited skyline discovery over a flight-search API (the paper's
+// Google Flights scenario, Section 8.3): the QPX-style interface allows
+// only 50 free queries per day, so the client runs MQ-DB-SKY under a
+// hard budget, keeps the verified partial skyline (the anytime property,
+// Section 7.1), and resumes on the next "day" until discovery completes.
+//
+//   ./examples/flight_search
+
+#include <cstdio>
+
+#include "core/mq_db_sky.h"
+#include "interface/caching_database.h"
+#include "dataset/google_flights.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+#include "skyline/compute.h"
+
+int main() {
+  using namespace hdsky;
+
+  // One route+date inventory behind the search API.
+  dataset::GoogleFlightsOptions gen;
+  gen.num_flights = 240;
+  gen.seed = 99;
+  auto table_result = dataset::GenerateRoute(gen);
+  if (!table_result.ok()) return 1;
+  const data::Table route = std::move(table_result).value();
+  const size_t true_skyline = skyline::DistinctSkylineValues(route).size();
+
+  std::printf("route inventory: %lld itineraries, %zu skyline flights\n",
+              static_cast<long long>(route.num_rows()), true_skyline);
+  std::printf("API limit: 50 free queries per day, k = 1\n\n");
+
+  constexpr int64_t kDailyQuota = 50;
+  // The site enforces its quota; the CLIENT keeps an answer cache. Every
+  // day the quota resets, the algorithm re-runs deterministically, the
+  // cached prefix replays for free, and only NEW queries touch the
+  // quota. (CachingDatabase::SaveToFile/LoadFromFile would persist the
+  // cache across process restarts.)
+  interface::TopKOptions topk;
+  topk.k = 1;
+  auto iface_result = interface::TopKInterface::Create(
+      &route,
+      interface::MakeLexicographicRanking(
+          {dataset::GoogleFlightsAttrs::kPrice}),
+      topk);
+  if (!iface_result.ok()) return 1;
+  auto iface = std::move(iface_result).value();
+  interface::CachingDatabase client(iface.get());
+
+  int64_t total_queries = 0;
+  for (int day = 1; day <= 10; ++day) {
+    iface->SetBudget(kDailyQuota);  // a fresh day's quota
+    auto result = core::MqDbSky(&client);
+    if (!result.ok()) {
+      std::fprintf(stderr, "discovery: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    total_queries = iface->stats().queries_issued;
+    std::printf("day %d: spent %3lld of today's %lld, cache replayed "
+                "%4lld, confirmed %2zu/%zu skyline flights%s\n",
+                day,
+                static_cast<long long>(kDailyQuota -
+                                       iface->RemainingBudget()),
+                static_cast<long long>(kDailyQuota),
+                static_cast<long long>(client.hits()),
+                result->skyline.size(), true_skyline,
+                result->complete ? "  <- complete" : "");
+    if (result->complete) {
+      std::printf("\ncheapest few skyline flights "
+                  "(stops, price$, connection_min, depart):\n");
+      const size_t show = std::min<size_t>(result->skyline.size(), 5);
+      for (size_t i = 0; i < show; ++i) {
+        const data::Tuple& t = result->skyline[i];
+        const long long depart = 1439 - t[3];
+        std::printf("  %lld stop(s)  $%-5lld  %3lld min  %02lld:%02lld\n",
+                    static_cast<long long>(t[0]),
+                    static_cast<long long>(t[1]),
+                    static_cast<long long>(t[2]), depart / 60,
+                    depart % 60);
+      }
+      std::printf("\ntotal queries spent: %lld\n",
+                  static_cast<long long>(total_queries));
+      return 0;
+    }
+  }
+  std::printf("discovery did not finish within 10 days\n");
+  return 2;
+}

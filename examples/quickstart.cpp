@@ -1,0 +1,87 @@
+// Quickstart: build a small hidden database, wrap it in a top-k search
+// interface, and discover its skyline with RQ-DB-SKY — then compare
+// against the locally computed ground truth.
+//
+//   ./examples/quickstart
+//
+// The public API surface used here:
+//   data::Schema / data::Table     — the (hidden) data
+//   interface::TopKInterface      — the only query channel
+//   core::RqDbSky                 — discovery through the interface
+//   skyline::SkylineSFS           — local ground truth (we own this data)
+
+#include <cstdio>
+
+#include "core/rq_db_sky.h"
+#include "dataset/synthetic.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+#include "skyline/compute.h"
+
+int main() {
+  using namespace hdsky;
+
+  // A 3-attribute database of 5,000 tuples; every attribute supports
+  // two-ended ranges (RQ), smaller values preferred.
+  dataset::SyntheticOptions gen;
+  gen.num_tuples = 5000;
+  gen.num_attributes = 3;
+  gen.domain_size = 1000;
+  gen.distribution = dataset::Distribution::kIndependent;
+  gen.seed = 2016;
+  auto table_result = dataset::GenerateSynthetic(gen);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 table_result.status().ToString().c_str());
+    return 1;
+  }
+  const data::Table table = std::move(table_result).value();
+
+  // The proprietary search interface: top-5 answers ranked by a linear
+  // scoring function the discovery algorithm never sees.
+  interface::TopKOptions topk;
+  topk.k = 5;
+  auto iface_result = interface::TopKInterface::Create(
+      &table, interface::MakeSumRanking(), topk);
+  if (!iface_result.ok()) {
+    std::fprintf(stderr, "interface: %s\n",
+                 iface_result.status().ToString().c_str());
+    return 1;
+  }
+  auto iface = std::move(iface_result).value();
+
+  // Discover the skyline through the interface alone.
+  auto discovery = core::RqDbSky(iface.get());
+  if (!discovery.ok()) {
+    std::fprintf(stderr, "discovery: %s\n",
+                 discovery.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ground truth (we own the data here; a real client would not).
+  const auto truth = skyline::SkylineSFS(table);
+
+  std::printf("database size      : %lld tuples\n",
+              static_cast<long long>(table.num_rows()));
+  std::printf("true skyline size  : %zu\n", truth.size());
+  std::printf("discovered skyline : %zu tuples\n",
+              discovery->skyline.size());
+  std::printf("query cost         : %lld top-%d queries\n",
+              static_cast<long long>(discovery->query_cost), topk.k);
+  std::printf("complete           : %s\n",
+              discovery->complete ? "yes" : "no");
+
+  std::printf("\nfirst skyline tuples (A0, A1, A2):\n");
+  const size_t show = std::min<size_t>(discovery->skyline.size(), 5);
+  for (size_t i = 0; i < show; ++i) {
+    const data::Tuple& t = discovery->skyline[i];
+    std::printf("  #%lld  (%lld, %lld, %lld)\n",
+                static_cast<long long>(discovery->skyline_ids[i]),
+                static_cast<long long>(t[0]), static_cast<long long>(t[1]),
+                static_cast<long long>(t[2]));
+  }
+
+  const bool match = discovery->skyline_ids.size() == truth.size();
+  std::printf("\nmatches ground truth: %s\n", match ? "YES" : "NO");
+  return match ? 0 : 2;
+}

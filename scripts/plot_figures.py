@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Plot the paper-reproduction figures from the bench CSV output.
+
+Usage:
+    for b in build/bench/*; do $b; done      # writes bench_out/*.csv
+    python3 scripts/plot_figures.py          # writes bench_out/*.png
+
+Requires matplotlib (optional dependency; the benches themselves do not).
+Each figure mirrors the corresponding figure of "Discovering the Skyline
+of Web Databases" (VLDB 2016).
+"""
+
+import csv
+import os
+import sys
+
+OUT_DIR = "bench_out"
+
+
+def read(name):
+    path = os.path.join(OUT_DIR, name + ".csv")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def save(fig, name):
+    path = os.path.join(OUT_DIR, name + ".png")
+    fig.savefig(path, dpi=120, bbox_inches="tight")
+    print("wrote", path)
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    # Figure 4: worst vs average cost models.
+    rows = read("fig04_sq_cost_model")
+    if rows:
+        for m in ("4", "8"):
+            sub = [r for r in rows if r["m"] == m]
+            fig, ax = plt.subplots()
+            xs = [int(r["skyline"]) for r in sub]
+            ax.semilogy(xs, [float(r["avg_cost"]) for r in sub],
+                        "o-", label="Average Cost")
+            ax.semilogy(xs, [float(r["worst_case"]) for r in sub],
+                        "s--", label="Worst-case Cost")
+            ax.set_xlabel("Number of Skylines")
+            ax.set_ylabel("Query Cost")
+            ax.set_title(f"Figure 4: m = {m}")
+            ax.legend()
+            save(fig, f"fig04_m{m}")
+
+    # Figure 6: SQ vs RQ by skyline size.
+    rows = read("fig06_sq_vs_rq_simulation")
+    if rows:
+        for m in ("4", "8"):
+            sub = sorted((r for r in rows if r["m"] == m),
+                         key=lambda r: int(r["actual_skyline"]))
+            fig, ax = plt.subplots()
+            xs = [int(r["actual_skyline"]) for r in sub]
+            ax.semilogy(xs, [int(r["sq_cost"]) for r in sub], "o-",
+                        label="SQ-DB-SKY")
+            ax.semilogy(xs, [int(r["rq_cost"]) for r in sub], "s-",
+                        label="RQ-DB-SKY")
+            ax.set_xlabel("Number of Skylines")
+            ax.set_ylabel("Query Cost")
+            ax.set_title(f"Figure 6: {m}D")
+            ax.legend()
+            save(fig, f"fig06_{m}d")
+
+    # Figure 13: RQ vs BASELINE over k.
+    rows = read("fig13_rq_vs_baseline_k")
+    if rows:
+        fig, ax = plt.subplots()
+        xs = [int(r["k"]) for r in rows]
+        ax.semilogy(xs, [int(r["rq_cost"]) for r in rows], "o-",
+                    label="RQ-DB-SKY")
+        ax.semilogy(xs, [int(r["baseline_cost"]) for r in rows], "s--",
+                    label="BASELINE")
+        ax.set_xlabel("K")
+        ax.set_ylabel("Query Cost (log scale)")
+        ax.set_title("Figure 13")
+        ax.legend()
+        save(fig, "fig13")
+
+    # Figures 14/15/16/17/18: simple series.
+    simple = {
+        "fig14_range_impact_n": ("n", ["sq_cost", "rq_cost", "skyline"],
+                                 False),
+        "fig15_range_impact_m": ("m", ["sq_cost", "rq_cost"], True),
+        "fig16_pq_impact_n": ("n", ["pq_cost"], False),
+        "fig17_pq_domain_size": ("domain", ["pq_cost"], False),
+        "fig18_mixed_impact_n": ("n", ["mq_cost"], False),
+    }
+    for name, (xkey, ykeys, log) in simple.items():
+        rows = read(name)
+        if not rows:
+            continue
+        fig, ax = plt.subplots()
+        if name == "fig16_pq_impact_n":
+            for m in sorted({r["m"] for r in rows}):
+                sub = [r for r in rows if r["m"] == m]
+                ax.plot([int(r[xkey]) for r in sub],
+                        [int(r["pq_cost"]) for r in sub], "o-",
+                        label=f"{m}D")
+        else:
+            for y in ykeys:
+                ys = [float(r[y]) for r in rows]
+                xs = [int(r[xkey]) for r in rows]
+                (ax.semilogy if log else ax.plot)(xs, ys, "o-", label=y)
+        ax.set_xlabel(xkey)
+        ax.set_ylabel("Query Cost")
+        ax.set_title(name)
+        ax.legend()
+        save(fig, name)
+
+    # Figure 19: the two sweeps.
+    rows = read("fig19_mixed_vary_attrs")
+    if rows:
+        fig, ax = plt.subplots()
+        for sweep, label in (("vary_point", "Varying Point Predicates"),
+                             ("vary_range", "Varying Range Predicates")):
+            sub = [r for r in rows if r["sweep"] == sweep]
+            ax.plot([int(r["total_attrs"]) for r in sub],
+                    [int(r["mq_cost"]) for r in sub], "o-", label=label)
+        ax.set_xlabel("Number of Attributes")
+        ax.set_ylabel("Query Cost")
+        ax.set_title("Figure 19")
+        ax.legend()
+        save(fig, "fig19")
+
+    # Anytime curves: Figures 20-24.
+    anytime = {
+        "fig20_anytime_range": "algorithm",
+        "fig21_anytime_pq": None,
+        "fig22_bluenile": "algorithm",
+        "fig24_yahooautos": "algorithm",
+    }
+    for name, group in anytime.items():
+        rows = read(name)
+        if not rows:
+            continue
+        fig, ax = plt.subplots()
+        if group:
+            for algo in sorted({r[group] for r in rows}):
+                sub = [r for r in rows if r[group] == algo]
+                ax.plot([int(r["skyline_index"]) for r in sub],
+                        [int(r["query_cost"]) for r in sub], "-",
+                        label=algo)
+            ax.legend()
+        else:
+            ax.plot([int(r["skyline_index"]) for r in rows],
+                    [int(r["query_cost"]) for r in rows], "-")
+        ax.set_xlabel("Skyline Discovery Progress")
+        ax.set_ylabel("Query Cost")
+        ax.set_title(name)
+        save(fig, name)
+
+    rows = read("fig23_googleflights")
+    if rows:
+        fig, ax = plt.subplots()
+        ax.plot([int(r["skyline_index"]) for r in rows],
+                [float(r["avg_query_cost"]) for r in rows], "o-")
+        ax.axhline(50, linestyle="--", label="QPX free daily limit")
+        ax.set_xlabel("Skyline Discovery Progress")
+        ax.set_ylabel("Average Query Cost")
+        ax.set_title("Figure 23: Google Flights")
+        ax.legend()
+        save(fig, "fig23")
+
+
+if __name__ == "__main__":
+    main()

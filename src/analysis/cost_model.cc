@@ -1,0 +1,83 @@
+#include "analysis/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace hdsky {
+namespace analysis {
+
+using data::Value;
+
+double ExpectedSqCost(int m, int64_t s) {
+  if (m < 1 || s < 0) return 0.0;
+  // E(C_0) = 1; E(C_s) = 1 + (m/s) * prefix_sum.
+  double prefix = 1.0;  // sum of E(C_0..C_{i-1}) as i grows
+  double e = 1.0;       // E(C_0)
+  for (int64_t i = 1; i <= s; ++i) {
+    e = 1.0 + static_cast<double>(m) / static_cast<double>(i) * prefix;
+    prefix += e;
+  }
+  return e;
+}
+
+double ExpectedSqCostClosedForm(int m, int64_t s) {
+  if (m < 1 || s < 0) return 0.0;
+  if (s == 0) return 1.0;
+  if (m == 1) {
+    // Degenerate single-attribute case: the recursion gives
+    // E(C_s) = 1 + (1/s) * sum, which telescopes to the harmonic-free
+    // closed form below only for m >= 2; evaluate the recursion instead.
+    return ExpectedSqCost(m, s);
+  }
+  // The paper's printed equation (5) evaluates to one LESS than its own
+  // recursion (4) on every input — e.g. E(C_1) must be m + 1 ("the query
+  // cost is always C1 = m + 1", Section 3.2) while (5) yields m. The
+  // missing "+1" (the root SELECT * query) is restored here; tests
+  // verify exact agreement with the recursion.
+  const double log_binom = common::LogBinomial(m + s - 1, s);
+  return static_cast<double>(m) / static_cast<double>(m - 1) *
+             (std::exp(log_binom) - 1.0) +
+         1.0;
+}
+
+double WorstCaseSqBound(int m, int64_t s) {
+  return static_cast<double>(m) *
+         std::pow(static_cast<double>(s), static_cast<double>(m + 1));
+}
+
+double WorstCaseRqBound(int m, int64_t s, int64_t n) {
+  const double sm = std::pow(static_cast<double>(s),
+                             static_cast<double>(m + 1));
+  return static_cast<double>(m) *
+         std::min(sm, static_cast<double>(n));
+}
+
+double AverageCaseUpperBound(int m, int64_t s) {
+  const double e = std::exp(1.0);
+  return std::pow(e + e * static_cast<double>(s) / static_cast<double>(m),
+                  static_cast<double>(m));
+}
+
+int64_t Pq2dCostFormula(
+    std::vector<std::pair<Value, Value>> skyline_points, Value x_min,
+    Value x_max, Value y_min, Value y_max) {
+  std::sort(skyline_points.begin(), skyline_points.end());
+  // Extend with the two domain corner sentinels t_0 and t_{|S|+1}.
+  std::vector<std::pair<Value, Value>> pts;
+  pts.reserve(skyline_points.size() + 2);
+  pts.push_back({x_min, y_max});
+  for (const auto& p : skyline_points) pts.push_back(p);
+  pts.push_back({x_max, y_min});
+  int64_t cost = 0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const int64_t dx = pts[i + 1].first - pts[i].first;
+    const int64_t dy = pts[i].second - pts[i + 1].second;
+    cost += std::min(dx, dy);
+  }
+  return cost;
+}
+
+}  // namespace analysis
+}  // namespace hdsky

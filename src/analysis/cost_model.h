@@ -1,0 +1,51 @@
+// Closed-form query-cost models from the paper's analysis (Section 3.2,
+// 4.2, 5.1). These regenerate Figure 4 and the "Average Cost" overlays
+// of Figures 14-15, and give tests an oracle for the measured costs.
+
+#ifndef HDSKY_ANALYSIS_COST_MODEL_H_
+#define HDSKY_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace analysis {
+
+/// Expected SQ-DB-SKY query cost under the random-ranking model, by the
+/// recursion of equation (4): E(C_0) = 1,
+/// E(C_s) = 1 + (m/s) * sum_{i=0}^{s-1} E(C_i). Exact and cheap.
+double ExpectedSqCost(int m, int64_t s);
+
+/// The closed form of equation (5), corrected by the "+1" the paper's
+/// printed formula drops (its own recursion and text give C_1 = m + 1):
+/// E(C_s) = m/(m-1) * (C(m+s-1, s) - 1) + 1, evaluated in log space.
+/// Matches ExpectedSqCost exactly; for m = 2 it is 2s + 1 (the paper
+/// states 2s).
+double ExpectedSqCostClosedForm(int m, int64_t s);
+
+/// Worst-case SQ-DB-SKY bound O(m * |S|^{m+1}) (Section 3.2).
+double WorstCaseSqBound(int m, int64_t s);
+
+/// Worst-case RQ-DB-SKY bound O(m * min(|S|^{m+1}, n)) (Section 4.2).
+double WorstCaseRqBound(int m, int64_t s, int64_t n);
+
+/// The average-case upper bound (e + e*s/m)^m of equation (10).
+double AverageCaseUpperBound(int m, int64_t s);
+
+/// PQ-2D-SKY query cost (equation 11) for a 2D database whose skyline
+/// points are given (values in rank space, smaller better). Points need
+/// not be sorted. (x_max, y_max) are the attribute domain maxima and
+/// (x_min, y_min) the minima.
+int64_t Pq2dCostFormula(
+    std::vector<std::pair<data::Value, data::Value>> skyline_points,
+    data::Value x_min, data::Value x_max, data::Value y_min,
+    data::Value y_max);
+
+}  // namespace analysis
+}  // namespace hdsky
+
+#endif  // HDSKY_ANALYSIS_COST_MODEL_H_

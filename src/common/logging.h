@@ -1,0 +1,31 @@
+// Lightweight assertion and logging macros.
+//
+// HDSKY_CHECK(cond) aborts with a message in all build types; it guards
+// internal invariants whose violation means a bug in hdsky, mirroring the
+// DCHECK/CHECK split used by Arrow and RocksDB. HDSKY_DCHECK compiles out
+// in NDEBUG builds and is safe on hot paths.
+
+#ifndef HDSKY_COMMON_LOGGING_H_
+#define HDSKY_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define HDSKY_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "HDSKY_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define HDSKY_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define HDSKY_DCHECK(cond) HDSKY_CHECK(cond)
+#endif
+
+#endif  // HDSKY_COMMON_LOGGING_H_

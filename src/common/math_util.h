@@ -1,0 +1,40 @@
+// Small numeric helpers shared by the analysis module and tests.
+//
+// Cost bounds in the paper (e.g. m * |S|^{m+1}) overflow 64-bit integers
+// almost immediately, so everything here works in log-space or long double.
+
+#ifndef HDSKY_COMMON_MATH_UTIL_H_
+#define HDSKY_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hdsky {
+namespace common {
+
+/// ln(n!) via lgamma.
+inline double LogFactorial(int64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+/// ln(C(n, k)); returns -inf when k < 0 or k > n.
+inline double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -INFINITY;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+/// base^exp in double space; safe for the huge worst-case bounds.
+inline double PowD(double base, double exp) { return std::pow(base, exp); }
+
+/// Ceil division for non-negative integers.
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Clamps v to [lo, hi].
+inline int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace common
+}  // namespace hdsky
+
+#endif  // HDSKY_COMMON_MATH_UTIL_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace hdsky {
+namespace common {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace common
+}  // namespace hdsky

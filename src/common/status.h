@@ -1,0 +1,180 @@
+// Status / Result error model for hdsky.
+//
+// The library does not throw exceptions across its public API. Fallible
+// operations return a `common::Status`, or a `common::Result<T>` when they
+// also produce a value (the Arrow / RocksDB idiom). Helper macros
+// HDSKY_RETURN_IF_ERROR and HDSKY_ASSIGN_OR_RETURN propagate failures.
+
+#ifndef HDSKY_COMMON_STATUS_H_
+#define HDSKY_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hdsky {
+namespace common {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (bad schema index, empty
+  /// table, inverted range, ...).
+  kInvalidArgument = 1,
+  /// The operation is not supported by the target, e.g. a two-ended range
+  /// predicate sent to an SQ-only attribute of a hidden-database interface.
+  kUnsupported = 2,
+  /// A referenced entity does not exist.
+  kNotFound = 3,
+  /// A budget was exhausted, e.g. the per-day query rate limit of a hidden
+  /// web database (Section 2.3 of the paper). Discovery algorithms translate
+  /// this into an anytime partial result.
+  kResourceExhausted = 4,
+  /// A value fell outside its attribute domain.
+  kOutOfRange = 5,
+  /// File / parse errors from the CSV layer.
+  kIOError = 6,
+  /// An internal invariant was violated; indicates a bug in hdsky itself.
+  kInternal = 7,
+  kAlreadyExists = 8,
+};
+
+/// Human-readable name of a status code, e.g. "Unsupported".
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// A default-constructed Status is OK. Failure states carry a code and a
+/// message. Status is cheap to copy (codes dominate; messages are rare on
+/// hot paths because OK carries no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// The result of an operation that produces a T or fails with a Status.
+///
+/// Accessing the value of a failed Result aborts in debug builds and is
+/// undefined in release builds; callers must check ok() first (or use
+/// HDSKY_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : repr_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this result failed.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace common
+}  // namespace hdsky
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define HDSKY_RETURN_IF_ERROR(expr)                       \
+  do {                                                    \
+    ::hdsky::common::Status _hdsky_status = (expr);       \
+    if (!_hdsky_status.ok()) return _hdsky_status;        \
+  } while (false)
+
+#define HDSKY_CONCAT_IMPL(a, b) a##b
+#define HDSKY_CONCAT(a, b) HDSKY_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns the Status, on
+/// success assigns the value to `lhs` (which may be a declaration).
+#define HDSKY_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  HDSKY_ASSIGN_OR_RETURN_IMPL(HDSKY_CONCAT(_hdsky_result_, __LINE__),   \
+                              lhs, rexpr)
+
+#define HDSKY_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value();
+
+#endif  // HDSKY_COMMON_STATUS_H_

@@ -1,0 +1,265 @@
+#include "core/baseline_crawler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/math_util.h"
+#include "skyline/compute.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::AttributeSpec;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+using interface::Interval;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+namespace {
+
+// The remaining value slice of `attr` under query q, clipped to the
+// domain.
+struct Slice {
+  Value lo, hi;
+  int64_t width() const { return hi - lo + 1; }
+};
+
+Slice ClippedSlice(const Query& q, const AttributeSpec& spec, int attr) {
+  const Interval& iv = q.interval(attr);
+  return {std::max(iv.lower, spec.domain_min),
+          std::min(iv.upper, spec.domain_max)};
+}
+
+struct CrawlState {
+  HiddenDatabase* iface;
+  const CrawlOptions* options;
+  int64_t queries = 0;
+  bool exhausted = false;
+  bool complete = true;
+  std::unordered_set<TupleId> seen;
+  CrawlResult out;
+};
+
+// Executes one query, respecting both budgets.
+Result<QueryResult> CrawlExecute(CrawlState* st, const Query& q) {
+  if (st->options->common.max_queries > 0 &&
+      st->queries >= st->options->common.max_queries) {
+    st->exhausted = true;
+    return Status::ResourceExhausted("crawl max_queries reached");
+  }
+  Result<QueryResult> r = st->iface->Execute(q);
+  if (!r.ok()) {
+    if (r.status().IsResourceExhausted()) st->exhausted = true;
+    return r;
+  }
+  ++st->queries;
+  return r;
+}
+
+void Absorb(CrawlState* st, const QueryResult& t) {
+  for (int i = 0; i < t.size(); ++i) {
+    const TupleId id = t.ids[static_cast<size_t>(i)];
+    if (!st->seen.insert(id).second) continue;
+    st->out.ids.push_back(id);
+    st->out.tuples.push_back(t.tuples[static_cast<size_t>(i)]);
+    st->out.found_at.push_back(st->queries);
+  }
+}
+
+// Recursive binary space partitioning. Returns OK unless a hard error
+// occurred; budget exhaustion and unsplittable regions set flags instead.
+Status CrawlRec(CrawlState* st, const Query& region) {
+  Result<QueryResult> answer = CrawlExecute(st, region);
+  if (!answer.ok()) {
+    if (st->exhausted) {
+      st->complete = false;
+      return Status::OK();
+    }
+    return answer.status();
+  }
+  Absorb(st, *answer);
+  // Unlike the discovery algorithms (which conservatively treat a full
+  // page as an overflow, Section 3.1), the crawler uses the interface's
+  // true overflow signal: web databases display the total match count
+  // ("1,234 results"), and the crawling model of [22] assumes it too.
+  if (!answer->overflow) return Status::OK();  // region exhausted
+
+  const Schema& schema = st->iface->schema();
+
+  // Preferred split: a two-ended range attribute with a splittable slice,
+  // widest first; the split point adapts to the returned values.
+  int best_attr = -1;
+  Slice best_slice{0, -1};
+  for (int attr : schema.ranking_attributes()) {
+    const AttributeSpec& spec = schema.attribute(attr);
+    if (!spec.supports_lower_bound()) continue;
+    const Slice s = ClippedSlice(region, spec, attr);
+    if (s.width() >= 2 && s.width() > best_slice.width()) {
+      best_attr = attr;
+      best_slice = s;
+    }
+  }
+  if (best_attr >= 0) {
+    // Median of the returned values on the split attribute, clamped so
+    // both halves are non-empty slices.
+    std::vector<Value> vals;
+    vals.reserve(static_cast<size_t>(answer->size()));
+    for (const Tuple& t : answer->tuples) {
+      vals.push_back(t[static_cast<size_t>(best_attr)]);
+    }
+    std::nth_element(vals.begin(), vals.begin() + vals.size() / 2,
+                     vals.end());
+    Value split = vals[vals.size() / 2];
+    split = common::Clamp(split, best_slice.lo, best_slice.hi - 1);
+    Query left = region;
+    left.AddAtMost(best_attr, split);
+    Query right = region;
+    right.AddGreaterThan(best_attr, split);
+    HDSKY_RETURN_IF_ERROR(CrawlRec(st, left));
+    if (st->exhausted) return Status::OK();
+    HDSKY_RETURN_IF_ERROR(CrawlRec(st, right));
+    return Status::OK();
+  }
+
+  // Fallback: enumerate equality predicates on the attribute with the
+  // smallest splittable slice (point attributes and small-domain
+  // single-ended ranges; then filtering attributes for duplicate-heavy
+  // regions).
+  int enum_attr = -1;
+  Slice enum_slice{0, -1};
+  auto consider = [&](int attr) {
+    const Slice s =
+        ClippedSlice(region, schema.attribute(attr), attr);
+    if (s.width() < 2 || s.width() > st->options->max_enumeration) return;
+    if (region.interval(attr).is_point()) return;
+    if (enum_attr < 0 || s.width() < enum_slice.width()) {
+      enum_attr = attr;
+      enum_slice = s;
+    }
+  };
+  for (int attr : schema.ranking_attributes()) consider(attr);
+  if (enum_attr < 0) {
+    for (int attr : schema.filtering_attributes()) consider(attr);
+  }
+  if (enum_attr < 0) {
+    // Nothing left to split on: more than k tuples share every
+    // constrainable value. Completeness is unattainable here (the
+    // Section 7.2 negative case); keep what the answer gave us. If every
+    // ranking attribute is pinned, the hidden tuples are value-
+    // duplicates of retrieved ones — harmless to skyline callers.
+    bool ranking_pinned = true;
+    for (int attr : schema.ranking_attributes()) {
+      const Slice s = ClippedSlice(region, schema.attribute(attr), attr);
+      if (s.width() != 1) {
+        ranking_pinned = false;
+        break;
+      }
+    }
+    if (!(st->options->tolerate_value_duplicates && ranking_pinned)) {
+      st->complete = false;
+    }
+    return Status::OK();
+  }
+  for (Value v = enum_slice.lo; v <= enum_slice.hi; ++v) {
+    Query cell = region;
+    cell.AddEquals(enum_attr, v);
+    HDSKY_RETURN_IF_ERROR(CrawlRec(st, cell));
+    if (st->exhausted) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CrawlResult> CrawlRegion(HiddenDatabase* iface, const Query& region,
+                                const CrawlOptions& options) {
+  if (region.num_attributes() != iface->schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "region arity does not match the interface schema");
+  }
+  HDSKY_RETURN_IF_ERROR(iface->ValidateQuery(region));
+  CrawlState st;
+  st.iface = iface;
+  st.options = &options;
+  Query root = region;
+  if (options.common.base_filter.has_value()) {
+    // Fold the base filter into the region conjunctively.
+    const Query& f = *options.common.base_filter;
+    for (int a = 0; a < f.num_attributes(); ++a) {
+      const Interval& iv = f.interval(a);
+      if (!iv.constrained()) continue;
+      root.AddAtLeast(a, iv.lower);
+      root.AddAtMost(a, iv.upper);
+    }
+    HDSKY_RETURN_IF_ERROR(iface->ValidateQuery(root));
+  }
+  HDSKY_RETURN_IF_ERROR(CrawlRec(&st, root));
+  st.out.query_cost = st.queries;
+  st.out.complete = st.complete && !st.exhausted;
+  return std::move(st.out);
+}
+
+Result<CrawlResult> CrawlDatabase(HiddenDatabase* iface,
+                                  const CrawlOptions& options) {
+  return CrawlRegion(iface, Query(iface->schema().num_attributes()),
+                     options);
+}
+
+Result<DiscoveryResult> BaselineSkyline(HiddenDatabase* iface,
+                                        const CrawlOptions& options) {
+  CrawlOptions opts = options;
+  opts.tolerate_value_duplicates = true;
+  HDSKY_ASSIGN_OR_RETURN(CrawlResult crawl, CrawlDatabase(iface, opts));
+  // Local skyline over the crawled copy.
+  Table local(iface->schema());
+  local.Reserve(static_cast<int64_t>(crawl.tuples.size()));
+  for (const Tuple& t : crawl.tuples) {
+    HDSKY_RETURN_IF_ERROR(local.Append(t));
+  }
+  const std::vector<TupleId> sky = skyline::SkylineSFS(local);
+
+  DiscoveryResult result;
+  result.query_cost = crawl.query_cost;
+  result.complete = crawl.complete;
+  // Post-hoc anytime curve: when each eventually-skyline tuple arrived.
+  std::vector<int64_t> arrival;
+  arrival.reserve(sky.size());
+  for (TupleId local_row : sky) {
+    const size_t idx = static_cast<size_t>(local_row);
+    result.skyline_ids.push_back(crawl.ids[idx]);
+    result.skyline.push_back(crawl.tuples[idx]);
+    arrival.push_back(crawl.found_at[idx]);
+  }
+  std::sort(arrival.begin(), arrival.end());
+  result.trace.push_back({0, 0});
+  for (size_t i = 0; i < arrival.size(); ++i) {
+    result.trace.push_back({arrival[i], static_cast<int64_t>(i + 1)});
+  }
+  result.trace.push_back(
+      {crawl.query_cost, static_cast<int64_t>(arrival.size())});
+  // Keep ids sorted with tuples aligned.
+  std::vector<size_t> perm(result.skyline_ids.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    return result.skyline_ids[a] < result.skyline_ids[b];
+  });
+  DiscoveryResult sorted;
+  sorted.query_cost = result.query_cost;
+  sorted.complete = result.complete;
+  sorted.trace = std::move(result.trace);
+  for (size_t p : perm) {
+    sorted.skyline_ids.push_back(result.skyline_ids[p]);
+    sorted.skyline.push_back(result.skyline[p]);
+  }
+  return sorted;
+}
+
+}  // namespace core
+}  // namespace hdsky

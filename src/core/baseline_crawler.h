@@ -1,0 +1,74 @@
+// BASELINE (Section 8.1): crawl the entire hidden database with the
+// state-of-the-art top-k crawling approach of Sheng et al. [22], then
+// extract the skyline locally.
+//
+// CrawlRegion recursively partitions an overflowing query region into
+// disjoint sub-regions: two-ended range attributes split at the median of
+// the returned values (data-adaptive binary space partitioning); point
+// attributes and small-domain single-ended attributes enumerate equality
+// predicates. A region is done when its answer underflows. The crawler
+// needs two-ended ranges to be complete in general — with single-ended
+// interfaces completeness can be unattainable (the paper's Section 7.2
+// negative result) and the result is flagged incomplete.
+//
+// MIXED-DB-SKY reuses CrawlRegion to exhaustively crawl the overflowing
+// point-value regions of its second phase.
+
+#ifndef HDSKY_CORE_BASELINE_CRAWLER_H_
+#define HDSKY_CORE_BASELINE_CRAWLER_H_
+
+#include <vector>
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+struct CrawlOptions {
+  DiscoveryOptions common;
+  /// Equality-enumeration is attempted only on attributes whose remaining
+  /// domain slice is at most this many values; beyond it (e.g. a
+  /// large-domain SQ attribute that cannot be range-partitioned) the
+  /// region is abandoned and the crawl is flagged incomplete.
+  int64_t max_enumeration = 4096;
+  /// When true, an unsplittable overflowing region whose RANKING
+  /// attributes are all pinned to single values does not clear
+  /// `complete`: the hidden tuples there duplicate a retrieved tuple on
+  /// every ranking attribute and can never contribute a new skyline
+  /// value. Skyline-oriented callers (BaselineSkyline, MIXED-DB-SKY)
+  /// enable this; a faithful full-crawl keeps it off.
+  bool tolerate_value_duplicates = false;
+};
+
+struct CrawlResult {
+  std::vector<data::TupleId> ids;
+  std::vector<data::Tuple> tuples;
+  /// For each crawled tuple, the (1-based) query count at which it was
+  /// first retrieved; feeds post-hoc progress curves.
+  std::vector<int64_t> found_at;
+  int64_t query_cost = 0;
+  bool complete = true;
+};
+
+/// Crawls all tuples matching `region` (plus options.common.base_filter).
+common::Result<CrawlResult> CrawlRegion(interface::HiddenDatabase* iface,
+                                        const interface::Query& region,
+                                        const CrawlOptions& options = {});
+
+/// Crawls the whole database.
+common::Result<CrawlResult> CrawlDatabase(interface::HiddenDatabase* iface,
+                                          const CrawlOptions& options = {});
+
+/// The full BASELINE: crawl everything, then compute the skyline locally.
+/// The trace reports, post hoc, how many eventually-confirmed skyline
+/// tuples had been crawled after each query — the paper's point that
+/// BASELINE lacks the anytime property (it cannot *certify* any of them
+/// before the crawl completes) stands; this is the optimistic curve
+/// Figure 22/24 plots.
+common::Result<DiscoveryResult> BaselineSkyline(
+    interface::HiddenDatabase* iface, const CrawlOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_BASELINE_CRAWLER_H_

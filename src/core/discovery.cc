@@ -1,0 +1,127 @@
+#include "core/discovery.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::Tuple;
+using data::TupleId;
+using interface::Query;
+using interface::QueryResult;
+using skyline::DomRelation;
+
+bool SkylineCollector::Observe(TupleId id, const Tuple& t) {
+  if (!observed_.insert(id).second) return false;
+  for (const Tuple& s : tuples_) {
+    const DomRelation rel = skyline::Compare(s, t, ranking_attrs_);
+    if (rel == DomRelation::kDominates || rel == DomRelation::kEqual) {
+      return false;
+    }
+  }
+  return AddConfirmed(id, t);
+}
+
+bool SkylineCollector::AddConfirmed(TupleId id, const Tuple& t) {
+  if (!id_set_.insert(id).second) return false;
+  ids_.push_back(id);
+  tuples_.push_back(t);
+  return true;
+}
+
+bool SkylineCollector::IsDominated(const Tuple& t) const {
+  for (const Tuple& s : tuples_) {
+    if (skyline::Compare(s, t, ranking_attrs_) == DomRelation::kDominates) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SkylineCollector::IsDominatedOrDuplicate(const Tuple& t) const {
+  for (const Tuple& s : tuples_) {
+    const DomRelation rel = skyline::Compare(s, t, ranking_attrs_);
+    if (rel == DomRelation::kDominates || rel == DomRelation::kEqual) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SkylineCollector::Finish(DiscoveryResult* result) {
+  std::vector<size_t> perm(ids_.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(),
+            [this](size_t a, size_t b) { return ids_[a] < ids_[b]; });
+  result->skyline_ids.clear();
+  result->skyline.clear();
+  result->skyline_ids.reserve(ids_.size());
+  result->skyline.reserve(ids_.size());
+  for (size_t p : perm) {
+    result->skyline_ids.push_back(ids_[p]);
+    result->skyline.push_back(tuples_[p]);
+  }
+}
+
+DiscoveryRun::DiscoveryRun(interface::HiddenDatabase* iface,
+                           const DiscoveryOptions& options)
+    : iface_(iface),
+      options_(options),
+      collector_(iface->schema().ranking_attributes()) {
+  trace_.push_back({0, 0});
+}
+
+Result<QueryResult> DiscoveryRun::Execute(const Query& q) {
+  if (options_.max_queries > 0 && queries_issued_ >= options_.max_queries) {
+    exhausted_ = true;
+    return Status::ResourceExhausted("discovery max_queries reached");
+  }
+  Result<QueryResult> r = iface_->Execute(q);
+  if (!r.ok()) {
+    if (r.status().IsResourceExhausted()) exhausted_ = true;
+    return r;
+  }
+  ++queries_issued_;
+  return r;
+}
+
+Query DiscoveryRun::MakeBaseQuery() const {
+  if (options_.base_filter.has_value()) return *options_.base_filter;
+  return Query(iface_->schema().num_attributes());
+}
+
+bool DiscoveryRun::Observe(TupleId id, const Tuple& t) {
+  const bool added = collector_.Observe(id, t);
+  if (added) RecordProgress();
+  return added;
+}
+
+bool DiscoveryRun::AddConfirmed(TupleId id, const Tuple& t) {
+  const bool added = collector_.AddConfirmed(id, t);
+  if (added) RecordProgress();
+  return added;
+}
+
+void DiscoveryRun::RecordProgress() {
+  const ProgressPoint point{queries_issued_, collector_.size()};
+  trace_.push_back(point);
+  if (options_.on_progress) options_.on_progress(point);
+}
+
+DiscoveryResult DiscoveryRun::Finish() {
+  DiscoveryResult result;
+  collector_.Finish(&result);
+  result.query_cost = queries_issued_;
+  result.complete = !exhausted_;
+  trace_.push_back({queries_issued_, collector_.size()});
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace core
+}  // namespace hdsky

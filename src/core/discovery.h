@@ -1,0 +1,159 @@
+// Shared vocabulary of the discovery algorithms: options, results, anytime
+// progress traces (Section 7.1), and the SkylineCollector that turns query
+// answers into confirmed skyline tuples.
+//
+// Confirmation logic. For *downward-closed* query protocols (every issued
+// query's match set is closed under domination within the space already
+// known to be covered — true for SQ-DB-SKY's queries and for RQ-DB-SKY's
+// q/R(q) discipline), a returned tuple is on the skyline if and only if no
+// previously seen tuple dominates it, and a tuple once confirmed can never
+// be invalidated: any dominator would have outranked it in the very answer
+// that returned it. Observe() implements that rule. Point-query
+// algorithms lack this property (a dominator need not match a point
+// query), so they prove skyline membership geometrically and call
+// AddConfirmed() instead.
+//
+// All algorithms assume the paper's general positioning: skyline tuples
+// have unique value combinations on ranking attributes. Tuples whose
+// ranking values duplicate a discovered skyline tuple are invisible behind
+// a top-k interface (Section 2.1); DiscoveryResult reports skylines as
+// value-distinct tuples.
+
+#ifndef HDSKY_CORE_DISCOVERY_H_
+#define HDSKY_CORE_DISCOVERY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "interface/top_k_interface.h"
+
+namespace hdsky {
+namespace core {
+
+/// One point of the anytime curve: after `queries_issued` queries,
+/// `skyline_discovered` tuples were confirmed (Figures 20-24).
+struct ProgressPoint {
+  int64_t queries_issued = 0;
+  int64_t skyline_discovered = 0;
+};
+
+using ProgressTrace = std::vector<ProgressPoint>;
+
+struct DiscoveryOptions {
+  /// Conjunctive constraints appended to every query, e.g. equality on
+  /// filtering attributes (DepartureCity = "JFK"). Must be legal for the
+  /// interface.
+  std::optional<interface::Query> base_filter;
+  /// Stop after this many queries issued by this run (0 = unlimited).
+  /// The interface's own budget is honored as well; either exhaustion
+  /// yields a partial anytime result with complete = false.
+  int64_t max_queries = 0;
+  /// Called whenever a new skyline tuple is confirmed.
+  std::function<void(const ProgressPoint&)> on_progress;
+};
+
+struct DiscoveryResult {
+  /// Confirmed skyline tuples (ids as reported by the interface).
+  std::vector<data::TupleId> skyline_ids;
+  /// Materialized tuples aligned with skyline_ids.
+  std::vector<data::Tuple> skyline;
+  /// Queries issued by this run.
+  int64_t query_cost = 0;
+  /// False when a budget stopped the run early (the returned skyline is
+  /// still a correct subset: the anytime property).
+  bool complete = true;
+  /// Anytime curve.
+  ProgressTrace trace;
+};
+
+/// Accumulates query answers into the confirmed skyline.
+class SkylineCollector {
+ public:
+  explicit SkylineCollector(std::vector<int> ranking_attrs)
+      : ranking_attrs_(std::move(ranking_attrs)) {}
+
+  /// Mode for downward-closed protocols (see file comment): confirms the
+  /// tuple iff it is not dominated by a confirmed tuple. Returns true on
+  /// a newly confirmed skyline tuple. Value-duplicates of confirmed
+  /// tuples are ignored. A tuple's classification is immutable under
+  /// the downward-closed rule, so repeat observations of the same id are
+  /// memoized (top-k answers re-return popular tuples constantly).
+  bool Observe(data::TupleId id, const data::Tuple& t);
+
+  /// Mode for geometric proofs (PQ family): unconditionally records a
+  /// tuple the caller has proven to be on the skyline. Returns true when
+  /// new.
+  bool AddConfirmed(data::TupleId id, const data::Tuple& t);
+
+  /// True iff some confirmed tuple dominates t.
+  bool IsDominated(const data::Tuple& t) const;
+
+  /// True iff some confirmed tuple dominates t or equals t on all ranking
+  /// attributes.
+  bool IsDominatedOrDuplicate(const data::Tuple& t) const;
+
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+  const std::vector<data::TupleId>& ids() const { return ids_; }
+  const std::vector<data::Tuple>& tuples() const { return tuples_; }
+  const std::vector<int>& ranking_attrs() const { return ranking_attrs_; }
+
+  /// Moves the collected skyline into `result` (ids sorted, tuples
+  /// aligned).
+  void Finish(DiscoveryResult* result);
+
+ private:
+  std::vector<int> ranking_attrs_;
+  std::vector<data::TupleId> ids_;
+  std::vector<data::Tuple> tuples_;
+  std::unordered_set<data::TupleId> id_set_;
+  /// Ids already classified by Observe (confirmed or rejected).
+  std::unordered_set<data::TupleId> observed_;
+};
+
+/// Bookkeeping shared by all algorithm drivers: counts queries, enforces
+/// max_queries, records the trace, and funnels answers into a collector.
+class DiscoveryRun {
+ public:
+  DiscoveryRun(interface::HiddenDatabase* iface,
+               const DiscoveryOptions& options);
+
+  /// Executes `q` (with the base filter already folded in by the caller
+  /// or via MakeBaseQuery). ResourceExhausted marks the run incomplete
+  /// and is surfaced so the algorithm can unwind.
+  common::Result<interface::QueryResult> Execute(const interface::Query& q);
+
+  /// A query constrained only by options.base_filter.
+  interface::Query MakeBaseQuery() const;
+
+  /// Observes a returned tuple under the downward-closed rule.
+  bool Observe(data::TupleId id, const data::Tuple& t);
+  /// Records a geometrically proven skyline tuple.
+  bool AddConfirmed(data::TupleId id, const data::Tuple& t);
+
+  SkylineCollector& collector() { return collector_; }
+  interface::HiddenDatabase* iface() { return iface_; }
+  int64_t queries_issued() const { return queries_issued_; }
+  bool exhausted() const { return exhausted_; }
+
+  /// Packages the final DiscoveryResult.
+  DiscoveryResult Finish();
+
+ private:
+  void RecordProgress();
+
+  interface::HiddenDatabase* iface_;
+  const DiscoveryOptions& options_;
+  SkylineCollector collector_;
+  int64_t queries_issued_ = 0;
+  bool exhausted_ = false;
+  ProgressTrace trace_;
+};
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_DISCOVERY_H_

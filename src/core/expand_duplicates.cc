@@ -1,0 +1,70 @@
+#include "core/expand_duplicates.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::Schema;
+using data::Tuple;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+Result<ExpandResult> ExpandDuplicates(HiddenDatabase* iface,
+                                      const DiscoveryResult& skyline,
+                                      const CrawlOptions& options) {
+  const Schema& schema = iface->schema();
+  ExpandResult out;
+  int64_t cost = 0;
+  for (size_t i = 0; i < skyline.skyline.size(); ++i) {
+    const Tuple& t = skyline.skyline[i];
+    Query q = options.common.base_filter.has_value()
+                  ? *options.common.base_filter
+                  : Query(schema.num_attributes());
+    for (int attr : schema.ranking_attributes()) {
+      q.AddEquals(attr, t[static_cast<size_t>(attr)]);
+    }
+    if (options.common.max_queries > 0 &&
+        cost >= options.common.max_queries) {
+      out.complete = false;
+      break;
+    }
+    DuplicateGroup group;
+    group.representative = skyline.skyline_ids[i];
+    Result<QueryResult> answer = iface->Execute(q);
+    if (!answer.ok()) {
+      if (answer.status().IsResourceExhausted()) {
+        out.complete = false;
+        break;
+      }
+      return answer.status();
+    }
+    ++cost;
+    if (!answer->overflow) {
+      group.ids = answer->ids;
+      group.tuples = answer->tuples;
+    } else {
+      // More value-twins than one page: crawl the point region (only
+      // filtering attributes can split it further).
+      CrawlOptions crawl = options;
+      crawl.common.base_filter.reset();  // folded into q already
+      if (options.common.max_queries > 0) {
+        crawl.common.max_queries = options.common.max_queries - cost;
+      }
+      HDSKY_ASSIGN_OR_RETURN(CrawlResult crawled,
+                             CrawlRegion(iface, q, crawl));
+      cost += crawled.query_cost;
+      group.ids = std::move(crawled.ids);
+      group.tuples = std::move(crawled.tuples);
+      group.complete = crawled.complete;
+      out.complete = out.complete && crawled.complete;
+    }
+    out.groups.push_back(std::move(group));
+  }
+  out.query_cost = cost;
+  return out;
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,49 @@
+// Duplicate expansion (Section 2.1): the discovery algorithms assume
+// general positioning, so tuples sharing a skyline tuple's exact ranking
+// values stay hidden behind it. When an application needs every listing
+// (not just one per value combination) — e.g. all flights with the same
+// price/stops/duration — it issues, per discovered skyline tuple, a
+// conjunctive equality query on all ranking attributes and, if that
+// overflows, crawls the match set (distinguishable only through
+// filtering attributes).
+
+#ifndef HDSKY_CORE_EXPAND_DUPLICATES_H_
+#define HDSKY_CORE_EXPAND_DUPLICATES_H_
+
+#include <vector>
+
+#include "core/baseline_crawler.h"
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+/// All tuples sharing one skyline value combination.
+struct DuplicateGroup {
+  /// The representative the discovery algorithm returned.
+  data::TupleId representative = data::kInvalidTupleId;
+  /// Every matching tuple (including the representative).
+  std::vector<data::TupleId> ids;
+  std::vector<data::Tuple> tuples;
+  /// False when the group's point region could not be crawled
+  /// exhaustively (no filtering attribute left to enumerate).
+  bool complete = true;
+};
+
+struct ExpandResult {
+  std::vector<DuplicateGroup> groups;
+  int64_t query_cost = 0;
+  bool complete = true;
+};
+
+/// Expands each tuple of `skyline` to its full duplicate group through
+/// the interface. Costs one equality query per tuple plus the crawl of
+/// any overflowing group.
+common::Result<ExpandResult> ExpandDuplicates(
+    interface::HiddenDatabase* iface, const DiscoveryResult& skyline,
+    const CrawlOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_EXPAND_DUPLICATES_H_

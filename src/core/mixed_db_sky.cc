@@ -1,0 +1,120 @@
+#include "core/mixed_db_sky.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::InterfaceType;
+using data::Schema;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+Result<MixedPhaseResult> MixedDbSkyPhase(
+    HiddenDatabase* iface, const std::vector<Tuple>& range_skyline,
+    int64_t cost_so_far, const CrawlOptions& options) {
+  const Schema& schema = iface->schema();
+  MixedPhaseResult result;
+  if (range_skyline.empty()) return result;  // empty database: no phase 2
+
+  const std::vector<int> pq_attrs =
+      schema.RankingAttributesWithInterface(InterfaceType::kPQ);
+  if (pq_attrs.empty()) return result;  // nothing can have been missed
+
+  // P: for each two-ended range attribute, Aj >= min over the discovered
+  // skyline (equation 17). One-ended attributes admit no lower bound and
+  // contribute nothing (the weaker pruning of Section 6.1 is exactly the
+  // v < max bound below).
+  Query base = options.common.base_filter.has_value()
+                   ? *options.common.base_filter
+                   : Query(schema.num_attributes());
+  for (int attr :
+       schema.RankingAttributesWithInterface(InterfaceType::kRQ)) {
+    Value lo = range_skyline[0][static_cast<size_t>(attr)];
+    for (const Tuple& t : range_skyline) {
+      lo = std::min(lo, t[static_cast<size_t>(attr)]);
+    }
+    base.AddAtLeast(attr, lo);
+  }
+
+  std::unordered_set<TupleId> seen;
+  int64_t cost = cost_so_far;
+  auto remaining_budget = [&]() -> int64_t {
+    if (options.common.max_queries <= 0) return 0;
+    return std::max<int64_t>(0, options.common.max_queries - cost);
+  };
+  auto absorb = [&](TupleId id, const Tuple& t) {
+    if (!seen.insert(id).second) return;
+    result.pool.push_back({id, t, cost});
+  };
+
+  for (int bi : pq_attrs) {
+    // Only values beating some discovered tuple on Bi can host a missed
+    // skyline tuple.
+    Value vmax = range_skyline[0][static_cast<size_t>(bi)];
+    for (const Tuple& t : range_skyline) {
+      vmax = std::max(vmax, t[static_cast<size_t>(bi)]);
+    }
+    const Value lo = schema.attribute(bi).domain_min;
+    for (Value v = lo; v < vmax; ++v) {
+      if (options.common.max_queries > 0 && remaining_budget() == 0) {
+        result.complete = false;
+        result.query_cost = cost - cost_so_far;
+        return result;
+      }
+      Query probe = base;
+      probe.AddEquals(bi, v);
+      Result<QueryResult> answer = iface->Execute(probe);
+      if (!answer.ok()) {
+        if (answer.status().IsResourceExhausted()) {
+          result.complete = false;
+          result.query_cost = cost - cost_so_far;
+          return result;
+        }
+        return answer.status();
+      }
+      ++cost;
+      if (answer->empty()) continue;
+      for (int i = 0; i < answer->size(); ++i) {
+        absorb(answer->ids[static_cast<size_t>(i)],
+               answer->tuples[static_cast<size_t>(i)]);
+      }
+      if (answer->size() == iface->k()) {
+        // Overflow: crawl the region exhaustively.
+        CrawlOptions crawl_opts = options;
+        crawl_opts.common.base_filter.reset();  // folded into `probe`
+        crawl_opts.tolerate_value_duplicates = true;
+        crawl_opts.common.max_queries = remaining_budget();
+        Result<CrawlResult> crawled =
+            CrawlRegion(iface, probe, crawl_opts);
+        HDSKY_RETURN_IF_ERROR(crawled.status());
+        const int64_t base_cost = cost;
+        for (size_t i = 0; i < crawled->ids.size(); ++i) {
+          cost = base_cost + crawled->found_at[i];
+          absorb(crawled->ids[i], crawled->tuples[i]);
+        }
+        cost = base_cost + crawled->query_cost;
+        if (!crawled->complete) {
+          result.complete = false;
+          if (options.common.max_queries > 0 &&
+              remaining_budget() == 0) {
+            result.query_cost = cost - cost_so_far;
+            return result;
+          }
+        }
+      }
+    }
+  }
+  result.query_cost = cost - cost_so_far;
+  return result;
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,59 @@
+// MIXED-DB-SKY (Section 6.2): the second phase of skyline discovery over
+// databases mixing range- and point-predicate attributes.
+//
+// Running RQ-DB-SKY over the range attributes alone (point attributes
+// unconstrained) finds every skyline tuple that is NOT dominated on all
+// range attributes by another skyline tuple, but misses the rest. Each
+// missed tuple t is range-dominated by some discovered tuple D(t) yet
+// beats it on a point attribute — the range-domination property — which
+// bounds the remaining search space:
+//  * the single pruning predicate P appends, for every two-ended range
+//    attribute Aj, the constraint Aj >= min over the discovered skyline
+//    (equation 17) — one predicate for the UNION of dominated spaces, so
+//    the phase executes exactly once;
+//  * only point-attribute values v < max over the discovered skyline can
+//    host a missed tuple, so the probes are P AND (Bi = v) per point
+//    attribute Bi and each such v.
+// A probe that overflows is crawled exhaustively (CrawlRegion). The
+// caller finishes by a local dominance filter over the union of
+// everything retrieved: every missed skyline tuple is in the union, and
+// every non-skyline union member has its (skyline) dominator there too.
+
+#ifndef HDSKY_CORE_MIXED_DB_SKY_H_
+#define HDSKY_CORE_MIXED_DB_SKY_H_
+
+#include <vector>
+
+#include "core/baseline_crawler.h"
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+/// A tuple retrieved during the mixed phase, stamped with the cumulative
+/// query cost at retrieval (for post-hoc anytime curves).
+struct PooledTuple {
+  data::TupleId id;
+  data::Tuple tuple;
+  int64_t found_at_cost;
+};
+
+struct MixedPhaseResult {
+  std::vector<PooledTuple> pool;
+  int64_t query_cost = 0;
+  bool complete = true;
+};
+
+/// Executes the mixed phase. `range_skyline` is the phase-1 output (the
+/// discovered skyline tuples); `cost_so_far` offsets the found_at stamps.
+/// Probes and crawls respect options.common (base filter, max_queries as
+/// a TOTAL budget including cost_so_far).
+common::Result<MixedPhaseResult> MixedDbSkyPhase(
+    interface::HiddenDatabase* iface,
+    const std::vector<data::Tuple>& range_skyline, int64_t cost_so_far,
+    const CrawlOptions& options);
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_MIXED_DB_SKY_H_

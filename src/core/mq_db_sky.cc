@@ -1,0 +1,170 @@
+#include "core/mq_db_sky.h"
+
+#include <algorithm>
+
+#include "core/mixed_db_sky.h"
+#include "core/pq_db_sky.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::InterfaceType;
+using data::Schema;
+using data::Tuple;
+using data::TupleId;
+using interface::HiddenDatabase;
+
+Result<DiscoveryResult> MqDbSky(HiddenDatabase* iface,
+                                const MqDbSkyOptions& options) {
+  const Schema& schema = iface->schema();
+  const std::vector<int> rq_attrs =
+      schema.RankingAttributesWithInterface(InterfaceType::kRQ);
+  const std::vector<int> sq_attrs =
+      schema.RankingAttributesWithInterface(InterfaceType::kSQ);
+  const std::vector<int> pq_attrs =
+      schema.RankingAttributesWithInterface(InterfaceType::kPQ);
+
+  // Pure cases reduce to the specialized algorithms.
+  if (pq_attrs.empty()) {
+    if (sq_attrs.empty()) {
+      RqDbSkyOptions rq;
+      rq.common = options.common;
+      rq.skip_duplicate_nodes = true;
+      return RqDbSky(iface, rq);
+    }
+    if (rq_attrs.empty()) {
+      SqDbSkyOptions sq;
+      sq.common = options.common;
+      return SqDbSky(iface, sq);
+    }
+    // Mixed one-/two-ended ranges: the revision of RQ-DB-SKY that uses
+    // ">=" only where supported. Two-ended attributes branch first so
+    // R(q)'s exclusions bite (see RqDbSkyOptions::branch_attrs).
+    RqDbSkyOptions rq;
+    rq.common = options.common;
+    rq.require_two_ended = false;
+    rq.skip_duplicate_nodes = true;
+    rq.branch_attrs = rq_attrs;
+    rq.branch_attrs.insert(rq.branch_attrs.end(), sq_attrs.begin(),
+                           sq_attrs.end());
+    return RqDbSky(iface, rq);
+  }
+  // Two-ended attributes first: R(q)'s exclusions apply to earlier
+  // branches only where ">=" is supported, so this order maximizes the
+  // early-termination power on mixed interfaces.
+  std::vector<int> range_attrs = rq_attrs;
+  range_attrs.insert(range_attrs.end(), sq_attrs.begin(), sq_attrs.end());
+  if (range_attrs.empty()) {
+    PqDbSkyOptions pq;
+    pq.common = options.common;
+    return PqDbSky(iface, pq);
+  }
+
+  // ---- Phase 1: range-only discovery with point attributes left as *.
+  RqDbSkyOptions rq;
+  rq.common = options.common;
+  rq.require_two_ended = false;
+  rq.skip_duplicate_nodes = true;
+  rq.branch_attrs = range_attrs;
+  HDSKY_ASSIGN_OR_RETURN(DiscoveryResult phase1, RqDbSky(iface, rq));
+  if (!phase1.complete) return phase1;  // budget died early: anytime
+
+  // ---- Phase 2: recover range-dominated, point-superior tuples.
+  CrawlOptions crawl;
+  crawl.common = options.common;
+  crawl.max_enumeration = options.max_enumeration;
+  HDSKY_ASSIGN_OR_RETURN(
+      MixedPhaseResult phase2,
+      MixedDbSkyPhase(iface, phase1.skyline, phase1.query_cost, crawl));
+
+  // ---- Union + local dominance filter.
+  const std::vector<int>& ranking = schema.ranking_attributes();
+  struct Entry {
+    TupleId id;
+    Tuple tuple;
+    int64_t found_at;
+    bool from_phase1;
+  };
+  std::vector<Entry> pool;
+  pool.reserve(phase1.skyline.size() + phase2.pool.size());
+  // Phase-1 arrival costs come from its trace (one point per confirm).
+  {
+    for (size_t i = 0; i < phase1.skyline.size(); ++i) {
+      pool.push_back({phase1.skyline_ids[i], phase1.skyline[i], 0, true});
+    }
+    // The trace is (queries, count) with count increasing by 1 per
+    // confirm; map the i-th confirm to its query stamp conservatively.
+    std::vector<int64_t> confirm_costs;
+    for (const ProgressPoint& p : phase1.trace) {
+      while (static_cast<int64_t>(confirm_costs.size()) <
+             p.skyline_discovered) {
+        confirm_costs.push_back(p.queries_issued);
+      }
+    }
+    // Confirm order is not id order; stamp by sorted arrival as an
+    // approximation for the anytime curve.
+    std::sort(confirm_costs.begin(), confirm_costs.end());
+    for (size_t i = 0; i < pool.size() && i < confirm_costs.size(); ++i) {
+      pool[i].found_at = confirm_costs[i];
+    }
+  }
+  for (const PooledTuple& p : phase2.pool) {
+    bool duplicate = false;
+    for (const Entry& e : pool) {
+      if (e.id == p.id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) pool.push_back({p.id, p.tuple, p.found_at_cost, false});
+  }
+
+  DiscoveryResult result;
+  result.query_cost = phase1.query_cost + phase2.query_cost;
+  result.complete = phase1.complete && phase2.complete;
+
+  // Every non-skyline pool member has its skyline dominator in the pool,
+  // so a pairwise filter is exact.
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pool.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const skyline::DomRelation rel =
+          skyline::Compare(pool[j].tuple, pool[i].tuple, ranking);
+      if (rel == skyline::DomRelation::kDominates) dominated = true;
+      // Value-duplicates: keep the smaller id deterministically.
+      if (rel == skyline::DomRelation::kEqual &&
+          pool[j].id < pool[i].id) {
+        dominated = true;
+      }
+    }
+    if (!dominated) keep.push_back(i);
+  }
+  std::sort(keep.begin(), keep.end(),
+            [&](size_t a, size_t b) { return pool[a].id < pool[b].id; });
+
+  // Post-hoc anytime curve over the final skyline's arrival stamps.
+  std::vector<int64_t> arrivals;
+  for (size_t i : keep) {
+    result.skyline_ids.push_back(pool[i].id);
+    result.skyline.push_back(pool[i].tuple);
+    arrivals.push_back(pool[i].found_at);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  result.trace.push_back({0, 0});
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    result.trace.push_back({arrivals[i], static_cast<int64_t>(i + 1)});
+  }
+  result.trace.push_back(
+      {result.query_cost, static_cast<int64_t>(arrivals.size())});
+  return result;
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,36 @@
+// MQ-DB-SKY (Algorithm 6, Section 6.3): the generic skyline discovery
+// algorithm for any mixture of one-ended range, two-ended range, and
+// point predicate attributes.
+//
+// Dispatch:
+//  * only range attributes -> RQ-DB-SKY (all two-ended), SQ-DB-SKY (all
+//    one-ended), or the mixed-range revision of RQ-DB-SKY;
+//  * only point attributes -> PQ-DB-SKY;
+//  * both -> phase 1 runs the range algorithm branching on the range
+//    attributes only, phase 2 runs MIXED-DB-SKY to recover the
+//    range-dominated-but-point-superior tuples, and a local dominance
+//    filter over the union yields the exact skyline.
+
+#ifndef HDSKY_CORE_MQ_DB_SKY_H_
+#define HDSKY_CORE_MQ_DB_SKY_H_
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+struct MqDbSkyOptions {
+  DiscoveryOptions common;
+  /// Passed through to the crawl of overflowing mixed-phase probes.
+  int64_t max_enumeration = 4096;
+};
+
+/// Runs MQ-DB-SKY against `iface`. Budget exhaustion yields the anytime
+/// partial skyline with complete = false.
+common::Result<DiscoveryResult> MqDbSky(interface::HiddenDatabase* iface,
+                                        const MqDbSkyOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_MQ_DB_SKY_H_

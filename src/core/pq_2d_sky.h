@@ -1,0 +1,38 @@
+// PQ-2D-SKY (Algorithm 3, Section 5.1): instance-optimal skyline
+// discovery over a two-attribute point-predicate interface.
+//
+// SELECT * yields one skyline tuple (x1, y1) that splits the plane into
+// two rectangles, [0, x1-1] x [y1+1, ymax] and [x1+1, xmax] x [0, y1-1]
+// (everything dominating (x1, y1) is provably empty; everything dominated
+// is pruned). Each rectangle is then drained with 1D queries along its
+// SHORTER side — x = xL when the rectangle is taller than wide, else
+// y = yB — and every answer either proves a line empty or returns exactly
+// one new skyline tuple that shrinks the rectangle. Equation (11),
+// sum_i min(t_{i+1}[A1] - t_i[A1], t_i[A2] - t_{i+1}[A2]),
+// is the instance-optimal query count. The greedy meets it whenever each
+// gap's cheap direction agrees with its enclosing rectangle's — the
+// common case, and the reading under which the paper states the formula
+// as the algorithm's cost — and pays the gap's other side otherwise.
+
+#ifndef HDSKY_CORE_PQ_2D_SKY_H_
+#define HDSKY_CORE_PQ_2D_SKY_H_
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+struct Pq2dSkyOptions {
+  DiscoveryOptions common;
+};
+
+/// Runs PQ-2D-SKY against `iface`, which must expose exactly two ranking
+/// attributes (any interface type admits point predicates). Budget
+/// exhaustion yields the anytime partial skyline with complete = false.
+common::Result<DiscoveryResult> Pq2dSky(interface::HiddenDatabase* iface,
+                                        const Pq2dSkyOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_PQ_2D_SKY_H_

@@ -1,0 +1,357 @@
+#include "core/pq_2dsub_sky.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::Schema;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+using interface::Interval;
+using interface::Query;
+using interface::QueryResult;
+
+namespace {
+
+// Plane bookkeeping in zero-based grid coordinates (value - domain_min).
+//
+// Invariants maintained:
+//  * empty_top[x]: every cell (x, y <= empty_top[x]) is provably
+//    unoccupied. Unions of lower-anchored boxes keep it meaningful.
+//  * dom_bot[x]: every cell (x, y >= dom_bot[x]) is dominated by a known
+//    tuple (confirmed, pending, or dropped — domination between concrete
+//    tuples is absolute, so the dominator's own status is irrelevant).
+//  * col_resolved / row_resolved: a 1D query against that line was
+//    answered, so its global minimum (if any) is known and the rest of
+//    the line is empty or dominated.
+struct PlaneState {
+  int64_t nx = 0;
+  int64_t ny = 0;
+  std::vector<int64_t> empty_top;   // init -1
+  std::vector<int64_t> dom_bot;     // init ny
+  std::vector<bool> col_resolved;
+  std::vector<bool> row_resolved;
+
+  int64_t ColLow(int64_t x) const {
+    return empty_top[static_cast<size_t>(x)] + 1;
+  }
+  int64_t ColHigh(int64_t x) const {
+    return dom_bot[static_cast<size_t>(x)] - 1;
+  }
+
+  // Marks the closed quadrant (x' >= x, y' >= y) dominated.
+  void PruneQuadrant(int64_t x, int64_t y) {
+    if (y < 0) y = 0;
+    for (int64_t c = std::max<int64_t>(x, 0); c < nx; ++c) {
+      auto& d = dom_bot[static_cast<size_t>(c)];
+      if (y < d) d = y;
+    }
+  }
+
+  // Dominated quadrant of a discovered tuple at (x, y), keeping the
+  // tuple's own cell.
+  void PruneDominatedBy(int64_t x, int64_t y) {
+    PruneQuadrant(x + 1, y);
+    PruneQuadrant(x, y + 1);
+  }
+};
+
+bool AllLeq(const std::vector<int>& attrs, const Tuple& a,
+            const std::vector<Value>& b) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (a[static_cast<size_t>(attrs[i])] > b[i]) return false;
+  }
+  return true;
+}
+
+bool AllLeqValues(const std::vector<int>& attrs,
+                  const std::vector<Value>& a, const Tuple& b) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (a[i] > b[static_cast<size_t>(attrs[i])]) return false;
+  }
+  return true;
+}
+
+struct Pending {
+  TupleId id;
+  Tuple tuple;
+};
+
+}  // namespace
+
+Status Pq2dSubSky(DiscoveryRun* run, const PlaneSpec& plane,
+                  const std::vector<CoveringObservation>& observations) {
+  const Schema& schema = run->iface()->schema();
+  const Value x_min = schema.attribute(plane.ax).domain_min;
+  const Value y_min = schema.attribute(plane.ay).domain_min;
+  PlaneState st;
+  st.nx = schema.attribute(plane.ax).DomainSize();
+  st.ny = schema.attribute(plane.ay).DomainSize();
+  constexpr int64_t kMaxPlaneDomain = int64_t{1} << 22;
+  if (st.nx > kMaxPlaneDomain || st.ny > kMaxPlaneDomain) {
+    return Status::Unsupported(
+        "plane attribute domain too large for point-query discovery");
+  }
+  st.empty_top.assign(static_cast<size_t>(st.nx), -1);
+  st.dom_bot.assign(static_cast<size_t>(st.nx), st.ny);
+  st.col_resolved.assign(static_cast<size_t>(st.nx), false);
+  st.row_resolved.assign(static_cast<size_t>(st.ny), false);
+
+  // ---- Empty-region pruning from covering observations (Algorithm 4
+  // lines 2-4): a cell is empty when a tuple there would have outranked
+  // the observation's top-1 inside the observation's own query.
+  for (const CoveringObservation& obs : observations) {
+    const Tuple& t = obs.top1;
+    if (!AllLeqValues(plane.other_attrs, plane.plane_values, t)) continue;
+    bool vc_ok = true;
+    for (size_t i = 0; i < plane.other_attrs.size(); ++i) {
+      if (!obs.query.interval(plane.other_attrs[i])
+               .Contains(plane.plane_values[i])) {
+        vc_ok = false;
+        break;
+      }
+    }
+    if (!vc_ok) continue;
+    // Column staircases assert "everything at or below is empty", so the
+    // observation must cover the plane from the bottom on y.
+    const Interval& qy = obs.query.interval(plane.ay);
+    if (qy.lower > y_min) continue;
+    const Interval& qx = obs.query.interval(plane.ax);
+    const int64_t tx = t[static_cast<size_t>(plane.ax)] - x_min;
+    const int64_t ty = t[static_cast<size_t>(plane.ay)] - y_min;
+    const int64_t cx_lo = std::max<int64_t>(
+        0, qx.lower == Interval::kMin ? 0 : qx.lower - x_min);
+    const int64_t cx_hi =
+        std::min<int64_t>(st.nx - 1, std::min<int64_t>(
+                                         qx.upper == Interval::kMax
+                                             ? st.nx - 1
+                                             : qx.upper - x_min,
+                                         tx));
+    const int64_t cy_hi =
+        std::min<int64_t>(st.ny - 1, std::min<int64_t>(
+                                         qy.upper == Interval::kMax
+                                             ? st.ny - 1
+                                             : qy.upper - y_min,
+                                         ty));
+    if (cy_hi < 0) continue;
+    const bool exact_plane =
+        AllLeq(plane.other_attrs, t, plane.plane_values);
+    for (int64_t x = cx_lo; x <= cx_hi; ++x) {
+      // The observation tuple's own cell is occupied, not empty.
+      const int64_t top =
+          (exact_plane && x == tx && cy_hi == ty) ? ty - 1 : cy_hi;
+      auto& e = st.empty_top[static_cast<size_t>(x)];
+      if (top > e) e = top;
+    }
+  }
+
+  // ---- Dominated-region pruning from already-confirmed skyline tuples
+  // with non-plane values <= vc (Algorithm 4 lines 5-6). The corner cell
+  // is pruned as well: a tuple there would duplicate or be dominated.
+  for (const Tuple& s : run->collector().tuples()) {
+    if (!AllLeq(plane.other_attrs, s, plane.plane_values)) continue;
+    st.PruneQuadrant(s[static_cast<size_t>(plane.ax)] - x_min,
+                     s[static_cast<size_t>(plane.ay)] - y_min);
+  }
+
+  std::vector<Pending> pendings;
+
+  // ---- Round loop: compress, tile the lower staircase, drain one
+  // block-diagonal rectangle with the 2D strategy, repeat.
+  for (;;) {
+    // Active rows/columns ("remove the pruned rows and columns").
+    std::vector<bool> row_active(static_cast<size_t>(st.ny), false);
+    std::vector<int64_t> cand_cols;
+    for (int64_t x = 0; x < st.nx; ++x) {
+      if (st.col_resolved[static_cast<size_t>(x)]) continue;
+      const int64_t lo = st.ColLow(x);
+      const int64_t hi = st.ColHigh(x);
+      if (lo > hi) continue;
+      bool any = false;
+      for (int64_t y = lo; y <= hi; ++y) {
+        if (!st.row_resolved[static_cast<size_t>(y)]) {
+          row_active[static_cast<size_t>(y)] = true;
+          any = true;
+        }
+      }
+      if (any) cand_cols.push_back(x);
+    }
+    if (cand_cols.empty()) break;
+    int64_t total_h = 0;
+    for (int64_t y = 0; y < st.ny; ++y) {
+      if (row_active[static_cast<size_t>(y)]) ++total_h;
+    }
+    const int64_t total_w = static_cast<int64_t>(cand_cols.size());
+
+    // Block-diagonal rectangles: runs of active columns sharing a
+    // ColLow value hug the (non-increasing) lower staircase.
+    struct BlockRect {
+      size_t col_begin, col_end;  // indices into cand_cols
+      int64_t y_lo, y_hi;
+      int64_t w, h;
+    };
+    std::vector<BlockRect> rects;
+    {
+      size_t i = 0;
+      int64_t prev_low = st.ny;
+      while (i < cand_cols.size()) {
+        const int64_t low = st.ColLow(cand_cols[i]);
+        size_t j = i;
+        int64_t min_high = st.ny - 1;
+        while (j < cand_cols.size() && st.ColLow(cand_cols[j]) == low) {
+          min_high = std::min(min_high, st.ColHigh(cand_cols[j]));
+          ++j;
+        }
+        BlockRect r;
+        r.col_begin = i;
+        r.col_end = j;
+        r.y_lo = low;
+        r.y_hi = std::min(prev_low - 1, min_high);
+        r.w = static_cast<int64_t>(j - i);
+        r.h = 0;
+        for (int64_t y = std::max<int64_t>(r.y_lo, 0);
+             y <= r.y_hi && y < st.ny; ++y) {
+          if (row_active[static_cast<size_t>(y)]) ++r.h;
+        }
+        if (r.h > 0 && r.y_lo <= r.y_hi) rects.push_back(r);
+        prev_low = low;
+        i = j;
+      }
+    }
+    const BlockRect* chosen = nullptr;
+    if (!rects.empty()) {
+      // Prefer a rectangle agreeing with the whole region's direction
+      // (Section 5.3.1); default to the first.
+      const bool want_columns = total_w < total_h;
+      chosen = &rects[0];
+      for (const BlockRect& r : rects) {
+        if ((r.w < r.h) == want_columns) {
+          chosen = &r;
+          break;
+        }
+      }
+    }
+    // Degenerate fallback (upper-staircase clipping removed every tile):
+    // resolve the first active column outright to guarantee progress.
+    BlockRect fallback;
+    if (chosen == nullptr) {
+      fallback = {0, 1, st.ColLow(cand_cols[0]), st.ColHigh(cand_cols[0]),
+                  1, 1};
+      chosen = &fallback;
+    }
+
+    // ---- Drain the chosen rectangle with the PQ-2D-SKY strategy.
+    size_t col_cursor = chosen->col_begin;
+    int64_t y_lo = chosen->y_lo;
+    int64_t y_hi = chosen->y_hi;
+    while (true) {
+      std::vector<int64_t> rows;
+      for (int64_t y = std::max<int64_t>(y_lo, 0);
+           y <= y_hi && y < st.ny; ++y) {
+        if (!st.row_resolved[static_cast<size_t>(y)]) rows.push_back(y);
+      }
+      if (rows.empty()) break;
+      y_lo = rows.front();
+      std::vector<int64_t> cols;
+      for (size_t c = col_cursor; c < chosen->col_end; ++c) {
+        const int64_t x = cand_cols[c];
+        if (st.col_resolved[static_cast<size_t>(x)]) continue;
+        if (st.ColLow(x) <= y_hi && st.ColHigh(x) >= y_lo) {
+          cols.push_back(x);
+        }
+      }
+      if (cols.empty()) break;
+
+      const bool query_column =
+          static_cast<int64_t>(cols.size()) <
+          static_cast<int64_t>(rows.size());
+      Query q = run->MakeBaseQuery();
+      for (size_t i = 0; i < plane.other_attrs.size(); ++i) {
+        q.AddEquals(plane.other_attrs[i], plane.plane_values[i]);
+      }
+      if (query_column) {
+        q.AddEquals(plane.ax, cols.front() + x_min);
+      } else {
+        q.AddEquals(plane.ay, rows.front() + y_min);
+      }
+      Result<QueryResult> answer = run->Execute(q);
+      if (!answer.ok()) {
+        if (run->exhausted()) return Status::OK();
+        return answer.status();
+      }
+
+      if (query_column) {
+        const int64_t x = cols.front();
+        st.col_resolved[static_cast<size_t>(x)] = true;
+        if (answer->empty()) continue;
+        const Tuple& t0 = answer->tuples[0];
+        const int64_t yc = t0[static_cast<size_t>(plane.ay)] - y_min;
+        // Global column minimum: below is empty, above is dominated.
+        const bool cell_dominated =
+            st.dom_bot[static_cast<size_t>(x)] <= yc;
+        st.empty_top[static_cast<size_t>(x)] =
+            std::max(st.empty_top[static_cast<size_t>(x)], yc - 1);
+        st.PruneDominatedBy(x, yc);
+        if (cell_dominated) continue;  // not on the skyline
+        if (yc <= y_hi) {
+          // In-tile: every cell weakly left-and-below is resolved, so
+          // the tuple is provably on the skyline.
+          run->AddConfirmed(answer->ids[0], t0);
+          st.PruneQuadrant(x, yc);
+          y_hi = yc - 1;
+        } else {
+          // Above the tile: potential dominators remain unresolved.
+          pendings.push_back({answer->ids[0], t0});
+        }
+      } else {
+        const int64_t y = rows.front();
+        st.row_resolved[static_cast<size_t>(y)] = true;
+        if (answer->empty()) continue;
+        const Tuple& t0 = answer->tuples[0];
+        const int64_t xc = t0[static_cast<size_t>(plane.ax)] - x_min;
+        // Global row minimum: the row left of xc is empty (the resolved
+        // flag retires the row), right of and above are dominated.
+        const bool cell_dominated =
+            st.dom_bot[static_cast<size_t>(xc)] <= y;
+        st.PruneDominatedBy(xc, y);
+        if (cell_dominated) continue;
+        HDSKY_DCHECK(st.empty_top[static_cast<size_t>(xc)] < y);
+        if (xc <= cols.back()) {
+          run->AddConfirmed(answer->ids[0], t0);
+          st.PruneQuadrant(xc, y);
+        } else {
+          pendings.push_back({answer->ids[0], t0});
+        }
+      }
+    }
+  }
+
+  // ---- Pending resolution: once the plane is fully classified, a
+  // pending tuple is on the skyline iff no confirmed tuple and no other
+  // pending dominates it (dominators hiding in unresolved cells no
+  // longer exist).
+  const std::vector<int>& ranking = run->collector().ranking_attrs();
+  for (const Pending& p : pendings) {
+    if (run->collector().IsDominatedOrDuplicate(p.tuple)) continue;
+    bool dominated = false;
+    for (const Pending& other : pendings) {
+      if (other.id == p.id) continue;
+      if (skyline::Dominates(other.tuple, p.tuple, ranking)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) run->AddConfirmed(p.id, p.tuple);
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace hdsky

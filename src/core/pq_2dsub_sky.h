@@ -1,0 +1,60 @@
+// PQ-2DSUB-SKY (Algorithm 4, Section 5.3.1): instance-optimal skyline
+// discovery inside one 2D subspace of a higher-dimensional PQ database.
+//
+// A subspace ("plane") fixes every ranking attribute except two (ax, ay)
+// to a concrete value combination vc. Unlike the standalone 2D case, the
+// plane arrives pre-pruned by global knowledge:
+//  * empty regions — cells that would have outranked the top-1 answer of
+//    a query covering the plane (e.g. the initial SELECT *) are provably
+//    unoccupied;
+//  * dominated regions — cells dominated by an already-confirmed skyline
+//    tuple whose non-plane values are component-wise <= vc.
+// The remainder sits between two monotone staircases. Each round removes
+// fully resolved rows/columns, tiles the lower staircase with the paper's
+// block-diagonal rectangles, picks one whose (compressed) width-vs-height
+// comparison agrees with the whole region's, and drains it with the
+// PQ-2D-SKY strategy. Every 1D query resolves an entire row or column of
+// the plane, so at most |Dom(ax)| + |Dom(ay)| queries are spent per plane.
+//
+// Correctness of global confirmation requires the caller to process
+// planes in a linear extension of the dominance order over vc (PQ-DB-SKY
+// uses ascending (sum, lexicographic)): then every potential dominator of
+// a tuple found here is already confirmed and has pruned its cell.
+
+#ifndef HDSKY_CORE_PQ_2DSUB_SKY_H_
+#define HDSKY_CORE_PQ_2DSUB_SKY_H_
+
+#include <vector>
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+/// Identifies one 2D subspace of the ranking-attribute space.
+struct PlaneSpec {
+  int ax = -1;  // plane attribute (schema index), the "x" of the plane
+  int ay = -1;  // plane attribute, the "y"
+  /// The remaining ranking attributes and the fixed value combination vc.
+  std::vector<int> other_attrs;
+  std::vector<data::Value> plane_values;
+};
+
+/// A (query, top-1 answer) pair whose query region covers the plane;
+/// feeds the empty-region pruning of Algorithm 4 lines 2-4.
+struct CoveringObservation {
+  interface::Query query;
+  data::Tuple top1;
+};
+
+/// Discovers every global-skyline tuple living in `plane`, adding them to
+/// run->collector(). Returns OK on normal completion or budget
+/// exhaustion (check run->exhausted()); real errors propagate.
+common::Status Pq2dSubSky(
+    DiscoveryRun* run, const PlaneSpec& plane,
+    const std::vector<CoveringObservation>& observations);
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_PQ_2DSUB_SKY_H_

@@ -1,0 +1,40 @@
+// PQ-DB-SKY (Algorithm 5, Section 5.3): skyline discovery over a
+// higher-dimensional point-predicate interface.
+//
+// No instance-optimal algorithm exists beyond 2D (Section 5.2), so the
+// algorithm greedily partitions the space into 2D subspaces: the two
+// ranking attributes with the LARGEST domains span the plane (their
+// domains cost additively; all others multiply), and every value
+// combination of the remaining attributes is visited in ascending
+// (sum, lexicographic) order — a linear extension of the dominance order,
+// which both realizes the anytime property (Section 7.1) and guarantees
+// that each plane is pre-pruned by every potential dominator before it is
+// searched. Each plane runs PQ-2DSUB-SKY.
+
+#ifndef HDSKY_CORE_PQ_DB_SKY_H_
+#define HDSKY_CORE_PQ_DB_SKY_H_
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+struct PqDbSkyOptions {
+  DiscoveryOptions common;
+  /// Overrides the largest-domain plane-attribute heuristic with explicit
+  /// schema attribute indices (both must be ranking attributes). Used by
+  /// the plane-choice ablation bench.
+  int force_ax = -1;
+  int force_ay = -1;
+};
+
+/// Runs PQ-DB-SKY against `iface` (>= 2 ranking attributes; point
+/// predicates suffice on all of them). Budget exhaustion yields the
+/// anytime partial skyline with complete = false.
+common::Result<DiscoveryResult> PqDbSky(interface::HiddenDatabase* iface,
+                                        const PqDbSkyOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_PQ_DB_SKY_H_

@@ -1,0 +1,176 @@
+#include "core/rq_db_sky.h"
+
+#include <vector>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::AttributeSpec;
+using data::Schema;
+using data::Tuple;
+using data::TupleId;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+namespace {
+
+// One node of the traversal: the SQ-form query q and its mutually
+// exclusive counterpart R(q), both built incrementally along the path.
+struct Node {
+  Query sq;
+  Query rq;
+};
+
+bool ChildImpossible(const Query& q, const AttributeSpec& spec, int attr) {
+  const interface::Interval& iv = q.interval(attr);
+  return iv.empty() || iv.upper < spec.domain_min ||
+         iv.lower > spec.domain_max;
+}
+
+}  // namespace
+
+Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
+                                const RqDbSkyOptions& options) {
+  const Schema& schema = iface->schema();
+  const std::vector<int> branch_attrs = options.branch_attrs.empty()
+                                            ? schema.ranking_attributes()
+                                            : options.branch_attrs;
+  for (int attr : branch_attrs) {
+    if (attr < 0 || attr >= schema.num_attributes() ||
+        !schema.attribute(attr).is_ranking()) {
+      return Status::InvalidArgument(
+          "branch attributes must be ranking attributes");
+    }
+    if (!schema.attribute(attr).supports_upper_bound()) {
+      return Status::Unsupported(
+          "RQ-DB-SKY needs range support on every branch attribute; " +
+          schema.attribute(attr).name + " is point-only");
+    }
+    if (options.require_two_ended &&
+        !schema.attribute(attr).supports_lower_bound()) {
+      return Status::Unsupported(
+          "RQ-DB-SKY needs two-ended range support on every ranking "
+          "attribute; " +
+          schema.attribute(attr).name + " is not RQ");
+    }
+  }
+  if (options.common.base_filter.has_value()) {
+    HDSKY_RETURN_IF_ERROR(
+        iface->ValidateQuery(*options.common.base_filter));
+  }
+
+  DiscoveryRun run(iface, options.common);
+  const int k = iface->k();
+  const std::vector<int>& ranking = branch_attrs;
+
+  // All tuples ever returned; the seen-match test of Algorithm 2 line 3.
+  std::vector<Tuple> seen_tuples;
+  std::unordered_set<TupleId> seen_ids;
+  auto remember = [&](const QueryResult& t) {
+    for (int i = 0; i < t.size(); ++i) {
+      const TupleId id = t.ids[static_cast<size_t>(i)];
+      if (seen_ids.insert(id).second) {
+        seen_tuples.push_back(t.tuples[static_cast<size_t>(i)]);
+      }
+      run.Observe(id, t.tuples[static_cast<size_t>(i)]);
+    }
+  };
+  auto seen_matches = [&](const Query& q) {
+    for (const Tuple& t : seen_tuples) {
+      if (q.MatchesTuple(t)) return true;
+    }
+    return false;
+  };
+
+  // Depth-first preorder via an explicit stack.
+  std::unordered_set<std::string> processed_regions;
+  std::vector<Node> stack;
+  {
+    Node root;
+    root.sq = run.MakeBaseQuery();
+    root.rq = root.sq;
+    stack.push_back(std::move(root));
+  }
+
+  auto push_children = [&](const Node& node, const Tuple& pivot) {
+    // Children are pushed in reverse so the Ai-ascending branch order of
+    // the paper is preserved under stack-based preorder. Each child i
+    // carries sq = node.sq + (Ai < pivot[Ai]) and rq additionally
+    // excludes earlier branches with Aj >= pivot[Aj], j < i.
+    std::vector<Node> children;
+    children.reserve(ranking.size());
+    Query rq_prefix = node.rq;
+    for (size_t i = 0; i < ranking.size(); ++i) {
+      const int attr = ranking[i];
+      Node child;
+      child.sq = node.sq;
+      child.sq.AddLessThan(attr, pivot[static_cast<size_t>(attr)]);
+      child.rq = rq_prefix;
+      child.rq.AddLessThan(attr, pivot[static_cast<size_t>(attr)]);
+      if (schema.attribute(attr).supports_lower_bound()) {
+        rq_prefix.AddAtLeast(attr, pivot[static_cast<size_t>(attr)]);
+      }
+      if (options.skip_impossible_children &&
+          ChildImpossible(child.sq, schema.attribute(attr), attr)) {
+        continue;
+      }
+      children.push_back(std::move(child));
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(std::move(*it));
+    }
+  };
+
+  while (!stack.empty()) {
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    if (options.skip_duplicate_nodes &&
+        !processed_regions.insert(node.sq.Signature()).second) {
+      continue;  // an identical region's subtree already ran
+    }
+
+    if (options.disable_early_termination || !seen_matches(node.sq)) {
+      Result<QueryResult> answer = run.Execute(node.sq);
+      if (!answer.ok()) {
+        if (run.exhausted()) break;
+        return answer.status();
+      }
+      const QueryResult& t = *answer;
+      remember(t);
+      if (t.size() == k) push_children(node, t.tuples[0]);
+      continue;
+    }
+
+    // Early-termination branch: issue the mutually exclusive R(q).
+    Result<QueryResult> answer = run.Execute(node.rq);
+    if (!answer.ok()) {
+      if (run.exhausted()) break;
+      return answer.status();
+    }
+    const QueryResult& t = *answer;
+    if (t.empty()) continue;  // subtree holds nothing new: prune
+    remember(t);
+    if (t.size() == k) {
+      // Pivot on a confirmed-skyline dominator of T0 when one exists
+      // (Algorithm 2 lines 10-12), otherwise on T0 itself.
+      const Tuple& t0 = t.tuples[0];
+      const Tuple* pivot = &t0;
+      for (const Tuple& s : run.collector().tuples()) {
+        if (skyline::Dominates(s, t0, ranking)) {
+          pivot = &s;
+          break;
+        }
+      }
+      push_children(node, *pivot);
+    }
+  }
+  return run.Finish();
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,416 @@
+#include "core/skyband_discovery.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/baseline_crawler.h"
+#include "core/rq_db_sky.h"
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::Schema;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+namespace {
+
+// Shared candidate pool with the exact in-pool membership test (see the
+// header comment for why in-pool dominator counting is exact).
+struct Pool {
+  std::vector<TupleId> ids;
+  std::vector<Tuple> tuples;
+  std::unordered_set<TupleId> id_set;
+
+  bool Add(TupleId id, const Tuple& t) {
+    if (!id_set.insert(id).second) return false;
+    ids.push_back(id);
+    tuples.push_back(t);
+    return true;
+  }
+
+  // Number of pool tuples dominating t, capped at `cap`.
+  int64_t CountDominators(const Tuple& t, const std::vector<int>& ranking,
+                          int64_t cap) const {
+    int64_t c = 0;
+    for (const Tuple& s : tuples) {
+      if (skyline::Dominates(s, t, ranking)) {
+        if (++c >= cap) break;
+      }
+    }
+    return c;
+  }
+
+  DiscoveryResult Finish(const std::vector<int>& ranking, int band,
+                         int64_t query_cost, bool complete) const {
+    DiscoveryResult result;
+    result.query_cost = query_cost;
+    result.complete = complete;
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      int64_t dominators = 0;
+      for (size_t j = 0; j < tuples.size(); ++j) {
+        if (i == j) continue;
+        if (skyline::Dominates(tuples[j], tuples[i], ranking)) {
+          if (++dominators >= band) break;
+        }
+      }
+      if (dominators < band) keep.push_back(i);
+    }
+    std::sort(keep.begin(), keep.end(),
+              [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+    for (size_t i : keep) {
+      result.skyline_ids.push_back(ids[i]);
+      result.skyline.push_back(tuples[i]);
+    }
+    result.trace.push_back(
+        {query_cost, static_cast<int64_t>(keep.size())});
+    return result;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RQ
+
+Result<DiscoveryResult> RqDbSkyband(HiddenDatabase* iface,
+                                    const SkybandOptions& options) {
+  if (options.band < 1) {
+    return Status::InvalidArgument("band must be >= 1");
+  }
+  const Schema& schema = iface->schema();
+  const std::vector<int>& ranking = schema.ranking_attributes();
+  for (int attr : ranking) {
+    if (!schema.attribute(attr).supports_lower_bound()) {
+      return Status::Unsupported(
+          "RQ sky-band discovery needs two-ended ranges on every ranking "
+          "attribute");
+    }
+  }
+
+  int64_t cost = 0;
+  bool complete = true;
+  Pool pool;
+
+  // Level 1: the skyline.
+  RqDbSkyOptions rq;
+  rq.common = options.common;
+  HDSKY_ASSIGN_OR_RETURN(DiscoveryResult level1, RqDbSky(iface, rq));
+  cost += level1.query_cost;
+  complete = complete && level1.complete;
+  std::deque<Tuple> frontier;
+  for (size_t i = 0; i < level1.skyline.size(); ++i) {
+    pool.Add(level1.skyline_ids[i], level1.skyline[i]);
+    frontier.push_back(level1.skyline[i]);
+  }
+
+  auto remaining = [&]() -> int64_t {
+    if (options.common.max_queries <= 0) return 0;
+    return std::max<int64_t>(0, options.common.max_queries - cost);
+  };
+
+  for (int level = 2; level <= options.band && complete; ++level) {
+    std::deque<Tuple> next;
+    while (!frontier.empty() && complete) {
+      const Tuple t = std::move(frontier.front());
+      frontier.pop_front();
+      // Partition t's domination subspace into m disjoint boxes and run
+      // RQ-DB-SKY over each.
+      for (size_t j = 0; j < ranking.size(); ++j) {
+        Query region = options.common.base_filter.has_value()
+                           ? *options.common.base_filter
+                           : Query(schema.num_attributes());
+        for (size_t i = 0; i < ranking.size(); ++i) {
+          const int attr = ranking[i];
+          const Value v = t[static_cast<size_t>(attr)];
+          if (i < j) {
+            region.AddEquals(attr, v);
+          } else if (i == j) {
+            region.AddGreaterThan(attr, v);
+          } else {
+            region.AddAtLeast(attr, v);
+          }
+        }
+        RqDbSkyOptions sub;
+        sub.common = options.common;
+        sub.common.base_filter = region;
+        sub.common.max_queries = remaining();
+        if (options.common.max_queries > 0 &&
+            sub.common.max_queries == 0) {
+          complete = false;
+          break;
+        }
+        HDSKY_ASSIGN_OR_RETURN(DiscoveryResult part, RqDbSky(iface, sub));
+        cost += part.query_cost;
+        complete = complete && part.complete;
+        for (size_t i = 0; i < part.skyline.size(); ++i) {
+          if (pool.Add(part.skyline_ids[i], part.skyline[i])) {
+            next.push_back(part.skyline[i]);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return pool.Finish(ranking, options.band, cost, complete);
+}
+
+// ---------------------------------------------------------------------
+// PQ
+
+Result<DiscoveryResult> PqDbSkyband(HiddenDatabase* iface,
+                                    const SkybandOptions& options) {
+  if (options.band < 1) {
+    return Status::InvalidArgument("band must be >= 1");
+  }
+  if (iface->k() < options.band) {
+    return Status::Unsupported(
+        "PQ sky-band discovery needs k >= band: a top-" +
+        std::to_string(iface->k()) +
+        " interface cannot reveal a line's top-" +
+        std::to_string(options.band));
+  }
+  const Schema& schema = iface->schema();
+  const std::vector<int>& ranking = schema.ranking_attributes();
+  if (ranking.size() < 2) {
+    return Status::InvalidArgument(
+        "PQ sky-band discovery needs at least two ranking attributes");
+  }
+
+  // Plane attributes: largest domains, as in PQ-DB-SKY.
+  std::vector<int> by_domain = ranking;
+  std::stable_sort(by_domain.begin(), by_domain.end(), [&](int a, int b) {
+    return schema.attribute(a).DomainSize() >
+           schema.attribute(b).DomainSize();
+  });
+  const int ax = by_domain[0];
+  const int ay = by_domain[1];
+  std::vector<int> others;
+  for (int attr : ranking) {
+    if (attr != ax && attr != ay) others.push_back(attr);
+  }
+  constexpr int64_t kMaxPlanes = int64_t{1} << 22;
+  int64_t num_planes = 1;
+  for (int attr : others) {
+    const int64_t d = schema.attribute(attr).DomainSize();
+    if (num_planes > kMaxPlanes / d) {
+      return Status::Unsupported("non-plane combination space too large");
+    }
+    num_planes *= d;
+  }
+
+  int64_t cost = 0;
+  bool complete = true;
+  Pool pool;
+  auto out_of_budget = [&]() {
+    return options.common.max_queries > 0 &&
+           cost >= options.common.max_queries;
+  };
+
+  // Enumerate plane combinations in ascending (sum, lex).
+  std::vector<std::vector<Value>> combos;
+  combos.reserve(static_cast<size_t>(num_planes));
+  std::vector<Value> current(others.size());
+  for (size_t i = 0; i < others.size(); ++i) {
+    current[i] = schema.attribute(others[i]).domain_min;
+  }
+  for (int64_t c = 0; c < num_planes; ++c) {
+    combos.push_back(current);
+    for (int64_t i = static_cast<int64_t>(others.size()) - 1; i >= 0;
+         --i) {
+      const auto& spec = schema.attribute(others[static_cast<size_t>(i)]);
+      if (current[static_cast<size_t>(i)] < spec.domain_max) {
+        ++current[static_cast<size_t>(i)];
+        break;
+      }
+      current[static_cast<size_t>(i)] = spec.domain_min;
+    }
+  }
+  std::stable_sort(
+      combos.begin(), combos.end(),
+      [](const std::vector<Value>& a, const std::vector<Value>& b) {
+        const Value sa = std::accumulate(a.begin(), a.end(), Value{0});
+        const Value sb = std::accumulate(b.begin(), b.end(), Value{0});
+        if (sa != sb) return sa < sb;
+        return a < b;
+      });
+
+  const Value x_min = schema.attribute(ax).domain_min;
+  const Value x_max = schema.attribute(ax).domain_max;
+  const Value y_min = schema.attribute(ay).domain_min;
+  const Value y_max = schema.attribute(ay).domain_max;
+
+  for (const std::vector<Value>& vc : combos) {
+    if (out_of_budget()) {
+      complete = false;
+      break;
+    }
+    for (Value x = x_min; x <= x_max; ++x) {
+      if (out_of_budget()) {
+        complete = false;
+        break;
+      }
+      // Skip the column when every cell already has >= band pool
+      // dominators; test the best cell (x, y_min) — its dominators
+      // dominate every other cell of the column.
+      {
+        Tuple probe(static_cast<size_t>(schema.num_attributes()),
+                    data::kNullValue);
+        probe[static_cast<size_t>(ax)] = x;
+        probe[static_cast<size_t>(ay)] = y_min;
+        for (size_t i = 0; i < others.size(); ++i) {
+          probe[static_cast<size_t>(others[i])] = vc[i];
+        }
+        if (pool.CountDominators(probe, ranking, options.band) >=
+            options.band) {
+          continue;
+        }
+      }
+      Query q = options.common.base_filter.has_value()
+                    ? *options.common.base_filter
+                    : Query(schema.num_attributes());
+      q.AddEquals(ax, x);
+      for (size_t i = 0; i < others.size(); ++i) {
+        q.AddEquals(others[i], vc[i]);
+      }
+      Result<QueryResult> answer = iface->Execute(q);
+      if (!answer.ok()) {
+        if (answer.status().IsResourceExhausted()) {
+          complete = false;
+          break;
+        }
+        return answer.status();
+      }
+      ++cost;
+      // A column's j-th answer already has j-1 column-mates dominating
+      // it, so the top-`band` suffices; deeper tuples cannot be in the
+      // band. (k >= band guarantees visibility.)
+      const int take =
+          std::min<int>(answer->size(), options.band);
+      for (int i = 0; i < take; ++i) {
+        pool.Add(answer->ids[static_cast<size_t>(i)],
+                 answer->tuples[static_cast<size_t>(i)]);
+      }
+      (void)y_max;
+    }
+    if (!complete) break;
+  }
+  return pool.Finish(ranking, options.band, cost, complete);
+}
+
+// ---------------------------------------------------------------------
+// SQ
+
+Result<DiscoveryResult> SqDbSkyband(HiddenDatabase* iface,
+                                    const SkybandOptions& options) {
+  if (options.band < 1) {
+    return Status::InvalidArgument("band must be >= 1");
+  }
+  const Schema& schema = iface->schema();
+  const std::vector<int>& ranking = schema.ranking_attributes();
+  for (int attr : ranking) {
+    if (!schema.attribute(attr).supports_upper_bound()) {
+      return Status::Unsupported(
+          "SQ sky-band discovery needs range support on every ranking "
+          "attribute");
+    }
+  }
+
+  int64_t cost = 0;
+  bool complete = true;
+  Pool pool;
+  const int k = iface->k();
+  std::deque<Query> queue;
+  queue.push_back(options.common.base_filter.has_value()
+                      ? *options.common.base_filter
+                      : Query(schema.num_attributes()));
+
+  while (!queue.empty()) {
+    if (options.common.max_queries > 0 &&
+        cost >= options.common.max_queries) {
+      complete = false;
+      break;
+    }
+    const Query q = std::move(queue.front());
+    queue.pop_front();
+    Result<QueryResult> answer = iface->Execute(q);
+    if (!answer.ok()) {
+      if (answer.status().IsResourceExhausted()) {
+        complete = false;
+        break;
+      }
+      return answer.status();
+    }
+    ++cost;
+    for (int i = 0; i < answer->size(); ++i) {
+      pool.Add(answer->ids[static_cast<size_t>(i)],
+               answer->tuples[static_cast<size_t>(i)]);
+    }
+    if (answer->size() < k) continue;
+
+    // Find a pivot dominated by >= band-1 others within the answer:
+    // any band tuple matching q must then beat the pivot somewhere.
+    const Tuple* pivot = nullptr;
+    for (int i = 0; i < answer->size() && pivot == nullptr; ++i) {
+      int64_t dominators = 0;
+      for (int j = 0; j < answer->size(); ++j) {
+        if (i == j) continue;
+        if (skyline::Dominates(answer->tuples[static_cast<size_t>(j)],
+                               answer->tuples[static_cast<size_t>(i)],
+                               ranking)) {
+          if (++dominators >= options.band - 1) break;
+        }
+      }
+      if (dominators >= options.band - 1) {
+        pivot = &answer->tuples[static_cast<size_t>(i)];
+      }
+    }
+    if (pivot == nullptr) {
+      // No safe branching tuple (Section 7.2's hard case).
+      if (!options.crawl_when_stuck) {
+        complete = false;
+        continue;
+      }
+      CrawlOptions crawl;
+      crawl.common = options.common;
+      crawl.common.base_filter.reset();
+      crawl.tolerate_value_duplicates = true;
+      if (options.common.max_queries > 0) {
+        crawl.common.max_queries = std::max<int64_t>(
+            0, options.common.max_queries - cost);
+        if (crawl.common.max_queries == 0) {
+          complete = false;
+          continue;
+        }
+      }
+      Result<CrawlResult> crawled = CrawlRegion(iface, q, crawl);
+      HDSKY_RETURN_IF_ERROR(crawled.status());
+      cost += crawled->query_cost;
+      complete = complete && crawled->complete;
+      for (size_t i = 0; i < crawled->ids.size(); ++i) {
+        pool.Add(crawled->ids[i], crawled->tuples[i]);
+      }
+      continue;
+    }
+    for (int attr : ranking) {
+      Query child = q;
+      child.AddLessThan(attr, (*pivot)[static_cast<size_t>(attr)]);
+      queue.push_back(std::move(child));
+    }
+  }
+  return pool.Finish(ranking, options.band, cost, complete);
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,62 @@
+// Top-h sky-band discovery (Section 7.2): all tuples dominated by fewer
+// than h others. The top-1 band is the skyline.
+//
+// RQ: after discovering the skyline, each band tuple t spawns RQ-DB-SKY
+// runs over its domination subspace. The paper treats that subspace as
+// one region; since a conjunctive query cannot exclude the single point
+// t from the box [t, max], this implementation partitions the subspace
+// into m disjoint boxes ((Ai = t_i for i < j), Aj > t_j, (Ai >= t_i for
+// i > j)), costing a factor <= m more runs but staying exact. The final
+// membership test counts dominators INSIDE the collected pool, which is
+// exact: in any finite poset at least min(|dominators|, h) of a tuple's
+// dominators have fewer than h dominators themselves, hence are in the
+// band and in the pool.
+//
+// PQ: plane-at-a-time like PQ-DB-SKY, but each column keeps its top-h
+// answers (a column's j-th tuple already has j-1 column-mates dominating
+// it) and a column is skipped only when every cell already has >= h
+// pool dominators. Requires k >= h (with k < h the interface cannot
+// reveal a column's h best tuples; the paper's fallback degenerates to
+// crawling).
+//
+// SQ: the weak interface makes completeness unattainable in the worst
+// case (the paper's negative result). The best-effort tree branches on a
+// returned tuple that is dominated by >= h-1 others within the same
+// answer; when an overflowing node has no such tuple the subtree is
+// either abandoned (complete = false) or exhaustively crawled, per
+// options.
+
+#ifndef HDSKY_CORE_SKYBAND_DISCOVERY_H_
+#define HDSKY_CORE_SKYBAND_DISCOVERY_H_
+
+#include "core/discovery.h"
+
+namespace hdsky {
+namespace core {
+
+struct SkybandOptions {
+  DiscoveryOptions common;
+  /// Band depth h >= 1; h = 1 degenerates to skyline discovery.
+  int band = 2;
+  /// SQ only: crawl subtrees whose node cannot branch safely instead of
+  /// abandoning them.
+  bool crawl_when_stuck = false;
+};
+
+/// Sky-band discovery through a two-ended range interface.
+common::Result<DiscoveryResult> RqDbSkyband(
+    interface::HiddenDatabase* iface, const SkybandOptions& options = {});
+
+/// Sky-band discovery through a point-predicate interface; needs
+/// iface->k() >= options.band.
+common::Result<DiscoveryResult> PqDbSkyband(
+    interface::HiddenDatabase* iface, const SkybandOptions& options = {});
+
+/// Best-effort sky-band discovery through a single-ended interface.
+common::Result<DiscoveryResult> SqDbSkyband(
+    interface::HiddenDatabase* iface, const SkybandOptions& options = {});
+
+}  // namespace core
+}  // namespace hdsky
+
+#endif  // HDSKY_CORE_SKYBAND_DISCOVERY_H_

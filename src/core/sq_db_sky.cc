@@ -1,0 +1,89 @@
+#include "core/sq_db_sky.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+namespace hdsky {
+namespace core {
+
+using common::Result;
+using common::Status;
+using data::AttributeSpec;
+using data::Schema;
+using interface::Query;
+using interface::QueryResult;
+using interface::HiddenDatabase;
+
+namespace {
+
+// True when the child predicate Ai < v can never match a domain value.
+bool ChildImpossible(const Query& q, const AttributeSpec& spec, int attr) {
+  const interface::Interval& iv = q.interval(attr);
+  return iv.empty() || iv.upper < spec.domain_min ||
+         iv.lower > spec.domain_max;
+}
+
+}  // namespace
+
+Result<DiscoveryResult> SqDbSky(HiddenDatabase* iface,
+                                const SqDbSkyOptions& options) {
+  const Schema& schema = iface->schema();
+  for (int attr : schema.ranking_attributes()) {
+    if (!schema.attribute(attr).supports_upper_bound()) {
+      return Status::Unsupported(
+          "SQ-DB-SKY needs an upper-bound (SQ/RQ) predicate on every "
+          "ranking attribute; " +
+          schema.attribute(attr).name + " is point-only");
+    }
+  }
+  if (options.common.base_filter.has_value()) {
+    HDSKY_RETURN_IF_ERROR(
+        iface->ValidateQuery(*options.common.base_filter));
+  }
+
+  DiscoveryRun run(iface, options.common);
+  const int k = iface->k();
+  std::unordered_set<std::string> processed_regions;
+  std::deque<Query> queue;
+  queue.push_back(run.MakeBaseQuery());
+
+  while (!queue.empty()) {
+    const Query q = std::move(queue.front());
+    queue.pop_front();
+    if (options.skip_duplicate_nodes &&
+        !processed_regions.insert(q.Signature()).second) {
+      continue;  // an identical region's subtree already ran
+    }
+    Result<QueryResult> answer = run.Execute(q);
+    if (!answer.ok()) {
+      if (run.exhausted()) break;  // anytime: return the partial skyline
+      return answer.status();
+    }
+    const QueryResult& t = *answer;
+    // Every returned tuple not dominated by anything seen is a skyline
+    // tuple (downward-closed query space; see core/discovery.h).
+    for (int i = 0; i < t.size(); ++i) {
+      run.Observe(t.ids[static_cast<size_t>(i)],
+                  t.tuples[static_cast<size_t>(i)]);
+    }
+    if (t.size() == k) {
+      // The paper's overflow test: a full page spawns one child per
+      // ranking attribute, pivoted on the top-ranked tuple.
+      const data::Tuple& pivot = t.tuples[0];
+      for (int attr : schema.ranking_attributes()) {
+        Query child = q;
+        child.AddLessThan(attr, pivot[static_cast<size_t>(attr)]);
+        if (options.skip_impossible_children &&
+            ChildImpossible(child, schema.attribute(attr), attr)) {
+          continue;
+        }
+        queue.push_back(std::move(child));
+      }
+    }
+  }
+  return run.Finish();
+}
+
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,90 @@
+// Attribute metadata: kind (ranking vs filtering), search-interface
+// predicate support (the SQ / RQ / PQ taxonomy of Section 2.2), and domain.
+
+#ifndef HDSKY_DATA_ATTRIBUTE_H_
+#define HDSKY_DATA_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+
+/// Whether an attribute participates in the skyline definition.
+enum class AttributeKind : int8_t {
+  /// Has an inherent preferential order; participates in domination.
+  kRanking,
+  /// Order-less (make, color name, flight number); usable only as an
+  /// equality filter and irrelevant to the skyline (Section 2.1).
+  kFiltering,
+};
+
+/// Predicate support the web search interface offers for an attribute
+/// (Section 2.2). Range support is strictly stronger than point support:
+/// RQ > SQ > PQ.
+enum class InterfaceType : int8_t {
+  /// Single-ended range: Ai < v, Ai <= v, or Ai = v. "Better than v" only;
+  /// no lower bound on the preference order (e.g. laptop memory size).
+  kSQ,
+  /// Two-ended range: both < / <= and > / >= plus equality (e.g. price).
+  kRQ,
+  /// Point predicate only: Ai = v (e.g. number of stops).
+  kPQ,
+  /// Equality filter for filtering attributes.
+  kFilterEquality,
+};
+
+const char* InterfaceTypeToString(InterfaceType t);
+const char* AttributeKindToString(AttributeKind k);
+
+/// Static description of one attribute of a hidden web database.
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kRanking;
+  InterfaceType iface = InterfaceType::kRQ;
+  /// Inclusive domain bounds in rank-code space (smaller is better for
+  /// ranking attributes). PQ discovery iterates these domains, so PQ
+  /// attributes should keep them tight.
+  Value domain_min = 0;
+  Value domain_max = 0;
+
+  /// Number of distinct representable values.
+  int64_t DomainSize() const { return domain_max - domain_min + 1; }
+
+  bool is_ranking() const { return kind == AttributeKind::kRanking; }
+  bool supports_upper_bound() const {
+    return iface == InterfaceType::kSQ || iface == InterfaceType::kRQ;
+  }
+  bool supports_lower_bound() const { return iface == InterfaceType::kRQ; }
+};
+
+inline const char* InterfaceTypeToString(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kSQ:
+      return "SQ";
+    case InterfaceType::kRQ:
+      return "RQ";
+    case InterfaceType::kPQ:
+      return "PQ";
+    case InterfaceType::kFilterEquality:
+      return "FilterEquality";
+  }
+  return "Unknown";
+}
+
+inline const char* AttributeKindToString(AttributeKind k) {
+  switch (k) {
+    case AttributeKind::kRanking:
+      return "Ranking";
+    case AttributeKind::kFiltering:
+      return "Filtering";
+  }
+  return "Unknown";
+}
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_ATTRIBUTE_H_

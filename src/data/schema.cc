@@ -1,0 +1,103 @@
+#include "data/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hdsky {
+namespace data {
+
+using common::Result;
+using common::Status;
+
+Result<Schema> Schema::Create(std::vector<AttributeSpec> attrs) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::unordered_set<std::string> names;
+  Schema s;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const AttributeSpec& a = attrs[i];
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.domain_min > a.domain_max) {
+      return Status::InvalidArgument("inverted domain for attribute " +
+                                     a.name);
+    }
+    const bool is_filter_iface = a.iface == InterfaceType::kFilterEquality;
+    if (a.kind == AttributeKind::kFiltering && !is_filter_iface) {
+      return Status::InvalidArgument(
+          "filtering attribute " + a.name +
+          " must use FilterEquality interface");
+    }
+    if (a.kind == AttributeKind::kRanking && is_filter_iface) {
+      return Status::InvalidArgument(
+          "ranking attribute " + a.name +
+          " must use an SQ/RQ/PQ interface");
+    }
+    if (a.kind == AttributeKind::kRanking) {
+      s.ranking_.push_back(static_cast<int>(i));
+    } else {
+      s.filtering_.push_back(static_cast<int>(i));
+    }
+  }
+  s.attrs_ = std::move(attrs);
+  return s;
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+std::vector<int> Schema::RankingAttributesWithInterface(
+    InterfaceType t) const {
+  std::vector<int> out;
+  for (int i : ranking_) {
+    if (attrs_[static_cast<size_t>(i)].iface == t) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Schema> Schema::WithInterface(int index, InterfaceType t) const {
+  if (index < 0 || index >= num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::vector<AttributeSpec> attrs = attrs_;
+  attrs[static_cast<size_t>(index)].iface = t;
+  return Create(std::move(attrs));
+}
+
+Result<Schema> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(indices.size());
+  for (int i : indices) {
+    if (i < 0 || i >= num_attributes()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    attrs.push_back(attrs_[static_cast<size_t>(i)]);
+  }
+  return Create(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "Schema(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeSpec& a = attrs_[i];
+    if (i) os << ", ";
+    os << a.name << ":" << AttributeKindToString(a.kind) << "/"
+       << InterfaceTypeToString(a.iface) << "[" << a.domain_min << ","
+       << a.domain_max << "]";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace data
+}  // namespace hdsky

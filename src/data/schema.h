@@ -1,0 +1,68 @@
+// Schema: the ordered attribute list of a hidden database, with lookup
+// helpers and interface-variant construction used by the experiments
+// (the same data is exposed through different interface taxonomies).
+
+#ifndef HDSKY_DATA_SCHEMA_H_
+#define HDSKY_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/attribute.h"
+
+namespace hdsky {
+namespace data {
+
+/// Immutable ordered collection of AttributeSpecs.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates and builds a schema. Fails if names are empty/duplicated, a
+  /// domain is inverted, a filtering attribute claims range support, or a
+  /// ranking attribute claims filter-equality support.
+  static common::Result<Schema> Create(std::vector<AttributeSpec> attrs);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const AttributeSpec& attribute(int i) const {
+    return attrs_[static_cast<size_t>(i)];
+  }
+  const std::vector<AttributeSpec>& attributes() const { return attrs_; }
+
+  /// Index of the attribute with the given name, or NotFound.
+  common::Result<int> IndexOf(const std::string& name) const;
+
+  /// Indices of ranking attributes, in schema order. The skyline is defined
+  /// over exactly these.
+  const std::vector<int>& ranking_attributes() const { return ranking_; }
+  /// Indices of filtering attributes, in schema order.
+  const std::vector<int>& filtering_attributes() const { return filtering_; }
+
+  /// Ranking attributes whose interface is the given type.
+  std::vector<int> RankingAttributesWithInterface(InterfaceType t) const;
+
+  int num_ranking_attributes() const {
+    return static_cast<int>(ranking_.size());
+  }
+
+  /// Returns a copy with attribute `index`'s interface changed; used by
+  /// experiments that expose one dataset through several taxonomies.
+  common::Result<Schema> WithInterface(int index, InterfaceType t) const;
+
+  /// Returns a copy keeping only the attributes at `indices` (in the given
+  /// order); used to project datasets for varying-m experiments.
+  common::Result<Schema> Project(const std::vector<int>& indices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+  std::vector<int> ranking_;
+  std::vector<int> filtering_;
+};
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_SCHEMA_H_

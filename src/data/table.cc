@@ -1,0 +1,77 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace hdsky {
+namespace data {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+
+Tuple Table::GetTuple(TupleId row) const {
+  Tuple t(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    t[c] = columns_[c][static_cast<size_t>(row)];
+  }
+  return t;
+}
+
+Status Table::Append(const Tuple& tuple) {
+  if (static_cast<int>(tuple.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  for (size_t c = 0; c < tuple.size(); ++c) {
+    const AttributeSpec& a = schema_.attribute(static_cast<int>(c));
+    if (tuple[c] == kNullValue) continue;
+    if (tuple[c] < a.domain_min || tuple[c] > a.domain_max) {
+      return Status::OutOfRange("value " + std::to_string(tuple[c]) +
+                                " outside domain of " + a.name);
+    }
+  }
+  for (size_t c = 0; c < tuple.size(); ++c) {
+    columns_[c].push_back(tuple[c]);
+  }
+  return Status::OK();
+}
+
+void Table::Reserve(int64_t rows) {
+  for (auto& col : columns_) col.reserve(static_cast<size_t>(rows));
+}
+
+Result<Table> Table::Sample(int64_t count, Rng* rng) const {
+  if (count < 0 || count > num_rows()) {
+    return Status::InvalidArgument("sample size out of range");
+  }
+  std::vector<int64_t> rows = rng->SampleWithoutReplacement(num_rows(),
+                                                            count);
+  std::sort(rows.begin(), rows.end());
+  Table out(schema_);
+  out.Reserve(count);
+  for (int64_t r : rows) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.columns_[c].push_back(columns_[c][static_cast<size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::Project(const std::vector<int>& indices) const {
+  HDSKY_ASSIGN_OR_RETURN(Schema projected, schema_.Project(indices));
+  Table out(std::move(projected));
+  out.Reserve(num_rows());
+  for (size_t c = 0; c < indices.size(); ++c) {
+    out.columns_[c] = columns_[static_cast<size_t>(indices[c])];
+  }
+  return out;
+}
+
+Result<Table> Table::WithInterface(int index, InterfaceType t) const {
+  HDSKY_ASSIGN_OR_RETURN(Schema s, schema_.WithInterface(index, t));
+  Table out = *this;
+  out.schema_ = std::move(s);
+  return out;
+}
+
+}  // namespace data
+}  // namespace hdsky

@@ -1,0 +1,88 @@
+// Column-major in-memory table: the ground-truth contents of a hidden web
+// database. Only the interface layer and dataset generators touch Table
+// directly; discovery algorithms must go through interface::TopKInterface.
+
+#ifndef HDSKY_DATA_TABLE_H_
+#define HDSKY_DATA_TABLE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+
+/// An append-only column store with a fixed schema. Values are validated
+/// against their attribute domain at append time (NULL is always legal).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)),
+        columns_(static_cast<size_t>(schema_.num_attributes())) {}
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const {
+    return columns_.empty() ? 0
+                            : static_cast<int64_t>(columns_[0].size());
+  }
+
+  /// Value of attribute `attr` in row `row`; bounds are the caller's
+  /// responsibility (checked only in debug builds).
+  Value value(TupleId row, int attr) const {
+    return columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
+  }
+
+  /// Materializes a full row.
+  Tuple GetTuple(TupleId row) const;
+
+  /// Full column for attribute `attr`.
+  const std::vector<Value>& column(int attr) const {
+    return columns_[static_cast<size_t>(attr)];
+  }
+
+  /// Appends a row; fails if the arity is wrong or a non-NULL value falls
+  /// outside its attribute domain.
+  common::Status Append(const Tuple& tuple);
+
+  /// Reserves row capacity across all columns.
+  void Reserve(int64_t rows);
+
+  /// Uniform random sample of `count` rows (without replacement), as used
+  /// by the paper's varying-n experiments on the DOT dataset.
+  common::Result<Table> Sample(int64_t count, common::Rng* rng) const;
+
+  /// Keeps only the attributes at `indices`; used by varying-m experiments.
+  common::Result<Table> Project(const std::vector<int>& indices) const;
+
+  /// Returns a copy whose schema swaps attribute `index`'s interface type;
+  /// data is shared-by-copy (tables are value types).
+  common::Result<Table> WithInterface(int index, InterfaceType t) const;
+
+  /// Keeps only rows for which `keep(row_id)` returns true.
+  template <typename Pred>
+  Table FilterRows(Pred keep) const {
+    Table out(schema_);
+    out.Reserve(num_rows());
+    const int64_t n = num_rows();
+    for (int64_t r = 0; r < n; ++r) {
+      if (!keep(r)) continue;
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out.columns_[c].push_back(columns_[c][static_cast<size_t>(r)]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_TABLE_H_

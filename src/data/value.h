@@ -1,0 +1,46 @@
+// Value representation.
+//
+// Every attribute value in hdsky is an int64 *rank code*. Ranking
+// attributes are normalized at ingestion so that SMALLER IS BETTER, which
+// makes the skyline definition of Section 2.1 uniform: tuple t dominates u
+// iff t[Ai] <= u[Ai] on every ranking attribute and t != u. Preference
+// direction (e.g. "higher carat is better") and raw units are recorded in
+// the Schema; generators apply the flip before storing values.
+//
+// Continuous attributes (price, delay minutes) are stored at a fixed
+// precision, which the paper's footnote 2 explicitly sanctions: values in a
+// database are discrete in nature.
+
+#ifndef HDSKY_DATA_VALUE_H_
+#define HDSKY_DATA_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hdsky {
+namespace data {
+
+/// An attribute value as a rank code; for ranking attributes smaller is
+/// better.
+using Value = int64_t;
+
+/// Sentinel for NULL. NULL ranks worse than every real value, so it never
+/// dominates and never blocks domination.
+inline constexpr Value kNullValue = std::numeric_limits<Value>::max();
+
+/// A materialized tuple: one Value per schema attribute, in schema order.
+using Tuple = std::vector<Value>;
+
+/// Identifier of a tuple inside a Table (its row index). The top-k
+/// interface exposes it as the opaque "listing id" a real website would
+/// show, so discovery algorithms may use it for deduplication but nothing
+/// else.
+using TupleId = int64_t;
+
+inline constexpr TupleId kInvalidTupleId = -1;
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_VALUE_H_

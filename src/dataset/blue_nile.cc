@@ -1,0 +1,84 @@
+#include "dataset/blue_nile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Clamp;
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+Result<Table> GenerateBlueNile(const BlueNileOptions& opts) {
+  if (opts.num_tuples < 0) {
+    return Status::InvalidArgument("num_tuples must be >= 0");
+  }
+  std::vector<AttributeSpec> attrs(6);
+  attrs[BlueNileAttrs::kPrice] = {"Price", AttributeKind::kRanking,
+                                  InterfaceType::kRQ, 200, 2999999};
+  attrs[BlueNileAttrs::kCarat] = {"Carat", AttributeKind::kRanking,
+                                  InterfaceType::kRQ, 0, 2177};
+  attrs[BlueNileAttrs::kCut] = {"Cut", AttributeKind::kRanking,
+                                InterfaceType::kRQ, 0, 3};
+  attrs[BlueNileAttrs::kColor] = {"Color", AttributeKind::kRanking,
+                                  InterfaceType::kRQ, 0, 7};
+  attrs[BlueNileAttrs::kClarity] = {"Clarity", AttributeKind::kRanking,
+                                    InterfaceType::kRQ, 0, 7};
+  attrs[BlueNileAttrs::kShape] = {"Shape", AttributeKind::kFiltering,
+                                  InterfaceType::kFilterEquality, 0, 9};
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  Table table(std::move(schema));
+  table.Reserve(opts.num_tuples);
+  Rng rng(opts.seed);
+
+  Tuple t(6);
+  for (int64_t row = 0; row < opts.num_tuples; ++row) {
+    // Carat: log-normal-ish, mostly 0.23..3ct with a rare large tail.
+    const double carat = Clamp(
+        static_cast<int64_t>(std::llround(
+            std::exp(rng.Gaussian(std::log(0.7), 0.55)) * 100.0)),
+        23, 2200) /
+        100.0;
+    const int64_t cut = rng.UniformInt(0, 3);      // 0 = Ideal (best)
+    const int64_t color = rng.UniformInt(0, 7);    // 0 = D (best)
+    const int64_t clarity = rng.UniformInt(0, 7);  // 0 = FL (best)
+
+    // Hedonic price: base ~ carat^2.8, multiplicative grade discounts,
+    // lognormal market noise.
+    const double grade_factor = std::pow(0.93, static_cast<double>(cut)) *
+                                std::pow(0.90, static_cast<double>(color)) *
+                                std::pow(0.88,
+                                         static_cast<double>(clarity));
+    const double base = 5200.0 * std::pow(carat, 2.8) * grade_factor;
+    const int64_t price = Clamp(
+        static_cast<int64_t>(std::llround(
+            base * std::exp(rng.Gaussian(0.0, 0.45)))),
+        200, 2999999);
+
+    t[BlueNileAttrs::kPrice] = price;
+    // Higher carat preferred: invert so smaller is better.
+    t[BlueNileAttrs::kCarat] =
+        2200 - static_cast<int64_t>(std::llround(carat * 100.0));
+    t[BlueNileAttrs::kCut] = cut;
+    t[BlueNileAttrs::kColor] = color;
+    t[BlueNileAttrs::kClarity] = clarity;
+    t[BlueNileAttrs::kShape] = rng.UniformInt(0, 9);
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

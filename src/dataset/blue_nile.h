@@ -1,0 +1,42 @@
+// Synthetic stand-in for the Blue Nile diamond catalog used in the live
+// experiment of Section 8.3 (209,666 diamonds; ranking attributes Price,
+// Carat, Cut, Color, Clarity, all exposed as two-ended ranges; filtering
+// attribute Shape; default ranking "price low to high").
+//
+// Price follows a noisy hedonic model — roughly cubic in carat and
+// multiplicative in the quality grades — so that price anti-correlates
+// with the other preferences. That anti-correlation is what produces the
+// paper's ~2,100-tuple skyline and its ~3.5 queries/skyline cost profile.
+
+#ifndef HDSKY_DATASET_BLUE_NILE_H_
+#define HDSKY_DATASET_BLUE_NILE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct BlueNileOptions {
+  int64_t num_tuples = 209666;
+  uint64_t seed = 6060842;
+};
+
+/// Attribute order of the generated schema.
+struct BlueNileAttrs {
+  static constexpr int kPrice = 0;    // RQ, dollars, [200, 2999999]
+  static constexpr int kCarat = 1;    // RQ, inverted 100ths, [0, 2177]
+  static constexpr int kCut = 2;      // RQ, inverted grade, [0, 3]
+  static constexpr int kColor = 3;    // RQ, D..K -> [0, 7]
+  static constexpr int kClarity = 4;  // RQ, FL..SI2 -> [0, 7]
+  static constexpr int kShape = 5;    // filtering, 10 shapes
+};
+
+common::Result<data::Table> GenerateBlueNile(const BlueNileOptions& opts);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_BLUE_NILE_H_

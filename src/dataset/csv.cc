@@ -1,0 +1,155 @@
+#include "dataset/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hdsky {
+namespace dataset {
+
+using common::Result;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+namespace {
+
+const char* IfaceCode(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kSQ:
+      return "SQ";
+    case InterfaceType::kRQ:
+      return "RQ";
+    case InterfaceType::kPQ:
+      return "PQ";
+    case InterfaceType::kFilterEquality:
+      return "EQ";
+  }
+  return "??";
+}
+
+Result<InterfaceType> ParseIface(const std::string& s) {
+  if (s == "SQ") return InterfaceType::kSQ;
+  if (s == "RQ") return InterfaceType::kRQ;
+  if (s == "PQ") return InterfaceType::kPQ;
+  if (s == "EQ") return InterfaceType::kFilterEquality;
+  return Status::IOError("unknown interface code '" + s + "'");
+}
+
+std::vector<std::string> SplitOn(const std::string& line, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : line) {
+    if (c == sep) {
+      parts.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(std::move(cur));
+  return parts;
+}
+
+Result<Value> ParseValue(const std::string& s) {
+  if (s == "NULL") return data::kNullValue;
+  Value v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::IOError("cannot parse value '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const Schema& schema = table.schema();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeSpec& spec = schema.attribute(a);
+    if (a) out << ',';
+    out << spec.name << ':'
+        << (spec.kind == AttributeKind::kRanking ? 'R' : 'F') << ':'
+        << IfaceCode(spec.iface) << ':' << spec.domain_min << ':'
+        << spec.domain_max;
+  }
+  out << '\n';
+  const int64_t n = table.num_rows();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (a) out << ',';
+      const Value v = table.value(r, a);
+      if (v == data::kNullValue) {
+        out << "NULL";
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError(path + " is empty (missing header)");
+  }
+  std::vector<AttributeSpec> attrs;
+  for (const std::string& col : SplitOn(line, ',')) {
+    const std::vector<std::string> f = SplitOn(col, ':');
+    if (f.size() != 5) {
+      return Status::IOError("malformed header column '" + col + "'");
+    }
+    AttributeSpec spec;
+    spec.name = f[0];
+    if (f[1] == "R") {
+      spec.kind = AttributeKind::kRanking;
+    } else if (f[1] == "F") {
+      spec.kind = AttributeKind::kFiltering;
+    } else {
+      return Status::IOError("unknown attribute kind '" + f[1] + "'");
+    }
+    HDSKY_ASSIGN_OR_RETURN(spec.iface, ParseIface(f[2]));
+    HDSKY_ASSIGN_OR_RETURN(spec.domain_min, ParseValue(f[3]));
+    HDSKY_ASSIGN_OR_RETURN(spec.domain_max, ParseValue(f[4]));
+    attrs.push_back(std::move(spec));
+  }
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  const int width = schema.num_attributes();
+  Table table(std::move(schema));
+  int64_t line_no = 1;
+  Tuple t(static_cast<size_t>(width));
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitOn(line, ',');
+    if (static_cast<int>(cells.size()) != width) {
+      return Status::IOError("row " + std::to_string(line_no) + " has " +
+                             std::to_string(cells.size()) +
+                             " cells, expected " + std::to_string(width));
+    }
+    for (int a = 0; a < width; ++a) {
+      HDSKY_ASSIGN_OR_RETURN(t[static_cast<size_t>(a)],
+                             ParseValue(cells[static_cast<size_t>(a)]));
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,30 @@
+// Self-describing CSV persistence, the bridge for plugging real datasets
+// (e.g. an actual DOT on-time extract) into the simulators' place.
+//
+// Format: the header row carries the full attribute spec per column as
+// `name:kind:iface:domain_min:domain_max` (kind in {R, F}; iface in
+// {SQ, RQ, PQ, EQ}); data rows are int64 rank codes with `NULL` for
+// missing values.
+
+#ifndef HDSKY_DATASET_CSV_H_
+#define HDSKY_DATASET_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+/// Writes the table (schema + rows) to `path`.
+common::Status WriteCsv(const data::Table& table, const std::string& path);
+
+/// Reads a table previously written by WriteCsv (or hand-authored in the
+/// same format).
+common::Result<data::Table> ReadCsv(const std::string& path);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_CSV_H_

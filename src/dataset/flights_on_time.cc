@@ -1,0 +1,163 @@
+#include "dataset/flights_on_time.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Clamp;
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+namespace {
+
+AttributeSpec Ranking(const char* name, InterfaceType iface, Value lo,
+                      Value hi) {
+  AttributeSpec a;
+  a.name = name;
+  a.kind = AttributeKind::kRanking;
+  a.iface = iface;
+  a.domain_min = lo;
+  a.domain_max = hi;
+  return a;
+}
+
+AttributeSpec Filtering(const char* name, Value lo, Value hi) {
+  AttributeSpec a;
+  a.name = name;
+  a.kind = AttributeKind::kFiltering;
+  a.iface = InterfaceType::kFilterEquality;
+  a.domain_min = lo;
+  a.domain_max = hi;
+  return a;
+}
+
+}  // namespace
+
+Result<Table> GenerateFlightsOnTime(const FlightsOptions& opts) {
+  if (opts.num_tuples < 0) {
+    return Status::InvalidArgument("num_tuples must be >= 0");
+  }
+  std::vector<AttributeSpec> attrs = {
+      Ranking("DepDelay", InterfaceType::kRQ, 0, 1969),
+      Ranking("TaxiOut", InterfaceType::kRQ, 0, 179),
+      Ranking("TaxiIn", InterfaceType::kRQ, 0, 119),
+      Ranking("ActualElapsedTime", InterfaceType::kRQ, 0, 899),
+      Ranking("AirTime", InterfaceType::kRQ, 0, 799),
+      Ranking("Distance", InterfaceType::kRQ, 0, 4952),
+      Ranking("DelayGroupNormal", InterfaceType::kPQ, 0, 10),
+      Ranking("DistanceGroup", InterfaceType::kPQ, 0, 10),
+      Ranking("ArrivalDelay", InterfaceType::kRQ, 0, 1999),
+  };
+  if (opts.include_derived_groups) {
+    attrs.push_back(Ranking("TaxiOutGroup", InterfaceType::kPQ, 0, 10));
+    attrs.push_back(Ranking("TaxiInGroup", InterfaceType::kPQ, 0, 10));
+    attrs.push_back(Ranking("ArrivalDelayGroup", InterfaceType::kPQ, 0, 10));
+    attrs.push_back(Ranking("AirTimeGroup", InterfaceType::kPQ, 0, 10));
+  }
+  if (opts.include_filtering) {
+    attrs.push_back(Filtering("Carrier", 0, 13));  // 14 US carriers
+    attrs.push_back(Filtering("FlightNumber", 0, 9998));
+  }
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  const int width = schema.num_attributes();
+  Table table(std::move(schema));
+  table.Reserve(opts.num_tuples);
+  Rng rng(opts.seed);
+
+  // Flights fly fixed routes, so distances cluster on a few hundred
+  // distinct values with popularity skewed toward short haul — the
+  // property that keeps the real DOT skyline small (many flights share
+  // the longest distances, letting a few dominate the rest).
+  constexpr int kNumRoutes = 220;
+  std::vector<int64_t> route_distance(kNumRoutes);
+  for (int r = 0; r < kNumRoutes; ++r) {
+    const double haul = rng.UniformReal();
+    if (haul < 0.55) {
+      route_distance[static_cast<size_t>(r)] = rng.UniformInt(31, 800);
+    } else if (haul < 0.87) {
+      route_distance[static_cast<size_t>(r)] = rng.UniformInt(800, 2500);
+    } else {
+      route_distance[static_cast<size_t>(r)] = rng.UniformInt(2500, 4983);
+    }
+  }
+
+  Tuple t(static_cast<size_t>(width));
+  for (int64_t row = 0; row < opts.num_tuples; ++row) {
+    // Pick a route with a popularity skew (squaring biases small ids).
+    const double u = rng.UniformReal();
+    const int route = static_cast<int>(u * u * kNumRoutes);
+    const int64_t distance_miles =
+        route_distance[static_cast<size_t>(
+            common::Clamp(route, 0, kNumRoutes - 1))];
+    const int64_t air_time = Clamp(
+        static_cast<int64_t>(std::llround(
+            static_cast<double>(distance_miles) / 8.0 +
+            rng.Gaussian(0.0, 10.0))),
+        10, 799);
+    const int64_t taxi_out = Clamp(
+        static_cast<int64_t>(std::llround(10.0 + rng.Exponential(1.0 / 8.0))),
+        0, 179);
+    const int64_t taxi_in = Clamp(
+        static_cast<int64_t>(std::llround(5.0 + rng.Exponential(1.0 / 4.0))),
+        0, 119);
+    const int64_t elapsed = Clamp(
+        air_time + taxi_out + taxi_in +
+            static_cast<int64_t>(std::llround(rng.Gaussian(0.0, 5.0))),
+        0, 899);
+    // Departure delay: mostly small, occasionally a heavy tail.
+    int64_t dep_delay;
+    if (rng.Bernoulli(0.6)) {
+      dep_delay = static_cast<int64_t>(
+          std::llround(rng.Exponential(1.0 / 10.0)));
+    } else {
+      dep_delay = 15 + static_cast<int64_t>(
+                           std::llround(rng.Exponential(1.0 / 40.0)));
+    }
+    dep_delay = Clamp(dep_delay, 0, 1969);
+    const int64_t arr_delay = Clamp(
+        dep_delay + static_cast<int64_t>(std::llround(
+                        rng.Gaussian(0.0, 15.0))),
+        0, 1999);
+
+    t[FlightsAttrs::kDepDelay] = dep_delay;
+    t[FlightsAttrs::kTaxiOut] = taxi_out;
+    t[FlightsAttrs::kTaxiIn] = taxi_in;
+    t[FlightsAttrs::kActualElapsed] = elapsed;
+    t[FlightsAttrs::kAirTime] = air_time;
+    // Longer distance is preferred (Section 8.1), so invert the code.
+    t[FlightsAttrs::kDistance] = 4983 - distance_miles;
+    t[FlightsAttrs::kDelayGroup] = std::min<int64_t>(dep_delay / 15, 10);
+    t[FlightsAttrs::kDistanceGroup] =
+        10 - std::min<int64_t>(distance_miles / 500, 10);
+    t[FlightsAttrs::kArrivalDelay] = arr_delay;
+    int next = FlightsAttrs::kArrivalDelay + 1;
+    if (opts.include_derived_groups) {
+      t[static_cast<size_t>(next++)] = std::min<int64_t>(taxi_out / 17, 10);
+      t[static_cast<size_t>(next++)] = std::min<int64_t>(taxi_in / 11, 10);
+      t[static_cast<size_t>(next++)] = std::min<int64_t>(arr_delay / 15, 10);
+      t[static_cast<size_t>(next++)] = std::min<int64_t>(air_time / 73, 10);
+    }
+    if (opts.include_filtering) {
+      t[static_cast<size_t>(next++)] = rng.UniformInt(0, 13);
+      t[static_cast<size_t>(next++)] = rng.UniformInt(0, 9998);
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,64 @@
+// Synthetic stand-in for the US DOT flight on-time database of Section 8.1
+// (January 2015; 457,013 tuples; 9 ordinal ranking attributes with domains
+// between 11 and 4,983, two of which — Delay-group-normal and
+// Distance-group — are pre-discretized and used as PQ attributes; plus
+// derived *-group PQ attributes for the tests that need more point
+// predicates, and filtering attributes Carrier / FlightNumber).
+//
+// The real CSV is not redistributable inside this repository, so the
+// generator synthesizes a table with the same schema, cardinality, domain
+// sizes, and the load-bearing correlations (elapsed = air + taxi + noise;
+// groups = coarse discretizations of their base attribute; distance is
+// preferred LONGER per the paper, so its normalized code is inverted).
+// Discovery algorithms only observe the top-k interface, so this preserves
+// the experimental behaviour; a real DOT extract can be swapped in through
+// dataset::ReadCsv.
+
+#ifndef HDSKY_DATASET_FLIGHTS_ON_TIME_H_
+#define HDSKY_DATASET_FLIGHTS_ON_TIME_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct FlightsOptions {
+  int64_t num_tuples = 457013;
+  /// Adds TaxiOutGroup / TaxiInGroup / ArrivalDelayGroup / AirTimeGroup,
+  /// the four derived PQ attributes the paper introduces "for a few tests
+  /// which call for more PQ attributes".
+  bool include_derived_groups = true;
+  /// Adds the filtering attributes Carrier and FlightNumber.
+  bool include_filtering = true;
+  uint64_t seed = 201501;
+};
+
+/// Index constants for the generated schema, in order. The 9 base ranking
+/// attributes come first (matching the paper's list), then the derived
+/// groups, then filtering attributes.
+struct FlightsAttrs {
+  static constexpr int kDepDelay = 0;        // RQ, [0, 1969]
+  static constexpr int kTaxiOut = 1;         // RQ, [0, 179]
+  static constexpr int kTaxiIn = 2;          // RQ, [0, 119]
+  static constexpr int kActualElapsed = 3;   // RQ, [0, 899]
+  static constexpr int kAirTime = 4;         // RQ, [0, 799]
+  static constexpr int kDistance = 5;        // RQ, [0, 4952] (inverted)
+  static constexpr int kDelayGroup = 6;      // PQ, [0, 10]
+  static constexpr int kDistanceGroup = 7;   // PQ, [0, 10] (inverted)
+  static constexpr int kArrivalDelay = 8;    // RQ, [0, 1999]
+  static constexpr int kTaxiOutGroup = 9;    // PQ, [0, 10] (derived)
+  static constexpr int kTaxiInGroup = 10;    // PQ, [0, 10] (derived)
+  static constexpr int kArrDelayGroup = 11;  // PQ, [0, 10] (derived)
+  static constexpr int kAirTimeGroup = 12;   // PQ, [0, 10] (derived)
+};
+
+common::Result<data::Table> GenerateFlightsOnTime(
+    const FlightsOptions& opts);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_FLIGHTS_ON_TIME_H_

@@ -1,0 +1,94 @@
+#include "dataset/google_flights.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Clamp;
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+
+Result<Table> GenerateRoute(const GoogleFlightsOptions& opts) {
+  if (opts.num_flights < 0) {
+    return Status::InvalidArgument("num_flights must be >= 0");
+  }
+  std::vector<AttributeSpec> attrs(4);
+  attrs[GoogleFlightsAttrs::kStops] = {"Stops", AttributeKind::kRanking,
+                                       InterfaceType::kSQ, 0, 2};
+  attrs[GoogleFlightsAttrs::kPrice] = {"Price", AttributeKind::kRanking,
+                                       InterfaceType::kSQ, 49, 1999};
+  attrs[GoogleFlightsAttrs::kConnection] = {
+      "ConnectionDuration", AttributeKind::kRanking, InterfaceType::kSQ, 0,
+      719};
+  attrs[GoogleFlightsAttrs::kDepartureTime] = {
+      "DepartureTime", AttributeKind::kRanking, InterfaceType::kRQ, 0,
+      1439};
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  Table table(std::move(schema));
+  table.Reserve(opts.num_flights);
+  Rng rng(opts.seed);
+
+  // Airline inventories are highly discrete: flights leave on a couple
+  // dozen schedule slots, layovers come in standard bank durations, and
+  // fares sit on a handful of $10-rounded fare-class levels. That
+  // structure is what keeps real per-route skylines at the paper's 4-11
+  // tuples (and discovery under the 50-query limit): most predicates hit
+  // shared values, so query-tree branches die out quickly.
+  constexpr int kSlots = 14;
+  int64_t slot_minute[kSlots];
+  for (int s = 0; s < kSlots; ++s) {
+    // Roughly hourly departures from 06:00 to 23:00, with jitter per
+    // route.
+    slot_minute[s] = Clamp(390 + s * 74 + rng.UniformInt(-8, 8), 0,
+                           1439);
+  }
+  const int64_t layovers[] = {40, 55, 75, 110, 170};
+  // Per-route fare ladder: a base economy fare and multiplicative steps.
+  const double base_fare = 140.0 * std::exp(rng.Gaussian(0.0, 0.25));
+
+  Tuple t(4);
+  for (int64_t row = 0; row < opts.num_flights; ++row) {
+    // Stops: nonstops are a minority on most pairs.
+    const double r = rng.UniformReal();
+    const int64_t stops = r < 0.30 ? 0 : (r < 0.80 ? 1 : 2);
+    int64_t connection = 0;
+    for (int64_t s = 0; s < stops; ++s) {
+      connection += layovers[rng.UniformInt(0, 4)];
+    }
+    connection = Clamp(connection, 0, 719);
+    const int64_t depart_minute =
+        slot_minute[rng.UniformInt(0, kSlots - 1)];
+    // Fare class ladder: nonstops a step or two up, evening flights one
+    // more; rounded to $10 so fares repeat across flights.
+    const int64_t fare_step =
+        (stops == 0 ? 2 : (stops == 1 ? 1 : 0)) +
+        (depart_minute > 1020 ? 1 : 0) + rng.UniformInt(0, 2);
+    const double fare = base_fare * std::pow(1.35, fare_step);
+    const int64_t price =
+        Clamp(static_cast<int64_t>(std::llround(fare / 10.0)) * 10, 49,
+              1999);
+
+    t[GoogleFlightsAttrs::kStops] = stops;
+    t[GoogleFlightsAttrs::kPrice] = price;
+    t[GoogleFlightsAttrs::kConnection] = connection;
+    // Later departure preferred ("getting away after a full day of
+    // work"): invert the minute-of-day.
+    t[GoogleFlightsAttrs::kDepartureTime] = 1439 - depart_minute;
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,45 @@
+// Synthetic stand-in for the Google Flights QPX inventory of Section 8.3.
+//
+// The live experiment fixes filtering attributes (DepartureCity,
+// ArrivalCity, DepartureDate) and discovers the skyline over four ranking
+// attributes: Stops, Price, ConnectionDuration (all SQ — QPX supports
+// upper bounds only) and DepartureTime (RQ, later preferred). The paper
+// repeats over 50 random airport pairs with 4–11 skyline flights each and
+// k as small as 1, staying under QPX's 50-queries/day free limit.
+//
+// GenerateRoute produces one route's inventory; the figure bench averages
+// over many routes, mirroring the paper's protocol.
+
+#ifndef HDSKY_DATASET_GOOGLE_FLIGHTS_H_
+#define HDSKY_DATASET_GOOGLE_FLIGHTS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct GoogleFlightsOptions {
+  /// Flights offered on the route/date; real answers run tens to a few
+  /// hundred itineraries.
+  int64_t num_flights = 180;
+  uint64_t seed = 50;
+};
+
+struct GoogleFlightsAttrs {
+  static constexpr int kStops = 0;          // SQ (PQ-sized domain), [0, 2]
+  static constexpr int kPrice = 1;          // SQ, dollars, [49, 1999]
+  static constexpr int kConnection = 2;     // SQ, minutes, [0, 719]
+  static constexpr int kDepartureTime = 3;  // RQ, inverted minute-of-day
+};
+
+/// One route+date inventory. The traveller prefers fewer stops, lower
+/// price, shorter connections and a LATER departure (inverted code).
+common::Result<data::Table> GenerateRoute(const GoogleFlightsOptions& opts);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_GOOGLE_FLIGHTS_H_

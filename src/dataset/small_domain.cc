@@ -1,0 +1,101 @@
+#include "dataset/small_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "skyline/compute.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+Result<Table> GenerateSmallDomain(const SmallDomainOptions& opts) {
+  if (opts.num_tuples < 0) {
+    return Status::InvalidArgument("num_tuples must be >= 0");
+  }
+  if (opts.num_attributes < 1) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  if (opts.domain_size < 2) {
+    return Status::InvalidArgument("domain_size must be >= 2");
+  }
+  if (opts.correlation < 0.0 || opts.correlation > 1.0) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+
+  std::vector<AttributeSpec> attrs;
+  for (int i = 0; i < opts.num_attributes; ++i) {
+    AttributeSpec a;
+    a.name = "B" + std::to_string(i);
+    a.kind = AttributeKind::kRanking;
+    a.iface = opts.iface;
+    a.domain_min = 0;
+    a.domain_max = opts.domain_size - 1;
+    attrs.push_back(std::move(a));
+  }
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+
+  Table table(std::move(schema));
+  table.Reserve(opts.num_tuples);
+  Rng rng(opts.seed);
+  Tuple t(static_cast<size_t>(opts.num_attributes));
+  for (int64_t row = 0; row < opts.num_tuples; ++row) {
+    // Shared latent value; each attribute copies it with probability
+    // `correlation`, otherwise draws independently.
+    const Value latent = rng.UniformInt(0, opts.domain_size - 1);
+    for (int i = 0; i < opts.num_attributes; ++i) {
+      t[static_cast<size_t>(i)] = rng.Bernoulli(opts.correlation)
+                                      ? latent
+                                      : rng.UniformInt(
+                                            0, opts.domain_size - 1);
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+Result<Table> GenerateWithSkylineSize(SmallDomainOptions opts,
+                                      int64_t target_skyline,
+                                      int64_t tolerance) {
+  if (target_skyline < 1) {
+    return Status::InvalidArgument("target skyline size must be >= 1");
+  }
+  // The DISTINCT-value skyline count (what a top-k interface can reveal)
+  // decreases monotonically in expectation with correlation, so a
+  // bisection over the knob converges quickly; we accept the closest
+  // draw if the tolerance is never met.
+  double lo = 0.0, hi = 1.0;
+  Result<Table> best = Status::NotFound("unreached");
+  int64_t best_err = -1;
+  for (int iter = 0; iter < 24; ++iter) {
+    opts.correlation = 0.5 * (lo + hi);
+    HDSKY_ASSIGN_OR_RETURN(Table table, GenerateSmallDomain(opts));
+    const int64_t s = static_cast<int64_t>(
+        skyline::DistinctSkylineValues(table).size());
+    const int64_t err = std::llabs(s - target_skyline);
+    if (best_err < 0 || err < best_err) {
+      best_err = err;
+      best = table;
+    }
+    if (err <= tolerance) return table;
+    if (s > target_skyline) {
+      lo = opts.correlation;  // need more correlation -> smaller skyline
+    } else {
+      hi = opts.correlation;
+    }
+  }
+  return best;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,42 @@
+// Small-domain correlated data for the Figure 6 simulation: n tuples over
+// m attributes with tiny domains, where a correlation knob controls the
+// number of skyline tuples ("we control the percentage of skyline tuples
+// by adjusting the correlation between the attributes", Section 4.2).
+
+#ifndef HDSKY_DATASET_SMALL_DOMAIN_H_
+#define HDSKY_DATASET_SMALL_DOMAIN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct SmallDomainOptions {
+  int64_t num_tuples = 2000;
+  int num_attributes = 4;
+  /// Each attribute takes values in [0, domain_size - 1].
+  int64_t domain_size = 8;
+  /// 1 = perfectly positively correlated (skyline collapses toward one
+  /// tuple); 0 = independent (large skyline).
+  double correlation = 0.5;
+  data::InterfaceType iface = data::InterfaceType::kRQ;
+  uint64_t seed = 7;
+};
+
+common::Result<data::Table> GenerateSmallDomain(
+    const SmallDomainOptions& opts);
+
+/// Searches the correlation knob so the generated table has a skyline of
+/// (approximately) `target_skyline` tuples; returns the table. Used to
+/// sweep |S| along Figure 6's x-axis. `tolerance` is the acceptable
+/// absolute deviation.
+common::Result<data::Table> GenerateWithSkylineSize(
+    SmallDomainOptions opts, int64_t target_skyline, int64_t tolerance);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_SMALL_DOMAIN_H_

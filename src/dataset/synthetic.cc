@@ -1,0 +1,112 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+Result<Table> GenerateSynthetic(const SyntheticOptions& opts) {
+  if (opts.num_tuples < 0) {
+    return Status::InvalidArgument("num_tuples must be >= 0");
+  }
+  if (opts.num_attributes < 1) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  if (opts.domain_size < 1) {
+    return Status::InvalidArgument("domain_size must be >= 1");
+  }
+  if (opts.correlation < 0.0 || opts.correlation > 1.0) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(static_cast<size_t>(opts.num_attributes));
+  for (int i = 0; i < opts.num_attributes; ++i) {
+    AttributeSpec a;
+    a.name = "A" + std::to_string(i);
+    a.kind = AttributeKind::kRanking;
+    a.iface = opts.iface;
+    a.domain_min = 0;
+    a.domain_max = opts.domain_size - 1;
+    attrs.push_back(std::move(a));
+  }
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+
+  Table table(std::move(schema));
+  table.Reserve(opts.num_tuples);
+  Rng rng(opts.seed);
+  const double scale = static_cast<double>(opts.domain_size);
+  const int m = opts.num_attributes;
+
+  auto to_value = [&](double x01) -> Value {
+    const double clamped = std::clamp(x01, 0.0, 1.0);
+    Value v = static_cast<Value>(clamped * scale);
+    if (v >= opts.domain_size) v = opts.domain_size - 1;
+    return v;
+  };
+
+  Tuple t(static_cast<size_t>(m));
+  for (int64_t row = 0; row < opts.num_tuples; ++row) {
+    switch (opts.distribution) {
+      case Distribution::kIndependent: {
+        for (int i = 0; i < m; ++i) {
+          t[static_cast<size_t>(i)] =
+              rng.UniformInt(0, opts.domain_size - 1);
+        }
+        break;
+      }
+      case Distribution::kCorrelated: {
+        // Convex mix of a shared latent uniform and per-attribute noise;
+        // correlation 1 collapses to a single diagonal.
+        const double latent = rng.UniformReal();
+        for (int i = 0; i < m; ++i) {
+          const double own = rng.UniformReal();
+          t[static_cast<size_t>(i)] = to_value(
+              opts.correlation * latent + (1.0 - opts.correlation) * own);
+        }
+        break;
+      }
+      case Distribution::kAntiCorrelated: {
+        // Points scattered around the hyperplane sum(x) = m/2: each
+        // tuple's coordinates are mean-centred raw normals shifted to a
+        // per-tuple plane offset, so being good on one attribute forces
+        // being bad on others.
+        double raw[64];
+        double mean = 0.0;
+        const int mm = std::min(m, 64);
+        for (int i = 0; i < mm; ++i) {
+          raw[i] = rng.Gaussian(0.5, 0.25);
+          mean += raw[i];
+        }
+        mean /= mm;
+        const double plane = rng.Gaussian(0.5, 0.05);
+        for (int i = 0; i < m; ++i) {
+          const double base = i < 64 ? raw[i] : rng.Gaussian(0.5, 0.25);
+          const double x =
+              opts.correlation * (base - mean + plane) +
+              (1.0 - opts.correlation) * rng.UniformReal();
+          t[static_cast<size_t>(i)] = to_value(x);
+        }
+        break;
+      }
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,69 @@
+#include "dataset/worst_case.h"
+
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Result;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+using data::Value;
+
+Result<Table> GenerateSqLowerBound(const WorstCaseOptions& opts) {
+  const int m = opts.num_attributes;
+  const int64_t s = opts.num_skyline;
+  if (m < 2) {
+    return Status::InvalidArgument(
+        "the construction needs at least 2 attributes for a non-trivial "
+        "anti-chain");
+  }
+  if (s < 1) {
+    return Status::InvalidArgument("num_skyline must be >= 1");
+  }
+  // Payload values live in [1, h] with h = s; guards use h + 1.
+  const Value h = s;
+
+  std::vector<AttributeSpec> attrs;
+  for (int i = 0; i < m; ++i) {
+    AttributeSpec a;
+    a.name = "W" + std::to_string(i);
+    a.kind = AttributeKind::kRanking;
+    a.iface = opts.iface;
+    a.domain_min = 0;
+    a.domain_max = h + 1;
+    attrs.push_back(std::move(a));
+  }
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  Table table(std::move(schema));
+  table.Reserve(m + s);
+
+  // Guards: t0i[Aj] = 0 if i != j, h+1 if i == j (equation 1).
+  Tuple t(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      t[static_cast<size_t>(j)] = (i == j) ? h + 1 : 0;
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+
+  // Payload anti-chain: attribute 0 increases while attribute 1 decreases,
+  // guaranteeing mutual non-domination; the rest cycle through [1, h] to
+  // give each tuple a distinct profile on every attribute.
+  for (int64_t i = 0; i < s; ++i) {
+    t[0] = 1 + i;
+    t[1] = s - i;
+    for (int j = 2; j < m; ++j) {
+      t[static_cast<size_t>(j)] = 1 + ((i + j) % s);
+    }
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,38 @@
+// The Theorem 1 lower-bound construction for SQ interfaces.
+//
+// m "guard" tuples force any SQ discovery algorithm into fully-specified
+// queries (each guard is 0 everywhere except one attribute at the domain
+// maximum, so any query with fewer than m predicates returns a guard), and
+// s mutually non-dominating "payload" tuples living strictly inside the
+// domain supply the exponential query count. Used by tests (the guards'
+// properties are checkable) and by the worst-case ablation bench.
+
+#ifndef HDSKY_DATASET_WORST_CASE_H_
+#define HDSKY_DATASET_WORST_CASE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct WorstCaseOptions {
+  int num_attributes = 3;
+  /// Number of payload (skyline) tuples.
+  int64_t num_skyline = 8;
+  data::InterfaceType iface = data::InterfaceType::kSQ;
+  uint64_t seed = 11;
+};
+
+/// Builds the guard + anti-chain construction. The table's first m rows
+/// are the guards; the remaining rows are the intended skyline tuples
+/// (all of which, plus the guards, are on the true skyline).
+common::Result<data::Table> GenerateSqLowerBound(
+    const WorstCaseOptions& opts);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_WORST_CASE_H_

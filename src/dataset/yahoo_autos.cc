@@ -1,0 +1,74 @@
+#include "dataset/yahoo_autos.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace hdsky {
+namespace dataset {
+
+using common::Clamp;
+using common::Result;
+using common::Rng;
+using common::Status;
+using data::AttributeKind;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Schema;
+using data::Table;
+using data::Tuple;
+
+Result<Table> GenerateYahooAutos(const YahooAutosOptions& opts) {
+  if (opts.num_tuples < 0) {
+    return Status::InvalidArgument("num_tuples must be >= 0");
+  }
+  std::vector<AttributeSpec> attrs(4);
+  attrs[YahooAutosAttrs::kPrice] = {"Price", AttributeKind::kRanking,
+                                    InterfaceType::kRQ, 300, 299999};
+  attrs[YahooAutosAttrs::kMileage] = {"Mileage", AttributeKind::kRanking,
+                                      InterfaceType::kRQ, 0, 399999};
+  attrs[YahooAutosAttrs::kYear] = {"Year", AttributeKind::kRanking,
+                                   InterfaceType::kRQ, 0, 25};
+  attrs[YahooAutosAttrs::kMake] = {"Make", AttributeKind::kFiltering,
+                                   InterfaceType::kFilterEquality, 0, 29};
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  Table table(std::move(schema));
+  table.Reserve(opts.num_tuples);
+  Rng rng(opts.seed);
+
+  Tuple t(4);
+  for (int64_t row = 0; row < opts.num_tuples; ++row) {
+    // Age in years, 0..25; listings skew toward recent model years.
+    const int64_t age = Clamp(
+        static_cast<int64_t>(std::llround(rng.Exponential(1.0 / 6.0))), 0,
+        25);
+    // Mileage grows with age at ~12k/year with wide per-owner variance.
+    const int64_t mileage = Clamp(
+        static_cast<int64_t>(std::llround(
+            static_cast<double>(age) * 12000.0 *
+                std::exp(rng.Gaussian(0.0, 0.55)) +
+            rng.Exponential(1.0 / 3000.0))),
+        0, 399999);
+    // Price: a depreciating base by segment, discounted by age and miles.
+    const double msrp = std::exp(rng.Gaussian(std::log(32000.0), 0.12));
+    // Mileage hits resale hard (~-55% by 100k miles on top of age).
+    const double depreciation =
+        std::pow(0.88, static_cast<double>(age)) *
+        std::exp(-static_cast<double>(mileage) / 125000.0);
+    const int64_t price = Clamp(
+        static_cast<int64_t>(std::llround(
+            msrp * depreciation * std::exp(rng.Gaussian(0.0, 0.02)))),
+        300, 299999);
+
+    t[YahooAutosAttrs::kPrice] = price;
+    t[YahooAutosAttrs::kMileage] = mileage;
+    t[YahooAutosAttrs::kYear] = age;  // newer (smaller age) is better
+    t[YahooAutosAttrs::kMake] = rng.UniformInt(0, 29);
+    HDSKY_RETURN_IF_ERROR(table.Append(t));
+  }
+  return table;
+}
+
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,37 @@
+// Synthetic stand-in for the Yahoo! Autos used-car listings of Section
+// 8.3 (125,149 cars within 30 miles of NYC; ranking attributes Price,
+// Mileage, Year, all two-ended ranges; default ranking "price low to
+// high"). Depreciation ties the three attributes together: newer cars
+// carry lower mileage and higher prices, the anti-correlation that yields
+// the paper's ~1,600-tuple skyline.
+
+#ifndef HDSKY_DATASET_YAHOO_AUTOS_H_
+#define HDSKY_DATASET_YAHOO_AUTOS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace dataset {
+
+struct YahooAutosOptions {
+  int64_t num_tuples = 125149;
+  uint64_t seed = 30;
+};
+
+struct YahooAutosAttrs {
+  static constexpr int kPrice = 0;    // RQ, dollars, [300, 299999]
+  static constexpr int kMileage = 1;  // RQ, miles, [0, 399999]
+  static constexpr int kYear = 2;     // RQ, inverted age, [0, 25]
+  static constexpr int kMake = 3;     // filtering, 30 makes
+};
+
+common::Result<data::Table> GenerateYahooAutos(
+    const YahooAutosOptions& opts);
+
+}  // namespace dataset
+}  // namespace hdsky
+
+#endif  // HDSKY_DATASET_YAHOO_AUTOS_H_

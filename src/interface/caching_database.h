@@ -1,0 +1,66 @@
+// Client-side answer cache as a HiddenDatabase decorator.
+//
+// A real discovery client caches the web responses it has paid for:
+// re-issuing an identical query costs no API quota. CachingDatabase
+// wraps ANY backend (the simulator, a CallbackDatabase over a real HTTP
+// client, ...) and serves repeated queries from a local map keyed by the
+// query's predicate signature.
+//
+// Combined with the algorithms' determinism this yields RESUMABLE
+// discovery across rate-limit windows and even across processes: persist
+// the cache with Save, reload it with Load in the next session, re-run
+// the algorithm — the cached prefix replays for free and only new
+// queries reach the backend. examples/flight_search.cpp demonstrates the
+// daily-quota workflow.
+
+#ifndef HDSKY_INTERFACE_CACHING_DATABASE_H_
+#define HDSKY_INTERFACE_CACHING_DATABASE_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "interface/hidden_database.h"
+
+namespace hdsky {
+namespace interface {
+
+class CachingDatabase : public HiddenDatabase {
+ public:
+  /// Wraps `backend`, which must outlive this object.
+  explicit CachingDatabase(HiddenDatabase* backend) : backend_(backend) {}
+
+  common::Result<QueryResult> Execute(const Query& q) override;
+
+  const data::Schema& schema() const override {
+    return backend_->schema();
+  }
+  int k() const override { return backend_->k(); }
+  common::Status ValidateQuery(const Query& q) const override {
+    return backend_->ValidateQuery(q);
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t size() const { return static_cast<int64_t>(cache_.size()); }
+
+  /// Persists the cache as a versioned text format.
+  common::Status Save(std::ostream& out) const;
+  common::Status SaveToFile(const std::string& path) const;
+
+  /// Merges previously saved entries into the cache. Fails (and loads
+  /// nothing) on a malformed stream.
+  common::Status Load(std::istream& in);
+  common::Status LoadFromFile(const std::string& path);
+
+ private:
+  HiddenDatabase* backend_;
+  std::unordered_map<std::string, QueryResult> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_CACHING_DATABASE_H_

@@ -1,0 +1,114 @@
+#include "interface/kd_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hdsky {
+namespace interface {
+
+using data::TupleId;
+using data::Value;
+
+namespace {
+constexpr int64_t kLeafSize = 32;
+}  // namespace
+
+KdIndex::KdIndex(const data::Table* table,
+                 const std::vector<int64_t>& rank_of_row)
+    : table_(table) {
+  rows_.resize(static_cast<size_t>(table->num_rows()));
+  std::iota(rows_.begin(), rows_.end(), 0);
+  if (!rows_.empty()) {
+    nodes_.reserve(rows_.size() / (kLeafSize / 4) + 16);
+    Build(0, static_cast<int64_t>(rows_.size()), 0);
+  }
+  // Sort each leaf's rows by global rank so leaf hits stream best-first.
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf()) continue;
+    std::sort(rows_.begin() + node.row_begin, rows_.begin() + node.row_end,
+              [&](TupleId a, TupleId b) {
+                return rank_of_row[static_cast<size_t>(a)] <
+                       rank_of_row[static_cast<size_t>(b)];
+              });
+  }
+}
+
+int32_t KdIndex::Build(int64_t begin, int64_t end, int depth) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    nodes_[static_cast<size_t>(id)].row_begin = static_cast<int32_t>(begin);
+    nodes_[static_cast<size_t>(id)].row_end = static_cast<int32_t>(end);
+    return id;
+  }
+  const int num_attrs = table_->schema().num_attributes();
+  // Round-robin dimension, skipping dimensions where every value in the
+  // range ties (no split progress possible there).
+  int dim = depth % num_attrs;
+  Value pivot = 0;
+  bool found = false;
+  for (int tries = 0; tries < num_attrs; ++tries, dim = (dim + 1) % num_attrs) {
+    const int64_t mid = begin + (end - begin) / 2;
+    std::nth_element(rows_.begin() + begin, rows_.begin() + mid,
+                     rows_.begin() + end, [&](TupleId a, TupleId b) {
+                       return table_->value(a, dim) < table_->value(b, dim);
+                     });
+    pivot = table_->value(rows_[static_cast<size_t>(mid)], dim);
+    // Partition strictly-less to the left; if that side is empty the
+    // dimension cannot split this range.
+    const auto split_it = std::partition(
+        rows_.begin() + begin, rows_.begin() + end,
+        [&](TupleId r) { return table_->value(r, dim) < pivot; });
+    const int64_t split = split_it - rows_.begin();
+    if (split > begin && split < end) {
+      found = true;
+      const int32_t left = Build(begin, split, depth + 1);
+      const int32_t right = Build(split, end, depth + 1);
+      Node& node = nodes_[static_cast<size_t>(id)];
+      node.left = left;
+      node.right = right;
+      node.split_dim = dim;
+      node.split_value = pivot;
+      return id;
+    }
+  }
+  (void)found;
+  // Every attribute ties across the whole range: degenerate leaf.
+  nodes_[static_cast<size_t>(id)].row_begin = static_cast<int32_t>(begin);
+  nodes_[static_cast<size_t>(id)].row_end = static_cast<int32_t>(end);
+  return id;
+}
+
+bool KdIndex::RetrieveMatches(const Query& q, int64_t abort_above,
+                              std::vector<TupleId>* out) const {
+  if (nodes_.empty()) return true;
+  return Visit(0, q, abort_above, out);
+}
+
+bool KdIndex::Visit(int32_t node_id, const Query& q, int64_t abort_above,
+                    std::vector<TupleId>* out) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.is_leaf()) {
+    for (int32_t i = node.row_begin; i < node.row_end; ++i) {
+      const TupleId row = rows_[static_cast<size_t>(i)];
+      if (!q.MatchesRow(*table_, row)) continue;
+      out->push_back(row);
+      if (static_cast<int64_t>(out->size()) > abort_above) return false;
+    }
+    return true;
+  }
+  const Interval& iv = q.interval(node.split_dim);
+  // Left subtree holds values < split_value, right subtree >= split_value.
+  // NULL rows sit on the right (NULL sorts as +inf); a constrained
+  // interval never admits NULL, which the leaf recheck enforces.
+  if (iv.lower < node.split_value) {
+    if (!Visit(node.left, q, abort_above, out)) return false;
+  }
+  if (iv.upper >= node.split_value) {
+    if (!Visit(node.right, q, abort_above, out)) return false;
+  }
+  return true;
+}
+
+}  // namespace interface
+}  // namespace hdsky

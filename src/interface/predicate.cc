@@ -1,0 +1,29 @@
+#include "interface/predicate.h"
+
+#include <sstream>
+
+namespace hdsky {
+namespace interface {
+
+std::string Interval::ToString() const {
+  if (!constrained()) return "*";
+  if (is_point()) return "=" + std::to_string(lower);
+  std::ostringstream os;
+  os << "[";
+  if (has_lower()) {
+    os << lower;
+  } else {
+    os << "-inf";
+  }
+  os << ",";
+  if (has_upper()) {
+    os << upper;
+  } else {
+    os << "+inf";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace interface
+}  // namespace hdsky

@@ -1,0 +1,63 @@
+// Per-attribute conjunctive constraint: a closed interval in rank space.
+//
+// Every predicate form the paper's taxonomy allows (Ai < v, Ai <= v,
+// Ai = v, Ai > v, Ai >= v) is an interval with one or both ends set;
+// strict bounds are normalized to inclusive ones because rank codes are
+// integers (Section 2.2's footnote on the <-vs-<= reduction).
+
+#ifndef HDSKY_INTERFACE_PREDICATE_H_
+#define HDSKY_INTERFACE_PREDICATE_H_
+
+#include <limits>
+#include <string>
+
+#include "data/value.h"
+
+namespace hdsky {
+namespace interface {
+
+/// Closed interval [lower, upper] over one attribute. Default-constructed
+/// constraints are unconstrained.
+struct Interval {
+  static constexpr data::Value kMin =
+      std::numeric_limits<data::Value>::min();
+  // NOTE: data::kNullValue is INT64_MAX; the largest constrainable value is
+  // one below it, so an unconstrained upper bound still excludes nothing.
+  static constexpr data::Value kMax =
+      std::numeric_limits<data::Value>::max();
+
+  data::Value lower = kMin;
+  data::Value upper = kMax;
+
+  bool has_lower() const { return lower != kMin; }
+  bool has_upper() const { return upper != kMax; }
+  bool constrained() const { return has_lower() || has_upper(); }
+  bool is_point() const { return lower == upper; }
+  /// True when no value can satisfy the interval.
+  bool empty() const { return lower > upper; }
+
+  /// Intersects with [lo, hi]; conjunctive semantics.
+  void Intersect(data::Value lo, data::Value hi) {
+    if (lo > lower) lower = lo;
+    if (hi < upper) upper = hi;
+  }
+
+  /// True iff v satisfies the constraint. NULL matches only an
+  /// unconstrained interval: a real search form excludes listings whose
+  /// value is unknown once the user filters on that attribute.
+  bool Contains(data::Value v) const {
+    if (v == data::kNullValue) return !constrained();
+    return lower <= v && v <= upper;
+  }
+
+  bool operator==(const Interval& other) const {
+    return lower == other.lower && upper == other.upper;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_PREDICATE_H_

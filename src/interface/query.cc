@@ -1,0 +1,25 @@
+#include "interface/query.h"
+
+#include <sstream>
+
+namespace hdsky {
+namespace interface {
+
+std::string Query::ToString(const data::Schema& schema) const {
+  std::ostringstream os;
+  os << "SELECT * WHERE";
+  bool any = false;
+  for (size_t a = 0; a < intervals_.size(); ++a) {
+    const Interval& iv = intervals_[a];
+    if (!iv.constrained()) continue;
+    if (any) os << " AND";
+    any = true;
+    os << " " << schema.attribute(static_cast<int>(a)).name << " "
+       << iv.ToString();
+  }
+  if (!any) os << " *";
+  return os.str();
+}
+
+}  // namespace interface
+}  // namespace hdsky

@@ -1,0 +1,123 @@
+// Conjunctive search query against a hidden database.
+//
+// A Query is one Interval per attribute, built through the predicate forms
+// of Section 2.2. Interface legality (whether the constrained attribute
+// actually supports the predicate) is checked by TopKInterface, not here,
+// so algorithms can assemble queries freely and the interface remains the
+// single enforcement point.
+
+#ifndef HDSKY_INTERFACE_QUERY_H_
+#define HDSKY_INTERFACE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "interface/predicate.h"
+
+namespace hdsky {
+namespace interface {
+
+/// A conjunctive query: SELECT * FROM D WHERE /\ (Ai in [lo_i, hi_i]),
+/// answered through the top-k interface.
+class Query {
+ public:
+  Query() = default;
+  /// An unconstrained SELECT * over `num_attributes` attributes.
+  explicit Query(int num_attributes)
+      : intervals_(static_cast<size_t>(num_attributes)) {}
+
+  int num_attributes() const { return static_cast<int>(intervals_.size()); }
+
+  const Interval& interval(int attr) const {
+    return intervals_[static_cast<size_t>(attr)];
+  }
+
+  /// Ai < v (conjunctive with any existing constraint on Ai).
+  Query& AddLessThan(int attr, data::Value v) {
+    intervals_[static_cast<size_t>(attr)].Intersect(Interval::kMin, v - 1);
+    return *this;
+  }
+  /// Ai <= v.
+  Query& AddAtMost(int attr, data::Value v) {
+    intervals_[static_cast<size_t>(attr)].Intersect(Interval::kMin, v);
+    return *this;
+  }
+  /// Ai = v.
+  Query& AddEquals(int attr, data::Value v) {
+    intervals_[static_cast<size_t>(attr)].Intersect(v, v);
+    return *this;
+  }
+  /// Ai > v.
+  Query& AddGreaterThan(int attr, data::Value v) {
+    intervals_[static_cast<size_t>(attr)].Intersect(v + 1, Interval::kMax);
+    return *this;
+  }
+  /// Ai >= v.
+  Query& AddAtLeast(int attr, data::Value v) {
+    intervals_[static_cast<size_t>(attr)].Intersect(v, Interval::kMax);
+    return *this;
+  }
+
+  bool IsConstrained(int attr) const {
+    return intervals_[static_cast<size_t>(attr)].constrained();
+  }
+
+  /// True when some interval is inverted, i.e. nothing can match.
+  bool HasEmptyInterval() const {
+    for (const Interval& iv : intervals_) {
+      if (iv.empty()) return true;
+    }
+    return false;
+  }
+
+  /// True iff row `row` of `table` satisfies every predicate.
+  bool MatchesRow(const data::Table& table, data::TupleId row) const {
+    for (size_t a = 0; a < intervals_.size(); ++a) {
+      const Interval& iv = intervals_[a];
+      if (!iv.constrained()) continue;
+      if (!iv.Contains(table.value(row, static_cast<int>(a)))) return false;
+    }
+    return true;
+  }
+
+  /// True iff the materialized tuple satisfies every predicate.
+  bool MatchesTuple(const data::Tuple& t) const {
+    for (size_t a = 0; a < intervals_.size(); ++a) {
+      const Interval& iv = intervals_[a];
+      if (!iv.constrained()) continue;
+      if (!iv.Contains(t[a])) return false;
+    }
+    return true;
+  }
+
+  std::string ToString(const data::Schema& schema) const;
+
+  /// Compact byte string identifying the query region; equal signatures
+  /// iff equal predicate sets. Used for duplicate-node detection.
+  std::string Signature() const {
+    std::string s;
+    s.reserve(intervals_.size() * 2 * sizeof(data::Value));
+    for (const Interval& iv : intervals_) {
+      s.append(reinterpret_cast<const char*>(&iv.lower),
+               sizeof(iv.lower));
+      s.append(reinterpret_cast<const char*>(&iv.upper),
+               sizeof(iv.upper));
+    }
+    return s;
+  }
+
+  bool operator==(const Query& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_QUERY_H_

@@ -1,0 +1,254 @@
+#include "interface/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "skyline/compute.h"
+
+namespace hdsky {
+namespace interface {
+
+using common::Status;
+using data::Table;
+using data::TupleId;
+using data::Value;
+
+// --------------------------------------------------------------------
+// StaticOrderRanking
+
+Status StaticOrderRanking::Bind(const Table* table,
+                                std::vector<int> ranking_attrs) {
+  HDSKY_RETURN_IF_ERROR(
+      RankingPolicy::Bind(table, std::move(ranking_attrs)));
+  order_.resize(static_cast<size_t>(table->num_rows()));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](TupleId a, TupleId b) { return Less(a, b); });
+  rank_of_row_.resize(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    rank_of_row_[static_cast<size_t>(order_[i])] =
+        static_cast<int64_t>(i);
+  }
+  return Status::OK();
+}
+
+std::vector<TupleId> StaticOrderRanking::SelectTopK(
+    const std::vector<TupleId>& matches, int k) {
+  std::vector<TupleId> sorted = matches;
+  std::sort(sorted.begin(), sorted.end(), [this](TupleId a, TupleId b) {
+    return rank_of_row_[static_cast<size_t>(a)] <
+           rank_of_row_[static_cast<size_t>(b)];
+  });
+  if (static_cast<int>(sorted.size()) > k) {
+    sorted.resize(static_cast<size_t>(k));
+  }
+  return sorted;
+}
+
+// --------------------------------------------------------------------
+// LinearRanking
+
+Status LinearRanking::Bind(const Table* table,
+                           std::vector<int> ranking_attrs) {
+  if (weights_.empty()) {
+    weights_.assign(ranking_attrs.size(), 1.0);
+  }
+  if (weights_.size() != ranking_attrs.size()) {
+    return Status::InvalidArgument(
+        "LinearRanking weight count does not match ranking attributes");
+  }
+  for (double w : weights_) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument(
+          "LinearRanking weights must be positive for "
+          "domination-consistency");
+    }
+  }
+  return StaticOrderRanking::Bind(table, std::move(ranking_attrs));
+}
+
+double LinearRanking::Score(TupleId row) const {
+  double s = 0.0;
+  for (size_t i = 0; i < ranking_attrs_.size(); ++i) {
+    s += weights_[i] *
+         static_cast<double>(table_->value(row, ranking_attrs_[i]));
+  }
+  return s;
+}
+
+bool LinearRanking::Less(TupleId a, TupleId b) const {
+  const double sa = Score(a);
+  const double sb = Score(b);
+  if (sa != sb) return sa < sb;
+  // Tie-break lexicographically by value so that equal scores with a
+  // dominance relation (possible only through floating rounding) still
+  // order consistently, then by id for determinism.
+  for (int attr : ranking_attrs_) {
+    const Value va = table_->value(a, attr);
+    const Value vb = table_->value(b, attr);
+    if (va != vb) return va < vb;
+  }
+  return a < b;
+}
+
+// --------------------------------------------------------------------
+// LexicographicRanking
+
+Status LexicographicRanking::Bind(const Table* table,
+                                  std::vector<int> ranking_attrs) {
+  order_attrs_ = priority_;
+  for (int attr : ranking_attrs) {
+    if (std::find(order_attrs_.begin(), order_attrs_.end(), attr) ==
+        order_attrs_.end()) {
+      order_attrs_.push_back(attr);
+    }
+  }
+  for (int attr : priority_) {
+    if (std::find(ranking_attrs.begin(), ranking_attrs.end(), attr) ==
+        ranking_attrs.end()) {
+      return Status::InvalidArgument(
+          "LexicographicRanking priority attribute is not a ranking "
+          "attribute");
+    }
+  }
+  return StaticOrderRanking::Bind(table, std::move(ranking_attrs));
+}
+
+bool LexicographicRanking::Less(TupleId a, TupleId b) const {
+  for (int attr : order_attrs_) {
+    const Value va = table_->value(a, attr);
+    const Value vb = table_->value(b, attr);
+    if (va != vb) return va < vb;
+  }
+  return a < b;
+}
+
+// --------------------------------------------------------------------
+// LayeredRandomRanking
+
+Status LayeredRandomRanking::Bind(const Table* table,
+                                  std::vector<int> ranking_attrs) {
+  HDSKY_RETURN_IF_ERROR(
+      RankingPolicy::Bind(table, std::move(ranking_attrs)));
+  common::Rng rng(seed_);
+  priority_.resize(static_cast<size_t>(table->num_rows()));
+  for (auto& p : priority_) p = rng.Next();
+  return Status::OK();
+}
+
+std::vector<TupleId> LayeredRandomRanking::SelectTopK(
+    const std::vector<TupleId>& matches, int k) {
+  // Peel only as many dominance layers as needed to fill k slots.
+  std::vector<TupleId> result;
+  std::vector<TupleId> remaining = matches;
+  while (!remaining.empty() && static_cast<int>(result.size()) < k) {
+    std::vector<TupleId> layer =
+        skyline::SkylineSFS(*table_, remaining, ranking_attrs_);
+    std::sort(layer.begin(), layer.end(), [this](TupleId a, TupleId b) {
+      const uint64_t pa = priority_[static_cast<size_t>(a)];
+      const uint64_t pb = priority_[static_cast<size_t>(b)];
+      if (pa != pb) return pa > pb;  // higher priority first
+      return a < b;
+    });
+    std::vector<TupleId> next;
+    next.reserve(remaining.size() - layer.size());
+    std::vector<TupleId> layer_sorted = layer;
+    std::sort(layer_sorted.begin(), layer_sorted.end());
+    for (TupleId r : remaining) {
+      if (!std::binary_search(layer_sorted.begin(), layer_sorted.end(),
+                              r)) {
+        next.push_back(r);
+      }
+    }
+    for (TupleId t : layer) {
+      if (static_cast<int>(result.size()) >= k) break;
+      result.push_back(t);
+    }
+    remaining = std::move(next);
+  }
+  return result;
+}
+
+// --------------------------------------------------------------------
+// AdversarialRanking
+
+Status AdversarialRanking::Bind(const Table* table,
+                                std::vector<int> ranking_attrs) {
+  HDSKY_RETURN_IF_ERROR(
+      RankingPolicy::Bind(table, std::move(ranking_attrs)));
+  common::Rng rng(seed_);
+  priority_.resize(static_cast<size_t>(table->num_rows()));
+  for (auto& p : priority_) p = rng.Next();
+  times_returned_.clear();
+  return Status::OK();
+}
+
+std::vector<TupleId> AdversarialRanking::SelectTopK(
+    const std::vector<TupleId>& matches, int k) {
+  std::vector<TupleId> result;
+  std::vector<TupleId> remaining = matches;
+  while (!remaining.empty() && static_cast<int>(result.size()) < k) {
+    std::vector<TupleId> layer =
+        skyline::SkylineSFS(*table_, remaining, ranking_attrs_);
+    std::sort(layer.begin(), layer.end(), [this](TupleId a, TupleId b) {
+      // Most-returned first: maximizes repeat answers across the query
+      // tree, which is what drives the worst-case bound of Section 3.2.
+      const int64_t ca = times_returned_.count(a)
+                             ? times_returned_.at(a)
+                             : 0;
+      const int64_t cb = times_returned_.count(b)
+                             ? times_returned_.at(b)
+                             : 0;
+      if (ca != cb) return ca > cb;
+      const uint64_t pa = priority_[static_cast<size_t>(a)];
+      const uint64_t pb = priority_[static_cast<size_t>(b)];
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+    std::vector<TupleId> layer_sorted = layer;
+    std::sort(layer_sorted.begin(), layer_sorted.end());
+    std::vector<TupleId> next;
+    next.reserve(remaining.size() - layer.size());
+    for (TupleId r : remaining) {
+      if (!std::binary_search(layer_sorted.begin(), layer_sorted.end(),
+                              r)) {
+        next.push_back(r);
+      }
+    }
+    for (TupleId t : layer) {
+      if (static_cast<int>(result.size()) >= k) break;
+      result.push_back(t);
+    }
+    remaining = std::move(next);
+  }
+  for (TupleId t : result) ++times_returned_[t];
+  return result;
+}
+
+// --------------------------------------------------------------------
+// Factories
+
+std::shared_ptr<RankingPolicy> MakeSumRanking() {
+  return std::make_shared<LinearRanking>();
+}
+
+std::shared_ptr<RankingPolicy> MakeLinearRanking(std::vector<double> w) {
+  return std::make_shared<LinearRanking>(std::move(w));
+}
+
+std::shared_ptr<RankingPolicy> MakeLexicographicRanking(
+    std::vector<int> priority) {
+  return std::make_shared<LexicographicRanking>(std::move(priority));
+}
+
+std::shared_ptr<RankingPolicy> MakeLayeredRandomRanking(uint64_t seed) {
+  return std::make_shared<LayeredRandomRanking>(seed);
+}
+
+std::shared_ptr<RankingPolicy> MakeAdversarialRanking(uint64_t seed) {
+  return std::make_shared<AdversarialRanking>(seed);
+}
+
+}  // namespace interface
+}  // namespace hdsky

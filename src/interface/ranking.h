@@ -1,0 +1,193 @@
+// Proprietary ranking functions of the hidden database.
+//
+// The paper requires only domination-consistency (Section 2.1): if tuple t
+// dominates t' and both match query q, t must be ranked above t'. This
+// module ships four families:
+//
+//  * LinearRanking / SumRanking  — a monotone weighted score, the family
+//    the paper uses to build its offline DOT interface ("SUM of attributes
+//    for which smaller values are preferred ...").
+//  * LexicographicRanking        — a priority order such as Blue Nile's /
+//    Yahoo Autos' default "price low to high".
+//  * LayeredRandomRanking        — for each query, the top-1 is uniform
+//    over the matching skyline tuples: exactly the average-case model the
+//    analysis of Section 3.2 assumes.
+//  * AdversarialRanking          — a stateful heuristic that prefers
+//    re-returning already-returned tuples, approximating the ill-behaved
+//    ranking of the worst-case analysis.
+//
+// Policies with a query-independent total order (linear, lexicographic)
+// expose it via static_order(), letting the interface answer queries with
+// a single early-exit scan in rank order.
+
+#ifndef HDSKY_INTERFACE_RANKING_H_
+#define HDSKY_INTERFACE_RANKING_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace interface {
+
+/// Abstract ranking function. Implementations must be domination-
+/// consistent; tests/interface_test.cc property-checks every shipped
+/// policy.
+class RankingPolicy {
+ public:
+  virtual ~RankingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Binds the policy to the table it ranks. Called once by
+  /// TopKInterface before any selection; may precompute state.
+  virtual common::Status Bind(const data::Table* table,
+                              std::vector<int> ranking_attrs) {
+    table_ = table;
+    ranking_attrs_ = std::move(ranking_attrs);
+    return common::Status::OK();
+  }
+
+  /// Selects up to k ids from `matches` (the full match set of a query),
+  /// best first. May mutate internal state (AdversarialRanking does).
+  virtual std::vector<data::TupleId> SelectTopK(
+      const std::vector<data::TupleId>& matches, int k) = 0;
+
+  /// Query-independent total order (best first) if the policy has one;
+  /// nullptr for dynamic policies. Enables the interface's fast path.
+  virtual const std::vector<data::TupleId>* static_order() const {
+    return nullptr;
+  }
+
+ protected:
+  const data::Table* table_ = nullptr;
+  std::vector<int> ranking_attrs_;
+};
+
+/// Base for policies defined by a fixed total order over rows.
+class StaticOrderRanking : public RankingPolicy {
+ public:
+  common::Status Bind(const data::Table* table,
+                      std::vector<int> ranking_attrs) override;
+
+  std::vector<data::TupleId> SelectTopK(
+      const std::vector<data::TupleId>& matches, int k) override;
+
+  const std::vector<data::TupleId>* static_order() const override {
+    return &order_;
+  }
+
+ protected:
+  /// Strict weak order, best first. Must rank t above u whenever t
+  /// dominates u.
+  virtual bool Less(data::TupleId a, data::TupleId b) const = 0;
+
+ private:
+  std::vector<data::TupleId> order_;   // row ids, best first
+  std::vector<int64_t> rank_of_row_;   // inverse permutation
+};
+
+/// score(t) = sum_i weight_i * t[Ai] over ranking attributes; all weights
+/// must be positive (that is what makes it domination-consistent).
+class LinearRanking : public StaticOrderRanking {
+ public:
+  /// Equal weights: the paper's SUM interface.
+  LinearRanking() = default;
+  /// Per-ranking-attribute weights, aligned with the bound
+  /// ranking_attrs order.
+  explicit LinearRanking(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  std::string name() const override { return "linear"; }
+  common::Status Bind(const data::Table* table,
+                      std::vector<int> ranking_attrs) override;
+
+  double Score(data::TupleId row) const;
+
+ protected:
+  bool Less(data::TupleId a, data::TupleId b) const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Ranks by the given attribute priority list (e.g. {price} = "price low
+/// to high"); remaining ranking attributes break ties in schema order so
+/// the order stays domination-consistent.
+class LexicographicRanking : public StaticOrderRanking {
+ public:
+  /// `priority` holds schema attribute indices, highest priority first.
+  explicit LexicographicRanking(std::vector<int> priority)
+      : priority_(std::move(priority)) {}
+
+  std::string name() const override { return "lexicographic"; }
+  common::Status Bind(const data::Table* table,
+                      std::vector<int> ranking_attrs) override;
+
+ protected:
+  bool Less(data::TupleId a, data::TupleId b) const override;
+
+ private:
+  std::vector<int> priority_;  // user-given priorities
+  std::vector<int> order_attrs_;  // priorities + remaining ranking attrs
+};
+
+/// For every query, orders the matching tuples by dominance layer and,
+/// within a layer, by a fixed per-tuple random priority. The top-1 is
+/// therefore uniform over the matching skyline — the Section 3.2
+/// average-case model — while the full order remains domination-
+/// consistent. Deterministic given the seed.
+class LayeredRandomRanking : public RankingPolicy {
+ public:
+  explicit LayeredRandomRanking(uint64_t seed) : seed_(seed) {}
+
+  std::string name() const override { return "layered-random"; }
+  common::Status Bind(const data::Table* table,
+                      std::vector<int> ranking_attrs) override;
+
+  std::vector<data::TupleId> SelectTopK(
+      const std::vector<data::TupleId>& matches, int k) override;
+
+ private:
+  uint64_t seed_;
+  std::vector<uint64_t> priority_;  // one per row
+};
+
+/// Stateful heuristic for worst-case-style behaviour: among the matching
+/// skyline, prefers the tuple it has returned most often before (then a
+/// fixed random priority), maximizing revisits in SQ-DB-SKY's tree.
+/// Still domination-consistent per query.
+class AdversarialRanking : public RankingPolicy {
+ public:
+  explicit AdversarialRanking(uint64_t seed) : seed_(seed) {}
+
+  std::string name() const override { return "adversarial"; }
+  common::Status Bind(const data::Table* table,
+                      std::vector<int> ranking_attrs) override;
+
+  std::vector<data::TupleId> SelectTopK(
+      const std::vector<data::TupleId>& matches, int k) override;
+
+ private:
+  uint64_t seed_;
+  std::vector<uint64_t> priority_;
+  std::unordered_map<data::TupleId, int64_t> times_returned_;
+};
+
+/// Convenience factories.
+std::shared_ptr<RankingPolicy> MakeSumRanking();
+std::shared_ptr<RankingPolicy> MakeLinearRanking(std::vector<double> w);
+std::shared_ptr<RankingPolicy> MakeLexicographicRanking(
+    std::vector<int> priority);
+std::shared_ptr<RankingPolicy> MakeLayeredRandomRanking(uint64_t seed);
+std::shared_ptr<RankingPolicy> MakeAdversarialRanking(uint64_t seed);
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_RANKING_H_

@@ -1,0 +1,190 @@
+#include "interface/top_k_interface.h"
+
+#include <algorithm>
+
+namespace hdsky {
+namespace interface {
+
+using common::Result;
+using common::Status;
+using data::AttributeSpec;
+using data::InterfaceType;
+using data::Table;
+using data::TupleId;
+
+Result<std::unique_ptr<TopKInterface>> TopKInterface::Create(
+    const Table* table, std::shared_ptr<RankingPolicy> ranking,
+    TopKOptions options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  if (ranking == nullptr) {
+    return Status::InvalidArgument("ranking policy must not be null");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.query_budget < 0) {
+    return Status::InvalidArgument("query budget must be >= 0");
+  }
+  HDSKY_RETURN_IF_ERROR(
+      ranking->Bind(table, table->schema().ranking_attributes()));
+  auto iface = std::unique_ptr<TopKInterface>(
+      new TopKInterface(table, std::move(ranking), options));
+  const std::vector<data::TupleId>* order =
+      iface->ranking_->static_order();
+  if (order != nullptr) {
+    iface->rank_of_row_.resize(order->size());
+    for (size_t i = 0; i < order->size(); ++i) {
+      iface->rank_of_row_[static_cast<size_t>((*order)[i])] =
+          static_cast<int64_t>(i);
+    }
+    // The index pays off only when selective queries would otherwise
+    // full-scan a large table.
+    constexpr int64_t kIndexThreshold = 4096;
+    if (table->num_rows() >= kIndexThreshold) {
+      iface->index_ =
+          std::make_unique<KdIndex>(table, iface->rank_of_row_);
+    }
+  }
+  return iface;
+}
+
+Status ValidateAgainstSchema(const data::Schema& schema, const Query& q) {
+  if (q.num_attributes() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "query arity does not match the interface schema");
+  }
+  for (int a = 0; a < q.num_attributes(); ++a) {
+    const Interval& iv = q.interval(a);
+    if (!iv.constrained()) continue;
+    const AttributeSpec& spec = schema.attribute(a);
+    switch (spec.iface) {
+      case InterfaceType::kRQ:
+        break;  // both ends supported
+      case InterfaceType::kSQ:
+        // Only "better than v" (an upper bound, since smaller is better)
+        // or equality.
+        if (iv.has_lower() && !iv.is_point()) {
+          return Status::Unsupported(
+              "attribute " + spec.name +
+              " supports single-ended ranges only (no lower bound)");
+        }
+        break;
+      case InterfaceType::kPQ:
+      case InterfaceType::kFilterEquality:
+        if (!iv.is_point()) {
+          return Status::Unsupported("attribute " + spec.name +
+                                     " supports point predicates only");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TopKInterface::ValidateQuery(const Query& q) const {
+  return ValidateAgainstSchema(table_->schema(), q);
+}
+
+bool TopKInterface::OutsideDomain(const Query& q) const {
+  const data::Schema& schema = table_->schema();
+  for (int a = 0; a < q.num_attributes(); ++a) {
+    const Interval& iv = q.interval(a);
+    if (!iv.constrained()) continue;
+    const AttributeSpec& spec = schema.attribute(a);
+    if (iv.upper < spec.domain_min || iv.lower > spec.domain_max) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t TopKInterface::RemainingBudget() const {
+  if (options_.query_budget == 0) return -1;
+  return options_.query_budget - budget_used_;
+}
+
+void TopKInterface::SetBudget(int64_t budget) {
+  options_.query_budget = budget;
+  budget_used_ = 0;
+}
+
+Result<QueryResult> TopKInterface::Execute(const Query& q) {
+  const Status legal = ValidateQuery(q);
+  if (!legal.ok()) {
+    ++stats_.rejected_queries;
+    return legal;
+  }
+  if (options_.query_budget > 0 &&
+      budget_used_ >= options_.query_budget) {
+    return Status::ResourceExhausted("query budget exhausted");
+  }
+  ++budget_used_;
+  ++stats_.queries_issued;
+
+  QueryResult result;
+  const int k = options_.k;
+  if (q.HasEmptyInterval() || OutsideDomain(q)) {
+    ++stats_.empty_queries;
+    return result;
+  }
+
+  const std::vector<TupleId>* order = ranking_->static_order();
+  bool answered = false;
+  if (order != nullptr && index_ != nullptr) {
+    // Selective-query path: enumerate matches through the k-d index; if
+    // the match set stays small, rank-sort it locally. Otherwise fall
+    // through to the rank-order scan, which is fast for broad queries.
+    const int64_t threshold =
+        std::max<int64_t>(2 * static_cast<int64_t>(k) + 2, 256);
+    std::vector<TupleId> matches;
+    if (index_->RetrieveMatches(q, threshold, &matches)) {
+      std::sort(matches.begin(), matches.end(),
+                [this](TupleId a, TupleId b) {
+                  return rank_of_row_[static_cast<size_t>(a)] <
+                         rank_of_row_[static_cast<size_t>(b)];
+                });
+      result.overflow = static_cast<int>(matches.size()) > k;
+      if (static_cast<int>(matches.size()) > k) {
+        matches.resize(static_cast<size_t>(k));
+      }
+      result.ids = std::move(matches);
+      answered = true;
+    }
+  }
+  if (!answered && order != nullptr) {
+    // Scan in global rank order, stop at the (k+1)-th match — the extra
+    // match only feeds the overflow flag.
+    for (TupleId row : *order) {
+      if (!q.MatchesRow(*table_, row)) continue;
+      if (result.size() == k) {
+        result.overflow = true;
+        break;
+      }
+      result.ids.push_back(row);
+    }
+    answered = true;
+  }
+  if (!answered) {
+    std::vector<TupleId> matches;
+    const int64_t n = table_->num_rows();
+    for (TupleId row = 0; row < n; ++row) {
+      if (q.MatchesRow(*table_, row)) matches.push_back(row);
+    }
+    result.overflow = static_cast<int>(matches.size()) > k;
+    result.ids = ranking_->SelectTopK(matches, k);
+  }
+
+  result.tuples.reserve(result.ids.size());
+  for (TupleId id : result.ids) {
+    result.tuples.push_back(table_->GetTuple(id));
+  }
+  stats_.tuples_returned += result.size();
+  if (result.overflow) ++stats_.overflowed_queries;
+  if (result.empty()) ++stats_.empty_queries;
+  return result;
+}
+
+}  // namespace interface
+}  // namespace hdsky

@@ -1,0 +1,108 @@
+// The hidden database's web search interface (Section 2.1).
+//
+// TopKInterface is the ONLY channel between discovery algorithms and the
+// data. It
+//  * validates each query against the per-attribute predicate capability
+//    (SQ / RQ / PQ / filter equality) and rejects unsupported predicates,
+//  * evaluates the conjunctive match set,
+//  * applies the proprietary (domination-consistent) ranking function and
+//    returns at most k tuples,
+//  * counts every accepted query — the paper's sole efficiency measure —
+//    and can enforce a per-client query budget like the rate limits real
+//    sites impose (e.g. Google QPX's 50 free queries/day).
+//
+// What an algorithm may legitimately know: the schema (attribute names,
+// interface types, domains), k, and query answers. The ranking function
+// and n stay hidden.
+
+#ifndef HDSKY_INTERFACE_TOP_K_INTERFACE_H_
+#define HDSKY_INTERFACE_TOP_K_INTERFACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "interface/hidden_database.h"
+#include "interface/kd_index.h"
+#include "interface/query.h"
+#include "interface/ranking.h"
+
+namespace hdsky {
+namespace interface {
+
+/// Counters over the life of an interface (or since ResetStats).
+struct AccessStats {
+  int64_t queries_issued = 0;
+  int64_t tuples_returned = 0;
+  /// Queries whose match set exceeded k.
+  int64_t overflowed_queries = 0;
+  /// Queries with an empty answer.
+  int64_t empty_queries = 0;
+  /// Queries rejected for unsupported predicates (not counted as issued).
+  int64_t rejected_queries = 0;
+};
+
+struct TopKOptions {
+  /// Maximum tuples per answer.
+  int k = 1;
+  /// Total queries allowed; 0 = unlimited. When exhausted, Execute
+  /// returns ResourceExhausted — discovery algorithms turn that into an
+  /// anytime partial result (Section 7.1).
+  int64_t query_budget = 0;
+};
+
+/// The simulated hidden web database: table + ranking policy + top-k
+/// constraint. One concrete HiddenDatabase; real deployments adapt their
+/// HTTP client through CallbackDatabase instead.
+class TopKInterface : public HiddenDatabase {
+ public:
+  /// Binds `ranking` to the table. The table must outlive the interface.
+  static common::Result<std::unique_ptr<TopKInterface>> Create(
+      const data::Table* table, std::shared_ptr<RankingPolicy> ranking,
+      TopKOptions options);
+
+  /// Executes a conjunctive query. Fails with Unsupported if a predicate
+  /// exceeds the attribute's interface capability, ResourceExhausted when
+  /// the query budget is spent.
+  common::Result<QueryResult> Execute(const Query& q) override;
+
+  /// Checks interface legality without issuing (free of charge; mirrors a
+  /// user inspecting the search form).
+  common::Status ValidateQuery(const Query& q) const override;
+
+  const data::Schema& schema() const override { return table_->schema(); }
+  int k() const override { return options_.k; }
+
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AccessStats(); }
+
+  /// Remaining query budget; -1 when unlimited.
+  int64_t RemainingBudget() const;
+  /// Replaces the budget counting from now (0 = unlimited).
+  void SetBudget(int64_t budget);
+
+ private:
+  TopKInterface(const data::Table* table,
+                std::shared_ptr<RankingPolicy> ranking, TopKOptions options)
+      : table_(table), ranking_(std::move(ranking)), options_(options) {}
+
+  /// True when some constrained interval lies wholly outside its
+  /// attribute's domain — the answer is empty without evaluation.
+  bool OutsideDomain(const Query& q) const;
+
+  const data::Table* table_;
+  std::shared_ptr<RankingPolicy> ranking_;
+  TopKOptions options_;
+  AccessStats stats_;
+  int64_t budget_used_ = 0;
+  /// Fast path for static-order rankings on large tables: inverse rank
+  /// permutation and a k-d index for selective queries.
+  std::vector<int64_t> rank_of_row_;
+  std::unique_ptr<KdIndex> index_;
+};
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_TOP_K_INTERFACE_H_

@@ -1,0 +1,95 @@
+#include "skyline/band_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hdsky {
+namespace skyline {
+
+using common::Result;
+using common::Status;
+using data::Tuple;
+using data::TupleId;
+
+Result<BandIndex> BandIndex::Create(std::vector<TupleId> ids,
+                                    std::vector<Tuple> tuples,
+                                    std::vector<int> ranking_attrs,
+                                    int band) {
+  if (ids.size() != tuples.size()) {
+    return Status::InvalidArgument("ids and tuples must align");
+  }
+  if (band < 1) {
+    return Status::InvalidArgument("band must be >= 1");
+  }
+  if (ranking_attrs.empty()) {
+    return Status::InvalidArgument("need at least one ranking attribute");
+  }
+  for (const Tuple& t : tuples) {
+    for (int attr : ranking_attrs) {
+      if (attr < 0 || static_cast<size_t>(attr) >= t.size()) {
+        return Status::InvalidArgument(
+            "ranking attribute index out of tuple range");
+      }
+    }
+  }
+  return BandIndex(std::move(ids), std::move(tuples),
+                   std::move(ranking_attrs), band);
+}
+
+Result<std::vector<std::pair<TupleId, Tuple>>> BandIndex::TopK(
+    const ScoreFn& score, int k) const {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (k > band_) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) + " exceeds the band depth K = " +
+        std::to_string(band_) +
+        "; the top-k guarantee only holds for k <= K");
+  }
+  std::vector<size_t> order(ids_.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t take = std::min<size_t>(static_cast<size_t>(k),
+                                       order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(take),
+                    order.end(), [&](size_t a, size_t b) {
+                      const double sa = score(tuples_[a]);
+                      const double sb = score(tuples_[b]);
+                      if (sa != sb) return sa < sb;
+                      return ids_[a] < ids_[b];
+                    });
+  std::vector<std::pair<TupleId, Tuple>> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back({ids_[order[i]], tuples_[order[i]]});
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<TupleId, Tuple>>> BandIndex::TopKLinear(
+    const std::vector<double>& weights, int k) const {
+  if (weights.size() != ranking_attrs_.size()) {
+    return Status::InvalidArgument(
+        "need one weight per ranking attribute");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument(
+          "weights must be positive for monotonicity");
+    }
+  }
+  return TopK(
+      [this, &weights](const Tuple& t) {
+        double s = 0.0;
+        for (size_t i = 0; i < ranking_attrs_.size(); ++i) {
+          s += weights[i] *
+               static_cast<double>(
+                   t[static_cast<size_t>(ranking_attrs_[i])]);
+        }
+        return s;
+      },
+      k);
+}
+
+}  // namespace skyline
+}  // namespace hdsky

@@ -1,0 +1,68 @@
+// The paper's headline application (Sections 1 and 9): a discovered
+// K-sky band is a universal top-k index. For ANY monotone scoring
+// function over the ranking attributes (smaller score better under our
+// normalization), the top-k answer of the WHOLE database is contained in
+// the K-band whenever k <= K [11] — so a third party that discovered the
+// band once can serve arbitrary user-defined rankings locally, with zero
+// further web queries.
+
+#ifndef HDSKY_SKYLINE_BAND_INDEX_H_
+#define HDSKY_SKYLINE_BAND_INDEX_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// A scoring function over full tuples; must be monotone non-decreasing
+/// in every ranking attribute's (smaller-is-better) value for the top-k
+/// guarantee to hold.
+using ScoreFn = std::function<double(const data::Tuple&)>;
+
+class BandIndex {
+ public:
+  /// Builds the index over the tuples of a discovered K-band (e.g. from
+  /// core::RqDbSkyband). `band` is the K the band was discovered with;
+  /// TopK answers are guaranteed exact only for k <= band.
+  static common::Result<BandIndex> Create(
+      std::vector<data::TupleId> ids, std::vector<data::Tuple> tuples,
+      std::vector<int> ranking_attrs, int band);
+
+  /// The top-k tuples under `score`, best (lowest) first. Fails with
+  /// InvalidArgument when k exceeds the band depth (the guarantee would
+  /// be silently void).
+  common::Result<std::vector<std::pair<data::TupleId, data::Tuple>>> TopK(
+      const ScoreFn& score, int k) const;
+
+  /// Convenience: linear scoring with positive per-ranking-attribute
+  /// weights (a monotone function by construction).
+  common::Result<std::vector<std::pair<data::TupleId, data::Tuple>>>
+  TopKLinear(const std::vector<double>& weights, int k) const;
+
+  int band() const { return band_; }
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+
+ private:
+  BandIndex(std::vector<data::TupleId> ids,
+            std::vector<data::Tuple> tuples,
+            std::vector<int> ranking_attrs, int band)
+      : ids_(std::move(ids)),
+        tuples_(std::move(tuples)),
+        ranking_attrs_(std::move(ranking_attrs)),
+        band_(band) {}
+
+  std::vector<data::TupleId> ids_;
+  std::vector<data::Tuple> tuples_;
+  std::vector<int> ranking_attrs_;
+  int band_;
+};
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_BAND_INDEX_H_

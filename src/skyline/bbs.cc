@@ -1,0 +1,139 @@
+#include "skyline/bbs.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace skyline {
+
+using common::Result;
+using common::Status;
+using data::Table;
+using data::TupleId;
+using data::Value;
+
+namespace {
+
+// Heap entry: an R-tree node or a concrete row, keyed by mindist (the
+// sum of the minimum corner; 128-bit because NULL's sentinel is large).
+struct Entry {
+  __int128 mindist;
+  int32_t node = -1;     // >= 0: an R-tree node
+  TupleId row = data::kInvalidTupleId;  // >= 0: a point entry
+
+  bool operator>(const Entry& other) const {
+    return mindist > other.mindist;
+  }
+};
+
+__int128 RowDist(const Table& table, TupleId row,
+                 const std::vector<int>& attrs) {
+  __int128 d = 0;
+  for (int a : attrs) d += table.value(row, a);
+  return d;
+}
+
+__int128 MbrDist(const Mbr& mbr) {
+  __int128 d = 0;
+  for (Value v : mbr.min) d += v;
+  return d;
+}
+
+// True iff the point `corner` (the entry's best case) is dominated by
+// fewer than `cap` of the rows in `band`; returns the capped count.
+int CountDominators(const Table& table, const std::vector<int>& attrs,
+                    const std::vector<TupleId>& band,
+                    const std::function<Value(int dim)>& corner, int cap) {
+  int count = 0;
+  for (TupleId s : band) {
+    bool s_not_worse = true;
+    bool s_strictly_better = false;
+    for (size_t d = 0; d < attrs.size(); ++d) {
+      const Value sv = table.value(s, attrs[d]);
+      const Value cv = corner(static_cast<int>(d));
+      if (sv > cv) {
+        s_not_worse = false;
+        break;
+      }
+      if (sv < cv) s_strictly_better = true;
+    }
+    if (s_not_worse && s_strictly_better) {
+      if (++count >= cap) return count;
+    }
+  }
+  return count;
+}
+
+Result<std::vector<TupleId>> Run(
+    const RTree& tree, int band,
+    const std::function<void(TupleId)>& on_emit) {
+  if (band < 1) return Status::InvalidArgument("band must be >= 1");
+  std::vector<TupleId> result;
+  if (tree.empty()) return result;
+  const Table& table = tree.table();
+  const std::vector<int>& attrs = tree.ranking_attrs();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({MbrDist(tree.node(tree.root()).mbr), tree.root(),
+             data::kInvalidTupleId});
+  while (!heap.empty()) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (e.row >= 0) {
+      // A concrete point surfaced: every possible dominator has a
+      // smaller mindist and was already resolved into `result` (or was
+      // itself dominated by `band` result members that transitively
+      // dominate this point).
+      const int dominators = CountDominators(
+          table, attrs, result,
+          [&](int d) { return table.value(e.row, attrs[static_cast<size_t>(d)]); },
+          band);
+      if (dominators < band) {
+        result.push_back(e.row);
+        if (on_emit) on_emit(e.row);
+      }
+      continue;
+    }
+    const RTree::Node& node = tree.node(e.node);
+    // Prune the whole subtree if its best corner is already dominated
+    // band-many times.
+    const int dominators = CountDominators(
+        table, attrs, result,
+        [&](int d) { return node.mbr.min[static_cast<size_t>(d)]; },
+        band);
+    if (dominators >= band) continue;
+    if (node.is_leaf()) {
+      for (TupleId row : node.rows) {
+        heap.push({RowDist(table, row, attrs), -1, row});
+      }
+    } else {
+      for (int32_t child : node.children) {
+        heap.push({MbrDist(tree.node(child).mbr), child,
+                   data::kInvalidTupleId});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<TupleId>> SkylineBBS(
+    const RTree& tree, const std::function<void(TupleId)>& on_emit) {
+  return Run(tree, 1, on_emit);
+}
+
+Result<std::vector<TupleId>> SkylineBBS(const Table& table) {
+  HDSKY_ASSIGN_OR_RETURN(const RTree tree, RTree::Build(&table));
+  return Run(tree, 1, nullptr);
+}
+
+Result<std::vector<TupleId>> SkybandBBS(const RTree& tree, int band) {
+  return Run(tree, band, nullptr);
+}
+
+}  // namespace skyline
+}  // namespace hdsky

@@ -1,0 +1,45 @@
+// BBS — branch-and-bound skyline over an R-tree (Papadias et al. [19],
+// cited by the paper as the optimal progressive local algorithm).
+//
+// Entries (nodes and points) are processed in ascending "mindist" (the
+// sum of the MBR's minimum corner): when a point surfaces it is
+// guaranteed undominated by anything unseen, so skyline tuples are
+// emitted PROGRESSIVELY in monotone score order, and whole subtrees whose
+// minimum corner is dominated are pruned without expansion. Accesses an
+// optimal number of R-tree nodes among all correct algorithms.
+//
+// The K-skyband generalization keeps an entry alive until K tuples of
+// the current band dominate its minimum corner.
+
+#ifndef HDSKY_SKYLINE_BBS_H_
+#define HDSKY_SKYLINE_BBS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "skyline/rtree.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// Computes the skyline via BBS; returns sorted row ids (the same result
+/// as SkylineBNL/SFS/DnC). `on_emit`, when given, observes each skyline
+/// tuple as it is confirmed — in ascending sum-of-values order, the
+/// progressive property.
+common::Result<std::vector<data::TupleId>> SkylineBBS(
+    const RTree& tree,
+    const std::function<void(data::TupleId)>& on_emit = nullptr);
+
+/// Convenience: builds a temporary R-tree over the whole table.
+common::Result<std::vector<data::TupleId>> SkylineBBS(
+    const data::Table& table);
+
+/// The K-skyband via branch-and-bound; equals skyline::KSkyband.
+common::Result<std::vector<data::TupleId>> SkybandBBS(const RTree& tree,
+                                                      int band);
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_BBS_H_

@@ -1,0 +1,205 @@
+#include "skyline/compute.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace skyline {
+
+using data::Table;
+using data::TupleId;
+using data::Value;
+
+namespace {
+
+std::vector<TupleId> AllRows(const Table& table) {
+  std::vector<TupleId> rows(static_cast<size_t>(table.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+// Monotone score: if a dominates b then Entropy(a) < Entropy(b). 128-bit
+// because NULL's sentinel is INT64_MAX.
+__int128 Entropy(const Table& table, TupleId row,
+                 const std::vector<int>& ranking_attrs) {
+  __int128 sum = 0;
+  for (int attr : ranking_attrs) sum += table.value(row, attr);
+  return sum;
+}
+
+}  // namespace
+
+std::vector<TupleId> SkylineBNL(const Table& table) {
+  return SkylineBNL(table, AllRows(table),
+                    table.schema().ranking_attributes());
+}
+
+std::vector<TupleId> SkylineBNL(const Table& table,
+                                const std::vector<TupleId>& rows,
+                                const std::vector<int>& ranking_attrs) {
+  // Window entries are mutually non-dominating, so a candidate dominated
+  // by one entry can never itself dominate another; the two passes below
+  // are disjoint cases.
+  std::vector<TupleId> window;
+  for (TupleId candidate : rows) {
+    bool dominated = false;
+    for (TupleId s : window) {
+      if (CompareRows(table, s, candidate, ranking_attrs) ==
+          DomRelation::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::erase_if(window, [&](TupleId s) {
+      return CompareRows(table, candidate, s, ranking_attrs) ==
+             DomRelation::kDominates;
+    });
+    window.push_back(candidate);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+std::vector<TupleId> SkylineSFS(const Table& table) {
+  return SkylineSFS(table, AllRows(table),
+                    table.schema().ranking_attributes());
+}
+
+std::vector<TupleId> SkylineSFS(const Table& table,
+                                const std::vector<TupleId>& rows,
+                                const std::vector<int>& ranking_attrs) {
+  std::vector<TupleId> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [&](TupleId a, TupleId b) {
+    const __int128 ea = Entropy(table, a, ranking_attrs);
+    const __int128 eb = Entropy(table, b, ranking_attrs);
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+  // A tuple can only be dominated by one with a strictly smaller entropy,
+  // so every window entry is final skyline.
+  std::vector<TupleId> window;
+  for (TupleId candidate : sorted) {
+    bool dominated = false;
+    for (TupleId s : window) {
+      if (CompareRows(table, s, candidate, ranking_attrs) ==
+          DomRelation::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) window.push_back(candidate);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+namespace {
+
+// Recursive helper for SkylineDnC. `rows` is mutated freely.
+std::vector<TupleId> DnCRec(const Table& table, std::vector<TupleId> rows,
+                            const std::vector<int>& ranking_attrs) {
+  constexpr size_t kBnlCutoff = 64;
+  if (rows.size() <= kBnlCutoff) {
+    return SkylineBNL(table, rows, ranking_attrs);
+  }
+  const int split_attr = ranking_attrs[0];
+  // Median split on split_attr's value.
+  std::vector<TupleId> sorted = rows;
+  std::nth_element(
+      sorted.begin(), sorted.begin() + static_cast<int64_t>(sorted.size()) / 2,
+      sorted.end(), [&](TupleId a, TupleId b) {
+        return table.value(a, split_attr) < table.value(b, split_attr);
+      });
+  const Value pivot =
+      table.value(sorted[sorted.size() / 2], split_attr);
+  std::vector<TupleId> better, worse;
+  for (TupleId r : rows) {
+    (table.value(r, split_attr) < pivot ? better : worse).push_back(r);
+  }
+  if (better.empty() || worse.empty()) {
+    // All values tie on the split attribute; no progress possible here.
+    return SkylineBNL(table, rows, ranking_attrs);
+  }
+  std::vector<TupleId> s_better =
+      DnCRec(table, std::move(better), ranking_attrs);
+  std::vector<TupleId> s_worse =
+      DnCRec(table, std::move(worse), ranking_attrs);
+  // Nothing in `worse` (split_attr >= pivot) can dominate anything in
+  // `better` (split_attr < pivot); filter s_worse against s_better only.
+  std::vector<TupleId> result = s_better;
+  for (TupleId w : s_worse) {
+    bool dominated = false;
+    for (TupleId b : s_better) {
+      if (CompareRows(table, b, w, ranking_attrs) ==
+          DomRelation::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(w);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<TupleId> SkylineDnC(const Table& table) {
+  return SkylineDnC(table, AllRows(table),
+                    table.schema().ranking_attributes());
+}
+
+std::vector<TupleId> SkylineDnC(const Table& table,
+                                const std::vector<TupleId>& rows,
+                                const std::vector<int>& ranking_attrs) {
+  if (ranking_attrs.empty()) return {};
+  std::vector<TupleId> result = DnCRec(table, rows, ranking_attrs);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<data::Tuple> DistinctSkylineValues(const Table& table) {
+  const std::vector<int>& ranking = table.schema().ranking_attributes();
+  std::vector<data::Tuple> values;
+  for (TupleId row : SkylineSFS(table)) {
+    data::Tuple v;
+    v.reserve(ranking.size());
+    for (int attr : ranking) v.push_back(table.value(row, attr));
+    values.push_back(std::move(v));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::vector<std::vector<TupleId>> DominanceLayers(
+    const Table& table, const std::vector<TupleId>& rows,
+    const std::vector<int>& ranking_attrs, int max_layers) {
+  std::vector<std::vector<TupleId>> layers;
+  std::vector<TupleId> remaining = rows;
+  std::sort(remaining.begin(), remaining.end());
+  while (!remaining.empty()) {
+    if (max_layers > 0 && static_cast<int>(layers.size()) >= max_layers) {
+      break;
+    }
+    std::vector<TupleId> layer =
+        SkylineSFS(table, remaining, ranking_attrs);
+    std::vector<TupleId> next;
+    next.reserve(remaining.size() - layer.size());
+    size_t li = 0;
+    for (TupleId r : remaining) {
+      // Both lists are sorted; advance the layer cursor.
+      while (li < layer.size() && layer[li] < r) ++li;
+      if (li < layer.size() && layer[li] == r) continue;
+      next.push_back(r);
+    }
+    layers.push_back(std::move(layer));
+    remaining = std::move(next);
+  }
+  return layers;
+}
+
+}  // namespace skyline
+}  // namespace hdsky

@@ -1,0 +1,66 @@
+// Local (full-access) skyline computation.
+//
+// These operators run over data we own: ground truth in tests, the
+// post-processing step of the crawling BASELINE (Section 8.1), and the
+// layered-random ranking function. Three classic algorithms are provided —
+// block-nested-loop [4], sort-filter-skyline [6], and divide & conquer [4]
+// — which must agree; the test suite cross-checks them on random inputs.
+
+#ifndef HDSKY_SKYLINE_COMPUTE_H_
+#define HDSKY_SKYLINE_COMPUTE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// Skyline of the whole table over its ranking attributes, as sorted row
+/// ids. Block-nested-loop with an in-memory window.
+std::vector<data::TupleId> SkylineBNL(const data::Table& table);
+
+/// Skyline of the given subset of rows, over `ranking_attrs`.
+std::vector<data::TupleId> SkylineBNL(
+    const data::Table& table, const std::vector<data::TupleId>& rows,
+    const std::vector<int>& ranking_attrs);
+
+/// Sort-filter-skyline: presorts by the sum of ranking values (a monotone
+/// "entropy" score), so every tuple can only be dominated by an earlier
+/// one and the window only ever contains skyline tuples.
+std::vector<data::TupleId> SkylineSFS(const data::Table& table);
+
+std::vector<data::TupleId> SkylineSFS(
+    const data::Table& table, const std::vector<data::TupleId>& rows,
+    const std::vector<int>& ranking_attrs);
+
+/// Divide & conquer over the first ranking attribute: the better half's
+/// skyline survives unchanged; the worse half's skyline is filtered
+/// against it.
+std::vector<data::TupleId> SkylineDnC(const data::Table& table);
+
+std::vector<data::TupleId> SkylineDnC(
+    const data::Table& table, const std::vector<data::TupleId>& rows,
+    const std::vector<int>& ranking_attrs);
+
+/// The skyline's distinct ranking-value combinations, sorted. Under the
+/// paper's general positioning assumption this is the skyline itself;
+/// with value duplicates it is what a top-k interface can reveal (equal
+/// tuples hide behind each other), so discovery tests and workload
+/// calibration compare at this granularity.
+std::vector<data::Tuple> DistinctSkylineValues(const data::Table& table);
+
+/// Splits `rows` into dominance layers: layer 0 is the skyline, layer i is
+/// the skyline after removing layers 0..i-1. Used by the layered uniform-
+/// random ranking function (the average-case model of Section 3.2). At
+/// most `max_layers` layers are produced (0 = all); remaining rows are
+/// dropped.
+std::vector<std::vector<data::TupleId>> DominanceLayers(
+    const data::Table& table, const std::vector<data::TupleId>& rows,
+    const std::vector<int>& ranking_attrs, int max_layers = 0);
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_COMPUTE_H_

@@ -1,0 +1,71 @@
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace skyline {
+
+using data::Table;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+
+DomRelation Compare(const Tuple& a, const Tuple& b,
+                    const std::vector<int>& ranking_attrs) {
+  bool a_better = false;
+  bool b_better = false;
+  for (int attr : ranking_attrs) {
+    const Value va = a[static_cast<size_t>(attr)];
+    const Value vb = b[static_cast<size_t>(attr)];
+    if (va < vb) {
+      a_better = true;
+    } else if (vb < va) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DomRelation::kIncomparable;
+  }
+  if (a_better) return DomRelation::kDominates;
+  if (b_better) return DomRelation::kDominatedBy;
+  return DomRelation::kEqual;
+}
+
+bool Dominates(const Tuple& a, const Tuple& b,
+               const std::vector<int>& ranking_attrs) {
+  return Compare(a, b, ranking_attrs) == DomRelation::kDominates;
+}
+
+DomRelation CompareRows(const Table& table, TupleId a, TupleId b,
+                        const std::vector<int>& ranking_attrs) {
+  bool a_better = false;
+  bool b_better = false;
+  for (int attr : ranking_attrs) {
+    const Value va = table.value(a, attr);
+    const Value vb = table.value(b, attr);
+    if (va < vb) {
+      a_better = true;
+    } else if (vb < va) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DomRelation::kIncomparable;
+  }
+  if (a_better) return DomRelation::kDominates;
+  if (b_better) return DomRelation::kDominatedBy;
+  return DomRelation::kEqual;
+}
+
+bool RowDominates(const Table& table, TupleId a, TupleId b,
+                  const std::vector<int>& ranking_attrs) {
+  return CompareRows(table, a, b, ranking_attrs) == DomRelation::kDominates;
+}
+
+int64_t CountDominators(const Table& table, TupleId t,
+                        const std::vector<int>& ranking_attrs) {
+  int64_t count = 0;
+  const int64_t n = table.num_rows();
+  for (TupleId other = 0; other < n; ++other) {
+    if (other == t) continue;
+    if (RowDominates(table, other, t, ranking_attrs)) ++count;
+  }
+  return count;
+}
+
+}  // namespace skyline
+}  // namespace hdsky

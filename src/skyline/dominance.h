@@ -1,0 +1,57 @@
+// Domination test over ranking attributes (Section 2.1).
+//
+// With values normalized so that smaller is better, tuple a dominates b iff
+// a[Ai] <= b[Ai] on every ranking attribute and a[Ai] < b[Ai] on at least
+// one. Tuples with identical ranking values are *equal* and do not
+// dominate each other (both stay on the skyline); the paper's general
+// positioning assumption makes this case immaterial for skyline tuples, but
+// real datasets contain such duplicates and this convention keeps the
+// skyline well defined for them. NULL (kNullValue) ranks worst, which the
+// numeric comparison already realizes.
+
+#ifndef HDSKY_SKYLINE_DOMINANCE_H_
+#define HDSKY_SKYLINE_DOMINANCE_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// Relation of tuple a to tuple b over the given ranking attributes.
+enum class DomRelation : int8_t {
+  kDominates,    // a dominates b
+  kDominatedBy,  // b dominates a
+  kEqual,        // identical on every ranking attribute
+  kIncomparable,
+};
+
+/// Compares materialized tuples a and b on `ranking_attrs` (indices into
+/// the tuples).
+DomRelation Compare(const data::Tuple& a, const data::Tuple& b,
+                    const std::vector<int>& ranking_attrs);
+
+/// True iff a dominates b (strictly better on >= 1 ranking attribute, not
+/// worse on any).
+bool Dominates(const data::Tuple& a, const data::Tuple& b,
+               const std::vector<int>& ranking_attrs);
+
+/// Dominance test between rows of a table without materializing tuples.
+DomRelation CompareRows(const data::Table& table, data::TupleId a,
+                        data::TupleId b,
+                        const std::vector<int>& ranking_attrs);
+
+bool RowDominates(const data::Table& table, data::TupleId a, data::TupleId b,
+                  const std::vector<int>& ranking_attrs);
+
+/// Number of tuples in `table` that dominate row `t`; used by K-skyband
+/// ground truth and tests.
+int64_t CountDominators(const data::Table& table, data::TupleId t,
+                        const std::vector<int>& ranking_attrs);
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_DOMINANCE_H_

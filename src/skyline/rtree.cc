@@ -1,0 +1,137 @@
+#include "skyline/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hdsky {
+namespace skyline {
+
+using common::Result;
+using common::Status;
+using data::Table;
+using data::TupleId;
+using data::Value;
+
+Result<RTree> RTree::Build(const Table* table, int fanout) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  std::vector<TupleId> rows(static_cast<size_t>(table->num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  return Build(table, std::move(rows), fanout);
+}
+
+Result<RTree> RTree::Build(const Table* table, std::vector<TupleId> rows,
+                           int fanout) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  if (fanout < 2) {
+    return Status::InvalidArgument("fanout must be >= 2");
+  }
+  if (table->schema().ranking_attributes().empty()) {
+    return Status::InvalidArgument("need at least one ranking attribute");
+  }
+  RTree tree(table, table->schema().ranking_attributes());
+  if (rows.empty()) return tree;
+
+  // STR packing of the leaves: recursively sort by one dimension and cut
+  // into vertical slabs, cycling through the dimensions.
+  const int m = static_cast<int>(tree.ranking_attrs_.size());
+  std::vector<int32_t> leaves;
+  // Simple STR: sort rows lexicographically by interleaved dimensions
+  // via repeated slab partitioning.
+  struct Slab {
+    size_t begin, end;
+    int dim;
+  };
+  std::vector<Slab> stack{{0, rows.size(), 0}};
+  std::vector<std::pair<size_t, size_t>> leaf_ranges;
+  while (!stack.empty()) {
+    const Slab s = stack.back();
+    stack.pop_back();
+    const size_t count = s.end - s.begin;
+    if (count <= static_cast<size_t>(fanout)) {
+      leaf_ranges.push_back({s.begin, s.end});
+      continue;
+    }
+    const int attr = tree.ranking_attrs_[static_cast<size_t>(s.dim % m)];
+    std::sort(rows.begin() + static_cast<int64_t>(s.begin),
+              rows.begin() + static_cast<int64_t>(s.end),
+              [&](TupleId a, TupleId b) {
+                return table->value(a, attr) < table->value(b, attr);
+              });
+    // Cut into ~sqrt(count/fanout) slabs (at least 2).
+    const size_t slabs = std::max<size_t>(
+        2, static_cast<size_t>(std::sqrt(
+               static_cast<double>(count) / fanout)));
+    const size_t per_slab = (count + slabs - 1) / slabs;
+    for (size_t b = s.begin; b < s.end; b += per_slab) {
+      stack.push_back({b, std::min(b + per_slab, s.end), s.dim + 1});
+    }
+  }
+  for (const auto& [begin, end] : leaf_ranges) {
+    Node leaf;
+    leaf.rows.assign(rows.begin() + static_cast<int64_t>(begin),
+                     rows.begin() + static_cast<int64_t>(end));
+    leaf.mbr = tree.MbrOfRows(leaf.rows);
+    leaves.push_back(static_cast<int32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(std::move(leaf));
+  }
+  tree.root_ = tree.PackLevel(std::move(leaves), fanout);
+  return tree;
+}
+
+int32_t RTree::PackLevel(std::vector<int32_t> level, int fanout) {
+  while (level.size() > 1) {
+    // Group consecutive nodes (they are already spatially clustered by
+    // construction) into parents of `fanout` children.
+    std::vector<int32_t> parents;
+    for (size_t i = 0; i < level.size();
+         i += static_cast<size_t>(fanout)) {
+      Node parent;
+      const size_t end =
+          std::min(level.size(), i + static_cast<size_t>(fanout));
+      parent.children.assign(level.begin() + static_cast<int64_t>(i),
+                             level.begin() + static_cast<int64_t>(end));
+      // Union of child MBRs.
+      const Mbr& first =
+          nodes_[static_cast<size_t>(parent.children[0])].mbr;
+      parent.mbr = first;
+      for (size_t c = 1; c < parent.children.size(); ++c) {
+        const Mbr& child =
+            nodes_[static_cast<size_t>(parent.children[c])].mbr;
+        for (size_t d = 0; d < parent.mbr.min.size(); ++d) {
+          parent.mbr.min[d] = std::min(parent.mbr.min[d], child.min[d]);
+          parent.mbr.max[d] = std::max(parent.mbr.max[d], child.max[d]);
+        }
+      }
+      parents.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  return level[0];
+}
+
+Mbr RTree::MbrOfRows(const std::vector<TupleId>& rows) const {
+  Mbr mbr;
+  mbr.min.resize(ranking_attrs_.size());
+  mbr.max.resize(ranking_attrs_.size());
+  for (size_t d = 0; d < ranking_attrs_.size(); ++d) {
+    Value lo = table_->value(rows[0], ranking_attrs_[d]);
+    Value hi = lo;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const Value v = table_->value(rows[i], ranking_attrs_[d]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    mbr.min[d] = lo;
+    mbr.max[d] = hi;
+  }
+  return mbr;
+}
+
+}  // namespace skyline
+}  // namespace hdsky

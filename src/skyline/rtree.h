@@ -1,0 +1,75 @@
+// A bulk-loaded R-tree over the ranking attributes of a table, the index
+// behind the progressive branch-and-bound skyline (BBS [19], see bbs.h).
+//
+// Built once with sort-tile-recursive (STR) packing: leaves hold row ids;
+// every node carries the minimum bounding rectangle (MBR) of its subtree
+// in rank space. Nothing here is exposed to the discovery algorithms —
+// this is local machinery for data we own (ground truth, BASELINE
+// post-processing, applications on crawled copies).
+
+#ifndef HDSKY_SKYLINE_RTREE_H_
+#define HDSKY_SKYLINE_RTREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// Axis-aligned bounding box in rank space, one (min, max) per ranking
+/// attribute.
+struct Mbr {
+  std::vector<data::Value> min;
+  std::vector<data::Value> max;
+};
+
+class RTree {
+ public:
+  struct Node {
+    Mbr mbr;
+    /// Child node indices (internal) — empty for leaves.
+    std::vector<int32_t> children;
+    /// Row ids (leaves) — empty for internal nodes.
+    std::vector<data::TupleId> rows;
+
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  /// Bulk-loads over `rows` of `table` using the ranking attributes.
+  /// `fanout` bounds both leaf size and internal-node degree.
+  static common::Result<RTree> Build(const data::Table* table,
+                                     std::vector<data::TupleId> rows,
+                                     int fanout = 16);
+
+  /// Convenience: over all rows.
+  static common::Result<RTree> Build(const data::Table* table,
+                                     int fanout = 16);
+
+  bool empty() const { return nodes_.empty(); }
+  int32_t root() const { return root_; }
+  const Node& node(int32_t id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  const std::vector<int>& ranking_attrs() const { return ranking_attrs_; }
+  const data::Table& table() const { return *table_; }
+
+ private:
+  RTree(const data::Table* table, std::vector<int> ranking_attrs)
+      : table_(table), ranking_attrs_(std::move(ranking_attrs)) {}
+
+  int32_t PackLevel(std::vector<int32_t> level, int fanout);
+  Mbr MbrOfRows(const std::vector<data::TupleId>& rows) const;
+
+  const data::Table* table_;
+  std::vector<int> ranking_attrs_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_RTREE_H_

@@ -1,0 +1,79 @@
+#include "skyline/skyband.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace skyline {
+
+using data::Table;
+using data::TupleId;
+
+namespace {
+
+__int128 Entropy(const Table& table, TupleId row,
+                 const std::vector<int>& ranking_attrs) {
+  __int128 sum = 0;
+  for (int attr : ranking_attrs) sum += table.value(row, attr);
+  return sum;
+}
+
+}  // namespace
+
+std::vector<TupleId> KSkyband(const Table& table, int k) {
+  std::vector<TupleId> rows(static_cast<size_t>(table.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  return KSkyband(table, rows, table.schema().ranking_attributes(), k);
+}
+
+std::vector<TupleId> KSkyband(const Table& table,
+                              const std::vector<TupleId>& rows,
+                              const std::vector<int>& ranking_attrs, int k) {
+  if (k < 1) return {};
+  std::vector<TupleId> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [&](TupleId a, TupleId b) {
+    const __int128 ea = Entropy(table, a, ranking_attrs);
+    const __int128 eb = Entropy(table, b, ranking_attrs);
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+  std::vector<TupleId> band;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    int64_t dominators = 0;
+    for (size_t j = 0; j < i && dominators < k; ++j) {
+      if (CompareRows(table, sorted[j], sorted[i], ranking_attrs) ==
+          DomRelation::kDominates) {
+        ++dominators;
+      }
+    }
+    if (dominators < k) band.push_back(sorted[i]);
+  }
+  std::sort(band.begin(), band.end());
+  return band;
+}
+
+std::vector<int64_t> DominatorCounts(const Table& table,
+                                     const std::vector<TupleId>& rows,
+                                     const std::vector<int>& ranking_attrs,
+                                     int64_t cap) {
+  std::vector<int64_t> counts;
+  counts.reserve(rows.size());
+  const int64_t n = table.num_rows();
+  for (TupleId r : rows) {
+    int64_t c = 0;
+    for (TupleId other = 0; other < n; ++other) {
+      if (other == r) continue;
+      if (RowDominates(table, other, r, ranking_attrs)) {
+        ++c;
+        if (cap > 0 && c >= cap) break;
+      }
+    }
+    counts.push_back(c);
+  }
+  return counts;
+}
+
+}  // namespace skyline
+}  // namespace hdsky

@@ -1,0 +1,40 @@
+// K-skyband computation over local data (Section 2.1 / Section 7.2).
+//
+// A tuple is in the K-skyband iff it is dominated by fewer than K other
+// tuples; the 1-skyband is exactly the skyline. Used as ground truth for
+// the sky-band discovery algorithms and by the top-k interface's layered
+// ranking.
+
+#ifndef HDSKY_SKYLINE_SKYBAND_H_
+#define HDSKY_SKYLINE_SKYBAND_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace hdsky {
+namespace skyline {
+
+/// K-skyband of the whole table over its ranking attributes, as sorted row
+/// ids. Requires K >= 1.
+std::vector<data::TupleId> KSkyband(const data::Table& table, int k);
+
+/// K-skyband of a subset of rows over `ranking_attrs`. Entropy-sorted scan:
+/// a tuple's dominators all precede it in monotone-score order, so each row
+/// is compared only against earlier rows, with early exit at K dominators.
+std::vector<data::TupleId> KSkyband(const data::Table& table,
+                                    const std::vector<data::TupleId>& rows,
+                                    const std::vector<int>& ranking_attrs,
+                                    int k);
+
+/// Dominator count per row of `rows` (capped at `cap` when cap > 0), in
+/// the same order as `rows`; used by tests and the skyband interface.
+std::vector<int64_t> DominatorCounts(const data::Table& table,
+                                     const std::vector<data::TupleId>& rows,
+                                     const std::vector<int>& ranking_attrs,
+                                     int64_t cap = 0);
+
+}  // namespace skyline
+}  // namespace hdsky
+
+#endif  // HDSKY_SKYLINE_SKYBAND_H_

@@ -1,0 +1,185 @@
+// Tests for skyline::BandIndex (the K-band-as-top-k-index application)
+// and core::ExpandDuplicates (Section 2.1's equality-query expansion).
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/expand_duplicates.h"
+#include "core/rq_db_sky.h"
+#include "core/skyband_discovery.h"
+#include "dataset/synthetic.h"
+#include "skyline/band_index.h"
+#include "tests/test_util.h"
+
+namespace hdsky {
+namespace {
+
+using data::Table;
+using data::Tuple;
+using data::TupleId;
+using interface::MakeSumRanking;
+using skyline::BandIndex;
+using testutil::MakeInterface;
+
+TEST(BandIndexTest, CreateValidation) {
+  EXPECT_FALSE(BandIndex::Create({1}, {{1, 2}, {3, 4}}, {0, 1}, 2).ok());
+  EXPECT_FALSE(BandIndex::Create({1}, {{1, 2}}, {0, 1}, 0).ok());
+  EXPECT_FALSE(BandIndex::Create({1}, {{1, 2}}, {}, 1).ok());
+  EXPECT_FALSE(BandIndex::Create({1}, {{1, 2}}, {0, 5}, 1).ok());
+  EXPECT_TRUE(BandIndex::Create({1}, {{1, 2}}, {0, 1}, 1).ok());
+}
+
+TEST(BandIndexTest, RejectsKBeyondBand) {
+  auto index =
+      std::move(BandIndex::Create({1, 2}, {{1, 2}, {2, 1}}, {0, 1}, 2))
+          .value();
+  EXPECT_TRUE(index.TopK([](const Tuple&) { return 0.0; }, 3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index.TopK([](const Tuple&) { return 0.0; }, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BandIndexTest, TopKLinearValidatesWeights) {
+  auto index =
+      std::move(BandIndex::Create({1, 2}, {{1, 2}, {2, 1}}, {0, 1}, 2))
+          .value();
+  EXPECT_TRUE(index.TopKLinear({1.0}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      index.TopKLinear({1.0, -1.0}, 1).status().IsInvalidArgument());
+}
+
+// Property: for random positive weight vectors, top-k answered from a
+// discovered K-band equals top-k computed over the entire database.
+TEST(BandIndexTest, BandAnswersMatchFullDatabaseTopK) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = 400;
+  o.num_attributes = 3;
+  o.domain_size = 60;
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 400;
+  const Table t = std::move(dataset::GenerateSynthetic(o)).value();
+  constexpr int kBand = 3;
+
+  // Discover the band through the interface.
+  auto iface = MakeInterface(&t, MakeSumRanking(), 5);
+  core::SkybandOptions opts;
+  opts.band = kBand;
+  auto band = core::RqDbSkyband(iface.get(), opts);
+  ASSERT_TRUE(band.ok()) << band.status();
+  ASSERT_TRUE(band->complete);
+  auto index = std::move(BandIndex::Create(
+                             band->skyline_ids, band->skyline,
+                             t.schema().ranking_attributes(), kBand))
+                   .value();
+
+  common::Rng rng(401);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> w = {rng.UniformReal(0.1, 3.0),
+                             rng.UniformReal(0.1, 3.0),
+                             rng.UniformReal(0.1, 3.0)};
+    const int k = 1 + static_cast<int>(rng.UniformInt(0, kBand - 1));
+    auto got = index.TopKLinear(w, k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    // Brute-force reference over the whole table; compare score
+    // sequences (ties may resolve to different ids).
+    auto score = [&](TupleId row) {
+      double s = 0;
+      for (int a = 0; a < 3; ++a) {
+        s += w[static_cast<size_t>(a)] *
+             static_cast<double>(t.value(row, a));
+      }
+      return s;
+    };
+    std::vector<TupleId> rows(static_cast<size_t>(t.num_rows()));
+    std::iota(rows.begin(), rows.end(), 0);
+    std::partial_sort(rows.begin(), rows.begin() + k, rows.end(),
+                      [&](TupleId a, TupleId b) {
+                        const double sa = score(a);
+                        const double sb = score(b);
+                        if (sa != sb) return sa < sb;
+                        return a < b;
+                      });
+    for (int i = 0; i < k; ++i) {
+      double got_score = 0;
+      for (int a = 0; a < 3; ++a) {
+        got_score +=
+            w[static_cast<size_t>(a)] *
+            static_cast<double>(
+                (*got)[static_cast<size_t>(i)].second[static_cast<size_t>(a)]);
+      }
+      EXPECT_DOUBLE_EQ(got_score, score(rows[static_cast<size_t>(i)]))
+          << "trial " << trial << " position " << i;
+    }
+  }
+}
+
+TEST(ExpandDuplicatesTest, FindsAllValueTwins) {
+  // Three skyline value combos; one of them shared by four tuples that
+  // differ only in a filtering attribute.
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"f", data::AttributeKind::kFiltering,
+        data::InterfaceType::kFilterEquality, 0, 9}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({10, 50, 0}).ok());  // twin group
+  ASSERT_TRUE(t.Append({10, 50, 1}).ok());
+  ASSERT_TRUE(t.Append({10, 50, 2}).ok());
+  ASSERT_TRUE(t.Append({10, 50, 3}).ok());
+  ASSERT_TRUE(t.Append({5, 80, 0}).ok());   // unique skyline tuples
+  ASSERT_TRUE(t.Append({40, 20, 1}).ok());
+  ASSERT_TRUE(t.Append({60, 60, 2}).ok());  // dominated
+
+  auto iface = MakeInterface(&t, MakeSumRanking(), 2);  // k = 2 < 4 twins
+  auto discovery = core::RqDbSky(iface.get());
+  ASSERT_TRUE(discovery.ok());
+  ASSERT_EQ(discovery->skyline.size(), 3u);
+
+  auto expanded = core::ExpandDuplicates(iface.get(), *discovery);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_TRUE(expanded->complete);
+  ASSERT_EQ(expanded->groups.size(), 3u);
+  size_t total = 0;
+  bool found_twins = false;
+  for (const auto& g : expanded->groups) {
+    EXPECT_TRUE(g.complete);
+    total += g.ids.size();
+    if (g.ids.size() == 4u) {
+      found_twins = true;
+      std::set<TupleId> ids(g.ids.begin(), g.ids.end());
+      EXPECT_EQ(ids, (std::set<TupleId>{0, 1, 2, 3}));
+    }
+  }
+  EXPECT_TRUE(found_twins);
+  EXPECT_EQ(total, 6u);  // 4 twins + 2 singletons
+}
+
+TEST(ExpandDuplicatesTest, BudgetStopsEarly) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = 300;
+  o.num_attributes = 2;
+  o.domain_size = 40;
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 402;
+  const Table t = std::move(dataset::GenerateSynthetic(o)).value();
+  auto iface = MakeInterface(&t, MakeSumRanking(), 3);
+  auto discovery = core::RqDbSky(iface.get());
+  ASSERT_TRUE(discovery.ok());
+  ASSERT_GT(discovery->skyline.size(), 1u);
+  core::CrawlOptions opts;
+  opts.common.max_queries = 1;
+  auto expanded =
+      core::ExpandDuplicates(iface.get(), *discovery, opts);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_FALSE(expanded->complete);
+  EXPECT_EQ(expanded->groups.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hdsky

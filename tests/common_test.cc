@@ -1,0 +1,228 @@
+// Unit tests for common/: Status, Result, macros, Rng, math utilities.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hdsky {
+namespace common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::Unsupported("no lower bound");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnsupported());
+  EXPECT_EQ(s.message(), "no lower bound");
+  EXPECT_EQ(s.ToString(), "Unsupported: no lower bound");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::OK());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  HDSKY_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+Result<int> ChainThroughMacro(int x) {
+  HDSKY_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_TRUE(DoubleIfPositive(-3).status().IsInvalidArgument());
+}
+
+TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  ASSERT_TRUE(ChainThroughMacro(5).ok());
+  EXPECT_EQ(*ChainThroughMacro(5), 11);
+  EXPECT_TRUE(ChainThroughMacro(-5).status().IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values hit over 2000 draws
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformReal();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(17);
+  const std::vector<int64_t> p = rng.Permutation(50);
+  std::set<int64_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 49);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  const std::vector<int64_t> s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<int64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleClampsToPopulation) {
+  Rng rng(21);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 9).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(MathTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(MathTest, LogBinomial) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_EQ(LogBinomial(3, 5), -INFINITY);
+  EXPECT_EQ(LogBinomial(3, -1), -INFINITY);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(MathTest, Clamp) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-5, 0, 10), 0);
+  EXPECT_EQ(Clamp(15, 0, 10), 10);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace hdsky

@@ -1,0 +1,214 @@
+// Unit tests for data/: attribute specs, schema validation, table storage.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace hdsky {
+namespace data {
+namespace {
+
+AttributeSpec R(const char* name, InterfaceType iface, Value lo, Value hi) {
+  return {name, AttributeKind::kRanking, iface, lo, hi};
+}
+
+AttributeSpec F(const char* name, Value lo, Value hi) {
+  return {name, AttributeKind::kFiltering, InterfaceType::kFilterEquality,
+          lo, hi};
+}
+
+Schema MakeSchema() {
+  auto r = Schema::Create({R("price", InterfaceType::kRQ, 0, 999),
+                           R("stops", InterfaceType::kPQ, 0, 2),
+                           F("carrier", 0, 9)});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(SchemaTest, CreateClassifiesAttributes) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.num_attributes(), 3);
+  EXPECT_EQ(s.num_ranking_attributes(), 2);
+  EXPECT_EQ(s.ranking_attributes(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.filtering_attributes(), (std::vector<int>{2}));
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_TRUE(Schema::Create({}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto r = Schema::Create({R("a", InterfaceType::kRQ, 0, 1),
+                           R("a", InterfaceType::kRQ, 0, 1)});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto r = Schema::Create({R("", InterfaceType::kRQ, 0, 1)});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsInvertedDomain) {
+  auto r = Schema::Create({R("a", InterfaceType::kRQ, 5, 4)});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsFilteringWithRangeInterface) {
+  AttributeSpec bad = F("f", 0, 3);
+  bad.iface = InterfaceType::kRQ;
+  EXPECT_TRUE(Schema::Create({bad}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsRankingWithFilterInterface) {
+  AttributeSpec bad = R("r", InterfaceType::kRQ, 0, 3);
+  bad.iface = InterfaceType::kFilterEquality;
+  EXPECT_TRUE(Schema::Create({bad}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(*s.IndexOf("stops"), 1);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RankingAttributesWithInterface) {
+  const Schema s = MakeSchema();
+  EXPECT_EQ(s.RankingAttributesWithInterface(InterfaceType::kRQ),
+            (std::vector<int>{0}));
+  EXPECT_EQ(s.RankingAttributesWithInterface(InterfaceType::kPQ),
+            (std::vector<int>{1}));
+  EXPECT_TRUE(s.RankingAttributesWithInterface(InterfaceType::kSQ).empty());
+}
+
+TEST(SchemaTest, WithInterface) {
+  const Schema s = MakeSchema();
+  auto s2 = s.WithInterface(0, InterfaceType::kSQ);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->attribute(0).iface, InterfaceType::kSQ);
+  EXPECT_EQ(s.attribute(0).iface, InterfaceType::kRQ);  // original intact
+  EXPECT_TRUE(s.WithInterface(9, InterfaceType::kSQ)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, Project) {
+  const Schema s = MakeSchema();
+  auto p = s.Project({1, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_attributes(), 2);
+  EXPECT_EQ(p->attribute(0).name, "stops");
+  EXPECT_EQ(p->attribute(1).name, "price");
+  EXPECT_TRUE(s.Project({7}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToStringMentionsEveryAttribute) {
+  const std::string str = MakeSchema().ToString();
+  EXPECT_NE(str.find("price"), std::string::npos);
+  EXPECT_NE(str.find("stops"), std::string::npos);
+  EXPECT_NE(str.find("carrier"), std::string::npos);
+}
+
+TEST(AttributeTest, SupportPredicates) {
+  EXPECT_TRUE(R("a", InterfaceType::kSQ, 0, 1).supports_upper_bound());
+  EXPECT_FALSE(R("a", InterfaceType::kSQ, 0, 1).supports_lower_bound());
+  EXPECT_TRUE(R("a", InterfaceType::kRQ, 0, 1).supports_lower_bound());
+  EXPECT_FALSE(R("a", InterfaceType::kPQ, 0, 1).supports_upper_bound());
+  EXPECT_EQ(R("a", InterfaceType::kPQ, 2, 7).DomainSize(), 6);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t(MakeSchema());
+  ASSERT_TRUE(t.Append({100, 1, 3}).ok());
+  ASSERT_TRUE(t.Append({200, 0, 5}).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.value(0, 0), 100);
+  EXPECT_EQ(t.value(1, 1), 0);
+  EXPECT_EQ(t.GetTuple(1), (Tuple{200, 0, 5}));
+  EXPECT_EQ(t.column(0), (std::vector<Value>{100, 200}));
+}
+
+TEST(TableTest, AppendValidatesArity) {
+  Table t(MakeSchema());
+  EXPECT_TRUE(t.Append({1, 2}).IsInvalidArgument());
+}
+
+TEST(TableTest, AppendValidatesDomain) {
+  Table t(MakeSchema());
+  EXPECT_TRUE(t.Append({1000, 0, 0}).IsOutOfRange());  // price > 999
+  EXPECT_TRUE(t.Append({5, 3, 0}).IsOutOfRange());     // stops > 2
+}
+
+TEST(TableTest, NullIsAlwaysLegal) {
+  Table t(MakeSchema());
+  EXPECT_TRUE(t.Append({kNullValue, 0, 0}).ok());
+  EXPECT_EQ(t.value(0, 0), kNullValue);
+}
+
+TEST(TableTest, SampleWithoutReplacement) {
+  Table t(MakeSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Append({i, i % 3, i % 10}).ok());
+  }
+  common::Rng rng(3);
+  auto s = t.Sample(30, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 30);
+  // Sampled values come from the original value set and are distinct.
+  std::set<Value> seen;
+  for (int64_t r = 0; r < 30; ++r) {
+    const Value v = s->value(r, 0);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_TRUE(t.Sample(101, &rng).status().IsInvalidArgument());
+}
+
+TEST(TableTest, ProjectKeepsColumns) {
+  Table t(MakeSchema());
+  ASSERT_TRUE(t.Append({100, 1, 3}).ok());
+  auto p = t.Project({1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_rows(), 1);
+  EXPECT_EQ(p->schema().num_attributes(), 1);
+  EXPECT_EQ(p->value(0, 0), 1);
+}
+
+TEST(TableTest, WithInterfaceSwapsTaxonomy) {
+  Table t(MakeSchema());
+  ASSERT_TRUE(t.Append({100, 1, 3}).ok());
+  auto t2 = t.WithInterface(0, data::InterfaceType::kSQ);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->schema().attribute(0).iface, data::InterfaceType::kSQ);
+  EXPECT_EQ(t2->value(0, 0), 100);
+}
+
+TEST(TableTest, FilterRows) {
+  Table t(MakeSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append({i, i % 3, 0}).ok());
+  }
+  const Table f =
+      t.FilterRows([&](TupleId r) { return t.value(r, 0) % 2 == 0; });
+  EXPECT_EQ(f.num_rows(), 5);
+  for (int64_t r = 0; r < f.num_rows(); ++r) {
+    EXPECT_EQ(f.value(r, 0) % 2, 0);
+  }
+}
+
+TEST(TableTest, EmptyTableBasics) {
+  Table t(MakeSchema());
+  EXPECT_EQ(t.num_rows(), 0);
+  common::Rng rng(1);
+  auto s = t.Sample(0, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hdsky

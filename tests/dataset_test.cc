@@ -1,0 +1,383 @@
+// Unit tests for dataset/: generators (cardinality, domains, correlation
+// structure, determinism), the Theorem-1 construction, and CSV roundtrip.
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/blue_nile.h"
+#include "dataset/csv.h"
+#include "dataset/flights_on_time.h"
+#include "dataset/google_flights.h"
+#include "dataset/small_domain.h"
+#include "dataset/synthetic.h"
+#include "dataset/worst_case.h"
+#include "dataset/yahoo_autos.h"
+#include "skyline/compute.h"
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace dataset {
+namespace {
+
+using data::Table;
+using data::TupleId;
+using data::Value;
+
+double Correlation(const Table& t, int a, int b) {
+  const int64_t n = t.num_rows();
+  double ma = 0, mb = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    ma += static_cast<double>(t.value(r, a));
+    mb += static_cast<double>(t.value(r, b));
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    const double da = static_cast<double>(t.value(r, a)) - ma;
+    const double db = static_cast<double>(t.value(r, b)) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(SyntheticTest, CardinalityAndDomain) {
+  SyntheticOptions o;
+  o.num_tuples = 500;
+  o.num_attributes = 3;
+  o.domain_size = 10;
+  const Table t = std::move(GenerateSynthetic(o)).value();
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.schema().num_attributes(), 3);
+  for (int64_t r = 0; r < 500; ++r) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(t.value(r, a), 0);
+      EXPECT_LT(t.value(r, a), 10);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticOptions o;
+  o.num_tuples = 100;
+  o.seed = 42;
+  const Table a = std::move(GenerateSynthetic(o)).value();
+  const Table b = std::move(GenerateSynthetic(o)).value();
+  for (int64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.GetTuple(r), b.GetTuple(r));
+  }
+  o.seed = 43;
+  const Table c = std::move(GenerateSynthetic(o)).value();
+  bool any_diff = false;
+  for (int64_t r = 0; r < 100 && !any_diff; ++r) {
+    any_diff = a.GetTuple(r) != c.GetTuple(r);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, CorrelationSigns) {
+  SyntheticOptions o;
+  o.num_tuples = 4000;
+  o.num_attributes = 2;
+  o.domain_size = 1000;
+  o.correlation = 0.9;
+  o.distribution = Distribution::kCorrelated;
+  const Table pos = std::move(GenerateSynthetic(o)).value();
+  EXPECT_GT(Correlation(pos, 0, 1), 0.5);
+  o.distribution = Distribution::kAntiCorrelated;
+  const Table neg = std::move(GenerateSynthetic(o)).value();
+  EXPECT_LT(Correlation(neg, 0, 1), -0.3);
+}
+
+TEST(SyntheticTest, SkylineSizeOrdering) {
+  // Anti-correlated data has (far) more skyline tuples than correlated.
+  SyntheticOptions o;
+  o.num_tuples = 2000;
+  o.num_attributes = 3;
+  o.domain_size = 500;
+  o.correlation = 0.9;
+  o.distribution = Distribution::kCorrelated;
+  const size_t s_corr =
+      skyline::SkylineSFS(std::move(GenerateSynthetic(o)).value()).size();
+  o.distribution = Distribution::kAntiCorrelated;
+  const size_t s_anti =
+      skyline::SkylineSFS(std::move(GenerateSynthetic(o)).value()).size();
+  EXPECT_GT(s_anti, 2 * s_corr);
+}
+
+TEST(SyntheticTest, Validation) {
+  SyntheticOptions o;
+  o.num_attributes = 0;
+  EXPECT_FALSE(GenerateSynthetic(o).ok());
+  o = {};
+  o.domain_size = 0;
+  EXPECT_FALSE(GenerateSynthetic(o).ok());
+  o = {};
+  o.correlation = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(o).ok());
+}
+
+TEST(SmallDomainTest, CorrelationKnobControlsSkylineSize) {
+  SmallDomainOptions o;
+  o.num_tuples = 2000;
+  o.num_attributes = 4;
+  o.domain_size = 8;
+  o.correlation = 0.95;
+  const size_t s_high =
+      skyline::DistinctSkylineValues(
+          std::move(GenerateSmallDomain(o)).value())
+          .size();
+  o.correlation = 0.0;
+  const size_t s_low =
+      skyline::DistinctSkylineValues(
+          std::move(GenerateSmallDomain(o)).value())
+          .size();
+  EXPECT_LT(s_high, s_low);
+}
+
+TEST(SmallDomainTest, TargetedSkylineSize) {
+  SmallDomainOptions o;
+  o.num_tuples = 2000;
+  o.num_attributes = 4;
+  o.domain_size = 8;
+  o.domain_size = 16;
+  auto t = GenerateWithSkylineSize(o, 25, 5);
+  ASSERT_TRUE(t.ok());
+  const int64_t s = static_cast<int64_t>(
+      skyline::DistinctSkylineValues(*t).size());
+  EXPECT_NEAR(static_cast<double>(s), 25.0, 10.0);
+}
+
+TEST(WorstCaseTest, GuardsForceFullySpecifiedQueries) {
+  WorstCaseOptions o;
+  o.num_attributes = 3;
+  o.num_skyline = 6;
+  const Table t = std::move(GenerateSqLowerBound(o)).value();
+  ASSERT_EQ(t.num_rows(), 3 + 6);
+  // Guard i: 0 everywhere except h+1 = 7 at position i (equation 1).
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.value(i, j), i == j ? 7 : 0);
+    }
+  }
+  // Payload rows live strictly inside [1, h] and form an anti-chain;
+  // together with the guards, ALL rows are on the skyline.
+  for (int64_t r = 3; r < t.num_rows(); ++r) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(t.value(r, j), 1);
+      EXPECT_LE(t.value(r, j), 6);
+    }
+  }
+  EXPECT_EQ(skyline::SkylineSFS(t).size(), 9u);
+}
+
+TEST(WorstCaseTest, AnyUnderSpecifiedQueryMatchesAGuard) {
+  WorstCaseOptions o;
+  o.num_attributes = 4;
+  o.num_skyline = 5;
+  const Table t = std::move(GenerateSqLowerBound(o)).value();
+  // A query constraining only attributes {0, 2} (upper bounds) matches
+  // guard 1 and guard 3 (value 0 on all constrained attributes).
+  for (int free = 0; free < 4; ++free) {
+    bool guard_matches = false;
+    for (int g = 0; g < 4; ++g) {
+      bool ok = true;
+      for (int j = 0; j < 4; ++j) {
+        if (j == free) continue;  // unconstrained
+        if (t.value(g, j) != 0) ok = false;  // any bound >= 1 matches 0
+      }
+      if (ok) guard_matches = true;
+    }
+    EXPECT_TRUE(guard_matches) << "free attr " << free;
+  }
+}
+
+TEST(WorstCaseTest, RejectsDegenerate) {
+  WorstCaseOptions o;
+  o.num_attributes = 1;
+  EXPECT_FALSE(GenerateSqLowerBound(o).ok());
+  o = {};
+  o.num_skyline = 0;
+  EXPECT_FALSE(GenerateSqLowerBound(o).ok());
+}
+
+TEST(FlightsTest, SchemaMatchesPaperDescription) {
+  FlightsOptions o;
+  o.num_tuples = 2000;
+  const Table t = std::move(GenerateFlightsOnTime(o)).value();
+  const data::Schema& s = t.schema();
+  // 9 base ranking + 4 derived groups + 2 filtering.
+  EXPECT_EQ(s.num_attributes(), 15);
+  EXPECT_EQ(s.num_ranking_attributes(), 13);
+  EXPECT_EQ(s.attribute(FlightsAttrs::kDelayGroup).iface,
+            data::InterfaceType::kPQ);
+  EXPECT_EQ(s.attribute(FlightsAttrs::kDistanceGroup).iface,
+            data::InterfaceType::kPQ);
+  EXPECT_EQ(s.attribute(FlightsAttrs::kDepDelay).iface,
+            data::InterfaceType::kRQ);
+  EXPECT_EQ(*s.IndexOf("Carrier"), 13);
+  // PQ domains are small (the paper's premise for PQ efficiency).
+  EXPECT_EQ(s.attribute(FlightsAttrs::kDelayGroup).DomainSize(), 11);
+}
+
+TEST(FlightsTest, StructuralCorrelations) {
+  FlightsOptions o;
+  o.num_tuples = 5000;
+  const Table t = std::move(GenerateFlightsOnTime(o)).value();
+  // Elapsed time tracks air time.
+  EXPECT_GT(
+      Correlation(t, FlightsAttrs::kActualElapsed, FlightsAttrs::kAirTime),
+      0.8);
+  // Distance (inverted) is consistent with AirTime being anti-correlated
+  // in normalized space: longer flights (small Distance code) have large
+  // AirTime.
+  EXPECT_LT(
+      Correlation(t, FlightsAttrs::kDistance, FlightsAttrs::kAirTime),
+      -0.8);
+  // Groups track their base attribute.
+  EXPECT_GT(
+      Correlation(t, FlightsAttrs::kDepDelay, FlightsAttrs::kDelayGroup),
+      0.7);
+  // Arrival delay tracks departure delay.
+  EXPECT_GT(
+      Correlation(t, FlightsAttrs::kDepDelay, FlightsAttrs::kArrivalDelay),
+      0.9);
+}
+
+TEST(FlightsTest, OptionsTrimSchema) {
+  FlightsOptions o;
+  o.num_tuples = 10;
+  o.include_derived_groups = false;
+  o.include_filtering = false;
+  const Table t = std::move(GenerateFlightsOnTime(o)).value();
+  EXPECT_EQ(t.schema().num_attributes(), 9);
+  EXPECT_EQ(t.schema().num_ranking_attributes(), 9);
+}
+
+TEST(BlueNileTest, SchemaAndHedonicStructure) {
+  BlueNileOptions o;
+  o.num_tuples = 5000;
+  const Table t = std::move(GenerateBlueNile(o)).value();
+  EXPECT_EQ(t.num_rows(), 5000);
+  const data::Schema& s = t.schema();
+  EXPECT_EQ(s.num_ranking_attributes(), 5);
+  for (int attr : s.ranking_attributes()) {
+    EXPECT_EQ(s.attribute(attr).iface, data::InterfaceType::kRQ);
+  }
+  // Bigger diamonds (smaller inverted carat code) cost more: positive
+  // correlation between carat code and... price falls as code rises.
+  EXPECT_LT(Correlation(t, BlueNileAttrs::kPrice, BlueNileAttrs::kCarat),
+            -0.3);
+  // A non-trivial skyline exists (the BN experiment's premise).
+  common::Rng rng(1);
+  const Table sample = std::move(t.Sample(3000, &rng)).value();
+  EXPECT_GT(skyline::SkylineSFS(sample).size(), 20u);
+}
+
+TEST(GoogleFlightsTest, RouteInventoryShape) {
+  GoogleFlightsOptions o;
+  o.num_flights = 300;
+  const Table t = std::move(GenerateRoute(o)).value();
+  const data::Schema& s = t.schema();
+  EXPECT_EQ(s.attribute(GoogleFlightsAttrs::kStops).iface,
+            data::InterfaceType::kSQ);
+  EXPECT_EQ(s.attribute(GoogleFlightsAttrs::kPrice).iface,
+            data::InterfaceType::kSQ);
+  EXPECT_EQ(s.attribute(GoogleFlightsAttrs::kConnection).iface,
+            data::InterfaceType::kSQ);
+  EXPECT_EQ(s.attribute(GoogleFlightsAttrs::kDepartureTime).iface,
+            data::InterfaceType::kRQ);
+  // Nonstops have zero connection time.
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (t.value(r, GoogleFlightsAttrs::kStops) == 0) {
+      EXPECT_EQ(t.value(r, GoogleFlightsAttrs::kConnection), 0);
+    }
+  }
+  // Skyline flights per route in the paper's 4-11 ballpark (loosely).
+  const size_t sky = skyline::SkylineSFS(t).size();
+  EXPECT_GE(sky, 2u);
+  EXPECT_LE(sky, 40u);
+}
+
+TEST(YahooAutosTest, DepreciationStructure) {
+  YahooAutosOptions o;
+  o.num_tuples = 5000;
+  const Table t = std::move(GenerateYahooAutos(o)).value();
+  // Older cars (larger age code) have more miles and lower prices.
+  EXPECT_GT(Correlation(t, YahooAutosAttrs::kYear,
+                        YahooAutosAttrs::kMileage),
+            0.5);
+  EXPECT_LT(
+      Correlation(t, YahooAutosAttrs::kYear, YahooAutosAttrs::kPrice),
+      -0.2);
+}
+
+TEST(CsvTest, RoundTripPreservesEverything) {
+  FlightsOptions o;
+  o.num_tuples = 200;
+  const Table t = std::move(GenerateFlightsOnTime(o)).value();
+  const std::string path = ::testing::TempDir() + "/hdsky_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->schema().num_attributes(), t.schema().num_attributes());
+  for (int a = 0; a < t.schema().num_attributes(); ++a) {
+    EXPECT_EQ(back->schema().attribute(a).name,
+              t.schema().attribute(a).name);
+    EXPECT_EQ(back->schema().attribute(a).iface,
+              t.schema().attribute(a).iface);
+    EXPECT_EQ(back->schema().attribute(a).kind,
+              t.schema().attribute(a).kind);
+    EXPECT_EQ(back->schema().attribute(a).domain_min,
+              t.schema().attribute(a).domain_min);
+    EXPECT_EQ(back->schema().attribute(a).domain_max,
+              t.schema().attribute(a).domain_max);
+  }
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(back->GetTuple(r), t.GetTuple(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NullRoundTrip) {
+  auto schema = data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        10}});
+  Table t(std::move(schema).value());
+  ASSERT_TRUE(t.Append({data::kNullValue}).ok());
+  ASSERT_TRUE(t.Append({5}).ok());
+  const std::string path = ::testing::TempDir() + "/hdsky_null.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(0, 0), data::kNullValue);
+  EXPECT_EQ(back->value(1, 0), 5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/nope.csv").status().IsIOError());
+  const std::string path = ::testing::TempDir() + "/hdsky_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a:R:RQ:0:10\n1,2\n", f);  // wrong arity row
+    fclose(f);
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsIOError());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a:R:XX:0:10\n", f);  // bad interface code
+    fclose(f);
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsIOError());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace hdsky

@@ -1,0 +1,194 @@
+// Unit tests for the core/discovery.h layer (SkylineCollector,
+// DiscoveryRun) and for the algorithm options added on top of the paper
+// (duplicate-node skipping, impossible-child pruning): behaviours not
+// already pinned down by the end-to-end algorithm suites.
+
+#include <gtest/gtest.h>
+
+#include "core/discovery.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "dataset/synthetic.h"
+#include "tests/test_util.h"
+
+namespace hdsky {
+namespace core {
+namespace {
+
+using data::Tuple;
+using interface::MakeSumRanking;
+using interface::Query;
+using testutil::ExpectExactSkyline;
+using testutil::MakeInterface;
+
+TEST(SkylineCollectorTest, ObserveConfirmsUndominated) {
+  SkylineCollector c({0, 1});
+  EXPECT_TRUE(c.Observe(1, {5, 5}));
+  EXPECT_TRUE(c.Observe(2, {3, 8}));   // incomparable
+  EXPECT_FALSE(c.Observe(3, {6, 6}));  // dominated by (5,5)
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(SkylineCollectorTest, ObserveMemoizesIds) {
+  SkylineCollector c({0, 1});
+  EXPECT_TRUE(c.Observe(1, {5, 5}));
+  // Same id again: already classified, not a new confirmation.
+  EXPECT_FALSE(c.Observe(1, {5, 5}));
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(SkylineCollectorTest, ValueDuplicatesIgnored) {
+  SkylineCollector c({0, 1});
+  EXPECT_TRUE(c.Observe(1, {5, 5}));
+  EXPECT_FALSE(c.Observe(2, {5, 5}));  // equal values, different id
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(SkylineCollectorTest, AddConfirmedBypassesDominance) {
+  SkylineCollector c({0, 1});
+  c.AddConfirmed(1, {5, 5});
+  // Geometric proofs are trusted even if a collected tuple dominates.
+  EXPECT_TRUE(c.AddConfirmed(2, {6, 6}));
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_FALSE(c.AddConfirmed(2, {6, 6}));  // id dedup still applies
+}
+
+TEST(SkylineCollectorTest, DominationQueries) {
+  SkylineCollector c({0, 1});
+  c.AddConfirmed(1, {5, 5});
+  EXPECT_TRUE(c.IsDominated({6, 6}));
+  EXPECT_FALSE(c.IsDominated({5, 5}));
+  EXPECT_TRUE(c.IsDominatedOrDuplicate({5, 5}));
+  EXPECT_FALSE(c.IsDominatedOrDuplicate({4, 9}));
+}
+
+TEST(QuerySignatureTest, EqualIffSamePredicates) {
+  Query a(3), b(3);
+  a.AddAtMost(0, 5).AddAtLeast(2, 1);
+  b.AddAtLeast(2, 1).AddAtMost(0, 5);  // order-insensitive
+  EXPECT_EQ(a.Signature(), b.Signature());
+  b.AddAtMost(1, 9);
+  EXPECT_NE(a.Signature(), b.Signature());
+  // Different bounds differ.
+  Query c(3), d(3);
+  c.AddAtMost(0, 5);
+  d.AddAtMost(0, 6);
+  EXPECT_NE(c.Signature(), d.Signature());
+}
+
+TEST(DiscoveryRunTest, MaxQueriesStopsExecution) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = 100;
+  o.num_attributes = 2;
+  o.seed = 5;
+  const data::Table t = std::move(dataset::GenerateSynthetic(o)).value();
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  DiscoveryOptions opts;
+  opts.max_queries = 2;
+  DiscoveryRun run(iface.get(), opts);
+  EXPECT_TRUE(run.Execute(run.MakeBaseQuery()).ok());
+  EXPECT_TRUE(run.Execute(run.MakeBaseQuery()).ok());
+  auto third = run.Execute(run.MakeBaseQuery());
+  EXPECT_TRUE(third.status().IsResourceExhausted());
+  EXPECT_TRUE(run.exhausted());
+  EXPECT_EQ(run.queries_issued(), 2);
+  const DiscoveryResult result = run.Finish();
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(DiscoveryRunTest, FinishReportsSortedIdsAndTrace) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = 50;
+  o.num_attributes = 2;
+  o.seed = 6;
+  const data::Table t = std::move(dataset::GenerateSynthetic(o)).value();
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  DiscoveryOptions opts;
+  DiscoveryRun run(iface.get(), opts);
+  run.AddConfirmed(9, t.GetTuple(9));
+  run.AddConfirmed(3, t.GetTuple(3));
+  const DiscoveryResult result = run.Finish();
+  EXPECT_EQ(result.skyline_ids, (std::vector<data::TupleId>{3, 9}));
+  EXPECT_EQ(result.skyline[0], t.GetTuple(3));
+  testutil::ExpectWellFormedTrace(result);
+}
+
+TEST(DuplicateNodeSkipTest, SameResultFewerOrEqualQueries) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = 500;
+  o.num_attributes = 3;
+  o.domain_size = 8;  // tiny domain: duplicate regions are common
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 7;
+  const data::Table t = std::move(dataset::GenerateSynthetic(o)).value();
+
+  auto iface_a = MakeInterface(&t, MakeSumRanking(), 1);
+  SqDbSkyOptions plain;
+  auto base = SqDbSky(iface_a.get(), plain);
+  ASSERT_TRUE(base.ok());
+  ExpectExactSkyline(*base, t);
+
+  auto iface_b = MakeInterface(&t, MakeSumRanking(), 1);
+  SqDbSkyOptions dedup;
+  dedup.skip_duplicate_nodes = true;
+  auto skipped = SqDbSky(iface_b.get(), dedup);
+  ASSERT_TRUE(skipped.ok());
+  ExpectExactSkyline(*skipped, t);
+  EXPECT_LE(skipped->query_cost, base->query_cost);
+
+  auto iface_c = MakeInterface(&t, MakeSumRanking(), 1);
+  RqDbSkyOptions rq_dedup;
+  rq_dedup.skip_duplicate_nodes = true;
+  auto rq = RqDbSky(iface_c.get(), rq_dedup);
+  ASSERT_TRUE(rq.ok());
+  ExpectExactSkyline(*rq, t);
+}
+
+TEST(ImpossibleChildTest, IssuingThemMatchesCostModelAccounting) {
+  // With pruning off, a single-tuple database costs exactly 1 + m
+  // queries (the paper's C_1 = m + 1); with pruning on, just 1.
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kSQ, 0,
+        9},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kSQ, 0,
+        9},
+       {"c", data::AttributeKind::kRanking, data::InterfaceType::kSQ, 0,
+        9}})).value();
+  data::Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({0, 0, 0}).ok());  // best corner: all children
+                                          // are domain-impossible
+  {
+    auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+    SqDbSkyOptions opts;
+    opts.skip_impossible_children = false;
+    auto r = SqDbSky(iface.get(), opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->query_cost, 4);  // 1 root + m = 3 empty branches
+  }
+  {
+    auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+    auto r = SqDbSky(iface.get());  // default: pruning on
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->query_cost, 1);
+  }
+}
+
+TEST(ImpossibleChildTest, NonCornerTupleStillBranches) {
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kSQ, 0,
+        9},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kSQ, 0,
+        9}})).value();
+  data::Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({3, 4}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  auto r = SqDbSky(iface.get());
+  ASSERT_TRUE(r.ok());
+  // Root + two possible (but data-empty) children.
+  EXPECT_EQ(r->query_cost, 3);
+  EXPECT_EQ(r->skyline.size(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,197 @@
+// Direct unit tests for PQ-2DSUB-SKY: plane-restricted discovery, the
+// empty-region pruning from covering observations, the dominated-region
+// pruning from previously confirmed tuples, and the pending-tuple
+// resolution path.
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/pq_2dsub_sky.h"
+#include "dataset/synthetic.h"
+#include "skyline/compute.h"
+#include "skyline/dominance.h"
+#include "tests/test_util.h"
+
+namespace hdsky {
+namespace core {
+namespace {
+
+using data::Table;
+using data::Tuple;
+using data::TupleId;
+using data::Value;
+using interface::MakeSumRanking;
+using interface::Query;
+using testutil::MakeInterface;
+
+// 3-attribute PQ table; the plane spans attrs {0, 1}, attr 2 is fixed.
+Table MakeTable(int64_t n, Value domain, uint64_t seed) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = n;
+  o.num_attributes = 3;
+  o.domain_size = domain;
+  o.iface = data::InterfaceType::kPQ;
+  o.seed = seed;
+  return std::move(dataset::GenerateSynthetic(o)).value();
+}
+
+// Ground truth: distinct-value global-skyline tuples with attr2 == vc.
+std::vector<Tuple> PlaneSkyline(const Table& t, Value vc) {
+  std::vector<Tuple> out;
+  for (const Tuple& v : skyline::DistinctSkylineValues(t)) {
+    if (v[2] == vc) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Pq2dSubTest, PlanesInDominanceOrderRecoverFullSkyline) {
+  const Table t = MakeTable(400, 9, 500);
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  DiscoveryOptions opts;
+  DiscoveryRun run(iface.get(), opts);
+
+  // Root observation (as PQ-DB-SKY would seed it).
+  auto root = run.Execute(run.MakeBaseQuery());
+  ASSERT_TRUE(root.ok());
+  run.Observe(root->ids[0], root->tuples[0]);
+  std::vector<CoveringObservation> obs;
+  obs.push_back({run.MakeBaseQuery(), root->tuples[0]});
+
+  for (Value vc = 0; vc <= 8; ++vc) {  // ascending = dominance order
+    PlaneSpec plane;
+    plane.ax = 0;
+    plane.ay = 1;
+    plane.other_attrs = {2};
+    plane.plane_values = {vc};
+    ASSERT_TRUE(Pq2dSubSky(&run, plane, obs).ok());
+    // After each plane, every global-skyline tuple living in it must be
+    // confirmed (its dominators' planes came first).
+    const auto truth = PlaneSkyline(t, vc);
+    std::vector<Tuple> got;
+    for (const Tuple& s : run.collector().tuples()) {
+      if (s[2] == vc) {
+        got.push_back({s[0], s[1], s[2]});
+      }
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, truth) << "plane " << vc;
+  }
+}
+
+TEST(Pq2dSubTest, DominatedPlaneCostsNothing) {
+  // Confirm a tuple that dominates an entire later plane: processing
+  // that plane must issue zero queries.
+  auto schema = std::move(data::Schema::Create(
+      {{"x", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        5},
+       {"y", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        5},
+       {"z", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        2}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({0, 0, 0}).ok());  // dominates everything
+  ASSERT_TRUE(t.Append({3, 3, 2}).ok());
+  ASSERT_TRUE(t.Append({4, 2, 1}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  DiscoveryOptions opts;
+  DiscoveryRun run(iface.get(), opts);
+  run.AddConfirmed(0, t.GetTuple(0));
+
+  PlaneSpec plane;
+  plane.ax = 0;
+  plane.ay = 1;
+  plane.other_attrs = {2};
+  plane.plane_values = {1};
+  const int64_t before = iface->stats().queries_issued;
+  ASSERT_TRUE(Pq2dSubSky(&run, plane, {}).ok());
+  EXPECT_EQ(iface->stats().queries_issued, before);  // fully pruned
+  EXPECT_EQ(run.collector().size(), 1);
+}
+
+TEST(Pq2dSubTest, ObservationPrunesEmptyRegion) {
+  // The root observation's top-1 at (2, 2, 0) proves cells dominating it
+  // empty; the same plane then needs fewer queries than without it.
+  auto schema = std::move(data::Schema::Create(
+      {{"x", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        7},
+       {"y", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        7},
+       {"z", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        1}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({2, 2, 0}).ok());
+  ASSERT_TRUE(t.Append({0, 6, 0}).ok());
+  ASSERT_TRUE(t.Append({6, 0, 0}).ok());
+  ASSERT_TRUE(t.Append({5, 5, 1}).ok());  // dominated
+
+  auto run_once = [&](bool with_obs) -> int64_t {
+    auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+    DiscoveryOptions opts;
+    DiscoveryRun run(iface.get(), opts);
+    std::vector<CoveringObservation> obs;
+    if (with_obs) {
+      auto root = run.Execute(run.MakeBaseQuery());
+      EXPECT_TRUE(root.ok());
+      run.Observe(root->ids[0], root->tuples[0]);
+      obs.push_back({run.MakeBaseQuery(), root->tuples[0]});
+    }
+    PlaneSpec plane;
+    plane.ax = 0;
+    plane.ay = 1;
+    plane.other_attrs = {2};
+    plane.plane_values = {0};
+    EXPECT_TRUE(Pq2dSubSky(&run, plane, obs).ok());
+    // All three z = 0 tuples are skyline and must be found.
+    EXPECT_EQ(run.collector().size(), 3);
+    return iface->stats().queries_issued;
+  };
+  const int64_t without = run_once(false);
+  const int64_t with = run_once(true);  // includes the 1 root query
+  EXPECT_LT(with, without + 1);
+}
+
+TEST(Pq2dSubTest, BudgetExhaustionReturnsCleanly) {
+  // Sparse wide plane: discovery genuinely needs many 1D queries, so a
+  // budget of 2 must die mid-plane.
+  const Table t = MakeTable(100, 30, 501);
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1, /*budget=*/2);
+  DiscoveryOptions opts;
+  DiscoveryRun run(iface.get(), opts);
+  PlaneSpec plane;
+  plane.ax = 0;
+  plane.ay = 1;
+  plane.other_attrs = {2};
+  plane.plane_values = {0};
+  EXPECT_TRUE(Pq2dSubSky(&run, plane, {}).ok());
+  EXPECT_TRUE(run.exhausted());
+  // Whatever was confirmed is sound.
+  const auto truth = skyline::DistinctSkylineValues(t);
+  for (const Tuple& s : run.collector().tuples()) {
+    Tuple v{s[0], s[1], s[2]};
+    EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), v));
+  }
+}
+
+TEST(Pq2dSubTest, RejectsGiantPlaneDomains) {
+  auto schema = std::move(data::Schema::Create(
+      {{"x", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        (int64_t{1} << 23)},
+       {"y", data::AttributeKind::kRanking, data::InterfaceType::kPQ, 0,
+        3}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({1, 1}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  DiscoveryOptions opts;
+  DiscoveryRun run(iface.get(), opts);
+  PlaneSpec plane;
+  plane.ax = 0;
+  plane.ay = 1;
+  EXPECT_TRUE(Pq2dSubSky(&run, plane, {}).IsUnsupported());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hdsky

@@ -1,0 +1,259 @@
+// hdsky_discover — command-line skyline / sky-band discovery.
+//
+// Runs the paper's algorithms against a dataset loaded from a
+// self-describing CSV (see dataset/csv.h) or one of the built-in
+// simulators, through a simulated top-k interface. Prints a summary and
+// optionally writes the discovered tuples as CSV.
+//
+//   hdsky_discover --data listings.csv --algorithm mq --k 50
+//   hdsky_discover --demo bluenile --k 50 --out skyline.csv
+//   hdsky_discover --demo flights --n 100000 --algorithm rq --budget 500
+//   hdsky_discover --demo autos --band 2
+//
+// Flags:
+//   --data PATH         input CSV (mutually exclusive with --demo)
+//   --demo NAME         flights | bluenile | autos | route
+//   --n N               demo dataset size (default: the paper's)
+//   --algorithm A       auto | sq | rq | pq | mq | baseline  (default auto)
+//   --k K               page size of the interface (default 10)
+//   --ranking R         sum | lex:<attr_name>        (default sum)
+//   --budget B          query budget; 0 = unlimited  (default 0)
+//   --band H            discover the top-H sky band instead (RQ/PQ only)
+//   --out PATH          write discovered tuples as CSV
+//   --seed S            generator seed for --demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/baseline_crawler.h"
+#include "core/mq_db_sky.h"
+#include "core/pq_db_sky.h"
+#include "core/rq_db_sky.h"
+#include "core/skyband_discovery.h"
+#include "core/sq_db_sky.h"
+#include "dataset/blue_nile.h"
+#include "dataset/csv.h"
+#include "dataset/flights_on_time.h"
+#include "dataset/google_flights.h"
+#include "dataset/yahoo_autos.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+
+namespace {
+
+using namespace hdsky;
+
+struct Args {
+  std::string data;
+  std::string demo;
+  int64_t n = 0;
+  std::string algorithm = "auto";
+  int k = 10;
+  std::string ranking = "sum";
+  int64_t budget = 0;
+  int band = 0;
+  std::string out;
+  uint64_t seed = 42;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hdsky_discover (--data PATH | --demo NAME) [options]\n"
+      "  --demo NAME       flights | bluenile | autos | route\n"
+      "  --n N             demo dataset size\n"
+      "  --algorithm A     auto | sq | rq | pq | mq | baseline\n"
+      "  --k K             interface page size (default 10)\n"
+      "  --ranking R       sum | lex:<attr_name>\n"
+      "  --budget B        query budget (0 = unlimited)\n"
+      "  --band H          discover the top-H sky band (RQ/PQ)\n"
+      "  --out PATH        write discovered tuples as CSV\n"
+      "  --seed S          demo generator seed\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (flag == "--data" && need_value(&value)) {
+      args->data = value;
+    } else if (flag == "--demo" && need_value(&value)) {
+      args->demo = value;
+    } else if (flag == "--n" && need_value(&value)) {
+      args->n = std::atoll(value.c_str());
+    } else if (flag == "--algorithm" && need_value(&value)) {
+      args->algorithm = value;
+    } else if (flag == "--k" && need_value(&value)) {
+      args->k = std::atoi(value.c_str());
+    } else if (flag == "--ranking" && need_value(&value)) {
+      args->ranking = value;
+    } else if (flag == "--budget" && need_value(&value)) {
+      args->budget = std::atoll(value.c_str());
+    } else if (flag == "--band" && need_value(&value)) {
+      args->band = std::atoi(value.c_str());
+    } else if (flag == "--out" && need_value(&value)) {
+      args->out = value;
+    } else if (flag == "--seed" && need_value(&value)) {
+      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  if (args->data.empty() == args->demo.empty()) {
+    std::fprintf(stderr, "exactly one of --data / --demo is required\n");
+    return false;
+  }
+  return true;
+}
+
+common::Result<data::Table> LoadTable(const Args& args) {
+  if (!args.data.empty()) return dataset::ReadCsv(args.data);
+  if (args.demo == "flights") {
+    dataset::FlightsOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateFlightsOnTime(o);
+  }
+  if (args.demo == "bluenile") {
+    dataset::BlueNileOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateBlueNile(o);
+  }
+  if (args.demo == "autos") {
+    dataset::YahooAutosOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateYahooAutos(o);
+  }
+  if (args.demo == "route") {
+    dataset::GoogleFlightsOptions o;
+    if (args.n > 0) o.num_flights = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateRoute(o);
+  }
+  return common::Status::InvalidArgument("unknown demo '" + args.demo +
+                                         "'");
+}
+
+common::Result<std::shared_ptr<interface::RankingPolicy>> MakeRanking(
+    const Args& args, const data::Schema& schema) {
+  if (args.ranking == "sum") {
+    return interface::MakeSumRanking();
+  }
+  if (args.ranking.rfind("lex:", 0) == 0) {
+    const std::string name = args.ranking.substr(4);
+    HDSKY_ASSIGN_OR_RETURN(const int attr, schema.IndexOf(name));
+    return interface::MakeLexicographicRanking({attr});
+  }
+  return common::Status::InvalidArgument("unknown ranking '" +
+                                         args.ranking + "'");
+}
+
+common::Result<core::DiscoveryResult> Run(const Args& args,
+                                          interface::TopKInterface* iface) {
+  if (args.band > 0) {
+    core::SkybandOptions opts;
+    opts.band = args.band;
+    // Pick by interface mix: PQ-only schemas use the PQ extension.
+    const bool any_range =
+        !iface->schema()
+             .RankingAttributesWithInterface(data::InterfaceType::kRQ)
+             .empty();
+    return any_range ? core::RqDbSkyband(iface, opts)
+                     : core::PqDbSkyband(iface, opts);
+  }
+  const std::string& a = args.algorithm;
+  if (a == "auto" || a == "mq") return core::MqDbSky(iface);
+  if (a == "sq") return core::SqDbSky(iface);
+  if (a == "rq") return core::RqDbSky(iface);
+  if (a == "pq") return core::PqDbSky(iface);
+  if (a == "baseline") return core::BaselineSkyline(iface);
+  return common::Status::InvalidArgument("unknown algorithm '" + a + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 64;
+  }
+
+  auto table_result = LoadTable(args);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "load: %s\n",
+                 table_result.status().ToString().c_str());
+    return 1;
+  }
+  const data::Table table = std::move(table_result).value();
+  std::printf("dataset : %lld tuples, %s\n",
+              static_cast<long long>(table.num_rows()),
+              table.schema().ToString().c_str());
+
+  auto ranking_result = MakeRanking(args, table.schema());
+  if (!ranking_result.ok()) {
+    std::fprintf(stderr, "ranking: %s\n",
+                 ranking_result.status().ToString().c_str());
+    return 1;
+  }
+  interface::TopKOptions topk;
+  topk.k = args.k;
+  topk.query_budget = args.budget;
+  auto iface_result = interface::TopKInterface::Create(
+      &table, std::move(ranking_result).value(), topk);
+  if (!iface_result.ok()) {
+    std::fprintf(stderr, "interface: %s\n",
+                 iface_result.status().ToString().c_str());
+    return 1;
+  }
+  auto iface = std::move(iface_result).value();
+
+  auto result = Run(args, iface.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("found   : %zu %s tuples\n", result->skyline.size(),
+              args.band > 0 ? "sky-band" : "skyline");
+  std::printf("queries : %lld%s\n",
+              static_cast<long long>(result->query_cost),
+              result->complete ? "" : "  (budget exhausted: partial)");
+  if (!result->skyline.empty()) {
+    std::printf("cost per tuple: %.2f\n",
+                static_cast<double>(result->query_cost) /
+                    static_cast<double>(result->skyline.size()));
+  }
+
+  if (!args.out.empty()) {
+    data::Table out(table.schema());
+    out.Reserve(static_cast<int64_t>(result->skyline.size()));
+    for (const data::Tuple& t : result->skyline) {
+      const common::Status s = out.Append(t);
+      if (!s.ok()) {
+        std::fprintf(stderr, "collect: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const common::Status s = dataset::WriteCsv(out, args.out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote   : %s\n", args.out.c_str());
+  }
+  return 0;
+}
