@@ -8,6 +8,12 @@
 // Scale control: HDSKY_SCALE (a float, default 1) multiplies dataset
 // sizes, letting CI smoke-run the full suite quickly while `HDSKY_SCALE=1`
 // reproduces the paper-scale numbers reported in EXPERIMENTS.md.
+//
+// Thread control: HDSKY_THREADS (default 1 = serial, 0 = all cores) fans
+// the independent points of each figure sweep across a thread pool via
+// RunTrialsParallel. Every trial owns its output slot and derives its
+// randomness from its own index, so the results — and the CSV files —
+// are bit-identical at every thread count.
 
 #ifndef HDSKY_BENCH_BENCH_UTIL_H_
 #define HDSKY_BENCH_BENCH_UTIL_H_
@@ -19,9 +25,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "common/logging.h"
 #include "interface/top_k_interface.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace hdsky {
 namespace bench {
@@ -42,13 +52,17 @@ inline int64_t Scaled(int64_t n) {
   return s < 1 ? 1 : s;
 }
 
-/// Appends rows of one figure's series to bench_out/<name>.csv.
+/// Appends rows of one figure's series to <dir>/<name>.csv, where <dir>
+/// is $HDSKY_CSV_DIR (default "bench_out").
 class CsvSink {
  public:
   explicit CsvSink(const std::string& figure, const std::string& header) {
+    const char* env = std::getenv("HDSKY_CSV_DIR");
+    const std::string dir =
+        (env != nullptr && env[0] != '\0') ? env : "bench_out";
     std::error_code ec;
-    std::filesystem::create_directories("bench_out", ec);
-    path_ = "bench_out/" + figure + ".csv";
+    std::filesystem::create_directories(dir, ec);
+    path_ = dir + "/" + figure + ".csv";
     out_.open(path_, std::ios::trunc);
     if (out_) out_ << header << "\n";
   }
@@ -81,6 +95,33 @@ T Unwrap(common::Result<T> result, const char* what) {
     std::abort();
   }
   return std::move(result).value();
+}
+
+/// Worker threads for bench fan-out, from $HDSKY_THREADS (1 = serial).
+inline int Threads() {
+  static const int threads = runtime::EnvThreadCount();
+  return threads;
+}
+
+/// Runs `num_trials` independent trials, fanning them across `threads`
+/// workers, and returns their results in trial order. fn(i) must depend
+/// only on its trial index i (fixed seeds derived from i, its own
+/// interface instance, ...) and R must be default-constructible.
+///
+/// Determinism: trial i writes slot i and nothing else, so the returned
+/// vector is identical — element for element — whether threads is 1, 4,
+/// or 8. The figure benches lean on this to keep their CSVs byte-stable
+/// under HDSKY_THREADS.
+template <typename Fn,
+          typename R = std::invoke_result_t<Fn&, int64_t>>
+std::vector<R> RunTrialsParallel(int64_t num_trials, Fn&& fn,
+                                 int threads = -1) {
+  if (threads < 0) threads = Threads();
+  std::vector<R> results(static_cast<size_t>(num_trials));
+  runtime::ParallelFor(threads, 0, num_trials, [&](int64_t i) {
+    results[static_cast<size_t>(i)] = fn(i);
+  });
+  return results;
 }
 
 inline std::unique_ptr<interface::TopKInterface> MakeInterface(

@@ -9,6 +9,11 @@
 // in |S|. SQ runs are capped (the paper's worst-case curves reach 10^10+
 // query counts that no experiment can execute); a capped point reports
 // the cap.
+//
+// Execution: each of the 20 (m, target) points generates its own
+// database from its own seed, so the whole sweep fans across
+// HDSKY_THREADS workers (see fig14 for the pattern); results are
+// identical at every thread count.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +29,10 @@ namespace {
 using namespace hdsky;
 
 constexpr int64_t kQueryCap = 30000;
+const int kMs[] = {4, 8};
+const int64_t kTargets[] = {5, 15, 25, 35, 45, 55, 65, 75, 85, 95};
+constexpr int64_t kNumTargets =
+    static_cast<int64_t>(sizeof(kTargets) / sizeof(kTargets[0]));
 
 bench::CsvSink& Sink() {
   static bench::CsvSink sink("fig06_sq_vs_rq_simulation",
@@ -32,61 +41,81 @@ bench::CsvSink& Sink() {
   return sink;
 }
 
-// One generated database per (m, target), shared between both algorithms.
-const data::Table& TableFor(int m, int64_t target) {
-  static std::map<std::pair<int, int64_t>, data::Table> cache;
-  auto it = cache.find({m, target});
-  if (it == cache.end()) {
-    dataset::SmallDomainOptions o;
-    o.num_tuples = bench::Scaled(2000);
-    o.num_attributes = m;
-    o.domain_size = m <= 4 ? 48 : 6;
-    o.iface = data::InterfaceType::kRQ;
-    o.seed = 600 + static_cast<uint64_t>(m) * 100 +
-             static_cast<uint64_t>(target);
-    it = cache
-             .emplace(std::make_pair(m, target),
-                      bench::Unwrap(
-                          dataset::GenerateWithSkylineSize(
-                              o, target, std::max<int64_t>(2, target / 10)),
-                          "GenerateWithSkylineSize"))
-             .first;
+// One generated database per (m, target), shared between both algorithms
+// within the point's trial.
+data::Table TableFor(int m, int64_t target) {
+  dataset::SmallDomainOptions o;
+  o.num_tuples = bench::Scaled(2000);
+  o.num_attributes = m;
+  o.domain_size = m <= 4 ? 48 : 6;
+  o.iface = data::InterfaceType::kRQ;
+  o.seed = 600 + static_cast<uint64_t>(m) * 100 +
+           static_cast<uint64_t>(target);
+  return bench::Unwrap(
+      dataset::GenerateWithSkylineSize(o, target,
+                                       std::max<int64_t>(2, target / 10)),
+      "GenerateWithSkylineSize");
+}
+
+struct Point {
+  int64_t actual = 0;
+  int64_t sq_cost = 0;
+  int64_t rq_cost = 0;
+  bool sq_capped = false;
+};
+
+Point ComputePoint(int m, int64_t target) {
+  const data::Table t = TableFor(m, target);
+  Point p;
+  p.actual =
+      static_cast<int64_t>(skyline::DistinctSkylineValues(t).size());
+  {
+    auto iface = bench::MakeInterface(
+        &t, interface::MakeLayeredRandomRanking(4242), 1);
+    core::SqDbSkyOptions opts;
+    opts.common.max_queries = kQueryCap;
+    auto r = bench::Unwrap(core::SqDbSky(iface.get(), opts), "SqDbSky");
+    p.sq_cost = r.query_cost;
+    p.sq_capped = !r.complete;
   }
-  return it->second;
+  {
+    auto iface = bench::MakeInterface(
+        &t, interface::MakeLayeredRandomRanking(4242), 1);
+    p.rq_cost =
+        bench::Unwrap(core::RqDbSky(iface.get()), "RqDbSky").query_cost;
+  }
+  return p;
+}
+
+// Row-major over (m, target), matching the registration order.
+const std::vector<Point>& AllPoints() {
+  static const std::vector<Point> points = [] {
+    const int64_t count =
+        static_cast<int64_t>(sizeof(kMs) / sizeof(kMs[0])) * kNumTargets;
+    return bench::RunTrialsParallel(count, [](int64_t i) {
+      return ComputePoint(kMs[i / kNumTargets],
+                          kTargets[i % kNumTargets]);
+    });
+  }();
+  return points;
 }
 
 void BM_Fig06(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   const int64_t target = state.range(1);
-  const data::Table& t = TableFor(m, target);
-  const int64_t actual =
-      static_cast<int64_t>(skyline::DistinctSkylineValues(t).size());
-
-  int64_t sq_cost = 0, rq_cost = 0;
-  bool sq_capped = false;
+  size_t index = 0;
+  for (int64_t mi = 0; kMs[mi] != m; ++mi) index += kNumTargets;
+  for (int64_t ti = 0; kTargets[ti] != target; ++ti) ++index;
+  Point p;
   for (auto _ : state) {
-    {
-      auto iface = bench::MakeInterface(
-          &t, interface::MakeLayeredRandomRanking(4242), 1);
-      core::SqDbSkyOptions opts;
-      opts.common.max_queries = kQueryCap;
-      auto r = bench::Unwrap(core::SqDbSky(iface.get(), opts), "SqDbSky");
-      sq_cost = r.query_cost;
-      sq_capped = !r.complete;
-    }
-    {
-      auto iface = bench::MakeInterface(
-          &t, interface::MakeLayeredRandomRanking(4242), 1);
-      auto r = bench::Unwrap(core::RqDbSky(iface.get()), "RqDbSky");
-      rq_cost = r.query_cost;
-    }
+    p = AllPoints()[index];
   }
-  state.counters["skyline"] = static_cast<double>(actual);
-  state.counters["sq_cost"] = static_cast<double>(sq_cost);
-  state.counters["rq_cost"] = static_cast<double>(rq_cost);
+  state.counters["skyline"] = static_cast<double>(p.actual);
+  state.counters["sq_cost"] = static_cast<double>(p.sq_cost);
+  state.counters["rq_cost"] = static_cast<double>(p.rq_cost);
   Sink().Row("%d,%lld,%lld,%lld,%lld,%d", m, (long long)target,
-             (long long)actual, (long long)sq_cost, (long long)rq_cost,
-             sq_capped ? 1 : 0);
+             (long long)p.actual, (long long)p.sq_cost,
+             (long long)p.rq_cost, p.sq_capped ? 1 : 0);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 #include "interface/caching_database.h"
 
 #include <fstream>
-#include <sstream>
+
+#include "interface/cache_io.h"
 
 namespace hdsky {
 namespace interface {
@@ -18,64 +19,27 @@ Result<QueryResult> CachingDatabase::Execute(const Query& q) {
     ++hits_;
     return it->second;
   }
-  HDSKY_ASSIGN_OR_RETURN(QueryResult result, backend_->Execute(q));
+  // Count the miss only once the backend actually produced an answer: a
+  // failed fetch (rate limit, transport error) caches nothing and must
+  // not skew the hit ratio — it is tallied separately so that
+  // hits + misses + errors always equals the accepted Execute calls.
+  auto fetched = backend_->Execute(q);
+  if (!fetched.ok()) {
+    ++errors_;
+    return fetched.status();
+  }
   ++misses_;
+  QueryResult result = std::move(fetched).value();
   cache_.emplace(std::move(key), result);
   return result;
 }
 
-namespace {
-
-// Hex codec for the binary query signature.
-std::string ToHex(const std::string& bytes) {
-  static const char* digits = "0123456789abcdef";
-  std::string out;
-  out.reserve(bytes.size() * 2);
-  for (unsigned char c : bytes) {
-    out.push_back(digits[c >> 4]);
-    out.push_back(digits[c & 0xf]);
-  }
-  return out;
-}
-
-Result<std::string> FromHex(const std::string& hex) {
-  if (hex.size() % 2 != 0) {
-    return Status::IOError("odd-length hex signature");
-  }
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return -1;
-  };
-  std::string out;
-  out.reserve(hex.size() / 2);
-  for (size_t i = 0; i < hex.size(); i += 2) {
-    const int hi = nibble(hex[i]);
-    const int lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return Status::IOError("bad hex digit");
-    out.push_back(static_cast<char>((hi << 4) | lo));
-  }
-  return out;
-}
-
-constexpr char kMagic[] = "hdsky-cache-v1";
-
-}  // namespace
-
 Status CachingDatabase::Save(std::ostream& out) const {
-  out << kMagic << " " << cache_.size() << "\n";
+  cache_io::WriteHeader(out, cache_.size());
   for (const auto& [key, result] : cache_) {
-    out << ToHex(key) << " " << (result.overflow ? 1 : 0) << " "
-        << result.ids.size();
-    for (size_t i = 0; i < result.ids.size(); ++i) {
-      out << " " << result.ids[i];
-      for (data::Value v : result.tuples[i]) out << " " << v;
-    }
-    out << "\n";
+    cache_io::WriteEntry(out, key, result);
   }
-  out.flush();
-  if (!out) return Status::IOError("cache write failed");
-  return Status::OK();
+  return cache_io::FinishWrite(out);
 }
 
 Status CachingDatabase::SaveToFile(const std::string& path) const {
@@ -85,39 +49,8 @@ Status CachingDatabase::SaveToFile(const std::string& path) const {
 }
 
 Status CachingDatabase::Load(std::istream& in) {
-  std::string magic;
-  size_t count = 0;
-  if (!(in >> magic >> count) || magic != kMagic) {
-    return Status::IOError("not an hdsky cache stream");
-  }
-  const int width = schema().num_attributes();
-  std::unordered_map<std::string, QueryResult> loaded;
-  for (size_t e = 0; e < count; ++e) {
-    std::string hex;
-    int overflow = 0;
-    size_t num_ids = 0;
-    if (!(in >> hex >> overflow >> num_ids)) {
-      return Status::IOError("truncated cache entry");
-    }
-    HDSKY_ASSIGN_OR_RETURN(std::string key, FromHex(hex));
-    QueryResult result;
-    result.overflow = overflow != 0;
-    result.ids.reserve(num_ids);
-    result.tuples.reserve(num_ids);
-    for (size_t i = 0; i < num_ids; ++i) {
-      data::TupleId id;
-      if (!(in >> id)) return Status::IOError("truncated cache tuple");
-      data::Tuple t(static_cast<size_t>(width));
-      for (int a = 0; a < width; ++a) {
-        if (!(in >> t[static_cast<size_t>(a)])) {
-          return Status::IOError("truncated cache tuple values");
-        }
-      }
-      result.ids.push_back(id);
-      result.tuples.push_back(std::move(t));
-    }
-    loaded.emplace(std::move(key), std::move(result));
-  }
+  HDSKY_ASSIGN_OR_RETURN(auto loaded,
+                         cache_io::ReadAll(in, schema().num_attributes()));
   for (auto& [key, result] : loaded) {
     cache_[key] = std::move(result);
   }

@@ -12,6 +12,11 @@
 // the algorithm — the cached prefix replays for free and only new
 // queries reach the backend. examples/flight_search.cpp demonstrates the
 // daily-quota workflow.
+//
+// Thread safety: NONE — this decorator is single-threaded by design (no
+// locking on the hot path). Share ConcurrentCachingDatabase across
+// threads instead; both persist the same cache format (cache_io.h), so
+// their Save/Load files are interchangeable. See docs/concurrency.md.
 
 #ifndef HDSKY_INTERFACE_CACHING_DATABASE_H_
 #define HDSKY_INTERFACE_CACHING_DATABASE_H_
@@ -40,8 +45,14 @@ class CachingDatabase : public HiddenDatabase {
     return backend_->ValidateQuery(q);
   }
 
+  /// Accounting invariant: hits() + misses() + errors() equals the number
+  /// of Execute calls that passed validation. A miss is counted only when
+  /// the backend produced an answer; failed fetches (rate limits,
+  /// transport errors) count as errors and cache nothing, so a later
+  /// retry of the same query still reaches the backend.
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  int64_t errors() const { return errors_; }
   int64_t size() const { return static_cast<int64_t>(cache_.size()); }
 
   /// Persists the cache as a versioned text format.
@@ -58,6 +69,7 @@ class CachingDatabase : public HiddenDatabase {
   std::unordered_map<std::string, QueryResult> cache_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t errors_ = 0;
 };
 
 }  // namespace interface

@@ -1,0 +1,122 @@
+#include "interface/concurrent_caching_database.h"
+
+#include <fstream>
+#include <functional>
+
+#include "interface/cache_io.h"
+
+namespace hdsky {
+namespace interface {
+
+using common::Result;
+using common::Status;
+
+ConcurrentCachingDatabase::ConcurrentCachingDatabase(
+    HiddenDatabase* backend)
+    : ConcurrentCachingDatabase(backend, Options()) {}
+
+ConcurrentCachingDatabase::ConcurrentCachingDatabase(
+    HiddenDatabase* backend, Options options)
+    : backend_(backend), options_(options) {}
+
+ConcurrentCachingDatabase::Shard& ConcurrentCachingDatabase::ShardFor(
+    const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+Result<QueryResult> ConcurrentCachingDatabase::Execute(const Query& q) {
+  HDSKY_RETURN_IF_ERROR(ValidateQuery(q));
+  std::string key = q.Signature();
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;  // copy while holding the shard lock
+    }
+  }
+
+  auto fetch = [&]() -> Result<QueryResult> {
+    auto fetched = backend_->Execute(q);
+    if (!fetched.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return fetched.status();
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    QueryResult result = std::move(fetched).value();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.emplace(std::move(key), result);
+    }
+    return result;
+  };
+
+  if (!options_.serialize_backend) return fetch();
+
+  std::lock_guard<std::mutex> backend_lock(backend_mu_);
+  {
+    // Double-checked re-probe: a racing thread may have fetched this key
+    // while we waited for the backend mutex. Re-probing here keeps each
+    // distinct query's backend cost at exactly one.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  return fetch();
+}
+
+int64_t ConcurrentCachingDatabase::size() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+Status ConcurrentCachingDatabase::Save(std::ostream& out) const {
+  // Lock every shard (in index order) for a consistent snapshot.
+  std::unique_lock<std::mutex> locks[kNumShards];
+  for (size_t s = 0; s < kNumShards; ++s) {
+    locks[s] = std::unique_lock<std::mutex>(shards_[s].mu);
+  }
+  size_t count = 0;
+  for (const Shard& shard : shards_) count += shard.map.size();
+  cache_io::WriteHeader(out, count);
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, result] : shard.map) {
+      cache_io::WriteEntry(out, key, result);
+    }
+  }
+  return cache_io::FinishWrite(out);
+}
+
+Status ConcurrentCachingDatabase::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  return Save(out);
+}
+
+Status ConcurrentCachingDatabase::Load(std::istream& in) {
+  HDSKY_ASSIGN_OR_RETURN(auto loaded,
+                         cache_io::ReadAll(in, schema().num_attributes()));
+  for (auto& [key, result] : loaded) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[key] = std::move(result);
+  }
+  return Status::OK();
+}
+
+Status ConcurrentCachingDatabase::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(in);
+}
+
+}  // namespace interface
+}  // namespace hdsky

@@ -1,0 +1,107 @@
+// Thread-safe client-side answer cache, shareable across discovery
+// threads.
+//
+// The parallel trial harness (bench::RunTrialsParallel) and any
+// multi-threaded client fan independent top-k probes across cores; this
+// decorator lets them share one paid-for answer pool. The map is sharded
+// — kNumShards independent {mutex, unordered_map} pairs keyed by a hash
+// of the query signature — so concurrent hits on different queries never
+// contend on one lock.
+//
+// Backend discipline: by default every cache miss fetches under one
+// backend mutex, because a HiddenDatabase backend is not required to be
+// thread-safe (CachingDatabase is not; TopKInterface is only for
+// static-order rankings — see docs/concurrency.md). The double-checked
+// re-probe under that mutex also guarantees each distinct query hits the
+// backend at most once, keeping query accounting identical to a serial
+// run. Clients that wrap a thread-safe backend can opt out via
+// Options::serialize_backend = false and accept duplicate fetches under
+// races (harmless: backends are deterministic, so both fetches agree).
+//
+// Persistence: Save/Load speak the same "hdsky-cache-v1" format as
+// CachingDatabase (cache_io.h); the two decorators' files are
+// interchangeable.
+
+#ifndef HDSKY_INTERFACE_CONCURRENT_CACHING_DATABASE_H_
+#define HDSKY_INTERFACE_CONCURRENT_CACHING_DATABASE_H_
+
+#include <atomic>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "interface/hidden_database.h"
+
+namespace hdsky {
+namespace interface {
+
+class ConcurrentCachingDatabase : public HiddenDatabase {
+ public:
+  struct Options {
+    /// Serialize backend fetches under one mutex (safe for any backend,
+    /// and makes backend query accounting match a serial run exactly).
+    /// Set false only when the backend itself is thread-safe.
+    bool serialize_backend = true;
+  };
+
+  /// Wraps `backend`, which must outlive this object.
+  explicit ConcurrentCachingDatabase(HiddenDatabase* backend);
+  ConcurrentCachingDatabase(HiddenDatabase* backend, Options options);
+
+  /// Thread-safe; callable concurrently from any number of threads.
+  common::Result<QueryResult> Execute(const Query& q) override;
+
+  const data::Schema& schema() const override {
+    return backend_->schema();
+  }
+  int k() const override { return backend_->k(); }
+  common::Status ValidateQuery(const Query& q) const override {
+    return backend_->ValidateQuery(q);
+  }
+
+  /// Same accounting invariant as CachingDatabase: hits + misses +
+  /// errors == accepted Execute calls; errors cache nothing.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  int64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  /// Total cached entries (locks each shard briefly).
+  int64_t size() const;
+
+  /// Persists the cache in the shared hdsky-cache-v1 format. Takes all
+  /// shard locks, so concurrent Execute calls briefly stall.
+  common::Status Save(std::ostream& out) const;
+  common::Status SaveToFile(const std::string& path) const;
+
+  /// Merges previously saved entries (from this class or
+  /// CachingDatabase). Fails, loading nothing, on a malformed stream.
+  common::Status Load(std::istream& in);
+  common::Status LoadFromFile(const std::string& path);
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, QueryResult> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  HiddenDatabase* backend_;
+  Options options_;
+  std::mutex backend_mu_;
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> errors_{0};
+};
+
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_CONCURRENT_CACHING_DATABASE_H_

@@ -1,6 +1,8 @@
 #include "interface/top_k_interface.h"
 
 #include <algorithm>
+#include <functional>
+#include <thread>
 
 namespace hdsky {
 namespace interface {
@@ -100,33 +102,78 @@ bool TopKInterface::OutsideDomain(const Query& q) const {
   return false;
 }
 
+TopKInterface::StatShard& TopKInterface::LocalShard() {
+  const size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kStatShards;
+  return stat_shards_[slot];
+}
+
+AccessStats TopKInterface::stats() const {
+  AccessStats merged;
+  for (const StatShard& s : stat_shards_) {
+    merged.queries_issued +=
+        s.queries_issued.load(std::memory_order_relaxed);
+    merged.tuples_returned +=
+        s.tuples_returned.load(std::memory_order_relaxed);
+    merged.overflowed_queries +=
+        s.overflowed_queries.load(std::memory_order_relaxed);
+    merged.empty_queries +=
+        s.empty_queries.load(std::memory_order_relaxed);
+    merged.rejected_queries +=
+        s.rejected_queries.load(std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+void TopKInterface::ResetStats() {
+  for (StatShard& s : stat_shards_) {
+    s.queries_issued.store(0, std::memory_order_relaxed);
+    s.tuples_returned.store(0, std::memory_order_relaxed);
+    s.overflowed_queries.store(0, std::memory_order_relaxed);
+    s.empty_queries.store(0, std::memory_order_relaxed);
+    s.rejected_queries.store(0, std::memory_order_relaxed);
+  }
+}
+
 int64_t TopKInterface::RemainingBudget() const {
   if (options_.query_budget == 0) return -1;
-  return options_.query_budget - budget_used_;
+  return options_.query_budget -
+         budget_used_.load(std::memory_order_relaxed);
 }
 
 void TopKInterface::SetBudget(int64_t budget) {
   options_.query_budget = budget;
-  budget_used_ = 0;
+  budget_used_.store(0, std::memory_order_relaxed);
 }
 
 Result<QueryResult> TopKInterface::Execute(const Query& q) {
+  StatShard& tally = LocalShard();
   const Status legal = ValidateQuery(q);
   if (!legal.ok()) {
-    ++stats_.rejected_queries;
+    tally.rejected_queries.fetch_add(1, std::memory_order_relaxed);
     return legal;
   }
-  if (options_.query_budget > 0 &&
-      budget_used_ >= options_.query_budget) {
-    return Status::ResourceExhausted("query budget exhausted");
+  // Exact admission under concurrency: optimistically claim a slot, and
+  // return it if the budget was already spent (the claim-then-undo pair
+  // can transiently overshoot budget_used_ but never admits more than
+  // query_budget queries).
+  if (options_.query_budget > 0) {
+    const int64_t used =
+        budget_used_.fetch_add(1, std::memory_order_relaxed);
+    if (used >= options_.query_budget) {
+      budget_used_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("query budget exhausted");
+    }
+  } else {
+    budget_used_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++budget_used_;
-  ++stats_.queries_issued;
+  tally.queries_issued.fetch_add(1, std::memory_order_relaxed);
 
   QueryResult result;
   const int k = options_.k;
   if (q.HasEmptyInterval() || OutsideDomain(q)) {
-    ++stats_.empty_queries;
+    tally.empty_queries.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
 
@@ -180,9 +227,14 @@ Result<QueryResult> TopKInterface::Execute(const Query& q) {
   for (TupleId id : result.ids) {
     result.tuples.push_back(table_->GetTuple(id));
   }
-  stats_.tuples_returned += result.size();
-  if (result.overflow) ++stats_.overflowed_queries;
-  if (result.empty()) ++stats_.empty_queries;
+  tally.tuples_returned.fetch_add(result.size(),
+                                  std::memory_order_relaxed);
+  if (result.overflow) {
+    tally.overflowed_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.empty()) {
+    tally.empty_queries.fetch_add(1, std::memory_order_relaxed);
+  }
   return result;
 }
 

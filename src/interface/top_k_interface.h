@@ -18,6 +18,7 @@
 #ifndef HDSKY_INTERFACE_TOP_K_INTERFACE_H_
 #define HDSKY_INTERFACE_TOP_K_INTERFACE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,13 @@ struct TopKOptions {
 /// The simulated hidden web database: table + ranking policy + top-k
 /// constraint. One concrete HiddenDatabase; real deployments adapt their
 /// HTTP client through CallbackDatabase instead.
+///
+/// Thread safety: concurrent Execute calls are safe when the ranking
+/// policy is stateless after Bind (static_order() != nullptr — true for
+/// sum, lexicographic, and layered-random). Accounting and budget
+/// enforcement are lock-free and exact under concurrency. Stateful
+/// rankings (adversarial) need external synchronization; see
+/// docs/concurrency.md.
 class TopKInterface : public HiddenDatabase {
  public:
   /// Binds `ranking` to the table. The table must outlive the interface.
@@ -74,12 +82,19 @@ class TopKInterface : public HiddenDatabase {
   const data::Schema& schema() const override { return table_->schema(); }
   int k() const override { return options_.k; }
 
-  const AccessStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = AccessStats(); }
+  /// Snapshot of the counters, merged over the internal per-thread
+  /// tally shards. Cheap (a handful of relaxed loads) and safe to call
+  /// concurrently with Execute.
+  AccessStats stats() const;
+  /// Zeroes all tally shards. Requires external synchronization with
+  /// concurrent Execute calls (quiesce first).
+  void ResetStats();
 
-  /// Remaining query budget; -1 when unlimited.
+  /// Remaining query budget; -1 when unlimited. Safe concurrently with
+  /// Execute (the value is naturally a momentary snapshot).
   int64_t RemainingBudget() const;
-  /// Replaces the budget counting from now (0 = unlimited).
+  /// Replaces the budget counting from now (0 = unlimited). Requires
+  /// external synchronization with concurrent Execute calls.
   void SetBudget(int64_t budget);
 
  private:
@@ -91,11 +106,26 @@ class TopKInterface : public HiddenDatabase {
   /// attribute's domain — the answer is empty without evaluation.
   bool OutsideDomain(const Query& q) const;
 
+  /// Query accounting is sharded to keep concurrent Execute calls from
+  /// bouncing one cache line: each thread lands (by thread-id hash) on
+  /// one of kStatShards cache-line-aligned tallies, and stats() merges
+  /// them on demand. The budget check stays a single atomic because it
+  /// must be globally exact.
+  static constexpr size_t kStatShards = 8;
+  struct alignas(64) StatShard {
+    std::atomic<int64_t> queries_issued{0};
+    std::atomic<int64_t> tuples_returned{0};
+    std::atomic<int64_t> overflowed_queries{0};
+    std::atomic<int64_t> empty_queries{0};
+    std::atomic<int64_t> rejected_queries{0};
+  };
+  StatShard& LocalShard();
+
   const data::Table* table_;
   std::shared_ptr<RankingPolicy> ranking_;
   TopKOptions options_;
-  AccessStats stats_;
-  int64_t budget_used_ = 0;
+  StatShard stat_shards_[kStatShards];
+  std::atomic<int64_t> budget_used_{0};
   /// Fast path for static-order rankings on large tables: inverse rank
   /// permutation and a k-d index for selective queries.
   std::vector<int64_t> rank_of_row_;

@@ -1,0 +1,73 @@
+// Blocking data-parallel loops over an index range.
+//
+// ParallelFor(pool, begin, end, fn) calls fn(i) exactly once for every i
+// in [begin, end), distributing indices across the pool's workers with a
+// shared atomic cursor (dynamic scheduling — discovery trials have wildly
+// uneven costs, so static chunking would leave cores idle). The call
+// returns only after every index has completed.
+//
+// Determinism contract: fn must write its result into state owned by
+// index i alone (e.g. results[i]). Under that discipline the outcome is
+// identical for every pool size, including the serial pool — the
+// scheduling order is unobservable. All of bench/'s parallel sweeps are
+// built on this rule.
+
+#ifndef HDSKY_RUNTIME_PARALLEL_FOR_H_
+#define HDSKY_RUNTIME_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <latch>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+
+namespace hdsky {
+namespace runtime {
+
+/// Runs fn(i) for every i in [begin, end) on `pool`, blocking until all
+/// iterations finish. fn is invoked concurrently from up to pool.size()
+/// threads and must not throw.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end, Fn&& fn) {
+  if (begin >= end) return;
+  const int64_t count = end - begin;
+  if (pool.size() <= 1 || count == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const int num_tasks =
+      count < static_cast<int64_t>(pool.size())
+          ? static_cast<int>(count)
+          : pool.size();
+  std::atomic<int64_t> next{begin};
+  std::latch done{num_tasks};
+  for (int t = 0; t < num_tasks; ++t) {
+    pool.Submit([&next, &done, end, &fn] {
+      for (;;) {
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        fn(i);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+/// Convenience overload: runs on a transient pool of `threads` workers
+/// (serial inline when threads <= 1).
+template <typename Fn>
+void ParallelFor(int threads, int64_t begin, int64_t end, Fn&& fn) {
+  if (threads <= 1 || end - begin <= 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(pool, begin, end, std::forward<Fn>(fn));
+}
+
+}  // namespace runtime
+}  // namespace hdsky
+
+#endif  // HDSKY_RUNTIME_PARALLEL_FOR_H_

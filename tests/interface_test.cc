@@ -283,6 +283,51 @@ TEST(CachingDatabaseTest, HitsIgnoreBackendBudget) {
   EXPECT_TRUE(cached.Execute(q).status().IsResourceExhausted());
 }
 
+TEST(CachingDatabaseTest, AccountsBackendErrorsSeparately) {
+  // Audit of hit/miss accounting under error returns: a failed backend
+  // fetch must count as neither a hit nor a miss (it is an error), must
+  // cache nothing, and must leave a later retry able to reach the
+  // backend. Invariant: hits + misses + errors == accepted Execute calls.
+  const Table t = MakeMixedTable();
+  TopKOptions opts;
+  opts.query_budget = 1;
+  auto backend =
+      std::move(TopKInterface::Create(&t, MakeSumRanking(), opts)).value();
+  CachingDatabase cached(backend.get());
+
+  Query q(4);
+  q.AddAtMost(0, 200);
+  ASSERT_TRUE(cached.Execute(q).ok());  // consumes the whole budget
+  EXPECT_EQ(cached.misses(), 1);
+
+  Query q2(4);
+  q2.AddAtMost(0, 100);
+  // Three failed fetches: errors tally, hit/miss ratios stay honest,
+  // and the failures are not cached as answers.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cached.Execute(q2).status().IsResourceExhausted());
+  }
+  EXPECT_EQ(cached.hits(), 0);
+  EXPECT_EQ(cached.misses(), 1);
+  EXPECT_EQ(cached.errors(), 3);
+  EXPECT_EQ(cached.size(), 1);
+
+  // A new budget window: the retry is a genuine miss that reaches the
+  // backend (nothing stale was cached by the failures).
+  backend->SetBudget(1);
+  ASSERT_TRUE(cached.Execute(q2).ok());
+  EXPECT_EQ(cached.misses(), 2);
+  EXPECT_EQ(cached.errors(), 3);
+  EXPECT_EQ(cached.size(), 2);
+
+  // Rejected (illegal) queries fail validation before the cache and
+  // count nowhere.
+  Query bad(4);
+  bad.AddAtLeast(1, 2);  // lower bound on an SQ attribute
+  EXPECT_TRUE(cached.Execute(bad).status().IsUnsupported());
+  EXPECT_EQ(cached.hits() + cached.misses() + cached.errors(), 5);
+}
+
 TEST(CachingDatabaseTest, MakesDiscoveryResumable) {
   // Re-running a deterministic discovery across budget windows costs, in
   // total, exactly the one-shot cost: the cached prefix replays free.

@@ -1,0 +1,134 @@
+// Determinism of the parallel trial harness (bench::RunTrialsParallel):
+// fanning SQ-DB-SKY and RQ-DB-SKY trials across 1, 4, and 8 threads must
+// yield byte-identical aggregate results and identical total query
+// counts — the guarantee that lets every figure bench honor
+// HDSKY_THREADS without perturbing the paper's numbers.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "dataset/synthetic.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+
+namespace hdsky {
+namespace {
+
+constexpr int64_t kNumTrials = 12;
+
+// One fully self-contained trial: its own dataset, ranking, and
+// interface, all seeded from the trial index alone.
+data::Table TrialTable(int64_t trial) {
+  dataset::SyntheticOptions gen;
+  gen.num_tuples = 400 + 50 * trial;
+  gen.num_attributes = 3;
+  gen.domain_size = 64;
+  gen.iface = data::InterfaceType::kRQ;
+  gen.seed = 9000 + static_cast<uint64_t>(trial);
+  return std::move(dataset::GenerateSynthetic(gen)).value();
+}
+
+struct TrialOutcome {
+  std::string bytes;    // full serialization of the trial's result
+  int64_t cost = 0;     // reported query cost
+  int64_t issued = 0;   // the interface's own accounting
+};
+
+// Serializes everything observable about a trial: the discovered
+// skyline (ids and tuples), the reported cost, and the interface's own
+// query accounting. Byte-compared across thread counts below.
+template <typename Algo>
+TrialOutcome RunTrial(int64_t trial, Algo algo) {
+  const data::Table t = TrialTable(trial);
+  auto iface = std::move(interface::TopKInterface::Create(
+                             &t,
+                             interface::MakeLayeredRandomRanking(
+                                 700 + static_cast<uint64_t>(trial)),
+                             {.k = 3}))
+                   .value();
+  auto result = algo(iface.get());
+  EXPECT_TRUE(result.ok());
+  TrialOutcome outcome;
+  outcome.cost = result->query_cost;
+  outcome.issued = iface->stats().queries_issued;
+  std::ostringstream out;
+  out << "trial " << trial << " cost " << result->query_cost
+      << " issued " << outcome.issued << " complete "
+      << result->complete << " skyline";
+  for (size_t i = 0; i < result->skyline.size(); ++i) {
+    out << " #" << result->skyline_ids[i] << ":";
+    for (data::Value v : result->skyline[i]) out << v << ",";
+  }
+  out << "\n";
+  outcome.bytes = out.str();
+  return outcome;
+}
+
+struct Aggregate {
+  std::string bytes;         // concatenated per-trial serializations
+  int64_t total_cost = 0;    // summed reported query costs
+  int64_t total_issued = 0;  // summed interface-side query counts
+};
+
+template <typename Algo>
+Aggregate RunAll(int threads, Algo algo) {
+  const std::vector<TrialOutcome> per_trial = bench::RunTrialsParallel(
+      kNumTrials,
+      [&](int64_t trial) { return RunTrial(trial, algo); }, threads);
+  Aggregate agg;
+  for (const TrialOutcome& o : per_trial) {
+    agg.bytes += o.bytes;
+    agg.total_cost += o.cost;
+    agg.total_issued += o.issued;
+  }
+  return agg;
+}
+
+TEST(ParallelTrialsTest, SqDbSkyIsThreadCountInvariant) {
+  auto sq = [](interface::TopKInterface* iface) {
+    return core::SqDbSky(iface);
+  };
+  const Aggregate serial = RunAll(1, sq);
+  ASSERT_FALSE(serial.bytes.empty());
+  ASSERT_GT(serial.total_cost, 0);
+  for (int threads : {4, 8}) {
+    const Aggregate parallel = RunAll(threads, sq);
+    EXPECT_EQ(parallel.bytes, serial.bytes) << "threads=" << threads;
+    EXPECT_EQ(parallel.total_cost, serial.total_cost)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTrialsTest, RqDbSkyIsThreadCountInvariant) {
+  auto rq = [](interface::TopKInterface* iface) {
+    return core::RqDbSky(iface);
+  };
+  const Aggregate serial = RunAll(1, rq);
+  ASSERT_FALSE(serial.bytes.empty());
+  ASSERT_GT(serial.total_cost, 0);
+  for (int threads : {4, 8}) {
+    const Aggregate parallel = RunAll(threads, rq);
+    EXPECT_EQ(parallel.bytes, serial.bytes) << "threads=" << threads;
+    EXPECT_EQ(parallel.total_cost, serial.total_cost)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTrialsTest, ResultsArriveInTrialOrder) {
+  const std::vector<int64_t> out = bench::RunTrialsParallel(
+      100, [](int64_t i) { return i * 3; }, 8);
+  ASSERT_EQ(out.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i * 3);
+  }
+}
+
+}  // namespace
+}  // namespace hdsky

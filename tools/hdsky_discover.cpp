@@ -21,12 +21,15 @@
 //   --band H            discover the top-H sky band instead (RQ/PQ only)
 //   --out PATH          write discovered tuples as CSV
 //   --seed S            generator seed for --demo
+//   --trials T          run T independent trials (seeds S..S+T-1; --demo)
+//   --threads W         workers for --trials (default $HDSKY_THREADS)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/baseline_crawler.h"
 #include "core/mq_db_sky.h"
@@ -41,6 +44,8 @@
 #include "dataset/yahoo_autos.h"
 #include "interface/ranking.h"
 #include "interface/top_k_interface.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -57,6 +62,8 @@ struct Args {
   int band = 0;
   std::string out;
   uint64_t seed = 42;
+  int trials = 1;
+  int threads = 0;  // 0 = take $HDSKY_THREADS
 };
 
 void Usage() {
@@ -71,7 +78,9 @@ void Usage() {
       "  --budget B        query budget (0 = unlimited)\n"
       "  --band H          discover the top-H sky band (RQ/PQ)\n"
       "  --out PATH        write discovered tuples as CSV\n"
-      "  --seed S          demo generator seed\n");
+      "  --seed S          demo generator seed\n"
+      "  --trials T        independent trials, seeds S..S+T-1 (--demo)\n"
+      "  --threads W       workers for --trials (default $HDSKY_THREADS)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -103,6 +112,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out = value;
     } else if (flag == "--seed" && need_value(&value)) {
       args->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--trials" && need_value(&value)) {
+      args->trials = std::atoi(value.c_str());
+    } else if (flag == "--threads" && need_value(&value)) {
+      args->threads = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                    flag.c_str());
@@ -111,6 +124,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->data.empty() == args->demo.empty()) {
     std::fprintf(stderr, "exactly one of --data / --demo is required\n");
+    return false;
+  }
+  if (args->trials < 1) {
+    std::fprintf(stderr, "--trials must be >= 1\n");
+    return false;
+  }
+  if (args->trials > 1 && args->demo.empty()) {
+    std::fprintf(stderr, "--trials needs --demo (seeds vary per trial)\n");
     return false;
   }
   return true;
@@ -182,6 +203,81 @@ common::Result<core::DiscoveryResult> Run(const Args& args,
   return common::Status::InvalidArgument("unknown algorithm '" + a + "'");
 }
 
+// Fans --trials independent discoveries (seed, seed+1, ...) across
+// --threads workers. Each trial owns its table, ranking, and interface,
+// so the per-trial numbers are identical at every worker count.
+int RunTrials(const Args& args) {
+  struct Trial {
+    bool ok = false;
+    std::string error;
+    int64_t cost = 0;
+    size_t found = 0;
+    bool complete = false;
+  };
+  const int threads =
+      args.threads > 0 ? args.threads : runtime::EnvThreadCount();
+  std::vector<Trial> trials(static_cast<size_t>(args.trials));
+  runtime::ParallelFor(threads, 0, args.trials, [&](int64_t i) {
+    Args trial_args = args;
+    trial_args.seed = args.seed + static_cast<uint64_t>(i);
+    Trial& out = trials[static_cast<size_t>(i)];
+    auto table = LoadTable(trial_args);
+    if (!table.ok()) {
+      out.error = table.status().ToString();
+      return;
+    }
+    auto ranking = MakeRanking(trial_args, table->schema());
+    if (!ranking.ok()) {
+      out.error = ranking.status().ToString();
+      return;
+    }
+    interface::TopKOptions topk;
+    topk.k = trial_args.k;
+    topk.query_budget = trial_args.budget;
+    auto iface = interface::TopKInterface::Create(
+        &*table, std::move(ranking).value(), topk);
+    if (!iface.ok()) {
+      out.error = iface.status().ToString();
+      return;
+    }
+    auto result = Run(trial_args, iface->get());
+    if (!result.ok()) {
+      out.error = result.status().ToString();
+      return;
+    }
+    out.ok = true;
+    out.cost = result->query_cost;
+    out.found = result->skyline.size();
+    out.complete = result->complete;
+  });
+
+  int64_t total_cost = 0;
+  for (int i = 0; i < args.trials; ++i) {
+    const Trial& t = trials[static_cast<size_t>(i)];
+    if (!t.ok) {
+      std::fprintf(stderr, "trial %d (seed %llu): %s\n", i,
+                   static_cast<unsigned long long>(
+                       args.seed + static_cast<uint64_t>(i)),
+                   t.error.c_str());
+      return 1;
+    }
+    std::printf("trial %d: seed %llu  found %zu  queries %lld%s\n", i,
+                static_cast<unsigned long long>(
+                    args.seed + static_cast<uint64_t>(i)),
+                t.found, static_cast<long long>(t.cost),
+                t.complete ? "" : "  (partial)");
+    total_cost += t.cost;
+  }
+  // stdout stays byte-identical at every worker count; the worker note
+  // goes to stderr.
+  std::printf("mean queries over %d trials: %.2f\n", args.trials,
+              static_cast<double>(total_cost) /
+                  static_cast<double>(args.trials));
+  std::fprintf(stderr, "(ran on %d worker%s)\n", threads,
+               threads == 1 ? "" : "s");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +286,8 @@ int main(int argc, char** argv) {
     Usage();
     return 64;
   }
+
+  if (args.trials > 1) return RunTrials(args);
 
   auto table_result = LoadTable(args);
   if (!table_result.ok()) {
