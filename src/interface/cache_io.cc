@@ -1,5 +1,6 @@
 #include "interface/cache_io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 
@@ -71,11 +72,20 @@ Status FinishWrite(std::ostream& out) {
 
 Result<std::unordered_map<std::string, QueryResult>> ReadAll(
     std::istream& in, int width) {
+  if (width <= 0) return Status::InvalidArgument("width must be positive");
   std::string magic;
   size_t count = 0;
-  if (!(in >> magic >> count) || magic != kMagic) {
+  if (!(in >> magic) || magic != kMagic) {
     return Status::IOError("not an hdsky cache stream");
   }
+  if (!(in >> count)) {
+    return Status::IOError("cache header missing entry count");
+  }
+  // A signature is the query's packed interval bounds: two Values per
+  // attribute (see Query::Signature), so its decoded size is fixed by the
+  // schema width.
+  const size_t key_bytes =
+      static_cast<size_t>(width) * 2 * sizeof(data::Value);
   std::unordered_map<std::string, QueryResult> loaded;
   for (size_t e = 0; e < count; ++e) {
     std::string hex;
@@ -85,13 +95,24 @@ Result<std::unordered_map<std::string, QueryResult>> ReadAll(
       return Status::IOError("truncated cache entry");
     }
     HDSKY_ASSIGN_OR_RETURN(std::string key, FromHex(hex));
+    if (key.size() != key_bytes) {
+      return Status::IOError("signature does not match schema width");
+    }
+    if (overflow != 0 && overflow != 1) {
+      return Status::IOError("overflow flag must be 0 or 1");
+    }
     QueryResult result;
     result.overflow = overflow != 0;
-    result.ids.reserve(num_ids);
-    result.tuples.reserve(num_ids);
+    // The declared tuple count is untrusted: reserve only what the stream
+    // could plausibly hold, and let push_back grow past it if a hostile
+    // count lies low (it can't lie high — reads fail first).
+    const size_t plausible = std::min<size_t>(num_ids, 4096);
+    result.ids.reserve(plausible);
+    result.tuples.reserve(plausible);
     for (size_t i = 0; i < num_ids; ++i) {
       data::TupleId id;
       if (!(in >> id)) return Status::IOError("truncated cache tuple");
+      if (id < 0) return Status::IOError("negative tuple id");
       data::Tuple t(static_cast<size_t>(width));
       for (int a = 0; a < width; ++a) {
         if (!(in >> t[static_cast<size_t>(a)])) {
@@ -101,7 +122,15 @@ Result<std::unordered_map<std::string, QueryResult>> ReadAll(
       result.ids.push_back(id);
       result.tuples.push_back(std::move(t));
     }
-    loaded.emplace(std::move(key), std::move(result));
+    if (!loaded.emplace(std::move(key), std::move(result)).second) {
+      return Status::IOError("duplicate cache key");
+    }
+  }
+  // Anything but trailing whitespace after the declared entries means the
+  // count lied or the stream was corrupted mid-write.
+  char trailing = 0;
+  if (in >> trailing) {
+    return Status::IOError("trailing bytes after cache entries");
   }
   return loaded;
 }

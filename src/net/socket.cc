@@ -1,0 +1,311 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace hdsky {
+namespace net {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+Status SetBlocking(int fd, bool blocking) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  const int want = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, want) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+timeval MillisToTimeval(int ms) {
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  return tv;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int gai = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(gai));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    Socket sock(fd);
+    // Non-blocking connect with a poll-based deadline, then back to
+    // blocking mode for the frame I/O.
+    Status s = SetBlocking(fd, false);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    int rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      last = ErrnoStatus("connect " + host + ":" + port_str, errno);
+      continue;
+    }
+    if (rc != 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      do {
+        rc = poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        last = Status::IOError("connect " + host + ":" + port_str +
+                               " timed out");
+        continue;
+      }
+      if (rc < 0) {
+        last = ErrnoStatus("poll", errno);
+        continue;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+          err != 0) {
+        last = ErrnoStatus("connect " + host + ":" + port_str,
+                           err != 0 ? err : errno);
+        continue;
+      }
+    }
+    s = SetBlocking(fd, true);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    freeaddrinfo(res);
+    return sock;
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+Status Socket::SetIoTimeout(int ms) {
+  if (!valid()) return Status::IOError("socket is closed");
+  const timeval tv = MillisToTimeval(ms);
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+  }
+  if (setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return ErrnoStatus("setsockopt(SO_SNDTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  if (!valid()) return Status::IOError("socket is closed");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that went away yields EPIPE, not a process
+    // signal.
+    const ssize_t n = send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("send timed out");
+      }
+      return ErrnoStatus("send", errno);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExact(void* data, size_t len) {
+  if (!valid()) return Status::IOError("socket is closed");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd_, p + got, len - got, 0);
+    if (n == 0) return Status::IOError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("recv timed out");
+      }
+      return ErrnoStatus("recv", errno);
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<bool> Socket::PollIn(int timeout_ms) {
+  if (!valid()) return Status::IOError("socket is closed");
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("poll", errno);
+  return rc > 0;
+}
+
+void Socket::Shutdown() {
+  if (valid()) shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<ServerSocket> ServerSocket::Listen(const std::string& bind_address,
+                                          uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" + bind_address +
+                                   "' (IPv4 dotted quad expected)");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  ServerSocket server;
+  server.fd_ = fd;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind " + bind_address + ":" + std::to_string(port),
+                       errno);
+  }
+  if (listen(fd, backlog) < 0) return ErrnoStatus("listen", errno);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  server.port_ = ntohs(bound.sin_port);
+  return server;
+}
+
+Result<bool> ServerSocket::PollAccept(int timeout_ms) {
+  if (!valid()) return Status::IOError("listener is closed");
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("poll", errno);
+  return rc > 0;
+}
+
+Result<Socket> ServerSocket::Accept() {
+  if (!valid()) return Status::IOError("listener is closed");
+  int fd;
+  do {
+    fd = accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return ErrnoStatus("accept", errno);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void ServerSocket::Close() {
+  if (valid()) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
+  std::string wire = EncodeFrameHeader(
+      type, static_cast<uint32_t>(payload.size()));
+  wire.append(payload.data(), payload.size());
+  return socket.SendAll(wire.data(), wire.size());
+}
+
+Status ReadFrame(Socket& socket, Frame* frame) {
+  char header_bytes[kFrameHeaderBytes];
+  HDSKY_RETURN_IF_ERROR(socket.RecvExact(header_bytes, sizeof(header_bytes)));
+  HDSKY_ASSIGN_OR_RETURN(
+      const FrameHeader header,
+      DecodeFrameHeader(std::string_view(header_bytes, sizeof(header_bytes))));
+  frame->type = header.type;
+  frame->payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    HDSKY_RETURN_IF_ERROR(
+        socket.RecvExact(frame->payload.data(), frame->payload.size()));
+  }
+  return Status::OK();
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" + spec + "'");
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(port_str.c_str(), &end, 10);
+  if (errno != 0 || end == port_str.c_str() || *end != '\0' || value < 1 ||
+      value > 65535) {
+    return Status::InvalidArgument("bad port '" + port_str + "' in '" +
+                                   spec + "'");
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace hdsky

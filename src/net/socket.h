@@ -1,0 +1,131 @@
+// Minimal blocking TCP socket wrapper (POSIX, no third-party deps) for
+// the hdsky network service. Status-based like the rest of the codebase:
+// no exceptions, every syscall failure surfaces as IOError with errno
+// context.
+//
+// Blocking with timeouts by design: the service layer runs one connection
+// per runtime::ThreadPool worker, so straightforward blocking reads keep
+// the protocol code linear while SO_RCVTIMEO/SO_SNDTIMEO plus PollIn
+// guarantee no call can hang forever (the robustness contract of the
+// fault-injection tests).
+
+#ifndef HDSKY_NET_SOCKET_H_
+#define HDSKY_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace hdsky {
+namespace net {
+
+/// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of an already connected fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IP or resolvable name) within
+  /// `timeout_ms`. The returned socket has TCP_NODELAY set (frames are
+  /// small and latency-bound).
+  static common::Result<Socket> Connect(const std::string& host,
+                                        uint16_t port, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Applies SO_RCVTIMEO and SO_SNDTIMEO (milliseconds; 0 = no timeout).
+  common::Status SetIoTimeout(int ms);
+
+  /// Writes the full buffer, retrying on short writes and EINTR.
+  common::Status SendAll(const void* data, size_t len);
+
+  /// Reads exactly `len` bytes. A clean peer close mid-read reports
+  /// IOError("connection closed by peer"); a timeout reports
+  /// IOError("... timed out").
+  common::Status RecvExact(void* data, size_t len);
+
+  /// Waits up to `timeout_ms` for readability. Returns true when data (or
+  /// EOF) is pending, false on timeout.
+  common::Result<bool> PollIn(int timeout_ms);
+
+  /// shutdown(SHUT_RDWR): unblocks any thread inside RecvExact/SendAll on
+  /// this socket without racing against fd reuse the way close() would.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to one address.
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+
+  ServerSocket(ServerSocket&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port; the actual port
+  /// is available via port().
+  static common::Result<ServerSocket> Listen(const std::string& bind_address,
+                                             uint16_t port, int backlog);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a pending connection. Returns true when
+  /// Accept will not block, false on timeout. Accept loops poll with a
+  /// short timeout and re-check their stop flag, which is the portable way
+  /// to interrupt a blocking accept.
+  common::Result<bool> PollAccept(int timeout_ms);
+
+  /// Accepts one pending connection (call after PollAccept says ready).
+  common::Result<Socket> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// One decoded frame off the wire.
+struct Frame {
+  FrameType type = FrameType::kStatus;
+  std::string payload;
+};
+
+/// Sends header + payload as one buffered write.
+common::Status WriteFrame(Socket& socket, FrameType type,
+                          std::string_view payload);
+
+/// Reads one full frame, validating the header before trusting the length.
+common::Status ReadFrame(Socket& socket, Frame* frame);
+
+/// Splits "host:port". Fails on a missing colon, empty host, or a port
+/// outside [1, 65535].
+common::Status ParseHostPort(const std::string& spec, std::string* host,
+                             uint16_t* port);
+
+}  // namespace net
+}  // namespace hdsky
+
+#endif  // HDSKY_NET_SOCKET_H_

@@ -1,0 +1,209 @@
+#include "service/fault_proxy.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hdsky {
+namespace service {
+
+using common::Result;
+using common::Status;
+using net::Frame;
+using net::FrameType;
+using net::WireStatus;
+
+Result<std::unique_ptr<FaultInjectingProxy>> FaultInjectingProxy::Start(
+    const std::string& upstream_host, uint16_t upstream_port,
+    const Policy& policy, const Options& options) {
+  for (double p : {policy.drop_prob, policy.truncate_prob,
+                   policy.rate_limit_prob, policy.delay_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "fault probabilities must lie in [0, 1]");
+    }
+  }
+  auto proxy = std::unique_ptr<FaultInjectingProxy>(new FaultInjectingProxy(
+      upstream_host, upstream_port, policy, options));
+  HDSKY_ASSIGN_OR_RETURN(
+      proxy->listener_,
+      net::ServerSocket::Listen(options.bind_address, options.port,
+                                /*backlog=*/16));
+  proxy->accept_thread_ = std::jthread([p = proxy.get()] {
+    p->AcceptLoop();
+  });
+  return proxy;
+}
+
+FaultInjectingProxy::~FaultInjectingProxy() { Stop(); }
+
+void FaultInjectingProxy::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Shut both ends of every proxied pair so pump threads unblock, then
+  // join them by destroying the connection objects.
+  std::list<std::unique_ptr<Connection>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    doomed.swap(conns_);
+  }
+  for (auto& conn : doomed) {
+    conn->client.Shutdown();
+    conn->upstream.Shutdown();
+  }
+  doomed.clear();  // jthread destructors join the pumps
+}
+
+FaultInjectingProxy::Stats FaultInjectingProxy::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void FaultInjectingProxy::BumpStat(int64_t Stats::* field) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += 1;
+}
+
+void FaultInjectingProxy::ReapFinished() {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->live_pumps.load(std::memory_order_acquire) == 0) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  finished.clear();  // joins outside conns_mu_
+}
+
+void FaultInjectingProxy::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinished();
+    auto ready = listener_.PollAccept(/*timeout_ms=*/50);
+    if (!ready.ok() || !*ready) continue;
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) continue;
+    auto upstream = net::Socket::Connect(upstream_host_, upstream_port_,
+                                         /*timeout_ms=*/5000);
+    if (!upstream.ok()) continue;  // client sees a dead connection
+    BumpStat(&Stats::connections);
+    auto conn = std::make_unique<Connection>();
+    conn->client = std::move(accepted).value();
+    conn->upstream = std::move(upstream).value();
+    conn->client.SetIoTimeout(options_.io_timeout_ms);
+    conn->upstream.SetIoTimeout(options_.io_timeout_ms);
+    conn->live_pumps.store(2, std::memory_order_release);
+    const uint64_t index = next_conn_index_++;
+    Connection* raw = conn.get();
+    // Distinct derived seeds per direction keep fault schedules
+    // deterministic and independent.
+    conn->c2s = std::jthread([this, raw, index] {
+      Pump(raw, /*client_to_server=*/true, policy_.seed + 2 * index);
+      raw->live_pumps.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    conn->s2c = std::jthread([this, raw, index] {
+      Pump(raw, /*client_to_server=*/false, policy_.seed + 2 * index + 1);
+      raw->live_pumps.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void FaultInjectingProxy::Pump(Connection* conn, bool client_to_server,
+                               uint64_t rng_seed) {
+  common::Rng rng(rng_seed);
+  net::Socket& src = client_to_server ? conn->client : conn->upstream;
+  net::Socket& dst = client_to_server ? conn->upstream : conn->client;
+  // Closing both directions on any fault or error makes the failure an
+  // honest connection loss from both peers' point of view.
+  auto kill_connection = [conn] {
+    conn->client.Shutdown();
+    conn->upstream.Shutdown();
+  };
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto ready = src.PollIn(/*timeout_ms=*/100);
+    if (!ready.ok()) return;
+    if (!*ready) continue;
+    Frame frame;
+    if (!net::ReadFrame(src, &frame).ok()) {
+      kill_connection();
+      return;
+    }
+    // Spurious rate limit: only meaningful for client queries, and the
+    // reply goes straight back to the client.
+    if (client_to_server && frame.type == FrameType::kQuery &&
+        rng.Bernoulli(policy_.rate_limit_prob)) {
+      uint64_t seq = 0;
+      interface::Query ignored;
+      if (net::DecodeQuery(frame.payload, &seq, &ignored).ok()) {
+        std::string payload;
+        net::EncodeStatus(seq, WireStatus::kRateLimited,
+                          "injected rate limit", &payload);
+        std::lock_guard<std::mutex> lock(conn->client_write_mu);
+        if (!net::WriteFrame(conn->client, FrameType::kStatus, payload)
+                 .ok()) {
+          kill_connection();
+          return;
+        }
+        BumpStat(&Stats::rate_limits_injected);
+        continue;
+      }
+    }
+    if (rng.Bernoulli(policy_.drop_prob)) {
+      BumpStat(&Stats::frames_dropped);
+      kill_connection();
+      return;
+    }
+    if (rng.Bernoulli(policy_.truncate_prob)) {
+      std::string wire = net::EncodeFrameHeader(
+          frame.type, static_cast<uint32_t>(frame.payload.size()));
+      wire += frame.payload;
+      // Forward a strict prefix — at least the header (so the receiver
+      // commits to reading a payload that never arrives), never the
+      // whole frame.
+      const size_t cut =
+          frame.payload.empty()
+              ? net::kFrameHeaderBytes - 1  // partial header
+              : net::kFrameHeaderBytes +
+                    static_cast<size_t>(rng.UniformInt(
+                        0, static_cast<int64_t>(frame.payload.size()) - 1));
+      if (client_to_server) {
+        dst.SendAll(wire.data(), cut);
+      } else {
+        std::lock_guard<std::mutex> lock(conn->client_write_mu);
+        dst.SendAll(wire.data(), cut);
+      }
+      BumpStat(&Stats::frames_truncated);
+      kill_connection();
+      return;
+    }
+    if (policy_.delay_ms > 0 && rng.Bernoulli(policy_.delay_prob)) {
+      BumpStat(&Stats::delays_injected);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(policy_.delay_ms));
+    }
+    Status forwarded;
+    if (client_to_server) {
+      forwarded = net::WriteFrame(dst, frame.type, frame.payload);
+    } else {
+      std::lock_guard<std::mutex> lock(conn->client_write_mu);
+      forwarded = net::WriteFrame(dst, frame.type, frame.payload);
+    }
+    if (!forwarded.ok()) {
+      kill_connection();
+      return;
+    }
+    BumpStat(&Stats::frames_forwarded);
+  }
+}
+
+}  // namespace service
+}  // namespace hdsky

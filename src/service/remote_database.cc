@@ -1,0 +1,201 @@
+#include "service/remote_database.h"
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+namespace hdsky {
+namespace service {
+
+using common::Result;
+using common::Status;
+using net::Frame;
+using net::FrameType;
+using net::WireStatus;
+
+namespace {
+
+uint64_t RandomSessionId() {
+  // Session ids only need uniqueness, not reproducibility: two clients
+  // sharing an id would share budget and replay state.
+  std::random_device rd;
+  uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  if (id == 0) id = 1;
+  return id;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteHiddenDatabase>> RemoteHiddenDatabase::Connect(
+    const std::string& host, uint16_t port, const Options& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (options.io_timeout_ms < 1 || options.connect_timeout_ms < 1) {
+    return Status::InvalidArgument("timeouts must be positive");
+  }
+  Options resolved = options;
+  if (resolved.session_id == 0) resolved.session_id = RandomSessionId();
+  if (resolved.jitter_seed == 0) resolved.jitter_seed = resolved.session_id;
+  auto db = std::unique_ptr<RemoteHiddenDatabase>(
+      new RemoteHiddenDatabase(host, port, resolved));
+  db->jitter_.Seed(resolved.jitter_seed);
+  HDSKY_RETURN_IF_ERROR(db->EnsureConnected());
+  return db;
+}
+
+Status RemoteHiddenDatabase::EnsureConnected() {
+  if (socket_.valid()) return Status::OK();
+  HDSKY_ASSIGN_OR_RETURN(
+      net::Socket sock,
+      net::Socket::Connect(host_, port_, options_.connect_timeout_ms));
+  HDSKY_RETURN_IF_ERROR(sock.SetIoTimeout(options_.io_timeout_ms));
+  std::string hello;
+  net::EncodeHello(options_.session_id, &hello);
+  HDSKY_RETURN_IF_ERROR(net::WriteFrame(sock, FrameType::kHello, hello));
+  Frame frame;
+  HDSKY_RETURN_IF_ERROR(net::ReadFrame(sock, &frame));
+  if (frame.type == FrameType::kStatus) {
+    // The server refused the connection (e.g. connection limit).
+    uint64_t seq;
+    uint16_t code;
+    std::string message;
+    HDSKY_RETURN_IF_ERROR(
+        net::DecodeStatusFrame(frame.payload, &seq, &code, &message));
+    if (net::IsTransient(static_cast<WireStatus>(code))) {
+      // Reported as IOError so the retry loop treats it as transient
+      // rather than a final budget signal.
+      return Status::IOError("server throttled the connection: " + message);
+    }
+    return net::StatusFromWire(code, message);
+  }
+  if (frame.type != FrameType::kDescriptor) {
+    return Status::IOError(std::string("expected Descriptor, got ") +
+                           net::FrameTypeToString(frame.type));
+  }
+  HDSKY_ASSIGN_OR_RETURN(net::Descriptor descriptor,
+                         net::DecodeDescriptor(frame.payload));
+  if (ever_connected_) {
+    if (descriptor.schema.num_attributes() != schema_.num_attributes() ||
+        descriptor.k != k_) {
+      return Status::IOError(
+          "server changed its interface mid-session (schema or k differs)");
+    }
+    telemetry_.reconnects += 1;
+  } else {
+    schema_ = std::move(descriptor.schema);
+    k_ = descriptor.k;
+    ever_connected_ = true;
+  }
+  remaining_budget_ = descriptor.remaining_budget;
+  socket_ = std::move(sock);
+  return Status::OK();
+}
+
+void RemoteHiddenDatabase::Backoff(int attempt) {
+  int64_t delay = options_.initial_backoff_ms;
+  for (int i = 1; i < attempt && delay < options_.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.max_backoff_ms) delay = options_.max_backoff_ms;
+  if (delay <= 0) return;
+  // Full jitter over the upper half of the window: desynchronizes
+  // competing clients while keeping a floor under the wait.
+  const int64_t jittered = delay / 2 + jitter_.UniformInt(0, delay / 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+}
+
+Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
+    const interface::Query& q) {
+  // Local validation against the served schema is free and mirrors what a
+  // user can read off the search form; the server re-validates anyway.
+  HDSKY_RETURN_IF_ERROR(ValidateQuery(q));
+
+  const uint64_t seq = next_seq_;
+  std::string query_payload;
+  net::EncodeQuery(seq, q, &query_payload);
+
+  Status last_error = Status::IOError("no attempt made");
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      telemetry_.retries += 1;
+      Backoff(attempt - 1);
+    }
+    Status s = EnsureConnected();
+    if (!s.ok()) {
+      if (!s.IsIOError()) return s;  // permanent refusal from the server
+      last_error = s;
+      continue;
+    }
+    s = net::WriteFrame(socket_, FrameType::kQuery, query_payload);
+    if (!s.ok()) {
+      Disconnect();
+      last_error = s;
+      continue;
+    }
+    Frame frame;
+    s = net::ReadFrame(socket_, &frame);
+    if (!s.ok()) {
+      Disconnect();
+      last_error = s;
+      continue;
+    }
+    if (frame.type == FrameType::kResult) {
+      uint64_t reply_seq = 0;
+      interface::QueryResult result;
+      s = net::DecodeResult(frame.payload, schema_.num_attributes(),
+                            &reply_seq, &result);
+      if (!s.ok() || reply_seq != seq) {
+        Disconnect();
+        last_error = s.ok() ? Status::IOError(
+                                  "response sequence mismatch (got " +
+                                  std::to_string(reply_seq) + ", want " +
+                                  std::to_string(seq) + ")")
+                            : s;
+        continue;
+      }
+      next_seq_ += 1;
+      telemetry_.remote_queries += 1;
+      return result;
+    }
+    if (frame.type == FrameType::kStatus) {
+      uint64_t reply_seq = 0;
+      uint16_t code = 0;
+      std::string message;
+      s = net::DecodeStatusFrame(frame.payload, &reply_seq, &code, &message);
+      if (!s.ok()) {
+        Disconnect();
+        last_error = s;
+        continue;
+      }
+      if (net::IsTransient(static_cast<WireStatus>(code))) {
+        // Server-side throttle: the connection is healthy, the query was
+        // not executed; back off and retry the same sequence number.
+        telemetry_.rate_limited += 1;
+        last_error = Status::ResourceExhausted(
+            "rate limited by server: " + message);
+        continue;
+      }
+      // Permanent, honestly propagated. The server cached this reply
+      // under `seq`, so advance past it.
+      next_seq_ += 1;
+      return net::StatusFromWire(code, message);
+    }
+    Disconnect();
+    last_error = Status::IOError(std::string("unexpected ") +
+                                 net::FrameTypeToString(frame.type) +
+                                 " frame in response to a query");
+  }
+
+  // Retries exhausted: fail with the last underlying cause, descriptively.
+  const std::string detail = "remote query failed after " +
+                             std::to_string(options_.max_attempts) +
+                             " attempts: " + last_error.ToString();
+  if (last_error.IsResourceExhausted()) {
+    return Status::ResourceExhausted(detail);
+  }
+  return Status::IOError(detail);
+}
+
+}  // namespace service
+}  // namespace hdsky

@@ -1,0 +1,258 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace hdsky {
+namespace service {
+
+using common::Result;
+using common::Status;
+using net::Frame;
+using net::FrameType;
+using net::WireStatus;
+
+Result<std::unique_ptr<DatabaseServer>> DatabaseServer::Start(
+    interface::HiddenDatabase* db, const Options& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("backend database must not be null");
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.per_client_query_budget < 0) {
+    return Status::InvalidArgument("per_client_query_budget must be >= 0");
+  }
+  auto server = std::unique_ptr<DatabaseServer>(
+      new DatabaseServer(db, options));
+  HDSKY_ASSIGN_OR_RETURN(
+      server->listener_,
+      net::ServerSocket::Listen(options.bind_address, options.port,
+                                /*backlog=*/options.max_connections + 8));
+  server->pool_ =
+      std::make_unique<runtime::ThreadPool>(options.max_connections);
+  server->accept_thread_ = std::jthread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+DatabaseServer::DatabaseServer(interface::HiddenDatabase* db,
+                               const Options& options)
+    : db_(db), options_(options) {}
+
+DatabaseServer::~DatabaseServer() { Stop(); }
+
+void DatabaseServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the first one already tore everything down (the
+    // members below are only reset once).
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  {
+    // Unblock workers parked in RecvExact on a live connection.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  // ThreadPool destruction drains queued connections and joins workers.
+  pool_.reset();
+}
+
+DatabaseServer::Stats DatabaseServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void DatabaseServer::BumpStat(int64_t Stats::* field) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += 1;
+}
+
+DatabaseServer::Session* DatabaseServer::GetSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(session_id, std::make_unique<Session>()).first;
+  }
+  return it->second.get();
+}
+
+void DatabaseServer::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.insert(fd);
+}
+
+void DatabaseServer::UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(fd);
+}
+
+void DatabaseServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto ready = listener_.PollAccept(/*timeout_ms=*/50);
+    if (!ready.ok() || !*ready) continue;
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) continue;
+    net::Socket sock = std::move(accepted).value();
+    // Admission control: claim a slot before handing the connection to
+    // the pool so at most max_connections handlers are ever in flight.
+    const int active =
+        active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    if (active >= options_.max_connections) {
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      BumpStat(&Stats::connections_rejected);
+      std::string payload;
+      net::EncodeStatus(0, WireStatus::kRateLimited,
+                        "connection limit reached, retry later", &payload);
+      sock.SetIoTimeout(1000);
+      net::WriteFrame(sock, FrameType::kStatus, payload);  // best effort
+      continue;  // sock closes on scope exit
+    }
+    BumpStat(&Stats::connections_accepted);
+    // The pool owns the socket from here; shared_ptr because
+    // std::function requires copyable callables.
+    auto shared = std::make_shared<net::Socket>(std::move(sock));
+    pool_->Submit([this, shared]() mutable {
+      ServeConnection(std::move(*shared));
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+}
+
+void DatabaseServer::ServeConnection(net::Socket sock) {
+  sock.SetIoTimeout(options_.io_timeout_ms);
+  RegisterConnection(sock.fd());
+  // Ensure the fd is deregistered on every exit path; Close happens via
+  // the Socket destructor after this guard runs.
+  struct Deregister {
+    DatabaseServer* server;
+    int fd;
+    ~Deregister() { server->UnregisterConnection(fd); }
+  } deregister{this, sock.fd()};
+
+  // Handshake: Hello in, Descriptor out.
+  Frame frame;
+  Status s = net::ReadFrame(sock, &frame);
+  if (!s.ok() || frame.type != FrameType::kHello) {
+    BumpStat(&Stats::protocol_errors);
+    return;
+  }
+  uint64_t session_id = 0;
+  if (!net::DecodeHello(frame.payload, &session_id).ok()) {
+    BumpStat(&Stats::protocol_errors);
+    return;
+  }
+  Session* session = GetSession(session_id);
+  {
+    std::string payload;
+    int64_t remaining = -1;
+    if (options_.per_client_query_budget > 0) {
+      std::lock_guard<std::mutex> lock(session->mu);
+      remaining = options_.per_client_query_budget - session->queries_used;
+      if (remaining < 0) remaining = 0;
+    }
+    net::EncodeDescriptor(db_->schema(), db_->k(), remaining, &payload);
+    if (!net::WriteFrame(sock, FrameType::kDescriptor, payload).ok()) {
+      return;
+    }
+  }
+
+  // Query loop.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto ready = sock.PollIn(/*timeout_ms=*/100);
+    if (!ready.ok()) return;
+    if (!*ready) continue;  // idle; re-check the stop flag
+    if (!net::ReadFrame(sock, &frame).ok()) return;  // closed / timed out
+    if (frame.type != FrameType::kQuery) {
+      BumpStat(&Stats::protocol_errors);
+      std::string payload;
+      net::EncodeStatus(0, WireStatus::kInvalidArgument,
+                        std::string("unexpected ") +
+                            net::FrameTypeToString(frame.type) + " frame",
+                        &payload);
+      net::WriteFrame(sock, FrameType::kStatus, payload);
+      return;
+    }
+    uint64_t seq = 0;
+    interface::Query query;
+    s = net::DecodeQuery(frame.payload, &seq, &query);
+    if (!s.ok()) {
+      BumpStat(&Stats::protocol_errors);
+      std::string payload;
+      net::EncodeStatus(0, WireStatus::kInvalidArgument, s.message(),
+                        &payload);
+      net::WriteFrame(sock, FrameType::kStatus, payload);
+      return;
+    }
+    FrameType reply_type;
+    std::string reply_payload;
+    AnswerQuery(session, seq, query, &reply_type, &reply_payload);
+    if (!net::WriteFrame(sock, reply_type, reply_payload).ok()) return;
+  }
+}
+
+void DatabaseServer::AnswerQuery(Session* session, uint64_t seq,
+                                 const interface::Query& query,
+                                 FrameType* reply_type,
+                                 std::string* reply_payload) {
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  // Retried sequence: replay the cached reply; the backend never sees the
+  // query a second time, so its accounting stays exact under retries.
+  if (session->has_reply && seq == session->last_seq) {
+    *reply_type = session->reply_type;
+    *reply_payload = session->reply_payload;
+    BumpStat(&Stats::queries_replayed);
+    return;
+  }
+  const uint64_t expected =
+      session->has_reply ? session->last_seq + 1 : seq;
+  if (seq != expected || seq == 0) {
+    // Out-of-order client; answered but never cached (a replayed gap
+    // would poison the session).
+    *reply_type = FrameType::kStatus;
+    reply_payload->clear();
+    net::EncodeStatus(seq, WireStatus::kInvalidArgument,
+                      "out-of-order sequence number " + std::to_string(seq),
+                      reply_payload);
+    BumpStat(&Stats::protocol_errors);
+    return;
+  }
+
+  reply_payload->clear();
+  if (options_.per_client_query_budget > 0 &&
+      session->queries_used >= options_.per_client_query_budget) {
+    *reply_type = FrameType::kStatus;
+    net::EncodeStatus(seq, WireStatus::kBudgetExhausted,
+                      "per-client query budget exhausted", reply_payload);
+    BumpStat(&Stats::budget_rejections);
+  } else {
+    Result<interface::QueryResult> result = [&] {
+      if (options_.serialize_backend) {
+        std::lock_guard<std::mutex> backend_lock(backend_mu_);
+        return db_->Execute(query);
+      }
+      return db_->Execute(query);
+    }();
+    if (result.ok()) {
+      *reply_type = FrameType::kResult;
+      net::EncodeResult(seq, *result, reply_payload);
+      session->queries_used += 1;
+      BumpStat(&Stats::queries_served);
+    } else {
+      *reply_type = FrameType::kStatus;
+      net::EncodeStatus(seq, net::WireStatusFromStatus(result.status()),
+                        result.status().message(), reply_payload);
+    }
+  }
+  session->last_seq = seq;
+  session->has_reply = true;
+  session->reply_type = *reply_type;
+  session->reply_payload = *reply_payload;
+}
+
+}  // namespace service
+}  // namespace hdsky

@@ -1,0 +1,150 @@
+// DatabaseServer: serves any HiddenDatabase over the hdsky wire protocol
+// (net/wire.h), turning the in-process top-k simulator into the genuinely
+// remote interface the paper assumes.
+//
+// Connection lifecycle: accept -> Hello (client session id) -> Descriptor
+// (schema, k, remaining budget) -> a stream of Query frames answered by
+// Result or Status frames. Each connection is handled on one
+// runtime::ThreadPool worker; the accept loop rejects connections beyond
+// Options::max_connections with a kRateLimited status so well-behaved
+// clients back off instead of queueing.
+//
+// Exactly-once query accounting. Clients tag queries with a per-session
+// sequence number. The server remembers, per session, the last sequence it
+// answered and the encoded reply. A retried sequence (the client never saw
+// the reply — dropped frame, broken connection) is answered from that
+// cache without touching the backend, so the backend's query counter moves
+// exactly once per client-visible query no matter how hostile the network
+// is. Sessions survive reconnects: the client re-sends its session id in
+// Hello.
+//
+// Per-client budgets: Options::per_client_query_budget enforces the
+// paper's rate-limit model per session, independent of any budget the
+// backend itself enforces. Exhaustion is answered with kBudgetExhausted
+// (permanent), which RemoteHiddenDatabase surfaces as ResourceExhausted —
+// the code discovery algorithms already turn into anytime partial results.
+
+#ifndef HDSKY_SERVICE_SERVER_H_
+#define HDSKY_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "interface/hidden_database.h"
+#include "net/socket.h"
+#include "runtime/thread_pool.h"
+
+namespace hdsky {
+namespace service {
+
+class DatabaseServer {
+ public:
+  struct Options {
+    /// IPv4 address to bind. The default serves loopback only; bind
+    /// "0.0.0.0" to serve real traffic.
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back via port().
+    uint16_t port = 0;
+    /// Concurrent connections served; excess connections receive a
+    /// kRateLimited status frame and are closed.
+    int max_connections = 8;
+    /// Queries each client session may issue (0 = unlimited). Replayed
+    /// retries do not count — only fresh backend executions.
+    int64_t per_client_query_budget = 0;
+    /// Serialize backend Execute calls under one mutex. Keep true unless
+    /// the backend is thread-safe (TopKInterface with a static-order
+    /// ranking qualifies; see docs/concurrency.md).
+    bool serialize_backend = true;
+    /// Per-frame I/O backstop on accepted connections; a peer that stalls
+    /// mid-frame is dropped after this long.
+    int io_timeout_ms = 30000;
+  };
+
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t connections_rejected = 0;
+    /// Fresh queries executed against the backend.
+    int64_t queries_served = 0;
+    /// Retried sequences answered from the session reply cache.
+    int64_t queries_replayed = 0;
+    /// Budget rejections issued (kBudgetExhausted frames).
+    int64_t budget_rejections = 0;
+    /// Malformed frames / protocol violations observed.
+    int64_t protocol_errors = 0;
+  };
+
+  /// Binds, listens, and starts the accept loop. `db` must outlive the
+  /// server and is the single backend all connections share.
+  static common::Result<std::unique_ptr<DatabaseServer>> Start(
+      interface::HiddenDatabase* db, const Options& options);
+
+  /// Stops and joins everything.
+  ~DatabaseServer();
+
+  /// The port actually bound (useful with Options::port = 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, unblocks in-flight connections, and joins all
+  /// workers. Idempotent.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  /// Replay state of one client session (identified by the Hello id).
+  struct Session {
+    std::mutex mu;
+    uint64_t last_seq = 0;
+    bool has_reply = false;
+    net::FrameType reply_type = net::FrameType::kStatus;
+    std::string reply_payload;
+    int64_t queries_used = 0;
+  };
+
+  DatabaseServer(interface::HiddenDatabase* db, const Options& options);
+
+  void AcceptLoop();
+  void ServeConnection(net::Socket sock);
+  /// Handles one Query frame; fills `reply_type`/`reply_payload`.
+  void AnswerQuery(Session* session, uint64_t seq,
+                   const interface::Query& query,
+                   net::FrameType* reply_type, std::string* reply_payload);
+  Session* GetSession(uint64_t session_id);
+  void RegisterConnection(int fd);
+  void UnregisterConnection(int fd);
+  void BumpStat(int64_t Stats::* field);
+
+  interface::HiddenDatabase* db_;
+  Options options_;
+  net::ServerSocket listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::mutex sessions_mu_;
+  /// unordered_map guarantees reference stability, so Session pointers
+  /// handed to connection handlers stay valid across rehashes.
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+
+  std::mutex backend_mu_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  /// Live connection fds, so Stop() can shutdown(2) them and unblock
+  /// workers parked in RecvExact.
+  std::mutex conns_mu_;
+  std::unordered_set<int> conn_fds_;
+
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::jthread accept_thread_;  // last member: joins first
+};
+
+}  // namespace service
+}  // namespace hdsky
+
+#endif  // HDSKY_SERVICE_SERVER_H_

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Argument-validation contract for the CLI tools: unknown flags and
+# malformed values must print usage to stderr and exit non-zero (64),
+# and must not start doing work.
+#
+# Usage: cli_args_test.sh <hdsky_discover> <hdsky_serve>
+set -u
+
+DISCOVER=$1
+SERVE=$2
+failures=0
+
+# expect_usage <label> <binary> [args...]
+expect_usage() {
+  label=$1
+  shift
+  err=$("$@" 2>&1 >/dev/null)
+  code=$?
+  if [ "$code" -ne 64 ]; then
+    echo "FAIL($label): exit $code, want 64" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  case "$err" in
+    *usage:*) ;;
+    *)
+      echo "FAIL($label): no usage on stderr; got: $err" >&2
+      failures=$((failures + 1))
+      ;;
+  esac
+}
+
+# Unknown flags.
+expect_usage "discover-unknown-flag" "$DISCOVER" --demo route --bogus
+expect_usage "serve-unknown-flag" "$SERVE" --demo route --bogus
+
+# Source selection: none, two, all three.
+expect_usage "discover-no-source" "$DISCOVER"
+expect_usage "discover-two-sources" "$DISCOVER" --demo route --data x.csv
+expect_usage "discover-connect-plus-demo" \
+  "$DISCOVER" --connect 127.0.0.1:1 --demo route
+expect_usage "serve-no-source" "$SERVE"
+
+# Malformed --connect specs.
+expect_usage "connect-no-colon" "$DISCOVER" --connect localhost
+expect_usage "connect-bad-port" "$DISCOVER" --connect localhost:notaport
+expect_usage "connect-port-zero" "$DISCOVER" --connect localhost:0
+expect_usage "connect-port-high" "$DISCOVER" --connect localhost:65536
+
+# Malformed numerics: trailing garbage, negatives, zero where >= 1.
+expect_usage "threads-garbage" "$DISCOVER" --demo route --trials 2 --threads 2x
+expect_usage "trials-zero" "$DISCOVER" --demo route --trials 0
+expect_usage "trials-negative" "$DISCOVER" --demo route --trials -3
+expect_usage "k-garbage" "$DISCOVER" --demo route --k ten
+expect_usage "n-zero" "$DISCOVER" --demo route --n 0
+expect_usage "budget-negative" "$DISCOVER" --demo route --budget -1
+expect_usage "serve-port-garbage" "$SERVE" --demo route --port 80h
+expect_usage "serve-max-conn-zero" "$SERVE" --demo route --max-connections 0
+
+# Flags that need a value but sit at the end of the line.
+expect_usage "discover-dangling-value" "$DISCOVER" --demo
+expect_usage "serve-dangling-value" "$SERVE" --demo route --port
+
+# Local-interface flags are rejected alongside --connect.
+expect_usage "connect-with-k" "$DISCOVER" --connect 127.0.0.1:1 --k 5
+expect_usage "connect-with-budget" "$DISCOVER" --connect 127.0.0.1:1 --budget 9
+expect_usage "connect-with-trials" "$DISCOVER" --connect 127.0.0.1:1 --trials 2
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures argument-validation case(s) failed" >&2
+  exit 1
+fi
+echo "all argument-validation cases passed"

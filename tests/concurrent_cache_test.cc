@@ -160,6 +160,49 @@ TEST(ConcurrentCachingDatabaseTest, ErrorAccountingUnderBudget) {
   EXPECT_EQ(cached.hits() + cached.misses() + cached.errors(), total);
 }
 
+TEST(ConcurrentCachingDatabaseTest,
+     RacingBudgetRejectionsKeepAccountingExact) {
+  // The sharpest case for TopKInterface's optimistic budget claim/undo:
+  // an unserialized concurrent cache racing threads straight into the
+  // budget gate, so admissions, undo-and-refuse paths, and cache inserts
+  // all interleave. The invariants must hold exactly:
+  //   hits + misses + errors == accepted Execute calls, and
+  //   the backend admitted precisely `budget` queries.
+  const data::Table t = MakeTable(500);
+  const int64_t budget = 24;
+  auto backend = MakeBackend(&t, 5, budget);
+  ConcurrentCachingDatabase::Options opts;
+  opts.serialize_backend = false;  // TopKInterface is thread-safe
+  ConcurrentCachingDatabase cached(backend.get(), opts);
+
+  runtime::ThreadPool pool(kThreads);
+  std::atomic<int64_t> ok_count{0}, exhausted_count{0}, other{0};
+  const int64_t total = 512;
+  runtime::ParallelFor(pool, 0, total, [&](int64_t i) {
+    // Distinct query per index so every call races for a budget unit
+    // (no intra-run cache hits except genuine cross-thread ones).
+    Query q(t.schema().num_attributes());
+    q.AddAtMost(static_cast<int>(i % 3), 1 + i % 47);
+    q.AddAtLeast(static_cast<int>((i + 1) % 3), i % 5);
+    auto r = cached.Execute(q);
+    if (r.ok()) {
+      ok_count.fetch_add(1);
+    } else if (r.status().IsResourceExhausted()) {
+      exhausted_count.fetch_add(1);
+    } else {
+      other.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok_count.load() + exhausted_count.load(), total);
+  EXPECT_EQ(cached.hits() + cached.misses() + cached.errors(), total);
+  EXPECT_EQ(cached.errors(), exhausted_count.load());
+  // Claim/undo admitted exactly the budget, no unit lost to a race.
+  EXPECT_EQ(backend->stats().queries_issued, budget);
+  EXPECT_EQ(cached.misses(), budget);
+  EXPECT_EQ(backend->RemainingBudget(), 0);
+}
+
 TEST(ConcurrentCachingDatabaseTest, SaveLoadInteropWithSerialCache) {
   const data::Table t = MakeTable();
   const std::vector<Query> queries = MakeQueries(t.schema(), 24);

@@ -13,6 +13,7 @@
 
 #include "core/rq_db_sky.h"
 #include "dataset/synthetic.h"
+#include "interface/cache_io.h"
 #include "interface/caching_database.h"
 #include "interface/hidden_database.h"
 #include "interface/kd_index.h"
@@ -424,6 +425,167 @@ TEST(CachingDatabaseTest, LoadRejectsGarbage) {
   std::istringstream garbage("not-a-cache 3");
   EXPECT_TRUE(cached.Load(garbage).IsIOError());
   EXPECT_TRUE(cached.LoadFromFile("/nonexistent/cache").IsIOError());
+}
+
+// --- hdsky-cache-v1 stream hardening -----------------------------------
+//
+// A cache file can be truncated by a crashed process or corrupted in
+// transit. Load must reject such streams with a clear Status and leave
+// the decorator exactly as it was — never a partially-applied cache.
+
+/// A small populated cache, saved to text, for mutation-based tests.
+std::string SavedCacheText(const Table& t) {
+  auto backend =
+      std::move(TopKInterface::Create(&t, MakeSumRanking(), {})).value();
+  CachingDatabase cached(backend.get());
+  for (int i = 0; i < 4; ++i) {
+    Query q(t.schema().num_attributes());
+    q.AddAtMost(0, 100 + 50 * i);
+    EXPECT_TRUE(cached.Execute(q).ok());
+  }
+  std::ostringstream out;
+  EXPECT_TRUE(cached.Save(out).ok());
+  return out.str();
+}
+
+/// Loading `text` must fail as IOError and leave `cached` untouched.
+void ExpectAtomicRejection(const Table& t, const std::string& text,
+                           const std::string& label) {
+  auto backend =
+      std::move(TopKInterface::Create(&t, MakeSumRanking(), {})).value();
+  CachingDatabase cached(backend.get());
+  // Pre-populate one entry so "unchanged" is observable.
+  Query q(t.schema().num_attributes());
+  q.AddAtMost(0, 123);
+  ASSERT_TRUE(cached.Execute(q).ok());
+  const int64_t size_before = cached.size();
+
+  std::istringstream in(text);
+  const common::Status s = cached.Load(in);
+  EXPECT_TRUE(s.IsIOError()) << label << ": " << s.ToString();
+  EXPECT_EQ(cached.size(), size_before) << label;
+  // The pre-existing entry still replays for free.
+  ASSERT_TRUE(cached.Execute(q).ok());
+  EXPECT_EQ(cached.hits(), 1) << label;
+}
+
+TEST(CacheIoTest, RoundTripsThroughText) {
+  const Table t = MakeMixedTable();
+  const std::string text = SavedCacheText(t);
+  std::istringstream in(text);
+  auto loaded = cache_io::ReadAll(in, t.schema().num_attributes());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 4u);
+  // Re-serializing the loaded map yields a stream that loads again to
+  // the same entry set (order in the map is free to differ).
+  std::ostringstream out;
+  cache_io::WriteHeader(out, loaded->size());
+  for (const auto& [key, result] : *loaded) {
+    cache_io::WriteEntry(out, key, result);
+  }
+  ASSERT_TRUE(cache_io::FinishWrite(out).ok());
+  std::istringstream in2(out.str());
+  auto reloaded = cache_io::ReadAll(in2, t.schema().num_attributes());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), loaded->size());
+  for (const auto& [key, result] : *loaded) {
+    auto it = reloaded->find(key);
+    ASSERT_NE(it, reloaded->end());
+    EXPECT_EQ(it->second.ids, result.ids);
+    EXPECT_EQ(it->second.overflow, result.overflow);
+  }
+}
+
+TEST(CacheIoTest, RejectsTruncatedStreamsAtomically) {
+  const Table t = MakeMixedTable();
+  const std::string text = SavedCacheText(t);
+  // Dropping whole trailing tokens always leaves the stream short of its
+  // declared entries/values. (A byte-level cut inside the *last* number
+  // is undetectable in a text format — "12" truncated to "1" still
+  // parses — which is exactly why the wire protocol is length-prefixed
+  // binary instead.)
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(text);
+    std::string tok;
+    while (in >> tok) tokens.push_back(tok);
+  }
+  ASSERT_GT(tokens.size(), 8u);
+  for (size_t drop : {size_t{1}, size_t{3}, tokens.size() / 2,
+                      tokens.size() - 2}) {
+    std::string cut;
+    for (size_t i = 0; i + drop < tokens.size(); ++i) {
+      cut += tokens[i];
+      cut += ' ';
+    }
+    ExpectAtomicRejection(t, cut,
+                          "dropped last " + std::to_string(drop) +
+                              " tokens");
+  }
+  // A cut inside the first entry's hex signature is caught too: the
+  // prefix is either odd-length hex or the wrong width for the schema.
+  const size_t first_entry = text.find('\n') + 1;
+  ExpectAtomicRejection(t, text.substr(0, first_entry + 11),
+                        "cut mid-signature");
+}
+
+TEST(CacheIoTest, RejectsCorruptedFields) {
+  const Table t = MakeMixedTable();
+  const std::string text = SavedCacheText(t);
+  const int width = t.schema().num_attributes();
+
+  // Count claims more entries than the stream holds.
+  {
+    std::string s = text;
+    const size_t pos = s.find(" 4\n");
+    ASSERT_NE(pos, std::string::npos);
+    s.replace(pos, 3, " 9\n");
+    ExpectAtomicRejection(t, s, "count too high");
+  }
+  // Trailing garbage after the declared entries.
+  ExpectAtomicRejection(t, text + "stray trailing entry\n",
+                        "trailing garbage");
+  // Duplicate keys: entry list repeated with the count doubled.
+  {
+    const size_t body = text.find('\n') + 1;
+    std::string s = "hdsky-cache-v1 8\n" + text.substr(body) +
+                    text.substr(body);
+    ExpectAtomicRejection(t, s, "duplicate keys");
+  }
+  // Signature length disagrees with the schema width.
+  {
+    std::istringstream in(text);
+    EXPECT_TRUE(cache_io::ReadAll(in, width + 1).status().IsIOError());
+  }
+  // Non-hex signature, odd-length signature.
+  ExpectAtomicRejection(
+      t, "hdsky-cache-v1 1\nzz 0 0\n", "non-hex signature");
+  ExpectAtomicRejection(
+      t, "hdsky-cache-v1 1\nabc 0 0\n", "odd-length signature");
+  // Overflow flag outside {0, 1}.
+  {
+    std::string s = text;
+    const size_t nl = s.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    const size_t sp = s.find(' ', nl);  // after the first signature
+    ASSERT_NE(sp, std::string::npos);
+    s.replace(sp + 1, 1, "7");
+    ExpectAtomicRejection(t, s, "bad overflow flag");
+  }
+  // A huge declared tuple count must fail fast (truncated read), not
+  // attempt a matching allocation first.
+  {
+    const std::string sig(static_cast<size_t>(width) * 2 *
+                              sizeof(data::Value) * 2,
+                          'a');  // hex chars = 2x bytes
+    ExpectAtomicRejection(
+        t, "hdsky-cache-v1 1\n" + sig + " 0 123456789012\n",
+        "tuple-count memory bomb");
+    // Negative tuple id.
+    ExpectAtomicRejection(
+        t, "hdsky-cache-v1 1\n" + sig + " 0 1 -5 1 2 3 4\n",
+        "negative tuple id");
+  }
 }
 
 TEST(CallbackDatabaseTest, AdaptsExternalBackends) {

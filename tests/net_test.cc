@@ -1,0 +1,353 @@
+// Wire-protocol tests: primitive codec round trips, frame header
+// validation, payload codecs against malformed/truncated/hostile input,
+// and a raw socket loopback frame exchange. The decoder hardening tested
+// here is what the fault-injection suite (service_test.cc) relies on.
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "interface/query.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace hdsky {
+namespace net {
+namespace {
+
+using data::AttributeKind;
+using data::InterfaceType;
+using data::Schema;
+using interface::Query;
+using interface::QueryResult;
+
+Schema TestSchema() {
+  return std::move(Schema::Create(
+                       {{"price", AttributeKind::kRanking,
+                         InterfaceType::kRQ, 0, 1000},
+                        {"stops", AttributeKind::kRanking,
+                         InterfaceType::kPQ, 0, 5},
+                        {"carrier", AttributeKind::kFiltering,
+                         InterfaceType::kFilterEquality, 0, 3}}))
+      .value();
+}
+
+TEST(EncoderDecoderTest, PrimitivesRoundTrip) {
+  std::string buf;
+  Encoder enc(&buf);
+  enc.PutU8(0xab);
+  enc.PutU16(0xbeef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutI64(-42);
+  enc.PutString("hdsky");
+
+  Decoder dec(buf);
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  std::string s;
+  EXPECT_TRUE(dec.GetU8(&u8));
+  EXPECT_TRUE(dec.GetU16(&u16));
+  EXPECT_TRUE(dec.GetU32(&u32));
+  EXPECT_TRUE(dec.GetU64(&u64));
+  EXPECT_TRUE(dec.GetI64(&i64));
+  EXPECT_TRUE(dec.GetString(&s));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(s, "hdsky");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(EncoderDecoderTest, ReadsPastEndFailSticky) {
+  std::string buf;
+  Encoder(&buf).PutU16(7);
+  Decoder dec(buf);
+  uint32_t v = 0;
+  EXPECT_FALSE(dec.GetU32(&v));  // only 2 bytes available
+  EXPECT_FALSE(dec.ok());
+  uint8_t b = 0;
+  EXPECT_FALSE(dec.GetU8(&b));  // sticky failure
+}
+
+TEST(EncoderDecoderTest, LyingStringLengthCannotAllocate) {
+  std::string buf;
+  Encoder enc(&buf);
+  enc.PutU32(0x7fffffff);  // claims a 2 GiB string...
+  enc.PutU8('x');          // ...but only 1 byte follows
+  Decoder dec(buf);
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FrameHeaderTest, RoundTripsAndValidates) {
+  const std::string h = EncodeFrameHeader(FrameType::kQuery, 1234);
+  ASSERT_EQ(h.size(), kFrameHeaderBytes);
+  auto decoded = DecodeFrameHeader(h);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, FrameType::kQuery);
+  EXPECT_EQ(decoded->payload_len, 1234u);
+  EXPECT_EQ(decoded->version, kProtocolVersion);
+}
+
+TEST(FrameHeaderTest, RejectsCorruption) {
+  const std::string good = EncodeFrameHeader(FrameType::kResult, 64);
+  {
+    std::string bad = good;
+    bad[0] = 'X';  // wrong magic
+    EXPECT_TRUE(DecodeFrameHeader(bad).status().IsIOError());
+  }
+  {
+    std::string bad = good;
+    bad[2] = static_cast<char>(kProtocolVersion + 1);  // future version
+    EXPECT_TRUE(DecodeFrameHeader(bad).status().IsIOError());
+  }
+  {
+    std::string bad = good;
+    bad[3] = 99;  // unknown frame type
+    EXPECT_TRUE(DecodeFrameHeader(bad).status().IsIOError());
+  }
+  {
+    // Payload length over the cap must be rejected before any allocation.
+    std::string bad = EncodeFrameHeader(FrameType::kResult, 0);
+    const uint32_t huge = kMaxPayloadBytes + 1;
+    std::memcpy(&bad[4], &huge, sizeof(huge));
+    EXPECT_TRUE(DecodeFrameHeader(bad).status().IsIOError());
+  }
+  EXPECT_TRUE(
+      DecodeFrameHeader(good.substr(0, 5)).status().IsIOError());
+}
+
+TEST(PayloadCodecTest, HelloRoundTrip) {
+  std::string payload;
+  EncodeHello(0xfeedface12345678ULL, &payload);
+  uint64_t id = 0;
+  ASSERT_TRUE(DecodeHello(payload, &id).ok());
+  EXPECT_EQ(id, 0xfeedface12345678ULL);
+  EXPECT_TRUE(DecodeHello(payload.substr(0, 3), &id).IsIOError());
+  EXPECT_TRUE(DecodeHello(payload + "x", &id).IsIOError());
+}
+
+TEST(PayloadCodecTest, DescriptorRoundTrip) {
+  const Schema schema = TestSchema();
+  std::string payload;
+  EncodeDescriptor(schema, 25, 500, &payload);
+  auto decoded = DecodeDescriptor(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->k, 25);
+  EXPECT_EQ(decoded->remaining_budget, 500);
+  EXPECT_EQ(decoded->schema.num_attributes(), schema.num_attributes());
+  EXPECT_EQ(decoded->schema.ToString(), schema.ToString());
+
+  // Every strict prefix must fail cleanly.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(
+        DecodeDescriptor(payload.substr(0, cut)).status().IsIOError())
+        << "prefix " << cut;
+  }
+  EXPECT_TRUE(DecodeDescriptor(payload + "z").status().IsIOError());
+}
+
+TEST(PayloadCodecTest, QueryRoundTripIncludesEmptyAndUnbounded) {
+  const Schema schema = TestSchema();
+  std::vector<Query> cases;
+  {
+    Query q(3);  // fully unconstrained
+    cases.push_back(q);
+  }
+  {
+    Query q(3);
+    q.AddAtMost(0, 400).AddAtLeast(1, 2).AddEquals(2, 1);
+    cases.push_back(q);
+  }
+  {
+    Query q(3);
+    q.AddAtLeast(0, 10).AddAtMost(0, 5);  // empty interval
+    cases.push_back(q);
+  }
+  for (size_t c = 0; c < cases.size(); ++c) {
+    std::string payload;
+    EncodeQuery(1000 + c, cases[c], &payload);
+    uint64_t seq = 0;
+    Query decoded;
+    ASSERT_TRUE(DecodeQuery(payload, &seq, &decoded).ok()) << c;
+    EXPECT_EQ(seq, 1000 + c);
+    ASSERT_EQ(decoded.num_attributes(), cases[c].num_attributes());
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_EQ(decoded.interval(a).lower, cases[c].interval(a).lower)
+          << "case " << c << " attr " << a;
+      EXPECT_EQ(decoded.interval(a).upper, cases[c].interval(a).upper)
+          << "case " << c << " attr " << a;
+    }
+  }
+}
+
+TEST(PayloadCodecTest, QueryRejectsMalformation) {
+  Query q(3);
+  q.AddAtMost(0, 7);
+  std::string payload;
+  EncodeQuery(5, q, &payload);
+  uint64_t seq = 0;
+  Query out;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(DecodeQuery(payload.substr(0, cut), &seq, &out).IsIOError())
+        << "prefix " << cut;
+  }
+  EXPECT_TRUE(DecodeQuery(payload + "!", &seq, &out).IsIOError());
+}
+
+TEST(PayloadCodecTest, ResultRoundTrip) {
+  QueryResult result;
+  result.overflow = true;
+  result.ids = {3, 9, 27};
+  result.tuples = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  std::string payload;
+  EncodeResult(77, result, &payload);
+
+  uint64_t seq = 0;
+  QueryResult decoded;
+  ASSERT_TRUE(DecodeResult(payload, 3, &seq, &decoded).ok());
+  EXPECT_EQ(seq, 77u);
+  EXPECT_EQ(decoded.overflow, true);
+  EXPECT_EQ(decoded.ids, result.ids);
+  EXPECT_EQ(decoded.tuples, result.tuples);
+
+  // Width disagreement, truncation, trailing garbage, bad overflow flag.
+  EXPECT_TRUE(DecodeResult(payload, 4, &seq, &decoded).IsIOError());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(
+        DecodeResult(payload.substr(0, cut), 3, &seq, &decoded).IsIOError())
+        << "prefix " << cut;
+  }
+  EXPECT_TRUE(DecodeResult(payload + "x", 3, &seq, &decoded).IsIOError());
+  {
+    std::string bad = payload;
+    bad[8] = 2;  // overflow flag is the byte after the u64 seq
+    EXPECT_TRUE(DecodeResult(bad, 3, &seq, &decoded).IsIOError());
+  }
+}
+
+TEST(PayloadCodecTest, StatusRoundTripAndTransience) {
+  std::string payload;
+  EncodeStatus(11, WireStatus::kRateLimited, "slow down", &payload);
+  uint64_t seq = 0;
+  uint16_t code = 0;
+  std::string message;
+  ASSERT_TRUE(DecodeStatusFrame(payload, &seq, &code, &message).ok());
+  EXPECT_EQ(seq, 11u);
+  EXPECT_EQ(code, static_cast<uint16_t>(WireStatus::kRateLimited));
+  EXPECT_EQ(message, "slow down");
+
+  EXPECT_TRUE(IsTransient(WireStatus::kRateLimited));
+  // A server-reported IOError is a statement about the backend, not the
+  // transport; only transport faults and explicit throttles retry.
+  EXPECT_FALSE(IsTransient(WireStatus::kIOError));
+  EXPECT_FALSE(IsTransient(WireStatus::kBudgetExhausted));
+  EXPECT_FALSE(IsTransient(WireStatus::kInvalidArgument));
+
+  // Both budget exhaustion and rate limiting surface as the anytime
+  // signal the algorithms already understand.
+  EXPECT_TRUE(StatusFromWire(static_cast<uint16_t>(
+                                 WireStatus::kBudgetExhausted),
+                             "spent")
+                  .IsResourceExhausted());
+  EXPECT_TRUE(StatusFromWire(
+                  static_cast<uint16_t>(WireStatus::kRateLimited), "429")
+                  .IsResourceExhausted());
+  EXPECT_TRUE(StatusFromWire(static_cast<uint16_t>(
+                                 WireStatus::kInvalidArgument),
+                             "bad")
+                  .IsInvalidArgument());
+}
+
+TEST(SocketTest, LoopbackFrameRoundTrip) {
+  auto listener = ServerSocket::Listen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  ASSERT_GT(port, 0);
+
+  std::jthread server([&] {
+    auto ready = listener->PollAccept(5000);
+    ASSERT_TRUE(ready.ok() && *ready);
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(*conn, &frame).ok());
+    EXPECT_EQ(frame.type, FrameType::kHello);
+    // Echo the payload back as a status frame.
+    ASSERT_TRUE(
+        WriteFrame(*conn, FrameType::kStatus, frame.payload).ok());
+  });
+
+  auto client = Socket::Connect("127.0.0.1", port, 5000);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SetIoTimeout(5000).ok());
+  std::string payload;
+  EncodeHello(42, &payload);
+  ASSERT_TRUE(WriteFrame(*client, FrameType::kHello, payload).ok());
+  Frame reply;
+  ASSERT_TRUE(ReadFrame(*client, &reply).ok());
+  EXPECT_EQ(reply.type, FrameType::kStatus);
+  EXPECT_EQ(reply.payload, payload);
+}
+
+TEST(SocketTest, ReadFrameRejectsGarbageHeader) {
+  auto listener = ServerSocket::Listen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok());
+  std::jthread server([&] {
+    auto ready = listener->PollAccept(5000);
+    ASSERT_TRUE(ready.ok() && *ready);
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    const char garbage[] = "XXXXXXXXXXXXXXXX";
+    (void)conn->SendAll(garbage, sizeof(garbage));
+  });
+  auto client = Socket::Connect("127.0.0.1", listener->port(), 5000);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SetIoTimeout(5000).ok());
+  Frame frame;
+  EXPECT_TRUE(ReadFrame(*client, &frame).IsIOError());
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing serves it.
+  uint16_t dead_port = 0;
+  {
+    auto listener = ServerSocket::Listen("127.0.0.1", 0, 1);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  auto client = Socket::Connect("127.0.0.1", dead_port, 1000);
+  EXPECT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsIOError());
+}
+
+TEST(ParseHostPortTest, AcceptsAndRejects) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:7447", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7447);
+  ASSERT_TRUE(ParseHostPort("example.com:1", &host, &port).ok());
+  EXPECT_EQ(host, "example.com");
+  EXPECT_EQ(port, 1);
+  for (const char* bad :
+       {"no-colon", ":7447", "host:", "host:0", "host:65536", "host:abc",
+        "host:-1", "host:12x", ""}) {
+    EXPECT_FALSE(ParseHostPort(bad, &host, &port).ok()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hdsky

@@ -1,33 +1,42 @@
 // hdsky_discover — command-line skyline / sky-band discovery.
 //
 // Runs the paper's algorithms against a dataset loaded from a
-// self-describing CSV (see dataset/csv.h) or one of the built-in
-// simulators, through a simulated top-k interface. Prints a summary and
+// self-describing CSV (see dataset/csv.h), one of the built-in
+// simulators, or a remote hdsky_serve instance. Prints a summary and
 // optionally writes the discovered tuples as CSV.
 //
 //   hdsky_discover --data listings.csv --algorithm mq --k 50
 //   hdsky_discover --demo bluenile --k 50 --out skyline.csv
 //   hdsky_discover --demo flights --n 100000 --algorithm rq --budget 500
 //   hdsky_discover --demo autos --band 2
+//   hdsky_discover --connect 127.0.0.1:7447 --algorithm sq --cache
 //
 // Flags:
-//   --data PATH         input CSV (mutually exclusive with --demo)
+//   --data PATH         input CSV (one source: --data | --demo | --connect)
 //   --demo NAME         flights | bluenile | autos | route
+//   --connect HOST:PORT discover against a remote hdsky_serve
 //   --n N               demo dataset size (default: the paper's)
 //   --algorithm A       auto | sq | rq | pq | mq | baseline  (default auto)
 //   --k K               page size of the interface (default 10)
 //   --ranking R         sum | lex:<attr_name>        (default sum)
 //   --budget B          query budget; 0 = unlimited  (default 0)
 //   --band H            discover the top-H sky band instead (RQ/PQ only)
+//   --cache             stack a concurrent query cache over the source
 //   --out PATH          write discovered tuples as CSV
 //   --seed S            generator seed for --demo
 //   --trials T          run T independent trials (seeds S..S+T-1; --demo)
 //   --threads W         workers for --trials (default $HDSKY_THREADS)
+//
+// The remote interface's page size, ranking, and budget are fixed by the
+// server, so --k/--ranking/--budget (and the local-generation flags) are
+// rejected alongside --connect instead of being silently ignored.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,10 +51,13 @@
 #include "dataset/flights_on_time.h"
 #include "dataset/google_flights.h"
 #include "dataset/yahoo_autos.h"
+#include "interface/concurrent_caching_database.h"
 #include "interface/ranking.h"
 #include "interface/top_k_interface.h"
+#include "net/socket.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "service/remote_database.h"
 
 namespace {
 
@@ -54,41 +66,70 @@ using namespace hdsky;
 struct Args {
   std::string data;
   std::string demo;
+  std::string connect;
   int64_t n = 0;
   std::string algorithm = "auto";
-  int k = 10;
+  int64_t k = 10;
   std::string ranking = "sum";
   int64_t budget = 0;
-  int band = 0;
+  int64_t band = 0;
+  bool cache = false;
   std::string out;
   uint64_t seed = 42;
-  int trials = 1;
-  int threads = 0;  // 0 = take $HDSKY_THREADS
+  int64_t trials = 1;
+  int64_t threads = 0;  // 0 = take $HDSKY_THREADS
 };
 
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: hdsky_discover (--data PATH | --demo NAME) [options]\n"
-      "  --demo NAME       flights | bluenile | autos | route\n"
-      "  --n N             demo dataset size\n"
-      "  --algorithm A     auto | sq | rq | pq | mq | baseline\n"
-      "  --k K             interface page size (default 10)\n"
-      "  --ranking R       sum | lex:<attr_name>\n"
-      "  --budget B        query budget (0 = unlimited)\n"
-      "  --band H          discover the top-H sky band (RQ/PQ)\n"
-      "  --out PATH        write discovered tuples as CSV\n"
-      "  --seed S          demo generator seed\n"
-      "  --trials T        independent trials, seeds S..S+T-1 (--demo)\n"
-      "  --threads W       workers for --trials (default $HDSKY_THREADS)\n");
+      "usage: hdsky_discover (--data PATH | --demo NAME | --connect "
+      "HOST:PORT) [options]\n"
+      "  --demo NAME         flights | bluenile | autos | route\n"
+      "  --connect HOST:PORT discover against a remote hdsky_serve\n"
+      "  --n N               demo dataset size\n"
+      "  --algorithm A       auto | sq | rq | pq | mq | baseline\n"
+      "  --k K               interface page size (default 10)\n"
+      "  --ranking R         sum | lex:<attr_name>\n"
+      "  --budget B          query budget (0 = unlimited)\n"
+      "  --band H            discover the top-H sky band (RQ/PQ)\n"
+      "  --cache             stack a concurrent query cache\n"
+      "  --out PATH          write discovered tuples as CSV\n"
+      "  --seed S            demo generator seed\n"
+      "  --trials T          independent trials, seeds S..S+T-1 (--demo)\n"
+      "  --threads W         workers for --trials (default "
+      "$HDSKY_THREADS)\n");
+}
+
+/// Strict integer parse: the whole token must be a base-10 number in
+/// [min, max]. "12x", "", " 3", and out-of-range values all fail.
+bool ParseInt(const std::string& s, int64_t min, int64_t max, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  if (v < min || v > max) return false;
+  *out = v;
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    seen.insert(flag);
     auto need_value = [&](std::string* dst) {
       if (i + 1 >= argc) return false;
       *dst = argv[++i];
+      return true;
+    };
+    auto int_flag = [&](int64_t min, int64_t max, int64_t* dst) {
+      std::string value;
+      if (!need_value(&value) || !ParseInt(value, min, max, dst)) {
+        std::fprintf(stderr, "invalid value for %s\n", flag.c_str());
+        return false;
+      }
       return true;
     };
     std::string value;
@@ -96,39 +137,67 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->data = value;
     } else if (flag == "--demo" && need_value(&value)) {
       args->demo = value;
-    } else if (flag == "--n" && need_value(&value)) {
-      args->n = std::atoll(value.c_str());
+    } else if (flag == "--connect" && need_value(&value)) {
+      args->connect = value;
+      std::string host;
+      uint16_t port = 0;
+      const common::Status s = net::ParseHostPort(value, &host, &port);
+      if (!s.ok()) {
+        std::fprintf(stderr, "invalid --connect: %s\n",
+                     s.ToString().c_str());
+        return false;
+      }
+    } else if (flag == "--n") {
+      if (!int_flag(1, INT64_MAX, &args->n)) return false;
     } else if (flag == "--algorithm" && need_value(&value)) {
       args->algorithm = value;
-    } else if (flag == "--k" && need_value(&value)) {
-      args->k = std::atoi(value.c_str());
+    } else if (flag == "--k") {
+      if (!int_flag(1, 1000000, &args->k)) return false;
     } else if (flag == "--ranking" && need_value(&value)) {
       args->ranking = value;
-    } else if (flag == "--budget" && need_value(&value)) {
-      args->budget = std::atoll(value.c_str());
-    } else if (flag == "--band" && need_value(&value)) {
-      args->band = std::atoi(value.c_str());
+    } else if (flag == "--budget") {
+      if (!int_flag(0, INT64_MAX, &args->budget)) return false;
+    } else if (flag == "--band") {
+      if (!int_flag(1, 1000000, &args->band)) return false;
+    } else if (flag == "--cache") {
+      args->cache = true;
     } else if (flag == "--out" && need_value(&value)) {
       args->out = value;
-    } else if (flag == "--seed" && need_value(&value)) {
-      args->seed = std::strtoull(value.c_str(), nullptr, 10);
-    } else if (flag == "--trials" && need_value(&value)) {
-      args->trials = std::atoi(value.c_str());
-    } else if (flag == "--threads" && need_value(&value)) {
-      args->threads = std::atoi(value.c_str());
+    } else if (flag == "--seed") {
+      int64_t seed;
+      if (!int_flag(0, INT64_MAX, &seed)) return false;
+      args->seed = static_cast<uint64_t>(seed);
+    } else if (flag == "--trials") {
+      if (!int_flag(1, 1000000, &args->trials)) return false;
+    } else if (flag == "--threads") {
+      if (!int_flag(1, 4096, &args->threads)) return false;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                    flag.c_str());
       return false;
     }
   }
-  if (args->data.empty() == args->demo.empty()) {
-    std::fprintf(stderr, "exactly one of --data / --demo is required\n");
+  const int sources = (!args->data.empty() ? 1 : 0) +
+                      (!args->demo.empty() ? 1 : 0) +
+                      (!args->connect.empty() ? 1 : 0);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "exactly one of --data / --demo / --connect is "
+                 "required\n");
     return false;
   }
-  if (args->trials < 1) {
-    std::fprintf(stderr, "--trials must be >= 1\n");
-    return false;
+  if (!args->connect.empty()) {
+    for (const char* local_only :
+         {"--n", "--k", "--ranking", "--budget", "--seed", "--trials",
+          "--threads"}) {
+      if (seen.count(local_only)) {
+        std::fprintf(stderr,
+                     "%s configures a local interface; the server "
+                     "controls it under --connect\n",
+                     local_only);
+        return false;
+      }
+    }
   }
   if (args->trials > 1 && args->demo.empty()) {
     std::fprintf(stderr, "--trials needs --demo (seeds vary per trial)\n");
@@ -181,11 +250,13 @@ common::Result<std::shared_ptr<interface::RankingPolicy>> MakeRanking(
                                          args.ranking + "'");
 }
 
+// Every algorithm programs against HiddenDatabase, so the same Run serves
+// local TopKInterface, cached, and remote sources.
 common::Result<core::DiscoveryResult> Run(const Args& args,
-                                          interface::TopKInterface* iface) {
+                                          interface::HiddenDatabase* iface) {
   if (args.band > 0) {
     core::SkybandOptions opts;
-    opts.band = args.band;
+    opts.band = static_cast<int>(args.band);
     // Pick by interface mix: PQ-only schemas use the PQ extension.
     const bool any_range =
         !iface->schema()
@@ -214,8 +285,8 @@ int RunTrials(const Args& args) {
     size_t found = 0;
     bool complete = false;
   };
-  const int threads =
-      args.threads > 0 ? args.threads : runtime::EnvThreadCount();
+  const int threads = args.threads > 0 ? static_cast<int>(args.threads)
+                                       : runtime::EnvThreadCount();
   std::vector<Trial> trials(static_cast<size_t>(args.trials));
   runtime::ParallelFor(threads, 0, args.trials, [&](int64_t i) {
     Args trial_args = args;
@@ -232,7 +303,7 @@ int RunTrials(const Args& args) {
       return;
     }
     interface::TopKOptions topk;
-    topk.k = trial_args.k;
+    topk.k = static_cast<int>(trial_args.k);
     topk.query_budget = trial_args.budget;
     auto iface = interface::TopKInterface::Create(
         &*table, std::move(ranking).value(), topk);
@@ -252,16 +323,18 @@ int RunTrials(const Args& args) {
   });
 
   int64_t total_cost = 0;
-  for (int i = 0; i < args.trials; ++i) {
+  for (int64_t i = 0; i < args.trials; ++i) {
     const Trial& t = trials[static_cast<size_t>(i)];
     if (!t.ok) {
-      std::fprintf(stderr, "trial %d (seed %llu): %s\n", i,
+      std::fprintf(stderr, "trial %lld (seed %llu): %s\n",
+                   static_cast<long long>(i),
                    static_cast<unsigned long long>(
                        args.seed + static_cast<uint64_t>(i)),
                    t.error.c_str());
       return 1;
     }
-    std::printf("trial %d: seed %llu  found %zu  queries %lld%s\n", i,
+    std::printf("trial %lld: seed %llu  found %zu  queries %lld%s\n",
+                static_cast<long long>(i),
                 static_cast<unsigned long long>(
                     args.seed + static_cast<uint64_t>(i)),
                 t.found, static_cast<long long>(t.cost),
@@ -270,7 +343,8 @@ int RunTrials(const Args& args) {
   }
   // stdout stays byte-identical at every worker count; the worker note
   // goes to stderr.
-  std::printf("mean queries over %d trials: %.2f\n", args.trials,
+  std::printf("mean queries over %lld trials: %.2f\n",
+              static_cast<long long>(args.trials),
               static_cast<double>(total_cost) /
                   static_cast<double>(args.trials));
   std::fprintf(stderr, "(ran on %d worker%s)\n", threads,
@@ -289,36 +363,73 @@ int main(int argc, char** argv) {
 
   if (args.trials > 1) return RunTrials(args);
 
-  auto table_result = LoadTable(args);
-  if (!table_result.ok()) {
-    std::fprintf(stderr, "load: %s\n",
-                 table_result.status().ToString().c_str());
-    return 1;
-  }
-  const data::Table table = std::move(table_result).value();
-  std::printf("dataset : %lld tuples, %s\n",
-              static_cast<long long>(table.num_rows()),
-              table.schema().ToString().c_str());
+  // Exactly one of these owners is populated; `source` aliases it.
+  data::Table table;  // local sources only
+  std::unique_ptr<interface::TopKInterface> local;
+  std::unique_ptr<service::RemoteHiddenDatabase> remote;
+  interface::HiddenDatabase* source = nullptr;
 
-  auto ranking_result = MakeRanking(args, table.schema());
-  if (!ranking_result.ok()) {
-    std::fprintf(stderr, "ranking: %s\n",
-                 ranking_result.status().ToString().c_str());
-    return 1;
-  }
-  interface::TopKOptions topk;
-  topk.k = args.k;
-  topk.query_budget = args.budget;
-  auto iface_result = interface::TopKInterface::Create(
-      &table, std::move(ranking_result).value(), topk);
-  if (!iface_result.ok()) {
-    std::fprintf(stderr, "interface: %s\n",
-                 iface_result.status().ToString().c_str());
-    return 1;
-  }
-  auto iface = std::move(iface_result).value();
+  if (!args.connect.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    const common::Status parsed =
+        net::ParseHostPort(args.connect, &host, &port);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "connect: %s\n", parsed.ToString().c_str());
+      return 64;
+    }
+    auto remote_result = service::RemoteHiddenDatabase::Connect(host, port);
+    if (!remote_result.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   remote_result.status().ToString().c_str());
+      return 1;
+    }
+    remote = std::move(remote_result).value();
+    source = remote.get();
+    std::fprintf(stderr, "remote  : %s, %s, k=%d\n", args.connect.c_str(),
+                 remote->schema().ToString().c_str(), remote->k());
+  } else {
+    auto table_result = LoadTable(args);
+    if (!table_result.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   table_result.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(table_result).value();
+    std::printf("dataset : %lld tuples, %s\n",
+                static_cast<long long>(table.num_rows()),
+                table.schema().ToString().c_str());
 
-  auto result = Run(args, iface.get());
+    auto ranking_result = MakeRanking(args, table.schema());
+    if (!ranking_result.ok()) {
+      std::fprintf(stderr, "ranking: %s\n",
+                   ranking_result.status().ToString().c_str());
+      return 1;
+    }
+    interface::TopKOptions topk;
+    topk.k = static_cast<int>(args.k);
+    topk.query_budget = args.budget;
+    auto iface_result = interface::TopKInterface::Create(
+        &table, std::move(ranking_result).value(), topk);
+    if (!iface_result.ok()) {
+      std::fprintf(stderr, "interface: %s\n",
+                   iface_result.status().ToString().c_str());
+      return 1;
+    }
+    local = std::move(iface_result).value();
+    source = local.get();
+  }
+
+  // --cache memoizes repeat queries before they hit the source — for a
+  // remote source, before they touch the network at all.
+  std::unique_ptr<interface::ConcurrentCachingDatabase> cache;
+  interface::HiddenDatabase* iface = source;
+  if (args.cache) {
+    cache = std::make_unique<interface::ConcurrentCachingDatabase>(source);
+    iface = cache.get();
+  }
+
+  auto result = Run(args, iface);
   if (!result.ok()) {
     std::fprintf(stderr, "discovery: %s\n",
                  result.status().ToString().c_str());
@@ -335,9 +446,26 @@ int main(int argc, char** argv) {
                 static_cast<double>(result->query_cost) /
                     static_cast<double>(result->skyline.size()));
   }
+  if (cache) {
+    std::fprintf(stderr,
+                 "cache   : %lld hits, %lld misses, %lld errors\n",
+                 static_cast<long long>(cache->hits()),
+                 static_cast<long long>(cache->misses()),
+                 static_cast<long long>(cache->errors()));
+  }
+  if (remote) {
+    const service::RemoteHiddenDatabase::Telemetry& t = remote->telemetry();
+    std::fprintf(stderr,
+                 "network : %lld remote queries, %lld retries, %lld "
+                 "reconnects, %lld rate-limited\n",
+                 static_cast<long long>(t.remote_queries),
+                 static_cast<long long>(t.retries),
+                 static_cast<long long>(t.reconnects),
+                 static_cast<long long>(t.rate_limited));
+  }
 
   if (!args.out.empty()) {
-    data::Table out(table.schema());
+    data::Table out(iface->schema());
     out.Reserve(static_cast<int64_t>(result->skyline.size()));
     for (const data::Tuple& t : result->skyline) {
       const common::Status s = out.Append(t);

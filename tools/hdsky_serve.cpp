@@ -1,0 +1,276 @@
+// hdsky_serve — expose a hidden database over the hdsky wire protocol.
+//
+// Loads a dataset (CSV or one of the built-in simulators), wraps it in a
+// TopKInterface with the chosen ranking/page-size/budget, and serves it on
+// a TCP port so hdsky_discover --connect (or any RemoteHiddenDatabase
+// client) can run discovery against a genuinely remote interface.
+//
+//   hdsky_serve --demo bluenile --n 100000 --k 50 --port 7447
+//   hdsky_serve --data listings.csv --k 10 --port 0        # ephemeral port
+//   hdsky_serve --demo flights --client-budget 500         # per-session cap
+//
+// Flags:
+//   --data PATH            input CSV (mutually exclusive with --demo)
+//   --demo NAME            flights | bluenile | autos | route
+//   --n N                  demo dataset size (default: the paper's)
+//   --k K                  page size of the interface (default 10)
+//   --ranking R            sum | lex:<attr_name>   (default sum)
+//   --budget B             backend-wide query budget (0 = unlimited)
+//   --client-budget B      per-client-session budget (0 = unlimited)
+//   --seed S               generator seed for --demo
+//   --port P               TCP port; 0 picks an ephemeral one (default 0)
+//   --bind ADDR            IPv4 bind address (default 127.0.0.1)
+//   --max-connections C    concurrent connections served (default 8)
+//
+// Prints exactly one "listening on ADDR:PORT" line to stdout once ready
+// (scripts parse it to learn an ephemeral port), then serves until
+// SIGINT/SIGTERM, finally printing access statistics to stderr.
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "dataset/blue_nile.h"
+#include "dataset/csv.h"
+#include "dataset/flights_on_time.h"
+#include "dataset/google_flights.h"
+#include "dataset/yahoo_autos.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace hdsky;
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+struct Args {
+  std::string data;
+  std::string demo;
+  int64_t n = 0;
+  int64_t k = 10;
+  std::string ranking = "sum";
+  int64_t budget = 0;
+  int64_t client_budget = 0;
+  uint64_t seed = 42;
+  int64_t port = 0;
+  std::string bind = "127.0.0.1";
+  int64_t max_connections = 8;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hdsky_serve (--data PATH | --demo NAME) [options]\n"
+      "  --demo NAME          flights | bluenile | autos | route\n"
+      "  --n N                demo dataset size\n"
+      "  --k K                interface page size (default 10)\n"
+      "  --ranking R          sum | lex:<attr_name>\n"
+      "  --budget B           backend query budget (0 = unlimited)\n"
+      "  --client-budget B    per-client-session budget (0 = unlimited)\n"
+      "  --seed S             demo generator seed\n"
+      "  --port P             TCP port, 0 = ephemeral (default 0)\n"
+      "  --bind ADDR          IPv4 bind address (default 127.0.0.1)\n"
+      "  --max-connections C  concurrent connections (default 8)\n");
+}
+
+/// Strict integer parse: the whole token must be a number in [min, max].
+bool ParseInt(const std::string& s, int64_t min, int64_t max, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  if (v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    auto int_flag = [&](int64_t min, int64_t max, int64_t* dst) {
+      std::string value;
+      if (!need_value(&value) || !ParseInt(value, min, max, dst)) {
+        std::fprintf(stderr, "invalid value for %s\n", flag.c_str());
+        return false;
+      }
+      return true;
+    };
+    std::string value;
+    if (flag == "--data" && need_value(&value)) {
+      args->data = value;
+    } else if (flag == "--demo" && need_value(&value)) {
+      args->demo = value;
+    } else if (flag == "--n") {
+      if (!int_flag(1, INT64_MAX, &args->n)) return false;
+    } else if (flag == "--k") {
+      if (!int_flag(1, 1000000, &args->k)) return false;
+    } else if (flag == "--ranking" && need_value(&value)) {
+      args->ranking = value;
+    } else if (flag == "--budget") {
+      if (!int_flag(0, INT64_MAX, &args->budget)) return false;
+    } else if (flag == "--client-budget") {
+      if (!int_flag(0, INT64_MAX, &args->client_budget)) return false;
+    } else if (flag == "--seed") {
+      int64_t seed;
+      if (!int_flag(0, INT64_MAX, &seed)) return false;
+      args->seed = static_cast<uint64_t>(seed);
+    } else if (flag == "--port") {
+      if (!int_flag(0, 65535, &args->port)) return false;
+    } else if (flag == "--bind" && need_value(&value)) {
+      args->bind = value;
+    } else if (flag == "--max-connections") {
+      if (!int_flag(1, 1024, &args->max_connections)) return false;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  if (args->data.empty() == args->demo.empty()) {
+    std::fprintf(stderr, "exactly one of --data / --demo is required\n");
+    return false;
+  }
+  return true;
+}
+
+common::Result<data::Table> LoadTable(const Args& args) {
+  if (!args.data.empty()) return dataset::ReadCsv(args.data);
+  if (args.demo == "flights") {
+    dataset::FlightsOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateFlightsOnTime(o);
+  }
+  if (args.demo == "bluenile") {
+    dataset::BlueNileOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateBlueNile(o);
+  }
+  if (args.demo == "autos") {
+    dataset::YahooAutosOptions o;
+    if (args.n > 0) o.num_tuples = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateYahooAutos(o);
+  }
+  if (args.demo == "route") {
+    dataset::GoogleFlightsOptions o;
+    if (args.n > 0) o.num_flights = args.n;
+    o.seed = args.seed;
+    return dataset::GenerateRoute(o);
+  }
+  return common::Status::InvalidArgument("unknown demo '" + args.demo +
+                                         "'");
+}
+
+common::Result<std::shared_ptr<interface::RankingPolicy>> MakeRanking(
+    const Args& args, const data::Schema& schema) {
+  if (args.ranking == "sum") return interface::MakeSumRanking();
+  if (args.ranking.rfind("lex:", 0) == 0) {
+    HDSKY_ASSIGN_OR_RETURN(const int attr,
+                           schema.IndexOf(args.ranking.substr(4)));
+    return interface::MakeLexicographicRanking({attr});
+  }
+  return common::Status::InvalidArgument("unknown ranking '" +
+                                         args.ranking + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 64;
+  }
+
+  auto table_result = LoadTable(args);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "load: %s\n",
+                 table_result.status().ToString().c_str());
+    return 1;
+  }
+  const data::Table table = std::move(table_result).value();
+
+  auto ranking_result = MakeRanking(args, table.schema());
+  if (!ranking_result.ok()) {
+    std::fprintf(stderr, "ranking: %s\n",
+                 ranking_result.status().ToString().c_str());
+    return 1;
+  }
+  interface::TopKOptions topk;
+  topk.k = static_cast<int>(args.k);
+  topk.query_budget = args.budget;
+  auto iface_result = interface::TopKInterface::Create(
+      &table, std::move(ranking_result).value(), topk);
+  if (!iface_result.ok()) {
+    std::fprintf(stderr, "interface: %s\n",
+                 iface_result.status().ToString().c_str());
+    return 1;
+  }
+  auto iface = std::move(iface_result).value();
+
+  service::DatabaseServer::Options server_options;
+  server_options.bind_address = args.bind;
+  server_options.port = static_cast<uint16_t>(args.port);
+  server_options.max_connections = static_cast<int>(args.max_connections);
+  server_options.per_client_query_budget = args.client_budget;
+  // TopKInterface with a static-order ranking is thread-safe (see
+  // docs/concurrency.md); both built-in rankings qualify, so connections
+  // may hit the backend concurrently.
+  server_options.serialize_backend = false;
+  auto server_result =
+      service::DatabaseServer::Start(iface.get(), server_options);
+  if (!server_result.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 server_result.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(server_result).value();
+
+  std::fprintf(stderr, "dataset : %lld tuples, %s\n",
+               static_cast<long long>(table.num_rows()),
+               table.schema().ToString().c_str());
+  std::printf("listening on %s:%u\n", args.bind.c_str(), server->port());
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server->Stop();
+  const service::DatabaseServer::Stats stats = server->stats();
+  const interface::AccessStats access = iface->stats();
+  std::fprintf(stderr,
+               "served  : %lld queries (%lld replayed, %lld budget "
+               "rejections) over %lld connections (%lld rejected)\n",
+               static_cast<long long>(stats.queries_served),
+               static_cast<long long>(stats.queries_replayed),
+               static_cast<long long>(stats.budget_rejections),
+               static_cast<long long>(stats.connections_accepted),
+               static_cast<long long>(stats.connections_rejected));
+  std::fprintf(stderr, "backend : %lld queries issued, %lld tuples returned\n",
+               static_cast<long long>(access.queries_issued),
+               static_cast<long long>(access.tuples_returned));
+  return 0;
+}
