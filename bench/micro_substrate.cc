@@ -23,6 +23,7 @@ using namespace hdsky;
 
 const data::Table& Data(int64_t n) {
   static std::map<int64_t, data::Table> cache;
+  n = bench::Scaled(n);
   auto it = cache.find(n);
   if (it == cache.end()) {
     dataset::SyntheticOptions o;
@@ -38,28 +39,68 @@ const data::Table& Data(int64_t n) {
   return it->second;
 }
 
-void BM_ExecuteBroadQuery(benchmark::State& state) {
-  const data::Table& t = Data(state.range(0));
-  auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
+/// Interface with all fast paths disabled: the row-at-a-time rank-order
+/// scan the vectorized engine replaced. The *Naive benches pin the
+/// pre-engine baseline so CI can assert the engine never regresses past
+/// it (scripts/compare_bench.py).
+std::unique_ptr<interface::TopKInterface> MakeNaiveInterface(
+    const data::Table* t, int k) {
+  interface::TopKOptions opts;
+  opts.k = k;
+  opts.vectorized_scan = false;
+  opts.kd_index_threshold = -1;
+  return bench::Unwrap(interface::TopKInterface::Create(
+                           t, interface::MakeSumRanking(), opts),
+                       "TopKInterface::Create");
+}
+
+interface::Query BroadQuery() {
   interface::Query q(4);
   q.AddAtMost(0, 900);
+  return q;
+}
+
+interface::Query SelectiveQuery() {
+  interface::Query q(4);
+  q.AddAtMost(0, 50).AddAtMost(1, 50).AddAtLeast(2, 950);
+  return q;
+}
+
+void RunQueryBench(benchmark::State& state, interface::HiddenDatabase* iface,
+                   const interface::Query& q) {
+  // Buffer-reuse Execute: the measured loop matches how the discovery
+  // algorithms issue queries (one QueryResult reused across the run).
+  interface::QueryResult r;
   for (auto _ : state) {
-    auto r = iface->Execute(q);
+    auto status = iface->Execute(q, &r);
+    benchmark::DoNotOptimize(status);
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(state.iterations());
 }
 
+void BM_ExecuteBroadQuery(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
+  RunQueryBench(state, iface.get(), BroadQuery());
+}
+
+void BM_ExecuteBroadQueryNaive(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = MakeNaiveInterface(&t, 10);
+  RunQueryBench(state, iface.get(), BroadQuery());
+}
+
 void BM_ExecuteSelectiveQuery(benchmark::State& state) {
   const data::Table& t = Data(state.range(0));
   auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
-  interface::Query q(4);
-  q.AddAtMost(0, 50).AddAtMost(1, 50).AddAtLeast(2, 950);
-  for (auto _ : state) {
-    auto r = iface->Execute(q);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunQueryBench(state, iface.get(), SelectiveQuery());
+}
+
+void BM_ExecuteSelectiveQueryNaive(benchmark::State& state) {
+  const data::Table& t = Data(state.range(0));
+  auto iface = MakeNaiveInterface(&t, 10);
+  RunQueryBench(state, iface.get(), SelectiveQuery());
 }
 
 void BM_ExecutePointQuery(benchmark::State& state) {
@@ -67,11 +108,7 @@ void BM_ExecutePointQuery(benchmark::State& state) {
   auto iface = bench::MakeInterface(&t, interface::MakeSumRanking(), 10);
   interface::Query q(4);
   q.AddEquals(0, 500).AddEquals(1, 500);
-  for (auto _ : state) {
-    auto r = iface->Execute(q);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(state.iterations());
+  RunQueryBench(state, iface.get(), q);
 }
 
 void BM_KdIndexBuild(benchmark::State& state) {
@@ -137,7 +174,9 @@ void BM_KSkyband(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_ExecuteBroadQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ExecuteBroadQueryNaive)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_ExecuteSelectiveQuery)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ExecuteSelectiveQueryNaive)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_ExecutePointQuery)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_KdIndexBuild)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SkylineBNL)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);

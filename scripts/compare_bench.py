@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf gate over a BENCH_substrate.json produced by run_benches.sh.
+
+Compares the vectorized execution paths against the row-at-a-time
+baselines pinned by the *Naive benches in micro_substrate and fails
+(exit 1) when the engine has regressed:
+
+  * BM_ExecuteBroadQuery must not be more than --broad-tolerance slower
+    than BM_ExecuteBroadQueryNaive (the early-exit rank-order scan is
+    fastest exactly on broad queries, so this is the bound the engine
+    could most plausibly lose; both paths early-exit after ~k rows, so
+    they measure near-identical and a strict <= would flake on runner
+    noise), and
+  * BM_ExecuteSelectiveQuery must beat BM_ExecuteSelectiveQueryNaive by
+    at least --min-selective-speedup (default 3x, the repo's acceptance
+    floor for the columnar engine).
+
+Only the Python standard library is used. Median aggregates are
+preferred when the JSON carries repetitions; raw iterations are used
+otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> real_time in ns, preferring median aggregates."""
+    with open(path) as f:
+        data = json.load(f)
+    medians = {}
+    raw = {}
+    for b in data.get("benchmarks", []):
+        unit = b.get("time_unit", "ns")
+        factor = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        t = b["real_time"] * factor
+        if b.get("aggregate_name") == "median":
+            medians[b["run_name"]] = t
+        elif b.get("run_type") != "aggregate":
+            raw.setdefault(b["name"], t)
+    return medians or raw
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("substrate_json", help="path to BENCH_substrate.json")
+    ap.add_argument("--min-selective-speedup", type=float, default=3.0,
+                    help="required naive/vectorized ratio on the "
+                         "selective-query bench (default: 3.0)")
+    ap.add_argument("--broad-tolerance", type=float, default=1.10,
+                    help="max vectorized/naive ratio tolerated on the "
+                         "broad-query bench (default: 1.10)")
+    args = ap.parse_args()
+
+    times = load_times(args.substrate_json)
+    failures = []
+
+    def pairs(prefix):
+        for name, t in sorted(times.items()):
+            if name.startswith(prefix + "/"):
+                naive = times.get(name.replace(prefix, prefix + "Naive", 1))
+                if naive is not None:
+                    yield name, t, naive
+
+    checked = 0
+    for name, vec, naive in pairs("BM_ExecuteBroadQuery"):
+        checked += 1
+        bound = naive * args.broad_tolerance
+        verdict = "ok" if vec <= bound else "FAIL"
+        print(f"{name}: vectorized {vec:.0f} ns vs naive {naive:.0f} ns "
+              f"({naive / vec:.2f}x, tolerance {args.broad_tolerance:.2f}) "
+              f"[{verdict}]")
+        if vec > bound:
+            failures.append(f"{name}: vectorized path more than "
+                            f"{args.broad_tolerance:.2f}x slower than "
+                            "naive scan")
+
+    # The full speedup floor applies to the largest dataset; smaller
+    # (smoke-scaled) sizes can fall below the k-d index threshold by
+    # design, so they are only required not to regress past the naive
+    # scan.
+    selective = list(pairs("BM_ExecuteSelectiveQuery"))
+    largest = max((n for n, _, _ in selective),
+                  key=lambda n: int(n.rsplit("/", 1)[1]),
+                  default=None)
+    for name, vec, naive in selective:
+        checked += 1
+        need = args.min_selective_speedup if name == largest else 1.0
+        ratio = naive / vec
+        verdict = "ok" if ratio >= need else "FAIL"
+        print(f"{name}: vectorized {vec:.0f} ns vs naive {naive:.0f} ns "
+              f"({ratio:.2f}x, need >= {need:.1f}x) [{verdict}]")
+        if ratio < need:
+            failures.append(f"{name}: selective speedup {ratio:.2f}x below "
+                            f"{need:.1f}x")
+
+    if checked == 0:
+        failures.append("no vectorized/naive bench pairs found in "
+                        + args.substrate_json)
+
+    for msg in failures:
+        print("error:", msg, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the substrate + discovery microbenchmarks and writes the
+# machine-readable perf artifacts BENCH_substrate.json and
+# BENCH_discovery.json (google-benchmark JSON: real_time/cpu_time per
+# bench, items_per_second / queries_per_sec counters) at the repo root.
+#
+# Environment knobs:
+#   BUILD_DIR          build tree holding bench/ binaries (default: ./build)
+#   HDSKY_BENCH_REPS   --benchmark_repetitions (default: 3; medians are
+#                      reported, which resists scheduler noise)
+#   HDSKY_BENCH_FILTER optional --benchmark_filter regex
+#   HDSKY_BENCH_OUT    output directory (default: repo root)
+#   HDSKY_SCALE        dataset scale multiplier, honored by the benches
+#                      themselves (e.g. 0.02 for a CI smoke run)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+REPS="${HDSKY_BENCH_REPS:-3}"
+FILTER="${HDSKY_BENCH_FILTER:-}"
+OUT_DIR="${HDSKY_BENCH_OUT:-$ROOT}"
+
+if [ ! -x "$BUILD_DIR/bench/micro_substrate" ]; then
+  echo "error: $BUILD_DIR/bench/micro_substrate not found." >&2
+  echo "Build first:  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
+run_bench() {
+  local bin="$1" out="$2"
+  "$BUILD_DIR/bench/$bin" \
+    ${FILTER:+--benchmark_filter="$FILTER"} \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out_format=json \
+    --benchmark_out="$out"
+  echo "wrote $out"
+}
+
+run_bench micro_substrate "$OUT_DIR/BENCH_substrate.json"
+run_bench micro_discovery "$OUT_DIR/BENCH_discovery.json"

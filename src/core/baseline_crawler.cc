@@ -45,22 +45,26 @@ struct CrawlState {
   bool complete = true;
   std::unordered_set<TupleId> seen;
   CrawlResult out;
+  // Shared answer buffer for the recursive walk: every use of an answer
+  // happens before the next recursive call, so one buffer (refilled in
+  // place by the reuse Execute overload) serves the whole crawl.
+  QueryResult answer;
 };
 
-// Executes one query, respecting both budgets.
-Result<QueryResult> CrawlExecute(CrawlState* st, const Query& q) {
+// Executes one query into st->answer, respecting both budgets.
+Status CrawlExecute(CrawlState* st, const Query& q) {
   if (st->options->common.max_queries > 0 &&
       st->queries >= st->options->common.max_queries) {
     st->exhausted = true;
     return Status::ResourceExhausted("crawl max_queries reached");
   }
-  Result<QueryResult> r = st->iface->Execute(q);
-  if (!r.ok()) {
-    if (r.status().IsResourceExhausted()) st->exhausted = true;
-    return r;
+  const Status s = st->iface->Execute(q, &st->answer);
+  if (!s.ok()) {
+    if (s.IsResourceExhausted()) st->exhausted = true;
+    return s;
   }
   ++st->queries;
-  return r;
+  return s;
 }
 
 void Absorb(CrawlState* st, const QueryResult& t) {
@@ -76,20 +80,21 @@ void Absorb(CrawlState* st, const QueryResult& t) {
 // Recursive binary space partitioning. Returns OK unless a hard error
 // occurred; budget exhaustion and unsplittable regions set flags instead.
 Status CrawlRec(CrawlState* st, const Query& region) {
-  Result<QueryResult> answer = CrawlExecute(st, region);
-  if (!answer.ok()) {
+  const Status exec_status = CrawlExecute(st, region);
+  if (!exec_status.ok()) {
     if (st->exhausted) {
       st->complete = false;
       return Status::OK();
     }
-    return answer.status();
+    return exec_status;
   }
-  Absorb(st, *answer);
+  const QueryResult& answer = st->answer;
+  Absorb(st, answer);
   // Unlike the discovery algorithms (which conservatively treat a full
   // page as an overflow, Section 3.1), the crawler uses the interface's
   // true overflow signal: web databases display the total match count
   // ("1,234 results"), and the crawling model of [22] assumes it too.
-  if (!answer->overflow) return Status::OK();  // region exhausted
+  if (!answer.overflow) return Status::OK();  // region exhausted
 
   const Schema& schema = st->iface->schema();
 
@@ -110,8 +115,8 @@ Status CrawlRec(CrawlState* st, const Query& region) {
     // Median of the returned values on the split attribute, clamped so
     // both halves are non-empty slices.
     std::vector<Value> vals;
-    vals.reserve(static_cast<size_t>(answer->size()));
-    for (const Tuple& t : answer->tuples) {
+    vals.reserve(static_cast<size_t>(answer.size()));
+    for (const Tuple& t : answer.tuples) {
       vals.push_back(t[static_cast<size_t>(best_attr)]);
     }
     std::nth_element(vals.begin(), vals.begin() + vals.size() / 2,

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "skyline/dominance.h"
-
 namespace hdsky {
 namespace core {
 
@@ -14,16 +12,10 @@ using data::Tuple;
 using data::TupleId;
 using interface::Query;
 using interface::QueryResult;
-using skyline::DomRelation;
 
 bool SkylineCollector::Observe(TupleId id, const Tuple& t) {
   if (!observed_.insert(id).second) return false;
-  for (const Tuple& s : tuples_) {
-    const DomRelation rel = skyline::Compare(s, t, ranking_attrs_);
-    if (rel == DomRelation::kDominates || rel == DomRelation::kEqual) {
-      return false;
-    }
-  }
+  if (index_.DominatedOrEqual(t)) return false;
   return AddConfirmed(id, t);
 }
 
@@ -31,26 +23,16 @@ bool SkylineCollector::AddConfirmed(TupleId id, const Tuple& t) {
   if (!id_set_.insert(id).second) return false;
   ids_.push_back(id);
   tuples_.push_back(t);
+  index_.Insert(t);
   return true;
 }
 
 bool SkylineCollector::IsDominated(const Tuple& t) const {
-  for (const Tuple& s : tuples_) {
-    if (skyline::Compare(s, t, ranking_attrs_) == DomRelation::kDominates) {
-      return true;
-    }
-  }
-  return false;
+  return index_.Dominated(t);
 }
 
 bool SkylineCollector::IsDominatedOrDuplicate(const Tuple& t) const {
-  for (const Tuple& s : tuples_) {
-    const DomRelation rel = skyline::Compare(s, t, ranking_attrs_);
-    if (rel == DomRelation::kDominates || rel == DomRelation::kEqual) {
-      return true;
-    }
-  }
-  return false;
+  return index_.DominatedOrEqual(t);
 }
 
 void SkylineCollector::Finish(DiscoveryResult* result) {
@@ -77,17 +59,23 @@ DiscoveryRun::DiscoveryRun(interface::HiddenDatabase* iface,
 }
 
 Result<QueryResult> DiscoveryRun::Execute(const Query& q) {
+  QueryResult r;
+  HDSKY_RETURN_IF_ERROR(Execute(q, &r));
+  return r;
+}
+
+Status DiscoveryRun::Execute(const Query& q, QueryResult* out) {
   if (options_.max_queries > 0 && queries_issued_ >= options_.max_queries) {
     exhausted_ = true;
     return Status::ResourceExhausted("discovery max_queries reached");
   }
-  Result<QueryResult> r = iface_->Execute(q);
-  if (!r.ok()) {
-    if (r.status().IsResourceExhausted()) exhausted_ = true;
-    return r;
+  const Status s = iface_->Execute(q, out);
+  if (!s.ok()) {
+    if (s.IsResourceExhausted()) exhausted_ = true;
+    return s;
   }
   ++queries_issued_;
-  return r;
+  return s;
 }
 
 Query DiscoveryRun::MakeBaseQuery() const {

@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "interface/top_k_interface.h"
+#include "skyline/dominance_index.h"
 
 namespace hdsky {
 namespace core {
@@ -70,11 +71,14 @@ struct DiscoveryResult {
   ProgressTrace trace;
 };
 
-/// Accumulates query answers into the confirmed skyline.
+/// Accumulates query answers into the confirmed skyline. Dominance
+/// checks go through an incremental skyline::DominanceIndex instead of a
+/// linear scan over every confirmed tuple, so Observe stays sublinear in
+/// skyline size (tests/dominance_index_test.cc proves the two agree).
 class SkylineCollector {
  public:
   explicit SkylineCollector(std::vector<int> ranking_attrs)
-      : ranking_attrs_(std::move(ranking_attrs)) {}
+      : ranking_attrs_(std::move(ranking_attrs)), index_(ranking_attrs_) {}
 
   /// Mode for downward-closed protocols (see file comment): confirms the
   /// tuple iff it is not dominated by a confirmed tuple. Returns true on
@@ -107,6 +111,7 @@ class SkylineCollector {
 
  private:
   std::vector<int> ranking_attrs_;
+  skyline::DominanceIndex index_;
   std::vector<data::TupleId> ids_;
   std::vector<data::Tuple> tuples_;
   std::unordered_set<data::TupleId> id_set_;
@@ -125,6 +130,12 @@ class DiscoveryRun {
   /// or via MakeBaseQuery). ResourceExhausted marks the run incomplete
   /// and is surfaced so the algorithm can unwind.
   common::Result<interface::QueryResult> Execute(const interface::Query& q);
+
+  /// Buffer-reuse variant (see HiddenDatabase::Execute(q, out)): the
+  /// query loops of the discovery algorithms keep one QueryResult alive
+  /// across iterations so steady-state querying allocates nothing.
+  common::Status Execute(const interface::Query& q,
+                         interface::QueryResult* out);
 
   /// A query constrained only by options.base_filter.
   interface::Query MakeBaseQuery() const;

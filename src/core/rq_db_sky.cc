@@ -87,7 +87,11 @@ Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
     return false;
   };
 
-  // Depth-first preorder via an explicit stack.
+  // Depth-first preorder via an explicit stack. One QueryResult lives
+  // across the whole walk: the buffer-reuse Execute overload refills it
+  // in place, so the query loop stops allocating once the buffers reach
+  // steady-state size.
+  QueryResult answer;
   std::unordered_set<std::string> processed_regions;
   std::vector<Node> stack;
   {
@@ -135,24 +139,24 @@ Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
     }
 
     if (options.disable_early_termination || !seen_matches(node.sq)) {
-      Result<QueryResult> answer = run.Execute(node.sq);
-      if (!answer.ok()) {
+      const Status st = run.Execute(node.sq, &answer);
+      if (!st.ok()) {
         if (run.exhausted()) break;
-        return answer.status();
+        return st;
       }
-      const QueryResult& t = *answer;
+      const QueryResult& t = answer;
       remember(t);
       if (t.size() == k) push_children(node, t.tuples[0]);
       continue;
     }
 
     // Early-termination branch: issue the mutually exclusive R(q).
-    Result<QueryResult> answer = run.Execute(node.rq);
-    if (!answer.ok()) {
+    const Status st = run.Execute(node.rq, &answer);
+    if (!st.ok()) {
       if (run.exhausted()) break;
-      return answer.status();
+      return st;
     }
-    const QueryResult& t = *answer;
+    const QueryResult& t = answer;
     if (t.empty()) continue;  // subtree holds nothing new: prune
     remember(t);
     if (t.size() == k) {

@@ -48,6 +48,9 @@ Result<DiscoveryResult> SqDbSky(HiddenDatabase* iface,
   std::deque<Query> queue;
   queue.push_back(run.MakeBaseQuery());
 
+  // One QueryResult lives across the whole traversal; the buffer-reuse
+  // Execute overload refills it in place each iteration.
+  QueryResult answer;
   while (!queue.empty()) {
     const Query q = std::move(queue.front());
     queue.pop_front();
@@ -55,12 +58,12 @@ Result<DiscoveryResult> SqDbSky(HiddenDatabase* iface,
         !processed_regions.insert(q.Signature()).second) {
       continue;  // an identical region's subtree already ran
     }
-    Result<QueryResult> answer = run.Execute(q);
-    if (!answer.ok()) {
+    const Status st = run.Execute(q, &answer);
+    if (!st.ok()) {
       if (run.exhausted()) break;  // anytime: return the partial skyline
-      return answer.status();
+      return st;
     }
-    const QueryResult& t = *answer;
+    const QueryResult& t = answer;
     // Every returned tuple not dominated by anything seen is a skyline
     // tuple (downward-closed query space; see core/discovery.h).
     for (int i = 0; i < t.size(); ++i) {

@@ -1,0 +1,40 @@
+#include "data/column_block.h"
+
+namespace hdsky {
+namespace data {
+
+BlockedColumns::BlockedColumns(const Table& table,
+                               const std::vector<TupleId>& order)
+    : num_rows_(static_cast<int64_t>(order.size())),
+      num_attrs_(table.schema().num_attributes()),
+      row_ids_(order) {
+  columns_.resize(static_cast<size_t>(num_attrs_));
+  for (int a = 0; a < num_attrs_; ++a) {
+    const std::vector<Value>& src = table.column(a);
+    std::vector<Value>& dst = columns_[static_cast<size_t>(a)];
+    dst.resize(static_cast<size_t>(num_rows_));
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      dst[static_cast<size_t>(i)] =
+          src[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    }
+  }
+  const int64_t blocks = num_blocks();
+  zones_.resize(static_cast<size_t>(blocks * num_attrs_));
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t begin = block_begin(b);
+    const int64_t end = block_end(b);
+    for (int a = 0; a < num_attrs_; ++a) {
+      const Value* col = column(a);
+      ZoneMap z;
+      for (int64_t i = begin; i < end; ++i) {
+        const Value v = col[i];
+        z.min = std::min(z.min, v);
+        z.max = std::max(z.max, v);
+      }
+      zones_[static_cast<size_t>(b * num_attrs_ + a)] = z;
+    }
+  }
+}
+
+}  // namespace data
+}  // namespace hdsky

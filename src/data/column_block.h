@@ -1,0 +1,81 @@
+// Blocked columnar view: a Table's columns re-materialized in a caller-
+// given row order (the interface layer uses static-rank order), chopped
+// into fixed-size blocks with per-block per-attribute zone maps.
+//
+// This is the storage substrate of the vectorized query-execution engine
+// (interface/exec): contiguous per-attribute value runs let predicate
+// kernels stream cache lines instead of gathering rows, and the zone maps
+// (min/max per attribute per block, NULL = kNullValue included as the
+// largest value) let selective predicates skip whole blocks before
+// touching a single value. The view is an immutable snapshot — Table is
+// append-only but the interface freezes it at Create time, exactly like
+// the k-d index does.
+
+#ifndef HDSKY_DATA_COLUMN_BLOCK_H_
+#define HDSKY_DATA_COLUMN_BLOCK_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+
+/// Min/max of one attribute over one block, NULLs included (kNullValue is
+/// the numeric maximum, so a block of NULLs has min == max == kNullValue
+/// and is prunable by any constrained interval).
+struct ZoneMap {
+  Value min = kNullValue;
+  Value max = std::numeric_limits<Value>::min();
+};
+
+class BlockedColumns {
+ public:
+  /// Rows per block. 1024 int64 values per attribute run = 8 KiB, two
+  /// L1-sized runs in flight during a two-predicate kernel.
+  static constexpr int64_t kBlockSize = 1024;
+
+  /// Snapshots `table` with rows permuted into `order` (order[i] is the
+  /// row id stored at position i). `order` must be a permutation of
+  /// [0, num_rows).
+  BlockedColumns(const Table& table, const std::vector<TupleId>& order);
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_attributes() const { return num_attrs_; }
+  int64_t num_blocks() const {
+    return (num_rows_ + kBlockSize - 1) / kBlockSize;
+  }
+
+  /// Contiguous column of attribute `attr` in permuted order.
+  const Value* column(int attr) const {
+    return columns_[static_cast<size_t>(attr)].data();
+  }
+
+  /// Original row id stored at permuted position `pos`.
+  TupleId row_id(int64_t pos) const {
+    return row_ids_[static_cast<size_t>(pos)];
+  }
+
+  const ZoneMap& zone(int64_t block, int attr) const {
+    return zones_[static_cast<size_t>(block * num_attrs_ + attr)];
+  }
+
+  int64_t block_begin(int64_t block) const { return block * kBlockSize; }
+  int64_t block_end(int64_t block) const {
+    return std::min(num_rows_, (block + 1) * kBlockSize);
+  }
+
+ private:
+  int64_t num_rows_ = 0;
+  int num_attrs_ = 0;
+  std::vector<std::vector<Value>> columns_;  // [attr][pos], permuted
+  std::vector<TupleId> row_ids_;             // [pos] -> original row id
+  std::vector<ZoneMap> zones_;               // [block * num_attrs_ + attr]
+};
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_COLUMN_BLOCK_H_

@@ -35,6 +35,7 @@ class CachingDatabase : public HiddenDatabase {
   /// Wraps `backend`, which must outlive this object.
   explicit CachingDatabase(HiddenDatabase* backend) : backend_(backend) {}
 
+  using HiddenDatabase::Execute;
   common::Result<QueryResult> Execute(const Query& q) override;
 
   const data::Schema& schema() const override {

@@ -50,6 +50,7 @@ class ConcurrentCachingDatabase : public HiddenDatabase {
   ConcurrentCachingDatabase(HiddenDatabase* backend, Options options);
 
   /// Thread-safe; callable concurrently from any number of threads.
+  using HiddenDatabase::Execute;
   common::Result<QueryResult> Execute(const Query& q) override;
 
   const data::Schema& schema() const override {

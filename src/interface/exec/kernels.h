@@ -1,0 +1,106 @@
+// Branch-reduced predicate kernels over contiguous value runs.
+//
+// A conjunctive query compiles into one AttrBound per constrained
+// attribute: a closed [lo, hi] with hi clamped below kNullValue, so the
+// single unsigned range comparison `(v - lo) <= (hi - lo)` simultaneously
+// enforces the interval AND rejects NULL (Interval::Contains semantics —
+// NULL matches only unconstrained attributes). The kernels produce and
+// refine selection vectors of block-relative positions with data-
+// independent control flow, letting the compiler vectorize the comparison
+// and keeping the branch predictor out of selectivity-dependent loops
+// (MonetDB/X100-style column-at-a-time execution).
+
+#ifndef HDSKY_INTERFACE_EXEC_KERNELS_H_
+#define HDSKY_INTERFACE_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/value.h"
+#include "interface/query.h"
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+/// One compiled conjunct: attribute index plus effective closed bounds.
+/// Invariant: lo <= hi and hi < data::kNullValue.
+struct AttrBound {
+  int attr = 0;
+  data::Value lo = 0;
+  data::Value hi = 0;
+};
+
+/// Compiles q's constrained intervals into clamped bounds (out is
+/// cleared first). Returns false when some constrained attribute is
+/// unsatisfiable by any stored value — e.g. a point predicate at
+/// kNullValue — in which case the query's match set is empty and out is
+/// left in an unspecified state.
+inline bool CollectBounds(const Query& q, std::vector<AttrBound>* out) {
+  out->clear();
+  const int m = q.num_attributes();
+  for (int a = 0; a < m; ++a) {
+    const Interval& iv = q.interval(a);
+    if (!iv.constrained()) continue;
+    const data::Value hi =
+        iv.upper < data::kNullValue ? iv.upper : data::kNullValue - 1;
+    if (iv.lower > hi) return false;
+    out->push_back(AttrBound{a, iv.lower, hi});
+  }
+  return true;
+}
+
+/// True iff v lies in [b.lo, b.hi]. The unsigned-subtraction trick folds
+/// both comparisons into one; it requires b.lo <= b.hi, which AttrBound
+/// guarantees.
+inline bool InBound(data::Value v, const AttrBound& b) {
+  return static_cast<uint64_t>(v) - static_cast<uint64_t>(b.lo) <=
+         static_cast<uint64_t>(b.hi) - static_cast<uint64_t>(b.lo);
+}
+
+/// Fills `sel` with the positions i in [0, n) where vals[i] satisfies
+/// `b`; returns the match count. `sel` must have room for n entries.
+inline int32_t SelectInterval(const data::Value* vals, int32_t n,
+                              const AttrBound& b, int32_t* sel) {
+  int32_t count = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    sel[count] = i;
+    count += static_cast<int32_t>(InBound(vals[i], b));
+  }
+  return count;
+}
+
+/// Keeps only the selected positions whose value also satisfies `b`,
+/// compacting `sel` in place; returns the surviving count.
+inline int32_t RefineInterval(const data::Value* vals, const AttrBound& b,
+                              int32_t* sel, int32_t n) {
+  int32_t count = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t pos = sel[i];
+    sel[count] = pos;
+    count += static_cast<int32_t>(InBound(vals[pos], b));
+  }
+  return count;
+}
+
+/// Fused conjunction kernel over an attribute-major value block: for a
+/// block of `len` rows whose attribute-a run starts at base[a * len],
+/// fills `sel` with the positions (ascending) satisfying every bound
+/// and returns the match count. `num_bounds` must be >= 1 and `sel`
+/// must have room for `len` entries.
+using LeafMatchFn = int32_t (*)(const data::Value* base, int64_t len,
+                                const AttrBound* bounds, int num_bounds,
+                                int32_t* sel);
+
+/// Resolves the best LeafMatchFn for this CPU, once per process: an
+/// AVX-512 masked-compare/compress-store implementation where the ISA
+/// is available, else the scalar SelectInterval + RefineInterval chain.
+/// Both orderings are exact; they differ only in how the conjunction is
+/// evaluated (all bounds fused per 8-row group vs. one pass per bound).
+LeafMatchFn LeafMatchKernel();
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_EXEC_KERNELS_H_

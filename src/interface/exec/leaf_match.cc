@@ -1,0 +1,96 @@
+// Runtime-dispatched fused leaf-match kernel.
+//
+// The scalar selection-vector chain (SelectInterval + RefineInterval)
+// makes one pass per bound and re-touches survivors; on small leaf
+// blocks most of its cost is loop overhead and the dependent re-gather.
+// The AVX-512 variant instead evaluates the whole conjunction for 8
+// rows at a time in mask registers and emits surviving positions with a
+// single compress-store — no selection-vector intermediate at all. The
+// ISA is probed once per process via __builtin_cpu_supports, so the
+// same binary runs on pre-AVX-512 hardware through the scalar path.
+
+#include "interface/exec/kernels.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define HDSKY_EXEC_X86_DISPATCH 1
+#endif
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+namespace {
+
+int32_t LeafMatchScalar(const data::Value* base, int64_t len,
+                        const AttrBound* bounds, int num_bounds,
+                        int32_t* sel) {
+  int32_t count =
+      SelectInterval(base + static_cast<int64_t>(bounds[0].attr) * len,
+                     static_cast<int32_t>(len), bounds[0], sel);
+  for (int j = 1; j < num_bounds && count > 0; ++j) {
+    count = RefineInterval(
+        base + static_cast<int64_t>(bounds[j].attr) * len, bounds[j], sel,
+        count);
+  }
+  return count;
+}
+
+#ifdef HDSKY_EXEC_X86_DISPATCH
+// Signed 64-bit compares are exact here: AttrBound clamps hi below
+// kNullValue, and NULL (the largest value in sort order) therefore
+// fails v <= hi on every constrained attribute, matching InBound.
+__attribute__((target("avx512f,avx512vl"))) int32_t LeafMatchAvx512(
+    const data::Value* base, int64_t len, const AttrBound* bounds,
+    int num_bounds, int32_t* sel) {
+  int32_t count = 0;
+  int64_t i = 0;
+  const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (; i + 8 <= len; i += 8) {
+    __mmask8 ok = 0xFF;
+    for (int j = 0; j < num_bounds; ++j) {
+      const data::Value* run =
+          base + static_cast<int64_t>(bounds[j].attr) * len;
+      const __m512i v =
+          _mm512_loadu_si512(static_cast<const void*>(run + i));
+      ok &= _mm512_cmpge_epi64_mask(v, _mm512_set1_epi64(bounds[j].lo));
+      ok &= _mm512_cmple_epi64_mask(v, _mm512_set1_epi64(bounds[j].hi));
+      if (ok == 0) break;
+    }
+    if (ok == 0) continue;
+    const __m256i pos =
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(i)), lane);
+    _mm256_mask_compressstoreu_epi32(sel + count, ok, pos);
+    count += __builtin_popcount(static_cast<unsigned>(ok));
+  }
+  for (; i < len; ++i) {
+    uint32_t ok = 1;
+    for (int j = 0; j < num_bounds; ++j) {
+      ok &= static_cast<uint32_t>(InBound(
+          base[static_cast<int64_t>(bounds[j].attr) * len + i], bounds[j]));
+    }
+    sel[count] = static_cast<int32_t>(i);
+    count += static_cast<int32_t>(ok);
+  }
+  return count;
+}
+#endif  // HDSKY_EXEC_X86_DISPATCH
+
+}  // namespace
+
+LeafMatchFn LeafMatchKernel() {
+  static const LeafMatchFn fn = [] {
+#ifdef HDSKY_EXEC_X86_DISPATCH
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return static_cast<LeafMatchFn>(&LeafMatchAvx512);
+    }
+#endif
+    return static_cast<LeafMatchFn>(&LeafMatchScalar);
+  }();
+  return fn;
+}
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky

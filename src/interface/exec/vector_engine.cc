@@ -1,0 +1,132 @@
+#include "interface/exec/vector_engine.h"
+
+#include <algorithm>
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+using data::BlockedColumns;
+using data::TupleId;
+using data::Value;
+using data::ZoneMap;
+
+namespace {
+
+/// Per-thread reusable buffers: query execution allocates nothing beyond
+/// the QueryResult it hands back.
+struct Scratch {
+  std::vector<AttrBound> bounds;
+  std::vector<int32_t> sel;
+  std::vector<int64_t> matches;  // global positions, rank order
+};
+
+Scratch& LocalScratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+VectorEngine::VectorEngine(const data::Table& table,
+                           const std::vector<TupleId>& rank_order)
+    : blocks_(table, rank_order) {}
+
+void VectorEngine::ExecuteTopK(const Query& q, int k,
+                               QueryResult* out) const {
+  Scratch& scr = LocalScratch();
+  if (!CollectBounds(q, &scr.bounds)) {
+    // Empty match set; leave *out as a well-formed empty answer even
+    // when the caller passed a previously-used result.
+    out->ids.clear();
+    out->tuples.clear();
+    out->overflow = false;
+    return;
+  }
+  ExecuteTopK(scr.bounds, k, out);
+}
+
+void VectorEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
+                               int k, QueryResult* out) const {
+  Scratch& scr = LocalScratch();
+  scr.matches.clear();
+
+  const int64_t want = static_cast<int64_t>(k) + 1;
+  const int64_t num_blocks = blocks_.num_blocks();
+  const int num_attrs = blocks_.num_attributes();
+  scr.sel.resize(static_cast<size_t>(BlockedColumns::kBlockSize));
+  int32_t* sel = scr.sel.data();
+
+  for (int64_t b = 0;
+       b < num_blocks &&
+       static_cast<int64_t>(scr.matches.size()) < want;
+       ++b) {
+    const int64_t begin = blocks_.block_begin(b);
+    const int64_t end = blocks_.block_end(b);
+    if (bounds.empty()) {
+      for (int64_t pos = begin;
+           pos < end && static_cast<int64_t>(scr.matches.size()) < want;
+           ++pos) {
+        scr.matches.push_back(pos);
+      }
+      continue;
+    }
+    bool prunable = false;
+    for (const AttrBound& bd : bounds) {
+      const ZoneMap& z = blocks_.zone(b, bd.attr);
+      if (bd.lo > z.max || bd.hi < z.min) {
+        prunable = true;
+        break;
+      }
+    }
+    if (prunable) continue;
+    // Kernels run over sub-block chunks so a broad query stops after
+    // ~k matching rows instead of paying for the whole first block:
+    // the chunked loop costs nothing extra when every chunk is needed,
+    // and keeps the early exit competitive with a row-at-a-time scan
+    // when the first few rows already satisfy k+1. The first chunk is
+    // sized to the early-exit target (a broad query usually finishes
+    // inside it), then chunks grow to amortize loop overhead when
+    // selectivity turns out lower.
+    int64_t chunk = std::max<int64_t>(32, 4 * want);
+    for (int64_t cb = begin;
+         cb < end && static_cast<int64_t>(scr.matches.size()) < want;
+         cb += chunk, chunk = std::min<int64_t>(chunk * 2, 1024)) {
+      const int32_t n =
+          static_cast<int32_t>(std::min<int64_t>(chunk, end - cb));
+      int32_t count =
+          SelectInterval(blocks_.column(bounds[0].attr) + cb, n,
+                         bounds[0], sel);
+      for (size_t j = 1; j < bounds.size() && count > 0; ++j) {
+        count = RefineInterval(blocks_.column(bounds[j].attr) + cb,
+                               bounds[j], sel, count);
+      }
+      for (int32_t j = 0;
+           j < count && static_cast<int64_t>(scr.matches.size()) < want;
+           ++j) {
+        scr.matches.push_back(cb + sel[j]);
+      }
+    }
+  }
+
+  out->overflow = static_cast<int64_t>(scr.matches.size()) > k;
+  if (out->overflow) scr.matches.resize(static_cast<size_t>(k));
+  // Resize-and-fill instead of clear-and-append: when the caller reuses
+  // one QueryResult across queries, the id array, the tuple array, and
+  // each tuple's value buffer keep their allocations.
+  out->ids.resize(scr.matches.size());
+  out->tuples.resize(scr.matches.size());
+  for (size_t i = 0; i < scr.matches.size(); ++i) {
+    const int64_t pos = scr.matches[i];
+    out->ids[i] = blocks_.row_id(pos);
+    data::Tuple& t = out->tuples[i];
+    t.resize(static_cast<size_t>(num_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      t[static_cast<size_t>(a)] = blocks_.column(a)[pos];
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky

@@ -1,0 +1,61 @@
+// Vectorized top-k query execution over a rank-ordered blocked column
+// view (the tentpole of the columnar execution engine; see
+// docs/performance.md).
+//
+// Blocks are laid out in static-rank order, so scanning block 0, 1, ...
+// and positions within each block in order visits rows best-rank-first —
+// the engine can stop the moment k+1 matches are known (the extra match
+// only feeds the overflow flag), exactly like the naive rank-order scan
+// it replaces, and returns bit-identical QueryResults. Per block it
+// first consults the zone maps (skip the block when some constrained
+// interval cannot intersect the block's [min, max]), then runs one
+// branch-reduced kernel per constrained attribute, narrowing a selection
+// vector. All scratch state is thread_local, so steady-state execution
+// allocates only the returned QueryResult's own vectors.
+
+#ifndef HDSKY_INTERFACE_EXEC_VECTOR_ENGINE_H_
+#define HDSKY_INTERFACE_EXEC_VECTOR_ENGINE_H_
+
+#include <vector>
+
+#include "data/column_block.h"
+#include "data/table.h"
+#include "interface/exec/kernels.h"
+#include "interface/hidden_database.h"
+#include "interface/query.h"
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+class VectorEngine {
+ public:
+  /// Snapshots `table` in `rank_order` (best rank first; a permutation
+  /// of [0, num_rows)).
+  VectorEngine(const data::Table& table,
+               const std::vector<data::TupleId>& rank_order);
+
+  /// Answers the conjunctive top-k query: fills out->ids with the first
+  /// k matching row ids in rank order, materializes out->tuples from the
+  /// columnar view, and sets out->overflow when a (k+1)-th match exists.
+  /// `out` must be empty. The caller is responsible for rejecting
+  /// queries with empty intervals (the engine still answers them
+  /// correctly, just less cheaply than Query::HasEmptyInterval).
+  void ExecuteTopK(const Query& q, int k, QueryResult* out) const;
+
+  /// Same, over bounds already compiled by exec::CollectBounds — the
+  /// hot-path entry used by TopKInterface.
+  void ExecuteTopK(const std::vector<AttrBound>& bounds, int k,
+                   QueryResult* out) const;
+
+  const data::BlockedColumns& blocks() const { return blocks_; }
+
+ private:
+  data::BlockedColumns blocks_;
+};
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_EXEC_VECTOR_ENGINE_H_

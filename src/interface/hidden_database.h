@@ -60,6 +60,20 @@ class HiddenDatabase {
   /// budgets surface as the corresponding Status codes.
   virtual common::Result<QueryResult> Execute(const Query& q) = 0;
 
+  /// Buffer-reuse variant: answers into `*out`, recycling its existing
+  /// heap allocations (the id array, the tuple array, and each tuple's
+  /// value buffer), so a caller that keeps one QueryResult across a
+  /// query loop issues queries without allocating in steady state. On a
+  /// non-OK status the contents of *out are unspecified. The default
+  /// adapts the by-value Execute; engines with allocation-free answer
+  /// paths override it.
+  virtual common::Status Execute(const Query& q, QueryResult* out) {
+    common::Result<QueryResult> r = Execute(q);
+    if (!r.ok()) return r.status();
+    *out = std::move(r).value();
+    return common::Status::OK();
+  }
+
   /// The public search-form description.
   virtual const data::Schema& schema() const = 0;
 
@@ -83,6 +97,7 @@ class CallbackDatabase : public HiddenDatabase {
   CallbackDatabase(data::Schema schema, int k, ExecuteFn execute)
       : schema_(std::move(schema)), k_(k), execute_(std::move(execute)) {}
 
+  using HiddenDatabase::Execute;
   common::Result<QueryResult> Execute(const Query& q) override {
     HDSKY_RETURN_IF_ERROR(ValidateQuery(q));
     return execute_(q);

@@ -5,24 +5,28 @@
 // match arrives quickly), but crawling baselines issue millions of highly
 // selective queries where such scans degrade to O(n). This index serves
 // those: a median-split k-d tree over all attributes whose leaves hold row
-// ids, with a per-subtree minimum static-rank enabling rank-ordered
-// retrieval.
+// ids, with the leaf rows' attribute values packed into contiguous
+// per-leaf columnar runs so the leaf-level recheck is a streaming
+// selection-vector kernel (interface/exec/kernels.h) instead of one
+// random column gather per row per attribute.
 //
 // RetrieveMatches walks only subtrees whose region can intersect the
 // query and aborts once more than `abort_above` matches are found —
-// callers then fall back to the rank-order scan, which is fast exactly
-// when the match set is large. NULL values sort as +inf, consistent with
-// Interval::Contains rejecting NULL on any constrained attribute (the
-// leaf-level recheck is authoritative; subtree pruning only ever
-// over-approximates).
+// callers then fall back to the rank-order scan (vectorized by
+// exec::VectorEngine), which is fast exactly when the match set is
+// large. NULL values sort as +inf, consistent with Interval::Contains
+// rejecting NULL on any constrained attribute (the leaf-level recheck is
+// authoritative; subtree pruning only ever over-approximates).
 
 #ifndef HDSKY_INTERFACE_KD_INDEX_H_
 #define HDSKY_INTERFACE_KD_INDEX_H_
 
 #include <cstdint>
 #include <vector>
+#include <utility>
 
 #include "data/table.h"
+#include "interface/exec/kernels.h"
 #include "interface/query.h"
 
 namespace hdsky {
@@ -42,6 +46,23 @@ class KdIndex {
   bool RetrieveMatches(const Query& q, int64_t abort_above,
                        std::vector<data::TupleId>* out) const;
 
+  /// Same, over bounds already compiled by exec::CollectBounds — the
+  /// hot-path entry used by TopKInterface, which compiles the query once
+  /// and reuses the bounds across the index walk and the fallback scan.
+  /// When `out_vals` is non-null, the matching rows' attribute values
+  /// (num_attributes per match, schema order, aligned with `out`) are
+  /// appended to it from the leaf-local runs — they are already hot in
+  /// cache there, whereas materializing later from the column store
+  /// costs one random gather per attribute per match. When `out_ranks`
+  /// is non-null, each match's global rank is appended likewise, so the
+  /// caller's top-k sort keys off a small contiguous array instead of
+  /// gathering from an n-sized rank table.
+  bool RetrieveMatches(const std::vector<exec::AttrBound>& bounds,
+                       int64_t abort_above,
+                       std::vector<data::TupleId>* out,
+                       std::vector<data::Value>* out_vals = nullptr,
+                       std::vector<int64_t>* out_ranks = nullptr) const;
+
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
 
  private:
@@ -59,13 +80,31 @@ class KdIndex {
     bool is_leaf() const { return left < 0; }
   };
 
-  int32_t Build(int64_t begin, int64_t end, int depth);
-  bool Visit(int32_t node_id, const Query& q, int64_t abort_above,
-             std::vector<data::TupleId>* out) const;
+  int32_t Build(int64_t begin, int64_t end, int depth,
+                std::vector<data::Value>& row_vals);
+  int64_t PartitionRange(int64_t begin, int64_t end, int dim,
+                         data::Value pivot,
+                         std::vector<data::Value>& row_vals);
 
   const data::Table* table_;
+  int num_attrs_ = 0;
+  /// Deepest node, tracked at build time; bounds the traversal stack.
+  int max_depth_ = 0;
   std::vector<Node> nodes_;
   std::vector<data::TupleId> rows_;  // permuted row ids; leaves index here
+  /// Global rank of rows_[i], aligned with rows_; filled at leaf packing
+  /// time so retrieval can report ranks without touching rank_of_row.
+  std::vector<int64_t> ranks_;
+  /// Leaf-local columnar values: for a leaf covering rows_[b, e), the run
+  /// for attribute a is leaf_values_[b * m + a * (e - b)], length e - b,
+  /// aligned with rows_[b, e).
+  std::vector<data::Value> leaf_values_;
+  /// Per-leaf zone maps, indexed by node id: leaf_zones_[id * 2m + 2a]
+  /// and [.. + 2a + 1] hold the min/max of attribute a over the leaf.
+  /// The split planes above a leaf constrain only a few dimensions, so
+  /// most visited leaves fail this check on some tightly-bounded
+  /// attribute and skip their kernel recheck entirely.
+  std::vector<data::Value> leaf_zones_;
 };
 
 }  // namespace interface

@@ -23,14 +23,22 @@ Status StaticOrderRanking::Bind(const Table* table,
       RankingPolicy::Bind(table, std::move(ranking_attrs)));
   order_.resize(static_cast<size_t>(table->num_rows()));
   std::iota(order_.begin(), order_.end(), 0);
-  std::stable_sort(order_.begin(), order_.end(),
-                   [this](TupleId a, TupleId b) { return Less(a, b); });
+  SortStaticOrder(order_);
   rank_of_row_.resize(order_.size());
   for (size_t i = 0; i < order_.size(); ++i) {
     rank_of_row_[static_cast<size_t>(order_[i])] =
         static_cast<int64_t>(i);
   }
   return Status::OK();
+}
+
+void StaticOrderRanking::SortStaticOrder(
+    std::vector<TupleId>& order) const {
+  // Less is a strict total order (every policy tie-breaks down to the
+  // row id), so a stable sort adds nothing over plain sort here; it is
+  // kept for symmetry with the documented contract.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](TupleId a, TupleId b) { return Less(a, b); });
 }
 
 std::vector<TupleId> StaticOrderRanking::SelectTopK(
@@ -66,6 +74,52 @@ Status LinearRanking::Bind(const Table* table,
     }
   }
   return StaticOrderRanking::Bind(table, std::move(ranking_attrs));
+}
+
+void LinearRanking::SortStaticOrder(std::vector<TupleId>& order) const {
+  // Binding a 100k-row table through the generic Less path recomputes
+  // both scores — m column gathers plus the weighted sum each — inside
+  // every one of the ~n log n comparisons, and dominates interface
+  // construction. Instead: one weighted column sweep precomputes every
+  // score, a contiguous (score, id) sort orders by score alone, and a
+  // final pass re-sorts each equal-score run by the documented
+  // tie-break (lexicographic by ranking value, then id). The result is
+  // the exact total order Less defines.
+  const size_t n = order.size();
+  std::vector<std::pair<double, TupleId>> keys(n);
+  for (size_t r = 0; r < n; ++r) keys[r] = {0.0, order[r]};
+  for (size_t i = 0; i < ranking_attrs_.size(); ++i) {
+    const double w = weights_[i];
+    const std::vector<Value>& col = table_->column(ranking_attrs_[i]);
+    for (size_t r = 0; r < n; ++r) {
+      keys[r].first +=
+          w * static_cast<double>(col[static_cast<size_t>(keys[r].second)]);
+    }
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const std::pair<double, TupleId>& a,
+               const std::pair<double, TupleId>& b) {
+              return a.first < b.first;
+            });
+  const auto tie_less = [this](TupleId a, TupleId b) {
+    for (int attr : ranking_attrs_) {
+      const Value va = table_->value(a, attr);
+      const Value vb = table_->value(b, attr);
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  };
+  for (size_t r = 0; r < n; ++r) order[r] = keys[r].second;
+  size_t run = 0;
+  while (run < n) {
+    size_t end = run + 1;
+    while (end < n && keys[end].first == keys[run].first) ++end;
+    if (end - run > 1) {
+      std::sort(order.begin() + static_cast<int64_t>(run),
+                order.begin() + static_cast<int64_t>(end), tie_less);
+    }
+    run = end;
+  }
 }
 
 double LinearRanking::Score(TupleId row) const {

@@ -87,6 +87,12 @@ class StaticOrderRanking : public RankingPolicy {
   /// dominates u.
   virtual bool Less(data::TupleId a, data::TupleId b) const = 0;
 
+  /// Sorts `order` (prefilled with all row ids) into the policy's total
+  /// order. Defaults to a comparison sort through Less; policies whose
+  /// key is cheap to precompute override this to avoid recomputing it
+  /// inside every comparison.
+  virtual void SortStaticOrder(std::vector<data::TupleId>& order) const;
+
  private:
   std::vector<data::TupleId> order_;   // row ids, best first
   std::vector<int64_t> rank_of_row_;   // inverse permutation
@@ -111,6 +117,7 @@ class LinearRanking : public StaticOrderRanking {
 
  protected:
   bool Less(data::TupleId a, data::TupleId b) const override;
+  void SortStaticOrder(std::vector<data::TupleId>& order) const override;
 
  private:
   std::vector<double> weights_;

@@ -14,6 +14,13 @@
 // What an algorithm may legitimately know: the schema (attribute names,
 // interface types, domains), k, and query answers. The ranking function
 // and n stay hidden.
+//
+// Execution engine (static-order rankings): queries compile into clamped
+// per-attribute bounds once, then route by estimated selectivity — small
+// match sets through the k-d index, everything else through the
+// column-at-a-time scan of exec::VectorEngine (blocked columns in rank
+// order, zone maps, selection-vector kernels, k+1 early exit). Every
+// path returns bit-identical QueryResults; see docs/performance.md.
 
 #ifndef HDSKY_INTERFACE_TOP_K_INTERFACE_H_
 #define HDSKY_INTERFACE_TOP_K_INTERFACE_H_
@@ -24,6 +31,7 @@
 
 #include "common/status.h"
 #include "data/table.h"
+#include "interface/exec/vector_engine.h"
 #include "interface/hidden_database.h"
 #include "interface/kd_index.h"
 #include "interface/query.h"
@@ -51,6 +59,21 @@ struct TopKOptions {
   /// returns ResourceExhausted — discovery algorithms turn that into an
   /// anytime partial result (Section 7.1).
   int64_t query_budget = 0;
+  /// Build the selective-query k-d index when the table has at least
+  /// this many rows; < 0 disables the index. The default keeps the
+  /// historical behaviour (index pays off only when selective queries
+  /// would otherwise scan a large table).
+  int64_t kd_index_threshold = 4096;
+  /// Floor of the k-d retrieval abort threshold: retrieval gives up —
+  /// and the rank-order scan takes over — once more than
+  /// max(2k + 2, kd_abort_floor) matches are enumerated. Must be >= 0.
+  int64_t kd_abort_floor = 256;
+  /// Column-at-a-time scan engine (blocked columns + zone maps +
+  /// selection vectors) for static-order rankings; false falls back to
+  /// the naive row-at-a-time rank-order scan. Answers are bit-identical
+  /// either way (tests/exec_test.cc proves it); the switch exists for
+  /// differential testing and perf baselines.
+  bool vectorized_scan = true;
 };
 
 /// The simulated hidden web database: table + ranking policy + top-k
@@ -60,9 +83,9 @@ struct TopKOptions {
 /// Thread safety: concurrent Execute calls are safe when the ranking
 /// policy is stateless after Bind (static_order() != nullptr — true for
 /// sum, lexicographic, and layered-random). Accounting and budget
-/// enforcement are lock-free and exact under concurrency. Stateful
-/// rankings (adversarial) need external synchronization; see
-/// docs/concurrency.md.
+/// enforcement are lock-free and exact under concurrency; execution
+/// scratch is thread_local. Stateful rankings (adversarial) need
+/// external synchronization; see docs/concurrency.md.
 class TopKInterface : public HiddenDatabase {
  public:
   /// Binds `ranking` to the table. The table must outlive the interface.
@@ -74,6 +97,11 @@ class TopKInterface : public HiddenDatabase {
   /// exceeds the attribute's interface capability, ResourceExhausted when
   /// the query budget is spent.
   common::Result<QueryResult> Execute(const Query& q) override;
+
+  /// Allocation-free answer path: after the first few queries on a
+  /// thread, answering reuses *out's buffers and the per-thread scratch
+  /// end to end, so steady-state execution performs no heap allocation.
+  common::Status Execute(const Query& q, QueryResult* out) override;
 
   /// Checks interface legality without issuing (free of charge; mirrors a
   /// user inspecting the search form).
@@ -106,11 +134,16 @@ class TopKInterface : public HiddenDatabase {
   /// attribute's domain — the answer is empty without evaluation.
   bool OutsideDomain(const Query& q) const;
 
+  /// Expected match count of the compiled bounds under per-attribute
+  /// uniformity over the schema domains. Only steers the index-vs-scan
+  /// choice (both paths are exact), so a rough estimate is fine.
+  double EstimateMatches(const std::vector<exec::AttrBound>& bounds) const;
+
   /// Query accounting is sharded to keep concurrent Execute calls from
-  /// bouncing one cache line: each thread lands (by thread-id hash) on
-  /// one of kStatShards cache-line-aligned tallies, and stats() merges
-  /// them on demand. The budget check stays a single atomic because it
-  /// must be globally exact.
+  /// bouncing one cache line: each thread lands (by a thread_local-cached
+  /// thread-id hash) on one of kStatShards cache-line-aligned tallies,
+  /// and stats() merges them on demand. The budget check stays a single
+  /// atomic because it must be globally exact.
   static constexpr size_t kStatShards = 8;
   struct alignas(64) StatShard {
     std::atomic<int64_t> queries_issued{0};
@@ -126,10 +159,12 @@ class TopKInterface : public HiddenDatabase {
   TopKOptions options_;
   StatShard stat_shards_[kStatShards];
   std::atomic<int64_t> budget_used_{0};
-  /// Fast path for static-order rankings on large tables: inverse rank
-  /// permutation and a k-d index for selective queries.
+  /// Fast paths for static-order rankings: inverse rank permutation, a
+  /// k-d index for selective queries (large tables), and the vectorized
+  /// rank-order scan engine for everything else.
   std::vector<int64_t> rank_of_row_;
   std::unique_ptr<KdIndex> index_;
+  std::unique_ptr<exec::VectorEngine> engine_;
 };
 
 }  // namespace interface

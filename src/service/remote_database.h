@@ -85,6 +85,7 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
   }
 
   /// Executes remotely with retry/backoff as described above.
+  using interface::HiddenDatabase::Execute;
   common::Result<interface::QueryResult> Execute(
       const interface::Query& q) override;
 

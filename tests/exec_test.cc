@@ -1,0 +1,306 @@
+// Differential tests of the query-execution paths behind TopKInterface.
+//
+// The interface promises that every execution strategy — the vectorized
+// column-at-a-time engine, the k-d index walk, and the naive
+// row-at-a-time rank-order scan — returns *bit-identical* QueryResults
+// and identical AccessStats for any legal query. These tests drive all
+// configurations with the same randomized query streams (including NULL
+// values, empty intervals, point predicates, and out-of-domain bounds)
+// and assert byte equality, plus that kd_abort_floor / kd_index_threshold
+// settings never change answers, only speed.
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "data/table.h"
+#include "dataset/synthetic.h"
+#include "interface/exec/kernels.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+
+namespace {
+
+using namespace hdsky;
+using interface::AccessStats;
+using interface::Query;
+using interface::QueryResult;
+using interface::TopKInterface;
+using interface::TopKOptions;
+
+std::unique_ptr<TopKInterface> Make(const data::Table* table,
+                                    const TopKOptions& opts) {
+  auto r = TopKInterface::Create(table, interface::MakeSumRanking(), opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TopKOptions Opts(int k, bool vectorized, int64_t kd_threshold,
+                 int64_t abort_floor = 256) {
+  TopKOptions o;
+  o.k = k;
+  o.vectorized_scan = vectorized;
+  o.kd_index_threshold = kd_threshold;
+  o.kd_abort_floor = abort_floor;
+  return o;
+}
+
+data::Table SyntheticTable(int64_t n, int m, int64_t domain,
+                           dataset::Distribution dist, uint64_t seed) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = n;
+  o.num_attributes = m;
+  o.domain_size = domain;
+  o.distribution = dist;
+  o.seed = seed;
+  auto r = dataset::GenerateSynthetic(o);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+/// A table where a fraction of cells is NULL — the vectorized kernels
+/// must exclude NULL from every constrained attribute exactly like
+/// Interval::Contains does.
+data::Table NullLacedTable(int64_t n, int m, data::Value domain_max,
+                           double null_frac, uint64_t seed) {
+  std::vector<data::AttributeSpec> specs(static_cast<size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    specs[static_cast<size_t>(a)].name = "A" + std::to_string(a);
+    specs[static_cast<size_t>(a)].domain_min = 0;
+    specs[static_cast<size_t>(a)].domain_max = domain_max;
+  }
+  auto schema = data::Schema::Create(std::move(specs));
+  EXPECT_TRUE(schema.ok()) << schema.status();
+  data::Table t(std::move(schema).value());
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<data::Value> val(0, domain_max);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int64_t r = 0; r < n; ++r) {
+    data::Tuple tup(static_cast<size_t>(m));
+    for (int a = 0; a < m; ++a) {
+      tup[static_cast<size_t>(a)] =
+          coin(rng) < null_frac ? data::kNullValue : val(rng);
+    }
+    EXPECT_TRUE(t.Append(tup).ok());
+  }
+  return t;
+}
+
+/// Random conjunctive query mixing broad, selective, point, inverted
+/// (empty), and out-of-domain predicates. All attributes are RQ, so
+/// every generated query is interface-legal.
+Query RandomQuery(std::mt19937_64& rng, const data::Schema& schema) {
+  Query q(schema.num_attributes());
+  std::uniform_int_distribution<int> kind(0, 9);
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const data::AttributeSpec& spec = schema.attribute(a);
+    std::uniform_int_distribution<data::Value> val(spec.domain_min - 3,
+                                                   spec.domain_max + 3);
+    switch (kind(rng)) {
+      case 0:
+      case 1:
+        q.AddAtMost(a, val(rng));
+        break;
+      case 2:
+        q.AddAtLeast(a, val(rng));
+        break;
+      case 3:  // two-ended; inverted about half the time -> empty
+        q.AddAtLeast(a, val(rng)).AddAtMost(a, val(rng));
+        break;
+      case 4:
+        q.AddEquals(a, val(rng));
+        break;
+      case 5:  // wholly out of domain
+        q.AddAtLeast(a, spec.domain_max + 10);
+        break;
+      case 6:
+        q.AddGreaterThan(a, val(rng));
+        break;
+      default:
+        break;  // unconstrained
+    }
+  }
+  return q;
+}
+
+/// Handcrafted edge cases over a schema with domains [0, D].
+std::vector<Query> EdgeQueries(const data::Schema& schema) {
+  const int m = schema.num_attributes();
+  const data::Value dmax = schema.attribute(0).domain_max;
+  std::vector<Query> qs;
+  qs.push_back(Query(m));                                 // SELECT *
+  qs.push_back(Query(m).AddAtLeast(0, 0));                // full domain
+  qs.push_back(Query(m).AddAtLeast(0, 5).AddAtMost(0, 4));  // inverted
+  qs.push_back(Query(m).AddEquals(0, 0));                 // point at min
+  qs.push_back(Query(m).AddEquals(0, dmax));              // point at max
+  qs.push_back(Query(m).AddEquals(0, dmax + 50));         // out of domain
+  qs.push_back(Query(m).AddAtMost(0, -7));                // out of domain
+  Query all(m);  // every attribute constrained
+  for (int a = 0; a < m; ++a) all.AddAtMost(a, dmax / 2);
+  qs.push_back(all);
+  return qs;
+}
+
+void ExpectSameStats(const AccessStats& a, const AccessStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.queries_issued, b.queries_issued) << label;
+  EXPECT_EQ(a.tuples_returned, b.tuples_returned) << label;
+  EXPECT_EQ(a.overflowed_queries, b.overflowed_queries) << label;
+  EXPECT_EQ(a.empty_queries, b.empty_queries) << label;
+  EXPECT_EQ(a.rejected_queries, b.rejected_queries) << label;
+}
+
+/// Runs the same query stream through every interface and asserts the
+/// answers are byte-identical to the first (reference) interface's.
+void RunDifferential(const data::Table& table,
+                     std::vector<std::unique_ptr<TopKInterface>>& ifaces,
+                     int num_random, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Query> queries = EdgeQueries(table.schema());
+  for (int i = 0; i < num_random; ++i) {
+    queries.push_back(RandomQuery(rng, table.schema()));
+  }
+  for (const Query& q : queries) {
+    auto ref = ifaces[0]->Execute(q);
+    ASSERT_TRUE(ref.ok()) << ref.status();
+    for (size_t c = 1; c < ifaces.size(); ++c) {
+      auto got = ifaces[c]->Execute(q);
+      ASSERT_TRUE(got.ok()) << got.status();
+      const std::string label =
+          "config " + std::to_string(c) + " query " +
+          q.ToString(table.schema());
+      EXPECT_EQ(ref.value().ids, got.value().ids) << label;
+      EXPECT_EQ(ref.value().tuples, got.value().tuples) << label;
+      EXPECT_EQ(ref.value().overflow, got.value().overflow) << label;
+    }
+  }
+  for (size_t c = 1; c < ifaces.size(); ++c) {
+    ExpectSameStats(ifaces[0]->stats(), ifaces[c]->stats(),
+                    "config " + std::to_string(c));
+  }
+}
+
+/// The four path combinations: vectorized on/off x k-d index forced/off.
+/// Config 0 (both fast paths disabled) is the naive reference.
+std::vector<std::unique_ptr<TopKInterface>> AllPaths(
+    const data::Table& table, int k) {
+  std::vector<std::unique_ptr<TopKInterface>> ifaces;
+  ifaces.push_back(Make(&table, Opts(k, false, -1)));  // naive scan
+  ifaces.push_back(Make(&table, Opts(k, false, 0)));   // kd + naive
+  ifaces.push_back(Make(&table, Opts(k, true, -1)));   // engine only
+  ifaces.push_back(Make(&table, Opts(k, true, 0)));    // kd + engine
+  return ifaces;
+}
+
+TEST(ExecDifferentialTest, IndependentData) {
+  const data::Table t = SyntheticTable(
+      3000, 4, 50, dataset::Distribution::kIndependent, 7001);
+  auto ifaces = AllPaths(t, 5);
+  RunDifferential(t, ifaces, 400, 901);
+}
+
+TEST(ExecDifferentialTest, AntiCorrelatedData) {
+  const data::Table t = SyntheticTable(
+      2000, 3, 1000, dataset::Distribution::kAntiCorrelated, 7002);
+  auto ifaces = AllPaths(t, 10);
+  RunDifferential(t, ifaces, 300, 902);
+}
+
+TEST(ExecDifferentialTest, NullLacedData) {
+  const data::Table t = NullLacedTable(1500, 3, 49, 0.2, 7003);
+  auto ifaces = AllPaths(t, 5);
+  RunDifferential(t, ifaces, 400, 903);
+}
+
+TEST(ExecDifferentialTest, NullsNeverMatchConstrainedAttributes) {
+  const data::Table t = NullLacedTable(400, 2, 19, 0.5, 7004);
+  auto ifaces = AllPaths(t, 400);  // k > n: full match set comes back
+  // Constrained over the whole domain: every non-NULL value matches, no
+  // NULL may.
+  Query q(2);
+  q.AddAtLeast(0, 0);
+  for (auto& iface : ifaces) {
+    auto r = iface->Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_FALSE(r.value().overflow);
+    for (const data::Tuple& tup : r.value().tuples) {
+      EXPECT_NE(tup[0], data::kNullValue);
+    }
+  }
+}
+
+TEST(ExecDifferentialTest, AbortFloorAndThresholdNeverChangeAnswers) {
+  const data::Table t = SyntheticTable(
+      2500, 4, 40, dataset::Distribution::kIndependent, 7005);
+  std::vector<std::unique_ptr<TopKInterface>> ifaces;
+  ifaces.push_back(Make(&t, Opts(5, false, -1)));  // naive reference
+  ifaces.push_back(Make(&t, Opts(5, true, 0, 0)));  // floor 0 -> 2k+2
+  ifaces.push_back(Make(&t, Opts(5, true, 0, 7)));
+  ifaces.push_back(Make(&t, Opts(5, true, 0, 1 << 20)));  // never aborts
+  ifaces.push_back(Make(&t, Opts(5, true, 10000)));  // threshold > n
+  ifaces.push_back(Make(&t, Opts(5, true, 2500)));   // threshold == n
+  RunDifferential(t, ifaces, 300, 904);
+}
+
+TEST(ExecDifferentialTest, RejectsNegativeAbortFloor) {
+  const data::Table t = SyntheticTable(
+      50, 2, 10, dataset::Distribution::kIndependent, 7006);
+  TopKOptions o = Opts(1, true, 0, -1);
+  auto r = TopKInterface::Create(&t, interface::MakeSumRanking(), o);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
+}
+
+TEST(ExecKernelTest, CollectBoundsClampsBelowNull) {
+  Query q(2);
+  q.AddAtLeast(0, 5);  // upper end unconstrained
+  std::vector<interface::exec::AttrBound> bounds;
+  ASSERT_TRUE(interface::exec::CollectBounds(q, &bounds));
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0].attr, 0);
+  EXPECT_EQ(bounds[0].lo, 5);
+  EXPECT_EQ(bounds[0].hi, data::kNullValue - 1);
+  EXPECT_FALSE(interface::exec::InBound(data::kNullValue, bounds[0]));
+  EXPECT_TRUE(interface::exec::InBound(5, bounds[0]));
+  EXPECT_FALSE(interface::exec::InBound(4, bounds[0]));
+}
+
+TEST(ExecKernelTest, CollectBoundsRejectsUnsatisfiablePoint) {
+  Query q(1);
+  q.AddEquals(0, data::kNullValue);  // no stored value can match
+  std::vector<interface::exec::AttrBound> bounds;
+  EXPECT_FALSE(interface::exec::CollectBounds(q, &bounds));
+}
+
+TEST(ExecKernelTest, SelectAndRefineMatchScalarSemantics) {
+  std::mt19937_64 rng(31337);
+  std::uniform_int_distribution<data::Value> val(-5, 25);
+  std::vector<data::Value> a(777), b(777);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = val(rng);
+    b[i] = val(rng);
+  }
+  const interface::exec::AttrBound ba{0, 0, 9};
+  const interface::exec::AttrBound bb{1, 3, 20};
+  std::vector<int32_t> sel(a.size());
+  int32_t n = interface::exec::SelectInterval(
+      a.data(), static_cast<int32_t>(a.size()), ba, sel.data());
+  n = interface::exec::RefineInterval(b.data(), bb, sel.data(), n);
+  std::vector<int32_t> expected;
+  for (int32_t i = 0; i < static_cast<int32_t>(a.size()); ++i) {
+    if (a[static_cast<size_t>(i)] >= 0 && a[static_cast<size_t>(i)] <= 9 &&
+        b[static_cast<size_t>(i)] >= 3 && b[static_cast<size_t>(i)] <= 20) {
+      expected.push_back(i);
+    }
+  }
+  ASSERT_EQ(static_cast<size_t>(n), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(sel[i], expected[i]);
+  }
+}
+
+}  // namespace
