@@ -1,0 +1,118 @@
+#include "common/fs_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace hdsky {
+namespace common {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written,
+                              contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Errno("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    const Status s = Errno("close", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = Errno("rename", tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return SyncDir(ParentDir(path));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + " does not exist");
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  // Some filesystems refuse fsync on directories (EINVAL); the rename is
+  // still atomic there, only its durability timing is weaker.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    const Status s = Errno("fsync dir", dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+void RemoveStaleTempFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.find(".tmp.") != std::string::npos) {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+}  // namespace common
+}  // namespace hdsky

@@ -1,0 +1,43 @@
+// Durable filesystem primitives shared by the persistence layers (the
+// client answer caches and the src/recovery journal/checkpoint stack).
+//
+// The core discipline is write-temp + fsync + rename + fsync-directory:
+// POSIX rename(2) is atomic within a filesystem, so a reader (or a
+// process restarted after a crash) observes either the complete previous
+// file or the complete new one — never a torn mixture, and never a
+// destroyed previous version. The directory fsync makes the rename itself
+// durable across power loss.
+
+#ifndef HDSKY_COMMON_FS_UTIL_H_
+#define HDSKY_COMMON_FS_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hdsky {
+namespace common {
+
+/// Replaces the file at `path` with `contents` atomically: the bytes are
+/// written to a sibling temporary file, fsync'd, renamed over `path`, and
+/// the parent directory is fsync'd. A crash at any point leaves either
+/// the old complete file or the new complete file (plus, at worst, an
+/// orphaned "<path>.tmp.<pid>" that RemoveStaleTempFiles cleans up).
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Reads a whole file into a string. NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// fsync(2) on a directory, making completed renames/creates in it
+/// durable. A no-op error-wise on filesystems that reject directory
+/// fsync.
+Status SyncDir(const std::string& dir);
+
+/// Deletes "*.tmp.*" siblings left behind by interrupted AtomicWriteFile
+/// calls in `dir`. Best-effort; never fails on individual unlink errors.
+void RemoveStaleTempFiles(const std::string& dir);
+
+}  // namespace common
+}  // namespace hdsky
+
+#endif  // HDSKY_COMMON_FS_UTIL_H_

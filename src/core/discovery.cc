@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "net/wire.h"
+
 namespace hdsky {
 namespace core {
 
@@ -50,6 +52,45 @@ void SkylineCollector::Finish(DiscoveryResult* result) {
   }
 }
 
+void SkylineCollector::SaveState(std::string* out) const {
+  net::Encoder enc(out);
+  enc.PutU64(static_cast<uint64_t>(ids_.size()));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    enc.PutI64(ids_[i]);
+    enc.PutU32(static_cast<uint32_t>(tuples_[i].size()));
+    for (data::Value v : tuples_[i]) enc.PutI64(v);
+  }
+}
+
+Status SkylineCollector::RestoreState(std::string_view blob) {
+  if (!ids_.empty()) {
+    return Status::Internal("RestoreState on a non-empty SkylineCollector");
+  }
+  net::Decoder dec(blob);
+  uint64_t count = 0;
+  if (!dec.GetU64(&count)) {
+    return Status::IOError("truncated collector state");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id = 0;
+    uint32_t width = 0;
+    dec.GetI64(&id);
+    if (!dec.GetU32(&width) ||
+        static_cast<size_t>(width) * 8 > dec.remaining()) {
+      return Status::IOError("truncated collector state tuple");
+    }
+    Tuple t(width);
+    for (uint32_t a = 0; a < width; ++a) dec.GetI64(&t[a]);
+    if (!dec.ok()) return Status::IOError("truncated collector state tuple");
+    AddConfirmed(id, t);
+    observed_.insert(id);
+  }
+  if (!dec.exhausted()) {
+    return Status::IOError("collector state carries trailing bytes");
+  }
+  return Status::OK();
+}
+
 DiscoveryRun::DiscoveryRun(interface::HiddenDatabase* iface,
                            const DiscoveryOptions& options)
     : iface_(iface),
@@ -65,6 +106,10 @@ Result<QueryResult> DiscoveryRun::Execute(const Query& q) {
 }
 
 Status DiscoveryRun::Execute(const Query& q, QueryResult* out) {
+  if (options_.interrupt && options_.interrupt()) {
+    exhausted_ = true;
+    return Status::ResourceExhausted("discovery interrupted");
+  }
   if (options_.max_queries > 0 && queries_issued_ >= options_.max_queries) {
     exhausted_ = true;
     return Status::ResourceExhausted("discovery max_queries reached");
@@ -99,6 +144,56 @@ void DiscoveryRun::RecordProgress() {
   const ProgressPoint point{queries_issued_, collector_.size()};
   trace_.push_back(point);
   if (options_.on_progress) options_.on_progress(point);
+}
+
+void DiscoveryRun::SaveState(std::string* out) const {
+  net::Encoder enc(out);
+  enc.PutU64(static_cast<uint64_t>(queries_issued_));
+  enc.PutU8(exhausted_ ? 1 : 0);
+  enc.PutU64(static_cast<uint64_t>(trace_.size()));
+  for (const ProgressPoint& p : trace_) {
+    enc.PutI64(p.queries_issued);
+    enc.PutI64(p.skyline_discovered);
+  }
+  std::string collector_blob;
+  collector_.SaveState(&collector_blob);
+  enc.PutString(collector_blob);
+}
+
+Status DiscoveryRun::RestoreState(std::string_view blob) {
+  if (queries_issued_ != 0 || collector_.size() != 0) {
+    return Status::Internal("RestoreState on a DiscoveryRun already in use");
+  }
+  net::Decoder dec(blob);
+  uint64_t queries = 0;
+  uint8_t exhausted = 0;
+  uint64_t trace_len = 0;
+  dec.GetU64(&queries);
+  dec.GetU8(&exhausted);
+  if (!dec.GetU64(&trace_len) ||
+      trace_len * 16 > dec.remaining()) {
+    return Status::IOError("truncated discovery-run state");
+  }
+  ProgressTrace trace;
+  trace.reserve(trace_len);
+  for (uint64_t i = 0; i < trace_len; ++i) {
+    ProgressPoint p;
+    dec.GetI64(&p.queries_issued);
+    dec.GetI64(&p.skyline_discovered);
+    trace.push_back(p);
+  }
+  std::string collector_blob;
+  if (!dec.GetString(&collector_blob) || !dec.exhausted()) {
+    return Status::IOError("truncated discovery-run state");
+  }
+  HDSKY_RETURN_IF_ERROR(collector_.RestoreState(collector_blob));
+  queries_issued_ = static_cast<int64_t>(queries);
+  exhausted_ = exhausted != 0;
+  // Replace the constructor's initial {0,0} point with the saved trace
+  // (which begins with its own {0,0}), keeping resumed traces
+  // byte-identical to uninterrupted ones.
+  trace_ = std::move(trace);
+  return Status::OK();
 }
 
 DiscoveryResult DiscoveryRun::Finish() {

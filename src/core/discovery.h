@@ -44,6 +44,13 @@ struct ProgressPoint {
 
 using ProgressTrace = std::vector<ProgressPoint>;
 
+class DiscoveryRun;
+
+/// Fills *out with the algorithm's encoded frontier (queue / stack /
+/// plane cursor). Handed to DiscoveryOptions::on_checkpoint lazily so the
+/// frontier is only serialized when a checkpoint actually happens.
+using FrontierSaver = std::function<void(std::string*)>;
+
 struct DiscoveryOptions {
   /// Conjunctive constraints appended to every query, e.g. equality on
   /// filtering attributes (DepartureCity = "JFK"). Must be legal for the
@@ -55,6 +62,21 @@ struct DiscoveryOptions {
   int64_t max_queries = 0;
   /// Called whenever a new skyline tuple is confirmed.
   std::function<void(const ProgressPoint&)> on_progress;
+  /// Cooperative cancellation, polled before every query. Returning true
+  /// makes the run unwind as ResourceExhausted — the anytime partial-
+  /// result path — so a SIGINT'd session still checkpoints and reports.
+  std::function<bool()> interrupt;
+  /// Checkpoint tick, invoked by frontier-capable drivers (SQ/RQ/PQ) at
+  /// points where their traversal state is consistent (top of the node
+  /// loop / a plane boundary). The callee decides whether a checkpoint is
+  /// actually due; the FrontierSaver serializes the frontier on demand.
+  std::function<void(DiscoveryRun&, const FrontierSaver&)> on_checkpoint;
+  /// DiscoveryRun::SaveState blob to restore before the first query
+  /// (crash-consistent resume; see docs/robustness.md).
+  std::optional<std::string> resume_run_state;
+  /// Matching frontier blob from the same checkpoint; the driver resumes
+  /// its traversal from it instead of the root.
+  std::optional<std::string> resume_frontier;
 };
 
 struct DiscoveryResult {
@@ -109,6 +131,15 @@ class SkylineCollector {
   /// aligned).
   void Finish(DiscoveryResult* result);
 
+  /// Serializes the confirmed skyline (ids + tuples, insertion order) for
+  /// checkpoint snapshots.
+  void SaveState(std::string* out) const;
+
+  /// Rebuilds a collector from SaveState bytes. Only legal on an empty
+  /// collector. Restored ids are marked observed, so replayed answers
+  /// re-classify without re-confirming.
+  common::Status RestoreState(std::string_view blob);
+
  private:
   std::vector<int> ranking_attrs_;
   skyline::DominanceIndex index_;
@@ -152,6 +183,15 @@ class DiscoveryRun {
 
   /// Packages the final DiscoveryResult.
   DiscoveryResult Finish();
+
+  /// Serializes progress (query count, trace, confirmed skyline) for a
+  /// checkpoint. The trace is saved whole — including the initial {0,0}
+  /// point — so a resumed run's final trace is byte-identical to the
+  /// uninterrupted run's.
+  void SaveState(std::string* out) const;
+
+  /// Restores a SaveState blob. Only legal before the first Execute.
+  common::Status RestoreState(std::string_view blob);
 
  private:
   void RecordProgress();

@@ -1,7 +1,10 @@
 #include "core/rq_db_sky.h"
 
+#include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "net/wire.h"
 #include "skyline/dominance.h"
 
 namespace hdsky {
@@ -30,6 +33,84 @@ bool ChildImpossible(const Query& q, const AttributeSpec& spec, int attr) {
   const interface::Interval& iv = q.interval(attr);
   return iv.empty() || iv.upper < spec.domain_min ||
          iv.lower > spec.domain_max;
+}
+
+// Frontier codec for checkpoint/resume: the DFS stack (each node is its
+// sq/R(q) query pair), the seen-tuple memo, and the processed-region set,
+// tagged 'R' against cross-algorithm blob mixups.
+void EncodeRqFrontier(const std::vector<Node>& stack,
+                      const std::vector<TupleId>& seen_order,
+                      const std::vector<Tuple>& seen_tuples,
+                      const std::unordered_set<std::string>& processed,
+                      std::string* out) {
+  net::Encoder enc(out);
+  enc.PutU8('R');
+  enc.PutU64(stack.size());
+  for (const Node& n : stack) {
+    net::EncodeQueryBody(n.sq, &enc);
+    net::EncodeQueryBody(n.rq, &enc);
+  }
+  enc.PutU64(seen_order.size());
+  for (size_t i = 0; i < seen_order.size(); ++i) {
+    enc.PutI64(seen_order[i]);
+    enc.PutU32(static_cast<uint32_t>(seen_tuples[i].size()));
+    for (data::Value v : seen_tuples[i]) enc.PutI64(v);
+  }
+  enc.PutU64(processed.size());
+  for (const std::string& sig : processed) enc.PutString(sig);
+}
+
+Status DecodeRqFrontier(std::string_view blob, std::vector<Node>* stack,
+                        std::vector<TupleId>* seen_order,
+                        std::vector<Tuple>* seen_tuples,
+                        std::unordered_set<std::string>* processed) {
+  net::Decoder dec(blob);
+  uint8_t tag = 0;
+  uint64_t stack_len = 0;
+  if (!dec.GetU8(&tag) || tag != 'R' || !dec.GetU64(&stack_len)) {
+    return Status::IOError("malformed RQ frontier blob");
+  }
+  for (uint64_t i = 0; i < stack_len; ++i) {
+    Node n;
+    if (!net::DecodeQueryBody(&dec, &n.sq) ||
+        !net::DecodeQueryBody(&dec, &n.rq)) {
+      return Status::IOError("malformed RQ frontier node");
+    }
+    stack->push_back(std::move(n));
+  }
+  uint64_t seen_len = 0;
+  if (!dec.GetU64(&seen_len)) {
+    return Status::IOError("malformed RQ frontier blob");
+  }
+  for (uint64_t i = 0; i < seen_len; ++i) {
+    int64_t id = 0;
+    uint32_t width = 0;
+    dec.GetI64(&id);
+    if (!dec.GetU32(&width) ||
+        static_cast<size_t>(width) * 8 > dec.remaining()) {
+      return Status::IOError("malformed RQ frontier seen tuple");
+    }
+    Tuple t(width);
+    for (uint32_t a = 0; a < width; ++a) dec.GetI64(&t[a]);
+    if (!dec.ok()) return Status::IOError("malformed RQ frontier seen tuple");
+    seen_order->push_back(id);
+    seen_tuples->push_back(std::move(t));
+  }
+  uint64_t processed_len = 0;
+  if (!dec.GetU64(&processed_len)) {
+    return Status::IOError("malformed RQ frontier blob");
+  }
+  for (uint64_t i = 0; i < processed_len; ++i) {
+    std::string sig;
+    if (!dec.GetString(&sig)) {
+      return Status::IOError("malformed RQ frontier signature");
+    }
+    processed->insert(std::move(sig));
+  }
+  if (!dec.exhausted()) {
+    return Status::IOError("RQ frontier blob carries trailing bytes");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -69,12 +150,16 @@ Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
   const std::vector<int>& ranking = branch_attrs;
 
   // All tuples ever returned; the seen-match test of Algorithm 2 line 3.
+  // seen_order keeps ids aligned with seen_tuples so checkpoints can
+  // serialize the memo deterministically.
   std::vector<Tuple> seen_tuples;
+  std::vector<TupleId> seen_order;
   std::unordered_set<TupleId> seen_ids;
   auto remember = [&](const QueryResult& t) {
     for (int i = 0; i < t.size(); ++i) {
       const TupleId id = t.ids[static_cast<size_t>(i)];
       if (seen_ids.insert(id).second) {
+        seen_order.push_back(id);
         seen_tuples.push_back(t.tuples[static_cast<size_t>(i)]);
       }
       run.Observe(id, t.tuples[static_cast<size_t>(i)]);
@@ -94,7 +179,18 @@ Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
   QueryResult answer;
   std::unordered_set<std::string> processed_regions;
   std::vector<Node> stack;
-  {
+  if (options.common.resume_frontier.has_value()) {
+    // Crash-consistent resume: progress, the DFS stack, and the seen
+    // memo come from a checkpoint instead of the root.
+    if (options.common.resume_run_state.has_value()) {
+      HDSKY_RETURN_IF_ERROR(
+          run.RestoreState(*options.common.resume_run_state));
+    }
+    HDSKY_RETURN_IF_ERROR(
+        DecodeRqFrontier(*options.common.resume_frontier, &stack,
+                         &seen_order, &seen_tuples, &processed_regions));
+    seen_ids.insert(seen_order.begin(), seen_order.end());
+  } else {
     Node root;
     root.sq = run.MakeBaseQuery();
     root.rq = root.sq;
@@ -131,6 +227,14 @@ Result<DiscoveryResult> RqDbSky(HiddenDatabase* iface,
   };
 
   while (!stack.empty()) {
+    if (options.common.on_checkpoint) {
+      // Top of the loop is frontier-consistent: the node about to run is
+      // still on the stack.
+      options.common.on_checkpoint(run, [&](std::string* out) {
+        EncodeRqFrontier(stack, seen_order, seen_tuples, processed_regions,
+                         out);
+      });
+    }
     const Node node = std::move(stack.back());
     stack.pop_back();
     if (options.skip_duplicate_nodes &&

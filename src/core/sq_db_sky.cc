@@ -4,6 +4,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "net/wire.h"
+
 namespace hdsky {
 namespace core {
 
@@ -22,6 +24,52 @@ bool ChildImpossible(const Query& q, const AttributeSpec& spec, int attr) {
   const interface::Interval& iv = q.interval(attr);
   return iv.empty() || iv.upper < spec.domain_min ||
          iv.lower > spec.domain_max;
+}
+
+// Frontier codec for checkpoint/resume: the BFS queue plus the
+// processed-region memo, tagged 'S' so a blob saved by a different
+// algorithm is rejected instead of misread.
+void EncodeSqFrontier(const std::deque<Query>& queue,
+                      const std::unordered_set<std::string>& processed,
+                      std::string* out) {
+  net::Encoder enc(out);
+  enc.PutU8('S');
+  enc.PutU64(queue.size());
+  for (const Query& q : queue) net::EncodeQueryBody(q, &enc);
+  enc.PutU64(processed.size());
+  for (const std::string& sig : processed) enc.PutString(sig);
+}
+
+Status DecodeSqFrontier(std::string_view blob, std::deque<Query>* queue,
+                        std::unordered_set<std::string>* processed) {
+  net::Decoder dec(blob);
+  uint8_t tag = 0;
+  uint64_t queue_len = 0;
+  if (!dec.GetU8(&tag) || tag != 'S' || !dec.GetU64(&queue_len)) {
+    return Status::IOError("malformed SQ frontier blob");
+  }
+  for (uint64_t i = 0; i < queue_len; ++i) {
+    Query q;
+    if (!net::DecodeQueryBody(&dec, &q)) {
+      return Status::IOError("malformed SQ frontier query");
+    }
+    queue->push_back(std::move(q));
+  }
+  uint64_t processed_len = 0;
+  if (!dec.GetU64(&processed_len)) {
+    return Status::IOError("malformed SQ frontier blob");
+  }
+  for (uint64_t i = 0; i < processed_len; ++i) {
+    std::string sig;
+    if (!dec.GetString(&sig)) {
+      return Status::IOError("malformed SQ frontier signature");
+    }
+    processed->insert(std::move(sig));
+  }
+  if (!dec.exhausted()) {
+    return Status::IOError("SQ frontier blob carries trailing bytes");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -46,12 +94,30 @@ Result<DiscoveryResult> SqDbSky(HiddenDatabase* iface,
   const int k = iface->k();
   std::unordered_set<std::string> processed_regions;
   std::deque<Query> queue;
-  queue.push_back(run.MakeBaseQuery());
+  if (options.common.resume_frontier.has_value()) {
+    // Crash-consistent resume: progress and the BFS frontier come from a
+    // checkpoint instead of the root (docs/robustness.md).
+    if (options.common.resume_run_state.has_value()) {
+      HDSKY_RETURN_IF_ERROR(
+          run.RestoreState(*options.common.resume_run_state));
+    }
+    HDSKY_RETURN_IF_ERROR(DecodeSqFrontier(*options.common.resume_frontier,
+                                           &queue, &processed_regions));
+  } else {
+    queue.push_back(run.MakeBaseQuery());
+  }
 
   // One QueryResult lives across the whole traversal; the buffer-reuse
   // Execute overload refills it in place each iteration.
   QueryResult answer;
   while (!queue.empty()) {
+    if (options.common.on_checkpoint) {
+      // Top of the loop is frontier-consistent: every answer funneled into
+      // the collector came from a node no longer in the queue.
+      options.common.on_checkpoint(run, [&](std::string* out) {
+        EncodeSqFrontier(queue, processed_regions, out);
+      });
+    }
     const Query q = std::move(queue.front());
     queue.pop_front();
     if (options.skip_duplicate_nodes &&

@@ -1,7 +1,9 @@
 #include "interface/caching_database.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "common/fs_util.h"
 #include "interface/cache_io.h"
 
 namespace hdsky {
@@ -43,9 +45,12 @@ Status CachingDatabase::Save(std::ostream& out) const {
 }
 
 Status CachingDatabase::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path);
-  return Save(out);
+  // Serialize in memory, then replace the file atomically: a crash (or a
+  // failed Save) must never destroy the previous cache — it holds paid
+  // answers.
+  std::ostringstream out;
+  HDSKY_RETURN_IF_ERROR(Save(out));
+  return common::AtomicWriteFile(path, out.str());
 }
 
 Status CachingDatabase::Load(std::istream& in) {

@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <functional>
+#include <sstream>
 
+#include "common/fs_util.h"
 #include "interface/cache_io.h"
 
 namespace hdsky {
@@ -96,9 +98,12 @@ Status ConcurrentCachingDatabase::Save(std::ostream& out) const {
 }
 
 Status ConcurrentCachingDatabase::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path);
-  return Save(out);
+  // Serialize in memory, then replace the file atomically: a crash (or a
+  // failed Save) must never destroy the previous cache — it holds paid
+  // answers.
+  std::ostringstream out;
+  HDSKY_RETURN_IF_ERROR(Save(out));
+  return common::AtomicWriteFile(path, out.str());
 }
 
 Status ConcurrentCachingDatabase::Load(std::istream& in) {

@@ -313,33 +313,24 @@ Result<Descriptor> DecodeDescriptor(std::string_view payload) {
 // ---------------------------------------------------------------------------
 // Query.
 
-void EncodeQuery(uint64_t seq, const interface::Query& q, std::string* out) {
-  Encoder enc(out);
-  enc.PutU64(seq);
-  enc.PutU32(static_cast<uint32_t>(q.num_attributes()));
+void EncodeQueryBody(const interface::Query& q, Encoder* enc) {
+  enc->PutU32(static_cast<uint32_t>(q.num_attributes()));
   for (int a = 0; a < q.num_attributes(); ++a) {
     const interface::Interval& iv = q.interval(a);
-    enc.PutI64(iv.lower);
-    enc.PutI64(iv.upper);
+    enc->PutI64(iv.lower);
+    enc->PutI64(iv.upper);
   }
 }
 
-Status DecodeQuery(std::string_view payload, uint64_t* seq,
-                   interface::Query* q) {
-  Decoder dec(payload);
+bool DecodeQueryBody(Decoder* dec, interface::Query* q) {
   uint32_t num_attrs = 0;
-  dec.GetU64(seq);
-  dec.GetU32(&num_attrs);
-  if (!dec.ok()) return Status::IOError("truncated Query payload");
-  if (static_cast<size_t>(num_attrs) * 16 != dec.remaining()) {
-    return Status::IOError("Query payload size disagrees with its arity");
-  }
+  if (!dec->GetU32(&num_attrs)) return false;
+  if (static_cast<size_t>(num_attrs) * 16 > dec->remaining()) return false;
   interface::Query decoded(static_cast<int>(num_attrs));
   for (uint32_t a = 0; a < num_attrs; ++a) {
     int64_t lower, upper;
-    dec.GetI64(&lower);
-    dec.GetI64(&upper);
-    if (!dec.ok()) return Status::IOError("truncated Query interval");
+    dec->GetI64(&lower);
+    if (!dec->GetI64(&upper)) return false;
     // AddAtLeast/AddAtMost intersect with an unconstrained interval, so
     // the decoded bounds reproduce the encoded ones exactly (including
     // empty intervals with lower > upper).
@@ -349,6 +340,24 @@ Status DecodeQuery(std::string_view payload, uint64_t* seq,
     if (upper != interface::Interval::kMax) {
       decoded.AddAtMost(static_cast<int>(a), upper);
     }
+  }
+  *q = std::move(decoded);
+  return true;
+}
+
+void EncodeQuery(uint64_t seq, const interface::Query& q, std::string* out) {
+  Encoder enc(out);
+  enc.PutU64(seq);
+  EncodeQueryBody(q, &enc);
+}
+
+Status DecodeQuery(std::string_view payload, uint64_t* seq,
+                   interface::Query* q) {
+  Decoder dec(payload);
+  if (!dec.GetU64(seq)) return Status::IOError("truncated Query payload");
+  interface::Query decoded;
+  if (!DecodeQueryBody(&dec, &decoded) || !dec.exhausted()) {
+    return Status::IOError("truncated or malformed Query payload");
   }
   *q = std::move(decoded);
   return Status::OK();
@@ -373,17 +382,16 @@ void EncodeResult(uint64_t seq, const interface::QueryResult& result,
   }
 }
 
-Status DecodeResult(std::string_view payload, int expected_width,
-                    uint64_t* seq, interface::QueryResult* result) {
-  Decoder dec(payload);
+Status DecodeResultBody(Decoder* dec, int expected_width, uint64_t* seq,
+                        interface::QueryResult* result) {
   uint8_t overflow = 0;
   uint32_t count = 0;
   uint32_t width = 0;
-  dec.GetU64(seq);
-  dec.GetU8(&overflow);
-  dec.GetU32(&count);
-  dec.GetU32(&width);
-  if (!dec.ok()) return Status::IOError("truncated Result payload");
+  dec->GetU64(seq);
+  dec->GetU8(&overflow);
+  dec->GetU32(&count);
+  dec->GetU32(&width);
+  if (!dec->ok()) return Status::IOError("truncated Result payload");
   if (overflow > 1) {
     return Status::IOError("Result: overflow flag must be 0 or 1");
   }
@@ -393,7 +401,7 @@ Status DecodeResult(std::string_view payload, int expected_width,
                            std::to_string(expected_width));
   }
   const size_t row_bytes = (1 + static_cast<size_t>(width)) * 8;
-  if (static_cast<size_t>(count) * row_bytes != dec.remaining()) {
+  if (static_cast<size_t>(count) * row_bytes > dec->remaining()) {
     return Status::IOError("Result payload size disagrees with its count");
   }
   interface::QueryResult decoded;
@@ -402,21 +410,28 @@ Status DecodeResult(std::string_view payload, int expected_width,
   decoded.tuples.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     int64_t id;
-    dec.GetI64(&id);
-    if (!dec.ok()) return Status::IOError("truncated Result tuple");
+    dec->GetI64(&id);
+    if (!dec->ok()) return Status::IOError("truncated Result tuple");
     if (id < 0) return Status::IOError("Result: negative tuple id");
     data::Tuple t(width);
     for (uint32_t a = 0; a < width; ++a) {
-      dec.GetI64(&t[a]);
+      dec->GetI64(&t[a]);
     }
-    if (!dec.ok()) return Status::IOError("truncated Result tuple values");
+    if (!dec->ok()) return Status::IOError("truncated Result tuple values");
     decoded.ids.push_back(id);
     decoded.tuples.push_back(std::move(t));
   }
+  *result = std::move(decoded);
+  return Status::OK();
+}
+
+Status DecodeResult(std::string_view payload, int expected_width,
+                    uint64_t* seq, interface::QueryResult* result) {
+  Decoder dec(payload);
+  HDSKY_RETURN_IF_ERROR(DecodeResultBody(&dec, expected_width, seq, result));
   if (!dec.exhausted()) {
     return Status::IOError("Result payload has trailing bytes");
   }
-  *result = std::move(decoded);
   return Status::OK();
 }
 

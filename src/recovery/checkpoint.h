@@ -1,0 +1,111 @@
+// Atomic checkpoints for durable discovery sessions.
+//
+// A journal directory holds, at any instant, one *epoch* of state:
+//
+//   MANIFEST            "hdsky-manifest-v1 <epoch> <has_snapshot>"
+//   journal-<epoch>     the live write-ahead journal (see journal.h)
+//   snapshot-<epoch>    compacted state the journal is a suffix of
+//                       (absent in epoch 1, before the first checkpoint)
+//
+// A checkpoint compacts journal history into the next epoch: write
+// snapshot-(e+1) and a fresh journal-(e+1), then atomically swing MANIFEST
+// to epoch e+1, then delete the epoch-e files. Every write along the way
+// is temp-file + fsync + rename (common/fs_util.h), so a crash at any
+// boundary leaves MANIFEST pointing at one complete, self-consistent
+// snapshot+journal pair: before the manifest swing recovery still sees
+// epoch e (the half-built e+1 files are deleted as orphans); after it,
+// epoch e+1 is live and the stale epoch-e files are deleted on the next
+// open.
+//
+// The snapshot is a single CRC32C-framed blob containing the replay map
+// (signature -> answer), the highest wire sequence number accounted for,
+// and an opaque session-state blob (algorithm name + DiscoveryRun progress
+// + frontier) that lets a resumed run fast-forward instead of replaying
+// from the first query.
+
+#ifndef HDSKY_RECOVERY_CHECKPOINT_H_
+#define HDSKY_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "interface/hidden_database.h"
+
+namespace hdsky {
+namespace recovery {
+
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// "journal-000007" / "snapshot-000007" for epoch 7.
+std::string JournalFileName(int64_t epoch);
+std::string SnapshotFileName(int64_t epoch);
+
+struct Manifest {
+  int64_t epoch = 1;
+  /// False only for epoch 1 (no checkpoint has run yet).
+  bool has_snapshot = false;
+};
+
+/// Atomically replaces dir/MANIFEST.
+common::Status WriteManifest(const std::string& dir, const Manifest& m);
+
+/// NotFound when no manifest exists (a fresh directory); IOError on any
+/// malformation — a damaged manifest is never guessed around.
+common::Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Deletes journal-*/snapshot-* files of every epoch except `keep_epoch`:
+/// half-built next-epoch files after a crash before the manifest swing,
+/// or stale previous-epoch files after a crash before cleanup.
+void RemoveOtherEpochFiles(const std::string& dir, int64_t keep_epoch);
+
+// ---------------------------------------------------------------------------
+// Snapshot blob.
+
+struct SnapshotEntry {
+  std::string signature;
+  interface::QueryResult result;
+};
+
+struct Snapshot {
+  /// Highest wire sequence number covered by the compacted history.
+  uint64_t last_seq = 0;
+  /// Opaque session state (EncodeSessionState), possibly empty.
+  std::string state_blob;
+  /// Replay map in insertion order.
+  std::vector<SnapshotEntry> entries;
+};
+
+/// Writes the snapshot atomically (temp + fsync + rename).
+common::Status WriteSnapshot(const std::string& path, int width,
+                             const Snapshot& snap);
+
+/// Reads and verifies a snapshot; any damage (bad CRC, truncation, width
+/// mismatch) rejects the whole file — snapshots are atomic or absent.
+common::Result<Snapshot> ReadSnapshot(const std::string& path, int width);
+
+// ---------------------------------------------------------------------------
+// Session state: what the discovery driver needs to fast-forward.
+
+struct SessionState {
+  /// Resolved algorithm name ("sq", "rq", ...); a resume under a different
+  /// algorithm is rejected rather than silently diverging.
+  std::string algorithm;
+  /// DiscoveryRun::SaveState blob (progress counters + confirmed skyline +
+  /// anytime trace). Empty means "replay from the start".
+  std::string run_state;
+  /// Algorithm-specific frontier blob (queue / stack / plane cursor).
+  /// Empty means "replay from the start".
+  std::string frontier;
+};
+
+std::string EncodeSessionState(const SessionState& state);
+/// An empty blob decodes to an empty SessionState (full-replay resume).
+common::Result<SessionState> DecodeSessionState(std::string_view blob);
+
+}  // namespace recovery
+}  // namespace hdsky
+
+#endif  // HDSKY_RECOVERY_CHECKPOINT_H_

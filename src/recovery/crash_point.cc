@@ -1,0 +1,58 @@
+#include "recovery/crash_point.h"
+
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace hdsky {
+namespace recovery {
+
+namespace {
+
+// Single armed point per process (tests arm exactly one boundary per
+// run). Plain statics: the persistence code that hits crash points is
+// single-threaded by design (journal/checkpoint writes happen on the
+// discovery thread).
+std::string g_armed_name;
+long g_remaining_hits = 0;
+
+}  // namespace
+
+void ArmCrashPoint(const std::string& spec) {
+  g_armed_name.clear();
+  g_remaining_hits = 0;
+  if (spec.empty()) return;
+  std::string name = spec;
+  long count = 1;
+  const size_t colon = spec.find_last_of(':');
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    const long parsed = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (end != spec.c_str() + colon + 1 && *end == '\0' && parsed >= 1) {
+      name = spec.substr(0, colon);
+      count = parsed;
+    }
+  }
+  g_armed_name = name;
+  g_remaining_hits = count;
+}
+
+void ArmCrashPointFromEnv() {
+  const char* spec = std::getenv("HDSKY_CRASH_POINT");
+  if (spec != nullptr && *spec != '\0') ArmCrashPoint(spec);
+}
+
+bool CrashPointArmed(const char* name) {
+  return !g_armed_name.empty() && g_armed_name == name;
+}
+
+void CrashPointHit(const char* name) {
+  if (!CrashPointArmed(name)) return;
+  if (--g_remaining_hits > 0) return;
+  // Die like kill -9: no destructors, no atexit, no stdio flush. Any
+  // bytes not yet write(2)ten are lost, exactly as in a real crash.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace recovery
+}  // namespace hdsky

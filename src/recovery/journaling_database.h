@@ -1,0 +1,178 @@
+// Durable-session decorator: a HiddenDatabase whose paid answers survive
+// process death.
+//
+// JournalingDatabase wraps any backend and keeps a journal directory (see
+// journal.h / checkpoint.h) recording every answer the session paid for.
+// On open it rebuilds the replay map from the live snapshot + journal
+// suffix; an Execute whose query is already journaled is served locally at
+// zero backend cost. Because the discovery algorithms are deterministic, a
+// crashed run restarted over the same journal replays its paid prefix for
+// free and continues paying only for genuinely new queries — the backbone
+// of crash-consistent resume (docs/robustness.md).
+//
+// Exactly-once accounting. Before paying for a query the decorator
+// journals an *intent* record carrying the wire sequence number the query
+// will be sent under (Options::seq_provider wires this to
+// service::RemoteHiddenDatabase). With sync_every=1 the intent is durable
+// before the backend sees the query, so a crash in the pay window leaves a
+// dangling final intent; the resumed session detects it, re-issues that
+// exact query under that exact sequence number, and the server's replay
+// cache answers without charging the budget a second time.
+//
+// Checkpoints. After Options::checkpoint_every paid queries the decorator
+// marks a checkpoint due; the discovery driver calls Checkpoint() at a
+// frontier-consistent boundary (or, with auto_checkpoint, the decorator
+// checkpoints itself between queries), compacting the journal into the
+// next epoch's snapshot.
+//
+// Thread safety: NONE — same single-threaded contract as CachingDatabase.
+
+#ifndef HDSKY_RECOVERY_JOURNALING_DATABASE_H_
+#define HDSKY_RECOVERY_JOURNALING_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interface/hidden_database.h"
+#include "recovery/checkpoint.h"
+#include "recovery/journal.h"
+
+namespace hdsky {
+namespace recovery {
+
+class JournalingDatabase : public interface::HiddenDatabase {
+ public:
+  struct Options {
+    /// Journal group-fsync interval. 1 (the default) makes every intent
+    /// and answer durable before Execute proceeds — required for strict
+    /// exactly-once accounting against a remote server; raise it to trade
+    /// a bounded replay window for fewer fsyncs.
+    int sync_every = 1;
+    /// Paid queries between checkpoints.
+    int64_t checkpoint_every = 256;
+    /// When true the decorator checkpoints itself at the next Execute once
+    /// due (every point between queries is consistent for pure replay).
+    /// Drivers that capture frontier state set this false and call
+    /// Checkpoint() from their own consistent boundaries.
+    bool auto_checkpoint = true;
+    /// State blob written by automatic checkpoints (typically just the
+    /// algorithm name, EncodeSessionState'd).
+    std::string auto_checkpoint_state;
+    /// Supplies the wire sequence number the NEXT backend query will be
+    /// sent under (RemoteHiddenDatabase::next_seq). Unset: an internal
+    /// counter numbers paid queries.
+    std::function<uint64_t()> seq_provider;
+  };
+
+  struct Stats {
+    /// Queries answered from the journal at zero backend cost.
+    int64_t replayed = 0;
+    /// Queries that reached the backend and were journaled.
+    int64_t paid = 0;
+    /// Backend failures (journaled as intents only; nothing cached).
+    int64_t errors = 0;
+  };
+
+  /// Opens (or creates) the journal directory and rebuilds the replay map.
+  /// `backend` must outlive the returned object. Fails on interior journal
+  /// corruption, a damaged snapshot/manifest, or a schema-width mismatch —
+  /// never silently discards paid history.
+  static common::Result<std::unique_ptr<JournalingDatabase>> Open(
+      interface::HiddenDatabase* backend, const std::string& dir,
+      const Options& options);
+
+  ~JournalingDatabase() override;
+
+  using interface::HiddenDatabase::Execute;
+  common::Result<interface::QueryResult> Execute(
+      const interface::Query& q) override;
+
+  const data::Schema& schema() const override { return backend_->schema(); }
+  int k() const override { return backend_->k(); }
+  common::Status ValidateQuery(const interface::Query& q) const override {
+    return backend_->ValidateQuery(q);
+  }
+
+  /// True when the directory held a previous session's state.
+  bool resumed() const { return resumed_; }
+  /// Session-state blob from the live snapshot (empty for fresh sessions
+  /// or cache-only checkpoints): the driver decodes it to fast-forward.
+  const std::string& restored_state() const { return restored_state_; }
+
+  /// True when checkpoint_every paid queries have accrued since the last
+  /// checkpoint; drivers poll this at frontier-consistent boundaries.
+  bool checkpoint_due() const { return checkpoint_due_; }
+
+  /// Compacts journal history into the next epoch: snapshot + fresh
+  /// journal, atomic manifest swing, old-epoch cleanup. `state_blob` is
+  /// stored in the snapshot for the resume path. On failure the session
+  /// keeps appending to the current epoch (a failed checkpoint loses
+  /// nothing).
+  common::Status Checkpoint(const std::string& state_blob);
+
+  /// Final checkpoint at the end of a run (or on interrupt): everything
+  /// journaled is compacted and `state_blob` becomes the resume state.
+  common::Status Finish(const std::string& state_blob);
+
+  /// Forces unsynced journal appends to disk.
+  common::Status Sync();
+
+  /// The wire sequence number the next backend query must use: the
+  /// dangling intent's number when one exists (so the re-send replays
+  /// server-side), else one past the highest journaled number. Wired into
+  /// RemoteHiddenDatabase::set_next_seq before the first query.
+  uint64_t next_wire_seq() const;
+
+  /// Signature of the dangling final intent, if the previous process died
+  /// between paying and journaling the answer.
+  const std::optional<std::string>& pending_intent_signature() const {
+    return pending_signature_;
+  }
+
+  const Stats& stats() const { return stats_; }
+  int64_t entries() const { return static_cast<int64_t>(order_.size()); }
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  JournalingDatabase(interface::HiddenDatabase* backend, std::string dir,
+                     const Options& options)
+      : backend_(backend), dir_(std::move(dir)), options_(options) {}
+
+  common::Status OpenImpl();
+  common::Status AppendRecord(const std::string& payload);
+  void Insert(const std::string& signature, interface::QueryResult result);
+
+  interface::HiddenDatabase* backend_;
+  std::string dir_;
+  Options options_;
+
+  std::unique_ptr<JournalWriter> writer_;
+  int64_t epoch_ = 1;
+
+  /// Replay map plus insertion order (snapshots preserve it so replayed
+  /// sessions compact identically).
+  std::unordered_map<std::string, interface::QueryResult> replay_;
+  std::vector<std::string> order_;
+
+  /// Highest wire seq accounted for (snapshot + journal + this process).
+  uint64_t last_seq_ = 0;
+  std::optional<std::string> pending_signature_;
+  std::optional<uint64_t> pending_seq_;
+
+  bool resumed_ = false;
+  std::string restored_state_;
+
+  Stats stats_;
+  int64_t paid_since_checkpoint_ = 0;
+  bool checkpoint_due_ = false;
+};
+
+}  // namespace recovery
+}  // namespace hdsky
+
+#endif  // HDSKY_RECOVERY_JOURNALING_DATABASE_H_

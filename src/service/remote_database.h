@@ -98,6 +98,17 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
   int64_t server_remaining_budget() const { return remaining_budget_; }
   uint64_t session_id() const { return options_.session_id; }
 
+  /// The sequence number the next query will be sent under. A durable
+  /// session journals this alongside each query intent so a resumed
+  /// process can re-send a possibly-charged query under its original
+  /// number and hit the server's replay cache (src/recovery).
+  uint64_t next_seq() const { return next_seq_; }
+  /// Fast-forwards the sequence counter to a journaled position. Only
+  /// legal before the first Execute of this object's lifetime; the server
+  /// rejects out-of-order numbers, so an arbitrary mid-session jump would
+  /// simply fail loudly.
+  void set_next_seq(uint64_t seq) { next_seq_ = seq; }
+
  private:
   RemoteHiddenDatabase(std::string host, uint16_t port, Options options)
       : host_(std::move(host)), port_(port), options_(options) {}

@@ -66,6 +66,23 @@ expect_usage "connect-with-k" "$DISCOVER" --connect 127.0.0.1:1 --k 5
 expect_usage "connect-with-budget" "$DISCOVER" --connect 127.0.0.1:1 --budget 9
 expect_usage "connect-with-trials" "$DISCOVER" --connect 127.0.0.1:1 --trials 2
 
+# Durable-session flags: journal knobs need --journal, and single-run
+# durability is incompatible with --trials.
+expect_usage "sync-every-without-journal" \
+  "$DISCOVER" --demo route --sync-every 4
+expect_usage "checkpoint-every-without-journal" \
+  "$DISCOVER" --demo route --checkpoint-every 16
+expect_usage "sync-every-zero" \
+  "$DISCOVER" --demo route --journal /tmp/j --sync-every 0
+expect_usage "checkpoint-every-garbage" \
+  "$DISCOVER" --demo route --journal /tmp/j --checkpoint-every 5x
+expect_usage "journal-with-trials" \
+  "$DISCOVER" --demo route --trials 2 --journal /tmp/j
+expect_usage "cache-file-with-trials" \
+  "$DISCOVER" --demo route --trials 2 --cache-file /tmp/c
+expect_usage "trace-with-trials" \
+  "$DISCOVER" --demo route --trials 2 --trace /tmp/t.csv
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures argument-validation case(s) failed" >&2
   exit 1

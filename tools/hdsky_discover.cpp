@@ -22,6 +22,17 @@
 //   --budget B          query budget; 0 = unlimited  (default 0)
 //   --band H            discover the top-H sky band instead (RQ/PQ only)
 //   --cache             stack a concurrent query cache over the source
+//   --cache-file PATH   persist the cache: load at start, save (atomically)
+//                       at exit; implies --cache
+//   --journal DIR       durable session: write-ahead query journal +
+//                       atomic checkpoints in DIR; re-running with the
+//                       same DIR resumes a crashed/interrupted run with
+//                       zero re-charged queries (docs/robustness.md)
+//   --sync-every N      journal group-fsync interval (default 1)
+//   --checkpoint-every N  paid queries between checkpoints (default 256)
+//   --trace PATH        write the anytime progress trace as CSV
+//   --crash-point SPEC  die abruptly at a named recovery boundary
+//                       (testing; see src/recovery/crash_point.h)
 //   --out PATH          write discovered tuples as CSV
 //   --seed S            generator seed for --demo
 //   --trials T          run T independent trials (seeds S..S+T-1; --demo)
@@ -30,16 +41,26 @@
 // The remote interface's page size, ranking, and budget are fixed by the
 // server, so --k/--ranking/--budget (and the local-generation flags) are
 // rejected alongside --connect instead of being silently ignored.
+//
+// SIGINT/SIGTERM interrupt the discovery cooperatively: the run unwinds
+// as an anytime partial result, the journal (if any) takes a final
+// checkpoint, and the partial skyline/outputs are still written.
 
+#include <sys/stat.h>
+
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/fs_util.h"
 #include "core/baseline_crawler.h"
 #include "core/mq_db_sky.h"
 #include "core/pq_db_sky.h"
@@ -55,6 +76,9 @@
 #include "interface/ranking.h"
 #include "interface/top_k_interface.h"
 #include "net/socket.h"
+#include "recovery/checkpoint.h"
+#include "recovery/crash_point.h"
+#include "recovery/journaling_database.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "service/remote_database.h"
@@ -62,6 +86,19 @@
 namespace {
 
 using namespace hdsky;
+
+/// Set by SIGINT/SIGTERM; polled by DiscoveryOptions::interrupt so the
+/// run unwinds as an anytime partial result instead of dying mid-query.
+std::atomic<bool> g_interrupt{false};
+
+void HandleSignal(int) { g_interrupt.store(true); }
+
+void InstallSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct Args {
   std::string data;
@@ -74,6 +111,12 @@ struct Args {
   int64_t budget = 0;
   int64_t band = 0;
   bool cache = false;
+  std::string cache_file;
+  std::string journal;
+  int64_t sync_every = 1;
+  int64_t checkpoint_every = 256;
+  std::string trace;
+  std::string crash_point;
   std::string out;
   uint64_t seed = 42;
   int64_t trials = 1;
@@ -94,6 +137,15 @@ void Usage() {
       "  --budget B          query budget (0 = unlimited)\n"
       "  --band H            discover the top-H sky band (RQ/PQ)\n"
       "  --cache             stack a concurrent query cache\n"
+      "  --cache-file PATH   persist the cache across runs (implies "
+      "--cache)\n"
+      "  --journal DIR       durable session: journal + checkpoints; "
+      "rerun to resume\n"
+      "  --sync-every N      journal group-fsync interval (default 1)\n"
+      "  --checkpoint-every N  paid queries between checkpoints "
+      "(default 256)\n"
+      "  --trace PATH        write the anytime progress trace as CSV\n"
+      "  --crash-point SPEC  die at a named recovery boundary (testing)\n"
       "  --out PATH          write discovered tuples as CSV\n"
       "  --seed S            demo generator seed\n"
       "  --trials T          independent trials, seeds S..S+T-1 (--demo)\n"
@@ -161,6 +213,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!int_flag(1, 1000000, &args->band)) return false;
     } else if (flag == "--cache") {
       args->cache = true;
+    } else if (flag == "--cache-file" && need_value(&value)) {
+      args->cache_file = value;
+      args->cache = true;
+    } else if (flag == "--journal" && need_value(&value)) {
+      args->journal = value;
+    } else if (flag == "--sync-every") {
+      if (!int_flag(1, 1000000, &args->sync_every)) return false;
+    } else if (flag == "--checkpoint-every") {
+      if (!int_flag(1, INT64_MAX, &args->checkpoint_every)) return false;
+    } else if (flag == "--trace" && need_value(&value)) {
+      args->trace = value;
+    } else if (flag == "--crash-point" && need_value(&value)) {
+      args->crash_point = value;
     } else if (flag == "--out" && need_value(&value)) {
       args->out = value;
     } else if (flag == "--seed") {
@@ -202,6 +267,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (args->trials > 1 && args->demo.empty()) {
     std::fprintf(stderr, "--trials needs --demo (seeds vary per trial)\n");
     return false;
+  }
+  if (args->trials > 1) {
+    for (const char* single_run :
+         {"--journal", "--cache-file", "--trace"}) {
+      if (seen.count(single_run)) {
+        std::fprintf(stderr,
+                     "%s describes one durable run; it cannot be combined "
+                     "with --trials\n",
+                     single_run);
+        return false;
+      }
+    }
+  }
+  if (args->journal.empty()) {
+    for (const char* journal_only : {"--sync-every", "--checkpoint-every"}) {
+      if (seen.count(journal_only)) {
+        std::fprintf(stderr, "%s requires --journal\n", journal_only);
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -250,12 +335,34 @@ common::Result<std::shared_ptr<interface::RankingPolicy>> MakeRanking(
                                          args.ranking + "'");
 }
 
+/// The algorithm Run() will actually dispatch to, as a stable name for
+/// journal state blobs ("auto" resolves; --band picks its variant from
+/// the schema). A resumed journal is rejected when this changed.
+std::string ResolveAlgorithm(const Args& args, const data::Schema& schema) {
+  if (args.band > 0) {
+    const bool any_range =
+        !schema.RankingAttributesWithInterface(data::InterfaceType::kRQ)
+             .empty();
+    return any_range ? "band-rq" : "band-pq";
+  }
+  return args.algorithm == "auto" ? "mq" : args.algorithm;
+}
+
+/// Only SQ/RQ/PQ expose checkpointable frontiers; the other algorithms
+/// resume by full replay through the journal (free but linear).
+bool FrontierCapable(const std::string& resolved_algorithm) {
+  return resolved_algorithm == "sq" || resolved_algorithm == "rq" ||
+         resolved_algorithm == "pq";
+}
+
 // Every algorithm programs against HiddenDatabase, so the same Run serves
-// local TopKInterface, cached, and remote sources.
-common::Result<core::DiscoveryResult> Run(const Args& args,
-                                          interface::HiddenDatabase* iface) {
+// local TopKInterface, cached, journaled, and remote sources.
+common::Result<core::DiscoveryResult> Run(
+    const Args& args, interface::HiddenDatabase* iface,
+    const core::DiscoveryOptions& common) {
   if (args.band > 0) {
     core::SkybandOptions opts;
+    opts.common = common;
     opts.band = static_cast<int>(args.band);
     // Pick by interface mix: PQ-only schemas use the PQ extension.
     const bool any_range =
@@ -266,11 +373,31 @@ common::Result<core::DiscoveryResult> Run(const Args& args,
                      : core::PqDbSkyband(iface, opts);
   }
   const std::string& a = args.algorithm;
-  if (a == "auto" || a == "mq") return core::MqDbSky(iface);
-  if (a == "sq") return core::SqDbSky(iface);
-  if (a == "rq") return core::RqDbSky(iface);
-  if (a == "pq") return core::PqDbSky(iface);
-  if (a == "baseline") return core::BaselineSkyline(iface);
+  if (a == "auto" || a == "mq") {
+    core::MqDbSkyOptions opts;
+    opts.common = common;
+    return core::MqDbSky(iface, opts);
+  }
+  if (a == "sq") {
+    core::SqDbSkyOptions opts;
+    opts.common = common;
+    return core::SqDbSky(iface, opts);
+  }
+  if (a == "rq") {
+    core::RqDbSkyOptions opts;
+    opts.common = common;
+    return core::RqDbSky(iface, opts);
+  }
+  if (a == "pq") {
+    core::PqDbSkyOptions opts;
+    opts.common = common;
+    return core::PqDbSky(iface, opts);
+  }
+  if (a == "baseline") {
+    core::CrawlOptions opts;
+    opts.common = common;
+    return core::BaselineSkyline(iface, opts);
+  }
   return common::Status::InvalidArgument("unknown algorithm '" + a + "'");
 }
 
@@ -311,7 +438,9 @@ int RunTrials(const Args& args) {
       out.error = iface.status().ToString();
       return;
     }
-    auto result = Run(trial_args, iface->get());
+    core::DiscoveryOptions common;
+    common.interrupt = [] { return g_interrupt.load(); };
+    auto result = Run(trial_args, iface->get(), common);
     if (!result.ok()) {
       out.error = result.status().ToString();
       return;
@@ -352,6 +481,46 @@ int RunTrials(const Args& args) {
   return 0;
 }
 
+/// Loads (or mints and persists) the session id a durable remote session
+/// presents to the server. Reusing the id across restarts is what lets
+/// the server's per-session replay cache deduplicate a re-sent query
+/// instead of charging for it again.
+common::Result<uint64_t> LoadOrCreateSessionId(const std::string& dir) {
+  const std::string path = dir + "/SESSION";
+  auto existing = common::ReadFileToString(path);
+  if (existing.ok()) {
+    std::string text = std::move(existing).value();
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long id = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || id == 0) {
+      return common::Status::IOError(path + ": malformed session id");
+    }
+    return static_cast<uint64_t>(id);
+  }
+  if (!existing.status().IsNotFound()) return existing.status();
+  std::random_device rd;
+  uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  if (id == 0) id = 1;
+  HDSKY_RETURN_IF_ERROR(
+      common::AtomicWriteFile(path, std::to_string(id) + "\n"));
+  return id;
+}
+
+/// Writes the anytime progress trace ("queries,skyline" per line).
+common::Status WriteTrace(const core::ProgressTrace& trace,
+                          const std::string& path) {
+  std::string csv = "queries,skyline\n";
+  for (const core::ProgressPoint& p : trace) {
+    csv += std::to_string(p.queries_issued) + "," +
+           std::to_string(p.skyline_discovered) + "\n";
+  }
+  return common::AtomicWriteFile(path, csv);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -360,6 +529,10 @@ int main(int argc, char** argv) {
     Usage();
     return 64;
   }
+
+  InstallSignalHandlers();
+  recovery::ArmCrashPointFromEnv();
+  if (!args.crash_point.empty()) recovery::ArmCrashPoint(args.crash_point);
 
   if (args.trials > 1) return RunTrials(args);
 
@@ -378,7 +551,27 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "connect: %s\n", parsed.ToString().c_str());
       return 64;
     }
-    auto remote_result = service::RemoteHiddenDatabase::Connect(host, port);
+    service::RemoteHiddenDatabase::Options ropts;
+    if (!args.journal.empty()) {
+      // A durable remote session must present the SAME session id on every
+      // run: the id keys the server's budget and replay cache, which is
+      // what makes re-sent journaled queries free. Persist it next to the
+      // journal before connecting.
+      if (::mkdir(args.journal.c_str(), 0777) != 0 && errno != EEXIST) {
+        std::fprintf(stderr, "journal: mkdir %s: %s\n", args.journal.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      auto session_id = LoadOrCreateSessionId(args.journal);
+      if (!session_id.ok()) {
+        std::fprintf(stderr, "journal: %s\n",
+                     session_id.status().ToString().c_str());
+        return 1;
+      }
+      ropts.session_id = *session_id;
+    }
+    auto remote_result =
+        service::RemoteHiddenDatabase::Connect(host, port, ropts);
     if (!remote_result.ok()) {
       std::fprintf(stderr, "connect: %s\n",
                    remote_result.status().ToString().c_str());
@@ -420,16 +613,137 @@ int main(int argc, char** argv) {
     source = local.get();
   }
 
+  // --journal wraps the source in a durable write-ahead journal: answers a
+  // previous (crashed or interrupted) run paid for replay locally at zero
+  // backend cost, and checkpoints compact the history into snapshots.
+  const std::string resolved_alg = ResolveAlgorithm(args, source->schema());
+  const bool frontier_capable =
+      args.band == 0 && FrontierCapable(resolved_alg);
+  recovery::SessionState alg_only;
+  alg_only.algorithm = resolved_alg;
+  std::unique_ptr<recovery::JournalingDatabase> journal;
+  if (!args.journal.empty()) {
+    recovery::JournalingDatabase::Options jopts;
+    jopts.sync_every = static_cast<int>(args.sync_every);
+    jopts.checkpoint_every = args.checkpoint_every;
+    // Frontier-capable algorithms checkpoint from their own consistent
+    // boundaries (on_checkpoint below); the rest let the journal compact
+    // itself between queries — any point is consistent for pure replay.
+    jopts.auto_checkpoint = !frontier_capable;
+    jopts.auto_checkpoint_state = recovery::EncodeSessionState(alg_only);
+    if (remote) {
+      service::RemoteHiddenDatabase* r = remote.get();
+      jopts.seq_provider = [r] { return r->next_seq(); };
+    }
+    auto journal_result =
+        recovery::JournalingDatabase::Open(source, args.journal, jopts);
+    if (!journal_result.ok()) {
+      std::fprintf(stderr, "journal: %s\n",
+                   journal_result.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(journal_result).value();
+    if (remote) {
+      // Continue the wire sequence where the journal left off; a dangling
+      // intent re-sends under its original number and hits the server's
+      // replay cache instead of the budget.
+      remote->set_next_seq(journal->next_wire_seq());
+    }
+    source = journal.get();
+    if (journal->resumed()) {
+      std::fprintf(stderr,
+                   "journal : resuming %s (%lld journaled answers, epoch "
+                   "%lld)\n",
+                   args.journal.c_str(),
+                   static_cast<long long>(journal->entries()),
+                   static_cast<long long>(journal->epoch()));
+    }
+  }
+
   // --cache memoizes repeat queries before they hit the source — for a
-  // remote source, before they touch the network at all.
+  // remote source, before they touch the network at all. It stacks over
+  // the journal: a cache hit does not even cost a journal lookup.
   std::unique_ptr<interface::ConcurrentCachingDatabase> cache;
   interface::HiddenDatabase* iface = source;
   if (args.cache) {
     cache = std::make_unique<interface::ConcurrentCachingDatabase>(source);
+    if (!args.cache_file.empty()) {
+      struct stat st;
+      if (::stat(args.cache_file.c_str(), &st) == 0) {
+        const common::Status s = cache->LoadFromFile(args.cache_file);
+        if (!s.ok()) {
+          std::fprintf(stderr, "cache: %s\n", s.ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "cache   : loaded %lld entries from %s\n",
+                     static_cast<long long>(cache->size()),
+                     args.cache_file.c_str());
+      }
+    }
     iface = cache.get();
   }
 
-  auto result = Run(args, iface);
+  core::DiscoveryOptions common;
+  common.interrupt = [] { return g_interrupt.load(); };
+  if (journal && frontier_capable) {
+    recovery::JournalingDatabase* j = journal.get();
+    common.on_checkpoint = [j, &resolved_alg](
+                               core::DiscoveryRun& run,
+                               const core::FrontierSaver& save_frontier) {
+      if (!j->checkpoint_due()) return;
+      recovery::SessionState state;
+      state.algorithm = resolved_alg;
+      run.SaveState(&state.run_state);
+      save_frontier(&state.frontier);
+      const common::Status s =
+          j->Checkpoint(recovery::EncodeSessionState(state));
+      if (!s.ok()) {
+        // A failed checkpoint loses nothing: the session keeps appending
+        // to the current epoch and will try again.
+        std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+      }
+    };
+  }
+  if (journal && journal->resumed() && !journal->restored_state().empty()) {
+    auto state_result =
+        recovery::DecodeSessionState(journal->restored_state());
+    if (!state_result.ok()) {
+      std::fprintf(stderr, "journal: %s\n",
+                   state_result.status().ToString().c_str());
+      return 1;
+    }
+    const recovery::SessionState& state = *state_result;
+    if (!state.algorithm.empty() && state.algorithm != resolved_alg) {
+      std::fprintf(stderr,
+                   "journal: %s belongs to algorithm '%s'; resuming it "
+                   "with '%s' would diverge from the journaled queries "
+                   "(rerun with --algorithm %s, or a fresh --journal "
+                   "directory)\n",
+                   args.journal.c_str(), state.algorithm.c_str(),
+                   resolved_alg.c_str(), state.algorithm.c_str());
+      return 1;
+    }
+    if (frontier_capable && !state.frontier.empty()) {
+      // Fast-forward from the checkpointed frontier. Without one the run
+      // restarts from the root and replays its paid prefix through the
+      // journal — slower to walk, but equally free and equally correct.
+      common.resume_run_state = state.run_state;
+      common.resume_frontier = state.frontier;
+    }
+  }
+
+  auto result = Run(args, iface, common);
+  const bool interrupted = g_interrupt.load();
+  if (journal) {
+    // Final checkpoint, on success AND on interrupt/failure: everything
+    // journaled so far compacts into a snapshot a later run resumes from.
+    const common::Status s =
+        journal->Finish(recovery::EncodeSessionState(alg_only));
+    if (!s.ok()) {
+      std::fprintf(stderr, "journal: final checkpoint: %s\n",
+                   s.ToString().c_str());
+    }
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "discovery: %s\n",
                  result.status().ToString().c_str());
@@ -440,7 +754,9 @@ int main(int argc, char** argv) {
               args.band > 0 ? "sky-band" : "skyline");
   std::printf("queries : %lld%s\n",
               static_cast<long long>(result->query_cost),
-              result->complete ? "" : "  (budget exhausted: partial)");
+              result->complete   ? ""
+              : interrupted      ? "  (interrupted: partial)"
+                                 : "  (budget exhausted: partial)");
   if (!result->skyline.empty()) {
     std::printf("cost per tuple: %.2f\n",
                 static_cast<double>(result->query_cost) /
@@ -453,6 +769,16 @@ int main(int argc, char** argv) {
                  static_cast<long long>(cache->misses()),
                  static_cast<long long>(cache->errors()));
   }
+  if (journal) {
+    const recovery::JournalingDatabase::Stats& js = journal->stats();
+    std::fprintf(stderr,
+                 "journal : %lld replayed, %lld paid, %lld errors, epoch "
+                 "%lld\n",
+                 static_cast<long long>(js.replayed),
+                 static_cast<long long>(js.paid),
+                 static_cast<long long>(js.errors),
+                 static_cast<long long>(journal->epoch()));
+  }
   if (remote) {
     const service::RemoteHiddenDatabase::Telemetry& t = remote->telemetry();
     std::fprintf(stderr,
@@ -462,6 +788,20 @@ int main(int argc, char** argv) {
                  static_cast<long long>(t.retries),
                  static_cast<long long>(t.reconnects),
                  static_cast<long long>(t.rate_limited));
+  }
+  if (interrupted && !args.journal.empty()) {
+    std::fprintf(stderr,
+                 "interrupted: rerun with --journal %s to resume\n",
+                 args.journal.c_str());
+  }
+
+  if (!args.trace.empty()) {
+    const common::Status s = WriteTrace(result->trace, args.trace);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace   : %s\n", args.trace.c_str());
   }
 
   if (!args.out.empty()) {
@@ -480,6 +820,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote   : %s\n", args.out.c_str());
+  }
+
+  if (cache && !args.cache_file.empty()) {
+    const common::Status s = cache->SaveToFile(args.cache_file);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cache: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cache   : saved %lld entries to %s\n",
+                 static_cast<long long>(cache->size()),
+                 args.cache_file.c_str());
   }
   return 0;
 }
