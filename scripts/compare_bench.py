@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Perf gate over a BENCH_substrate.json produced by run_benches.sh.
+"""Perf gate over the BENCH_*.json artifacts produced by run_benches.sh
+and tools/hdsky_loadgen. Two modes, auto-detected from the input:
 
-Compares the vectorized execution paths against the row-at-a-time
-baselines pinned by the *Naive benches in micro_substrate and fails
-(exit 1) when the engine has regressed:
+substrate mode (BENCH_substrate.json)
+  Compares the vectorized execution paths against the row-at-a-time
+  baselines pinned by the *Naive benches in micro_substrate and fails
+  (exit 1) when the engine has regressed:
 
   * BM_ExecuteBroadQuery must not be more than --broad-tolerance slower
     than BM_ExecuteBroadQueryNaive (the early-exit rank-order scan is
@@ -15,6 +17,21 @@ baselines pinned by the *Naive benches in micro_substrate and fails
     at least --min-selective-speedup (default 3x, the repo's acceptance
     floor for the columnar engine).
 
+service mode (BENCH_service.json — any entry carrying a dedup_ratio
+counter, as written by hdsky_loadgen --json and micro_service_load)
+  Gates the event-driven multi-tenant service under load:
+
+  * every run must have completed (no error_occurred, no failed
+    sessions),
+  * the cross-session single-flight dedup ratio must stay >=
+    --min-dedup on every shared-cache run (names matching
+    --dedup-exempt, default "NoCache", are exempt), and
+  * when --baseline points at a pinned BENCH_service.json, each run's
+    p99 latency must stay within --p99-tolerance of the baseline run of
+    the same family (the benchmark name up to the first '/', so a
+    smoke-scaled "loadgen/sessions:100/..." still gates against the
+    pinned "loadgen/sessions:1000/..." envelope).
+
 Only the Python standard library is used. Median aggregates are
 preferred when the JSON carries repetitions; raw iterations are used
 otherwise.
@@ -22,38 +39,51 @@ otherwise.
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_times(path):
-    """name -> real_time in ns, preferring median aggregates."""
+def load_json(path):
     with open(path) as f:
-        data = json.load(f)
-    medians = {}
-    raw = {}
-    for b in data.get("benchmarks", []):
-        unit = b.get("time_unit", "ns")
-        factor = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        t = b["real_time"] * factor
-        if b.get("aggregate_name") == "median":
-            medians[b["run_name"]] = t
-        elif b.get("run_type") != "aggregate":
-            raw.setdefault(b["name"], t)
-    return medians or raw
+        return json.load(f)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("substrate_json", help="path to BENCH_substrate.json")
-    ap.add_argument("--min-selective-speedup", type=float, default=3.0,
-                    help="required naive/vectorized ratio on the "
-                         "selective-query bench (default: 3.0)")
-    ap.add_argument("--broad-tolerance", type=float, default=1.10,
-                    help="max vectorized/naive ratio tolerated on the "
-                         "broad-query bench (default: 1.10)")
-    args = ap.parse_args()
+def select_runs(data):
+    """The representative benchmark entries: median aggregates when
+    present, raw (non-aggregate) iterations otherwise."""
+    benches = data.get("benchmarks", [])
+    medians = [b for b in benches if b.get("aggregate_name") == "median"]
+    if medians:
+        return medians
+    return [b for b in benches if b.get("run_type") != "aggregate"]
 
-    times = load_times(args.substrate_json)
+
+def run_name(bench):
+    return bench.get("run_name") or bench.get("name", "?")
+
+
+def family(name):
+    return name.split("/", 1)[0]
+
+
+def time_ns(bench):
+    unit = bench.get("time_unit", "ns")
+    factor = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return bench["real_time"] * factor
+
+
+def is_service_report(data):
+    return any("dedup_ratio" in b for b in data.get("benchmarks", []))
+
+
+# ---------------------------------------------------------------------------
+# substrate mode
+
+
+def gate_substrate(data, args):
+    times = {}
+    for b in select_runs(data):
+        times.setdefault(run_name(b), time_ns(b))
     failures = []
 
     def pairs(prefix):
@@ -96,8 +126,133 @@ def main():
                             f"{need:.1f}x")
 
     if checked == 0:
-        failures.append("no vectorized/naive bench pairs found in "
-                        + args.substrate_json)
+        failures.append("no vectorized/naive bench pairs found")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# service mode
+
+
+def gate_service(data, args):
+    runs = select_runs(data)
+    failures = []
+    exempt = re.compile(args.dedup_exempt)
+
+    baseline_p99 = {}
+    if args.baseline:
+        for b in select_runs(load_json(args.baseline)):
+            p99 = b.get("p99_us")
+            if p99 is None:
+                continue
+            fam = family(run_name(b))
+            baseline_p99[fam] = max(baseline_p99.get(fam, 0.0), p99)
+
+    checked = 0
+    for b in runs:
+        name = run_name(b)
+        if "dedup_ratio" not in b:
+            continue
+        checked += 1
+        if b.get("error_occurred"):
+            failures.append(f"{name}: run failed: "
+                            f"{b.get('error_message', 'unknown error')}")
+            continue
+        if b.get("sessions_failed", 0):
+            failures.append(f"{name}: {b['sessions_failed']} session(s) "
+                            "failed")
+
+        sessions = b.get("sessions", 0)
+        if sessions < args.min_sessions:
+            failures.append(f"{name}: only {sessions} sessions, need >= "
+                            f"{args.min_sessions}")
+
+        dedup = b.get("dedup_ratio", 0.0)
+        if exempt.search(name):
+            print(f"{name}: dedup {dedup:.4f} (exempt), "
+                  f"sessions {sessions}")
+        else:
+            # N sessions over one shared workload can at best dedup
+            # 1 - 1/N, so smoke-scaled runs with few sessions get a
+            # proportionally lower floor (with 5% slack for stragglers
+            # racing the single flight); full-scale runs are held to
+            # --min-dedup.
+            floor = args.min_dedup
+            if sessions and sessions > 1:
+                floor = min(floor, (1.0 - 1.0 / sessions) * 0.95)
+            verdict = "ok" if dedup >= floor else "FAIL"
+            print(f"{name}: dedup {dedup:.4f} (need >= {floor:.2f}), "
+                  f"sessions {sessions} [{verdict}]")
+            if dedup < floor:
+                failures.append(f"{name}: dedup ratio {dedup:.4f} below "
+                                f"{floor:.2f}")
+
+        p99 = b.get("p99_us")
+        base = baseline_p99.get(family(name))
+        if p99 is not None and base is not None and base > 0:
+            bound = base * args.p99_tolerance
+            verdict = "ok" if p99 <= bound else "FAIL"
+            print(f"{name}: p99 {p99:.1f} us vs baseline {base:.1f} us "
+                  f"(tolerance {args.p99_tolerance:.2f}x) [{verdict}]")
+            if p99 > bound:
+                failures.append(f"{name}: p99 {p99:.1f} us exceeds "
+                                f"baseline {base:.1f} us by more than "
+                                f"{args.p99_tolerance:.2f}x")
+        elif p99 is not None and args.baseline:
+            print(f"{name}: p99 {p99:.1f} us (no baseline entry for "
+                  f"family '{family(name)}'; latency not gated)")
+
+    if checked == 0:
+        failures.append("no service-load runs found")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("bench_json",
+                    help="path to BENCH_substrate.json or BENCH_service.json")
+    ap.add_argument("--mode", choices=["auto", "substrate", "service"],
+                    default="auto",
+                    help="gate to apply (default: auto-detect by the "
+                         "presence of dedup_ratio counters)")
+    # substrate knobs
+    ap.add_argument("--min-selective-speedup", type=float, default=3.0,
+                    help="required naive/vectorized ratio on the "
+                         "selective-query bench (default: 3.0)")
+    ap.add_argument("--broad-tolerance", type=float, default=1.10,
+                    help="max vectorized/naive ratio tolerated on the "
+                         "broad-query bench (default: 1.10)")
+    # service knobs
+    ap.add_argument("--baseline", default=None,
+                    help="pinned BENCH_service.json to gate p99 against")
+    ap.add_argument("--p99-tolerance", type=float, default=2.5,
+                    help="max candidate/baseline p99 ratio (default: 2.5; "
+                         "generous because CI runners vary)")
+    ap.add_argument("--min-dedup", type=float, default=0.9,
+                    help="min cross-session dedup ratio on shared-cache "
+                         "runs (default: 0.9)")
+    ap.add_argument("--dedup-exempt", default="NoCache",
+                    help="regex of run names exempt from the dedup floor "
+                         "(default: NoCache)")
+    ap.add_argument("--min-sessions", type=int, default=1,
+                    help="min concurrent sessions per run (default: 1)")
+    args = ap.parse_args()
+
+    data = load_json(args.bench_json)
+    mode = args.mode
+    if mode == "auto":
+        mode = "service" if is_service_report(data) else "substrate"
+        print(f"mode: {mode} (auto-detected)")
+
+    if mode == "service":
+        failures = gate_service(data, args)
+    else:
+        failures = gate_substrate(data, args)
 
     for msg in failures:
         print("error:", msg, file=sys.stderr)

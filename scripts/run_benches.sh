@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Runs the substrate + discovery microbenchmarks and writes the
-# machine-readable perf artifacts BENCH_substrate.json and
-# BENCH_discovery.json (google-benchmark JSON: real_time/cpu_time per
-# bench, items_per_second / queries_per_sec counters) at the repo root.
+# Runs every micro_* benchmark built in $BUILD_DIR/bench and writes one
+# machine-readable perf artifact per binary at the repo root
+# (google-benchmark JSON: real_time/cpu_time per bench plus counters
+# such as items_per_second, queries_per_sec, p99_us, dedup_ratio):
+#
+#   micro_substrate       -> BENCH_substrate.json
+#   micro_discovery       -> BENCH_discovery.json
+#   micro_service_load    -> BENCH_service.json
+#   micro_<anything else> -> BENCH_<anything else>.json
+#
+# Benchmarks that are not built are skipped, so a tree configured for a
+# subset (e.g. CI's perf-smoke builds only substrate + discovery) still
+# works unchanged.
 #
 # Environment knobs:
 #   BUILD_DIR          build tree holding bench/ binaries (default: ./build)
@@ -37,5 +46,22 @@ run_bench() {
   echo "wrote $out"
 }
 
-run_bench micro_substrate "$OUT_DIR/BENCH_substrate.json"
-run_bench micro_discovery "$OUT_DIR/BENCH_discovery.json"
+# Generic discovery: every built micro_* binary produces BENCH_*.json.
+# micro_service_load keeps the historical artifact name BENCH_service.json
+# (the name the service perf gate and its pinned baseline use).
+ran=0
+for bin in "$BUILD_DIR"/bench/micro_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  name="$(basename "$bin")"
+  suffix="${name#micro_}"
+  case "$suffix" in
+    service_load) suffix=service ;;
+  esac
+  run_bench "$name" "$OUT_DIR/BENCH_${suffix}.json"
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no micro_* benchmarks found in $BUILD_DIR/bench" >&2
+  exit 1
+fi

@@ -89,6 +89,7 @@ class ServerSocket {
                                              uint16_t port, int backlog);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   uint16_t port() const { return port_; }
 
   /// Waits up to `timeout_ms` for a pending connection. Returns true when

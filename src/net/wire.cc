@@ -36,6 +36,10 @@ const char* FrameTypeToString(FrameType t) {
       return "Result";
     case FrameType::kStatus:
       return "Status";
+    case FrameType::kStatsRequest:
+      return "StatsRequest";
+    case FrameType::kStats:
+      return "Stats";
   }
   return "Unknown";
 }
@@ -213,7 +217,7 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view bytes) {
                            std::to_string(header.version));
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kStatus)) {
+      type > static_cast<uint8_t>(FrameType::kStats)) {
     return Status::IOError("unknown frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -453,6 +457,75 @@ Status DecodeStatusFrame(std::string_view payload, uint64_t* seq,
   dec.GetU16(code);
   dec.GetString(message);
   if (!dec.exhausted()) return Status::IOError("malformed Status payload");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Stats frames.
+
+void EncodeStatsRequest(uint64_t seq, std::string* out) {
+  Encoder enc(out);
+  enc.PutU64(seq);
+}
+
+Status DecodeStatsRequest(std::string_view payload, uint64_t* seq) {
+  Decoder dec(payload);
+  dec.GetU64(seq);
+  if (!dec.exhausted()) {
+    return Status::IOError("malformed StatsRequest payload");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The counters travel as a counted list of i64s so a server that grows
+/// new fields stays readable by older clients (extra fields ignored) and
+/// a shorter server payload decodes as zeros on the client.
+constexpr uint32_t kServiceStatsFields = 11;
+
+}  // namespace
+
+void EncodeStats(uint64_t seq, const ServiceStats& stats, std::string* out) {
+  Encoder enc(out);
+  enc.PutU64(seq);
+  enc.PutU32(kServiceStatsFields);
+  enc.PutI64(stats.queries_served);
+  enc.PutI64(stats.backend_executions);
+  enc.PutI64(stats.cache_hits);
+  enc.PutI64(stats.singleflight_joins);
+  enc.PutI64(stats.queries_replayed);
+  enc.PutI64(stats.busy_rejections);
+  enc.PutI64(stats.budget_rejections);
+  enc.PutI64(stats.connections_accepted);
+  enc.PutI64(stats.connections_rejected);
+  enc.PutI64(stats.connections_shed);
+  enc.PutI64(stats.protocol_errors);
+}
+
+Status DecodeStats(std::string_view payload, uint64_t* seq,
+                   ServiceStats* stats) {
+  Decoder dec(payload);
+  uint32_t count = 0;
+  dec.GetU64(seq);
+  dec.GetU32(&count);
+  if (!dec.ok() || count > 1024) {
+    return Status::IOError("malformed Stats payload");
+  }
+  *stats = ServiceStats();
+  int64_t* fields[kServiceStatsFields] = {
+      &stats->queries_served,     &stats->backend_executions,
+      &stats->cache_hits,         &stats->singleflight_joins,
+      &stats->queries_replayed,   &stats->busy_rejections,
+      &stats->budget_rejections,  &stats->connections_accepted,
+      &stats->connections_rejected, &stats->connections_shed,
+      &stats->protocol_errors};
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    dec.GetI64(&v);
+    if (i < kServiceStatsFields) *fields[i] = v;
+  }
+  if (!dec.exhausted()) return Status::IOError("malformed Stats payload");
   return Status::OK();
 }
 

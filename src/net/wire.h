@@ -63,6 +63,13 @@ enum class FrameType : uint8_t {
   kQuery = 3,
   kResult = 4,
   kStatus = 5,
+  /// client->server: ask for the server's service counters (u64 seq).
+  kStatsRequest = 6,
+  /// server->client: u64 seq + ServiceStats counters. Added so load
+  /// generators can compute the queries-deduped ratio without scraping
+  /// the server's stderr; protocol version stays 1 because the exchange
+  /// is strictly opt-in (old clients never send kStatsRequest).
+  kStats = 7,
 };
 
 const char* FrameTypeToString(FrameType t);
@@ -210,6 +217,41 @@ void EncodeStatus(uint64_t seq, WireStatus code, std::string_view message,
                   std::string* out);
 common::Status DecodeStatusFrame(std::string_view payload, uint64_t* seq,
                                  uint16_t* code, std::string* message);
+
+/// Service-level counters a server exposes through kStats frames. The
+/// queries-deduped ratio of a shared-cache server is
+/// 1 - backend_executions / queries_served (both count only fresh,
+/// successful, client-visible answers — replays and rejections excluded).
+struct ServiceStats {
+  /// Fresh client-visible queries answered successfully (from the backend
+  /// or the shared cross-session cache).
+  int64_t queries_served = 0;
+  /// Queries that actually reached the backend database.
+  int64_t backend_executions = 0;
+  /// Answers served from the shared cross-session cache (ready entries).
+  int64_t cache_hits = 0;
+  /// Answers obtained by joining another session's in-flight execution.
+  int64_t singleflight_joins = 0;
+  /// Retried sequences replayed from per-session reply caches.
+  int64_t queries_replayed = 0;
+  /// BUSY (kRateLimited) responses issued by admission control.
+  int64_t busy_rejections = 0;
+  /// kBudgetExhausted responses issued.
+  int64_t budget_rejections = 0;
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;
+  /// Connections dropped by the server (slow reader, pipeline abuse,
+  /// idle timeout).
+  int64_t connections_shed = 0;
+  int64_t protocol_errors = 0;
+};
+
+void EncodeStatsRequest(uint64_t seq, std::string* out);
+common::Status DecodeStatsRequest(std::string_view payload, uint64_t* seq);
+
+void EncodeStats(uint64_t seq, const ServiceStats& stats, std::string* out);
+common::Status DecodeStats(std::string_view payload, uint64_t* seq,
+                           ServiceStats* stats);
 
 }  // namespace net
 }  // namespace hdsky

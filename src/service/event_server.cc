@@ -1,0 +1,706 @@
+#include "service/event_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace hdsky {
+namespace service {
+
+using common::Result;
+using common::Status;
+using net::FrameType;
+using net::WireStatus;
+
+namespace {
+
+/// Sentinel prefix distinguishing the transient admission-control BUSY
+/// from a genuine budget exhaustion: both travel internally as
+/// ResourceExhausted, but BUSY goes on the wire as kRateLimited (retry
+/// with backoff) and is never recorded in the session replay cache.
+constexpr const char kBusyPrefix[] = "server busy";
+
+Status BusyStatus() {
+  return Status::ResourceExhausted(
+      std::string(kBusyPrefix) + ": admission limit reached, retry later");
+}
+
+bool IsBusy(const Status& status) {
+  return status.IsResourceExhausted() &&
+         status.message().rfind(kBusyPrefix, 0) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventDrivenServer>> EventDrivenServer::Start(
+    interface::HiddenDatabase* db, const Options& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("backend database must not be null");
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.per_client_query_budget < 0) {
+    return Status::InvalidArgument("per_client_query_budget must be >= 0");
+  }
+  if (options.num_loops < 0 || options.num_workers < 0) {
+    return Status::InvalidArgument("thread counts must be >= 0");
+  }
+  if (options.max_pipeline_depth < 1) {
+    return Status::InvalidArgument("max_pipeline_depth must be >= 1");
+  }
+  if (options.write_buffer_limit > 0 &&
+      options.read_pause_bytes >= options.write_buffer_limit) {
+    return Status::InvalidArgument(
+        "read_pause_bytes must be below write_buffer_limit");
+  }
+
+  auto server = std::unique_ptr<EventDrivenServer>(
+      new EventDrivenServer(db, options));
+  Options& opts = server->options_;
+  if (opts.num_loops == 0) {
+    opts.num_loops = std::min(4, runtime::HardwareThreadCount());
+  }
+  if (opts.num_workers == 0) {
+    opts.num_workers = std::min(8, runtime::HardwareThreadCount());
+  }
+
+  // Best effort: thousands of sessions need more than the default 1024
+  // soft fd limit; a failure surfaces later as accept errors, exactly
+  // like any other fd exhaustion.
+  (void)net::EnsureFdCapacity(
+      static_cast<uint64_t>(opts.max_connections) + 64);
+
+  HDSKY_ASSIGN_OR_RETURN(
+      server->listener_,
+      net::ServerSocket::Listen(opts.bind_address, opts.port,
+                                std::min(opts.max_connections, 4096)));
+  HDSKY_RETURN_IF_ERROR(net::SetNonBlocking(server->listener_.fd()));
+
+  if (opts.shared_cache) {
+    SharedQueryCache::Options cache_opts;
+    cache_opts.max_entries = opts.cache_max_entries;
+    server->cache_ = std::make_unique<SharedQueryCache>(cache_opts);
+  }
+
+  server->conn_maps_.resize(static_cast<size_t>(opts.num_loops));
+  for (int i = 0; i < opts.num_loops; ++i) {
+    HDSKY_ASSIGN_OR_RETURN(auto loop, net::EventLoop::Create());
+    server->loops_.push_back(std::move(loop));
+  }
+  server->executor_ =
+      std::make_unique<runtime::ThreadPool>(opts.num_workers);
+
+  // Listener lives on loop 0. Registered before the loop threads start,
+  // which is the other moment Add may be called safely off-thread.
+  EventDrivenServer* s = server.get();
+  HDSKY_RETURN_IF_ERROR(server->loops_[0]->Add(
+      server->listener_.fd(), EPOLLIN, [s](uint32_t) { s->AcceptReady(); }));
+
+  const int tick_ms =
+      opts.idle_timeout_ms > 0
+          ? std::clamp(opts.idle_timeout_ms / 4, 10, 500)
+          : 500;
+  for (size_t i = 0; i < server->loops_.size(); ++i) {
+    server->loop_threads_.emplace_back([s, i, tick_ms] {
+      s->loops_[i]->Run(tick_ms, [s, i] { s->TickLoop(i); });
+    });
+  }
+  return server;
+}
+
+EventDrivenServer::EventDrivenServer(interface::HiddenDatabase* db,
+                                     const Options& options)
+    : db_(db), options_(options) {}
+
+EventDrivenServer::~EventDrivenServer() { Stop(); }
+
+void EventDrivenServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  for (auto& loop : loops_) loop->Stop();
+  loop_threads_.clear();  // joins
+  listener_.Close();
+  // Drains in-flight backend executions; their completions post into the
+  // stopped loops, where they are retained but never run.
+  executor_.reset();
+  // No loop thread is alive, so the connection maps are safe to clear
+  // from here; Socket destructors close the fds.
+  for (auto& m : conn_maps_) m.clear();
+}
+
+EventDrivenServer::Stats EventDrivenServer::stats() const {
+  Stats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.connections_shed = connections_shed_.load();
+  s.idle_closed = idle_closed_.load();
+  s.queries_served = queries_served_.load();
+  s.backend_executions = backend_executions_.load();
+  s.cache_hits = cache_hits_.load();
+  s.singleflight_joins = singleflight_joins_.load();
+  s.queries_replayed = queries_replayed_.load();
+  s.busy_rejections = busy_rejections_.load();
+  s.budget_rejections = budget_rejections_.load();
+  s.protocol_errors = protocol_errors_.load();
+  return s;
+}
+
+net::ServiceStats EventDrivenServer::wire_stats() const {
+  const Stats s = stats();
+  net::ServiceStats w;
+  w.queries_served = s.queries_served;
+  w.backend_executions = s.backend_executions;
+  w.cache_hits = s.cache_hits;
+  w.singleflight_joins = s.singleflight_joins;
+  w.queries_replayed = s.queries_replayed;
+  w.busy_rejections = s.busy_rejections;
+  w.budget_rejections = s.budget_rejections;
+  w.connections_accepted = s.connections_accepted;
+  w.connections_rejected = s.connections_rejected;
+  w.connections_shed = s.connections_shed;
+  w.protocol_errors = s.protocol_errors;
+  return w;
+}
+
+EventDrivenServer::Session* EventDrivenServer::GetSession(
+    uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(session_id, std::make_unique<Session>()).first;
+  }
+  return it->second.get();
+}
+
+EventDrivenServer::Conn* EventDrivenServer::FindConn(size_t loop_index,
+                                                     uint64_t conn_id) {
+  auto& map = conn_maps_[loop_index];
+  auto it = map.find(conn_id);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+bool EventDrivenServer::SubmitBackendTask(std::function<void()> task) {
+  // TrySubmit is an atomic check-and-enqueue over queued + running
+  // backend executions; the executor runs nothing else, so its pending
+  // count is exactly the backend admission queue.
+  return executor_->TrySubmit(task, options_.max_pending_queries);
+}
+
+// ---------------------------------------------------------------------------
+// Accept path.
+
+void EventDrivenServer::AcceptReady() {
+  for (;;) {
+    int fd = accept4(listener_.fd(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept failure
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const int active = active_connections_.fetch_add(1);
+    if (active >= options_.max_connections) {
+      active_connections_.fetch_sub(1);
+      connections_rejected_.fetch_add(1);
+      // Best-effort transient rejection; a fresh socket's send buffer is
+      // empty, so this tiny frame virtually always fits.
+      std::string payload;
+      net::EncodeStatus(0, WireStatus::kRateLimited,
+                        "connection limit reached, retry later", &payload);
+      const std::string frame =
+          net::EncodeFrameHeader(FrameType::kStatus,
+                                 static_cast<uint32_t>(payload.size())) +
+          payload;
+      (void)send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    const size_t li = next_loop_.fetch_add(1) % loops_.size();
+    loops_[li]->Post([this, li, fd] { AdoptConnection(li, fd); });
+  }
+}
+
+void EventDrivenServer::AdoptConnection(size_t loop_index, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->id = next_conn_id_.fetch_add(1);
+  conn->loop_index = loop_index;
+  conn->sock = net::Socket(fd);
+  conn->last_activity = std::chrono::steady_clock::now();
+  const uint64_t id = conn->id;
+  const Status s = loops_[loop_index]->Add(
+      fd, EPOLLIN,
+      [this, loop_index, id](uint32_t ev) { HandleIo(loop_index, id, ev); });
+  if (!s.ok()) {
+    active_connections_.fetch_sub(1);
+    return;  // conn destructor closes fd
+  }
+  conn_maps_[loop_index].emplace(id, std::move(conn));
+}
+
+void EventDrivenServer::CloseConn(Conn* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  const size_t li = conn->loop_index;
+  const uint64_t id = conn->id;
+  loops_[li]->Remove(conn->sock.fd());
+  // Destruction is deferred to a posted task so every frame currently on
+  // the call stack may keep using the Conn it holds.
+  loops_[li]->Post([this, li, id] {
+    if (conn_maps_[li].erase(id) > 0) active_connections_.fetch_sub(1);
+  });
+}
+
+void EventDrivenServer::TickLoop(size_t loop_index) {
+  if (options_.idle_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [id, conn] : conn_maps_[loop_index]) {
+    // A connection waiting on a slow backend is busy, not idle.
+    if (conn->dead || conn->in_flight) continue;
+    if (now - conn->last_activity > limit) {
+      idle_closed_.fetch_add(1);
+      connections_shed_.fetch_add(1);
+      CloseConn(conn.get());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection I/O.
+
+void EventDrivenServer::HandleIo(size_t loop_index, uint64_t conn_id,
+                                 uint32_t events) {
+  Conn* conn = FindConn(loop_index, conn_id);
+  if (conn == nullptr || conn->dead) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(conn);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushWrites(conn);
+    if (conn->dead) return;
+    if (conn->read_paused &&
+        conn->wbuf.size() - conn->wpos <= options_.read_pause_bytes / 2) {
+      conn->read_paused = false;
+    }
+    UpdateInterest(conn);
+  }
+  if ((events & EPOLLIN) && !conn->read_paused) {
+    HandleRead(conn);
+  }
+}
+
+void EventDrivenServer::HandleRead(Conn* conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = recv(conn->sock.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->rbuf.append(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;  // likely drained
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConn(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn);
+    return;
+  }
+  conn->last_activity = std::chrono::steady_clock::now();
+  ParseFrames(conn);
+}
+
+void EventDrivenServer::ParseFrames(Conn* conn) {
+  while (!conn->dead) {
+    const size_t available = conn->rbuf.size() - conn->rpos;
+    if (available < net::kFrameHeaderBytes) break;
+    auto header = net::DecodeFrameHeader(std::string_view(
+        conn->rbuf.data() + conn->rpos, net::kFrameHeaderBytes));
+    if (!header.ok()) {
+      protocol_errors_.fetch_add(1);
+      CloseConn(conn);
+      return;
+    }
+    const size_t need = net::kFrameHeaderBytes + header->payload_len;
+    if (available < need) break;
+    const std::string_view payload(
+        conn->rbuf.data() + conn->rpos + net::kFrameHeaderBytes,
+        header->payload_len);
+    conn->rpos += need;
+    HandleFrame(conn, header->type, payload);
+  }
+  if (conn->rpos > 65536 && conn->rpos * 2 >= conn->rbuf.size()) {
+    conn->rbuf.erase(0, conn->rpos);
+    conn->rpos = 0;
+  }
+}
+
+void EventDrivenServer::HandleFrame(Conn* conn, FrameType type,
+                                    std::string_view payload) {
+  if (!conn->handshaken) {
+    uint64_t session_id = 0;
+    if (type != FrameType::kHello ||
+        !net::DecodeHello(payload, &session_id).ok()) {
+      protocol_errors_.fetch_add(1);
+      CloseConn(conn);
+      return;
+    }
+    conn->session = GetSession(session_id);
+    conn->handshaken = true;
+    int64_t remaining = -1;
+    if (options_.per_client_query_budget > 0) {
+      std::lock_guard<std::mutex> lock(conn->session->mu);
+      remaining =
+          options_.per_client_query_budget - conn->session->queries_used;
+      if (remaining < 0) remaining = 0;
+    }
+    std::string reply;
+    net::EncodeDescriptor(db_->schema(), db_->k(), remaining, &reply);
+    EnqueueFrame(conn, FrameType::kDescriptor, reply);
+    return;
+  }
+
+  switch (type) {
+    case FrameType::kQuery: {
+      uint64_t seq = 0;
+      interface::Query query;
+      const Status s = net::DecodeQuery(payload, &seq, &query);
+      if (!s.ok()) {
+        protocol_errors_.fetch_add(1);
+        std::string reply;
+        net::EncodeStatus(0, WireStatus::kInvalidArgument, s.message(),
+                          &reply);
+        EnqueueFrame(conn, FrameType::kStatus, reply);
+        if (!conn->dead) CloseConn(conn);
+        return;
+      }
+      if (conn->busy_floor != 0) {
+        if (seq == conn->busy_floor) {
+          conn->busy_floor = 0;  // client restarted from the barrier
+        } else if (seq > conn->busy_floor) {
+          DeliverBusy(conn, seq);
+          return;
+        }
+      }
+      if (conn->in_flight || !conn->pending.empty()) {
+        if (static_cast<int>(conn->pending.size()) >=
+            options_.max_pipeline_depth) {
+          DeliverBusy(conn, seq);
+          return;
+        }
+        conn->pending.emplace_back(seq, std::move(query));
+        return;
+      }
+      HandleQuery(conn, seq, query);
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      uint64_t seq = 0;
+      if (!net::DecodeStatsRequest(payload, &seq).ok()) {
+        protocol_errors_.fetch_add(1);
+        CloseConn(conn);
+        return;
+      }
+      // Stats replies are out-of-band: they bypass any queued queries
+      // (load generators ask after their workload has been answered).
+      std::string reply;
+      net::EncodeStats(seq, wire_stats(), &reply);
+      EnqueueFrame(conn, FrameType::kStats, reply);
+      return;
+    }
+    default: {
+      protocol_errors_.fetch_add(1);
+      std::string reply;
+      net::EncodeStatus(0, WireStatus::kInvalidArgument,
+                        std::string("unexpected ") +
+                            net::FrameTypeToString(type) + " frame",
+                        &reply);
+      EnqueueFrame(conn, FrameType::kStatus, reply);
+      if (!conn->dead) CloseConn(conn);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query processing.
+
+void EventDrivenServer::HandleQuery(Conn* conn, uint64_t seq,
+                                    const interface::Query& query) {
+  Session* session = conn->session;
+  {
+    // Everything written while the session lock is held; the reply frame
+    // is enqueued after release (EnqueueFrame may shed the connection).
+    net::FrameType reply_type = FrameType::kStatus;
+    std::string reply;
+    bool have_reply = false;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->has_reply && seq == session->last_seq) {
+        // Retried sequence: replay the cached reply; neither the backend
+        // nor the budget sees the query a second time.
+        queries_replayed_.fetch_add(1);
+        reply_type = session->reply_type;
+        reply = session->reply_payload;
+        have_reply = true;
+      } else {
+        const uint64_t expected =
+            session->has_reply ? session->last_seq + 1 : seq;
+        if (seq != expected || seq == 0) {
+          protocol_errors_.fetch_add(1);
+          net::EncodeStatus(
+              seq, WireStatus::kInvalidArgument,
+              "out-of-order sequence number " + std::to_string(seq),
+              &reply);
+          have_reply = true;
+        } else if (options_.per_client_query_budget > 0 &&
+                   session->queries_used >=
+                       options_.per_client_query_budget) {
+          budget_rejections_.fetch_add(1);
+          net::EncodeStatus(seq, WireStatus::kBudgetExhausted,
+                            "per-client query budget exhausted", &reply);
+          session->last_seq = seq;
+          session->has_reply = true;
+          session->reply_type = FrameType::kStatus;
+          session->reply_payload = reply;
+          have_reply = true;
+        }
+      }
+    }
+    if (have_reply) {
+      EnqueueFrame(conn, reply_type, reply);
+      return;
+    }
+  }
+
+  // Fresh query. All async completions funnel through FinalizeAsync on
+  // this connection's loop.
+  conn->in_flight = true;
+  if (cache_ == nullptr) {
+    auto cb = MakeCompletion(conn, seq);
+    const bool admitted = SubmitBackendTask(
+        [this, query, cb = std::move(cb)] {
+          interface::QueryResult result;
+          const Status s = ExecuteBackend(query, &result);
+          if (s.ok()) {
+            cb(s, std::make_shared<const interface::QueryResult>(
+                      std::move(result)));
+          } else {
+            cb(s, nullptr);
+          }
+        });
+    if (!admitted) {
+      conn->in_flight = false;
+      DeliverBusy(conn, seq);
+    }
+    return;
+  }
+
+  const std::string key = query.Signature();
+  std::shared_ptr<const interface::QueryResult> ready;
+  switch (cache_->StartLookup(key, &ready, MakeCompletion(conn, seq))) {
+    case SharedQueryCache::Lookup::kHit:
+      conn->in_flight = false;
+      cache_hits_.fetch_add(1);
+      Deliver(conn, seq, Status::OK(), ready);
+      return;
+    case SharedQueryCache::Lookup::kWait:
+      singleflight_joins_.fetch_add(1);
+      return;  // completion arrives via the owner's Complete
+    case SharedQueryCache::Lookup::kOwner:
+      if (!SubmitBackendTask([this, key, query] {
+            interface::QueryResult result;
+            const Status s = ExecuteBackend(query, &result);
+            if (s.ok()) {
+              cache_->Complete(
+                  key, s,
+                  std::make_shared<const interface::QueryResult>(
+                      std::move(result)));
+            } else {
+              cache_->Complete(key, s, nullptr);
+            }
+          })) {
+        // Resolve the flight as BUSY; the owner's own callback (and any
+        // waiter that raced in) gets the transient rejection.
+        cache_->Complete(key, BusyStatus(), nullptr);
+      }
+      return;
+  }
+}
+
+Status EventDrivenServer::ExecuteBackend(const interface::Query& query,
+                                         interface::QueryResult* result) {
+  Status s;
+  if (options_.serialize_backend) {
+    std::lock_guard<std::mutex> lock(backend_mu_);
+    s = db_->Execute(query, result);
+  } else {
+    s = db_->Execute(query, result);
+  }
+  if (s.ok()) backend_executions_.fetch_add(1);
+  return s;
+}
+
+SharedQueryCache::Callback EventDrivenServer::MakeCompletion(Conn* conn,
+                                                             uint64_t seq) {
+  const size_t li = conn->loop_index;
+  const uint64_t id = conn->id;
+  return [this, li, id, seq](
+             const Status& status,
+             const std::shared_ptr<const interface::QueryResult>& result) {
+    loops_[li]->Post([this, li, id, seq, status, result] {
+      FinalizeAsync(li, id, seq, status, result);
+    });
+  };
+}
+
+void EventDrivenServer::FinalizeAsync(
+    size_t loop_index, uint64_t conn_id, uint64_t seq, const Status& status,
+    std::shared_ptr<const interface::QueryResult> result) {
+  Conn* conn = FindConn(loop_index, conn_id);
+  if (conn == nullptr || conn->dead) {
+    // The client is gone: nothing is delivered, the session is not
+    // charged, and nothing enters the replay cache. A reconnecting
+    // session retries the same sequence and (with the shared cache) hits
+    // the now-ready entry, so the backend is still charged exactly once.
+    return;
+  }
+  conn->in_flight = false;
+  conn->last_activity = std::chrono::steady_clock::now();
+  if (IsBusy(status)) {
+    DeliverBusy(conn, seq);
+  } else {
+    Deliver(conn, seq, status, result);
+  }
+  if (!conn->dead) ProcessPending(conn);
+}
+
+void EventDrivenServer::ProcessPending(Conn* conn) {
+  while (!conn->dead && !conn->in_flight && !conn->pending.empty()) {
+    auto [seq, query] = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    HandleQuery(conn, seq, query);
+  }
+}
+
+void EventDrivenServer::Deliver(
+    Conn* conn, uint64_t seq, const Status& status,
+    const std::shared_ptr<const interface::QueryResult>& result) {
+  std::string payload;
+  FrameType type;
+  if (status.ok()) {
+    type = FrameType::kResult;
+    net::EncodeResult(seq, *result, &payload);
+  } else {
+    type = FrameType::kStatus;
+    net::EncodeStatus(seq, net::WireStatusFromStatus(status),
+                      status.message(), &payload);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->session->mu);
+    if (status.ok()) conn->session->queries_used += 1;
+    conn->session->last_seq = seq;
+    conn->session->has_reply = true;
+    conn->session->reply_type = type;
+    conn->session->reply_payload = payload;
+  }
+  if (status.ok()) queries_served_.fetch_add(1);
+  EnqueueFrame(conn, type, payload);
+}
+
+void EventDrivenServer::DeliverBusy(Conn* conn, uint64_t seq) {
+  // Raise the barrier: later seqs cannot be processed in order anymore,
+  // so they are BUSY'd too until the client retries `seq` itself.
+  if (conn->busy_floor == 0 || seq < conn->busy_floor) {
+    conn->busy_floor = seq;
+  }
+  busy_rejections_.fetch_add(1);
+  std::string payload;
+  net::EncodeStatus(seq, WireStatus::kRateLimited,
+                    "server busy, retry later", &payload);
+  // Deliberately NOT recorded in the session replay cache: the client
+  // retries the same sequence number and it must be processed fresh.
+  EnqueueFrame(conn, FrameType::kStatus, payload);
+  // Pipelined queries already queued behind the barrier are a suffix of
+  // `pending` (seqs ascend); flush them with BUSY in order.
+  while (!conn->dead && !conn->pending.empty() &&
+         conn->pending.front().first > conn->busy_floor) {
+    const uint64_t flushed = conn->pending.front().first;
+    conn->pending.pop_front();
+    busy_rejections_.fetch_add(1);
+    std::string flush_payload;
+    net::EncodeStatus(flushed, WireStatus::kRateLimited,
+                      "server busy, retry later", &flush_payload);
+    EnqueueFrame(conn, FrameType::kStatus, flush_payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write path.
+
+void EventDrivenServer::EnqueueFrame(Conn* conn, FrameType type,
+                                     std::string_view payload) {
+  if (conn->dead) return;
+  conn->wbuf += net::EncodeFrameHeader(
+      type, static_cast<uint32_t>(payload.size()));
+  conn->wbuf.append(payload.data(), payload.size());
+  FlushWrites(conn);
+  if (conn->dead) return;
+  const size_t backlog = conn->wbuf.size() - conn->wpos;
+  if (options_.write_buffer_limit > 0 &&
+      backlog > options_.write_buffer_limit) {
+    // Slow reader: shedding beats buffering without bound.
+    connections_shed_.fetch_add(1);
+    CloseConn(conn);
+    return;
+  }
+  if (backlog > options_.read_pause_bytes) conn->read_paused = true;
+  UpdateInterest(conn);
+}
+
+void EventDrivenServer::FlushWrites(Conn* conn) {
+  while (conn->wpos < conn->wbuf.size()) {
+    const ssize_t n =
+        send(conn->sock.fd(), conn->wbuf.data() + conn->wpos,
+             conn->wbuf.size() - conn->wpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->wpos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn->want_write = true;
+      return;
+    }
+    CloseConn(conn);  // peer reset / broken pipe
+    return;
+  }
+  conn->wbuf.clear();
+  conn->wpos = 0;
+  conn->want_write = false;
+}
+
+void EventDrivenServer::UpdateInterest(Conn* conn) {
+  if (conn->dead) return;
+  uint32_t events = 0;
+  if (!conn->read_paused) events |= EPOLLIN;
+  if (conn->want_write) events |= EPOLLOUT;
+  if (events == 0) events = EPOLLOUT;  // paused + drained: wait for writable
+  (void)loops_[conn->loop_index]->Modify(conn->sock.fd(), events);
+}
+
+}  // namespace service
+}  // namespace hdsky

@@ -1,0 +1,277 @@
+// EventDrivenServer: the multi-tenant, event-driven core of the hidden-
+// database service — the successor of the thread-per-connection
+// DatabaseServer (server.h), built for thousands of concurrent
+// discovery sessions instead of a handful of loopback tests.
+//
+// Architecture
+//
+//   listener ──► loop 0 ──┐         ┌─► executor ThreadPool ─► backend
+//                          │ round- │      (Execute calls)
+//   conns ◄──► loop 0..L-1 ┘ robin  │
+//        nonblocking sockets        │
+//        read/write buffers    SharedQueryCache (single-flight)
+//        request pipelining         │
+//        admission control ◄────────┘ completions posted back to the
+//        idle/slow timeouts           owning loop
+//
+//  * N event-loop threads (net/event_loop.h) own the sockets: each
+//    connection lives on exactly one loop, so connection state is
+//    lock-free. The accept path (listener on loop 0) spreads new
+//    connections round-robin.
+//  * Backend queries run on a runtime::ThreadPool executor, never on a
+//    loop thread, so one expensive query cannot stall unrelated
+//    connections' I/O. Completions are posted back to the owning loop.
+//  * Request pipelining: a client may stream many Query frames on one
+//    connection without waiting; the server answers strictly in order
+//    (the per-session sequence contract requires it). Queries beyond
+//    Options::max_pipeline_depth are answered with a transient BUSY
+//    (kRateLimited) instead of being buffered without bound.
+//  * Admission control: at most Options::max_pending_queries backend
+//    executions may be queued or running; excess fresh queries get BUSY
+//    so an overloaded server degrades by shedding work, not by growing
+//    queues until it falls over. Accept-time overload (max_connections)
+//    sheds whole connections the same way.
+//  * Slow clients: a connection whose unsent reply backlog exceeds
+//    write_buffer_limit is shed; above read_pause_bytes the server
+//    additionally stops reading from it (backpressure) until the
+//    backlog drains. Idle connections are evicted after idle_timeout_ms.
+//
+// Shared cross-session query cache
+//
+//  The per-session replay cache (exactly-once accounting under retries,
+//  identical to DatabaseServer's) is kept, and a SharedQueryCache is
+//  layered across sessions: N sessions discovering the same database
+//  pay each distinct backend query once. Per-session budgets charge
+//  *client-visible* answers — a session is charged whether its answer
+//  came from the backend, the cache, or another session's in-flight
+//  execution — so budget accounting is indistinguishable from a
+//  cache-less server while backend load drops by the deduped ratio.
+//  Budget rejections and replays behave exactly as before.
+//
+// Wire compatibility: speaks the same protocol as DatabaseServer, so
+// RemoteHiddenDatabase and all PR 4 resume machinery work unchanged;
+// additionally answers kStatsRequest frames with live ServiceStats so
+// load generators can compute the queries-deduped ratio remotely.
+
+#ifndef HDSKY_SERVICE_EVENT_SERVER_H_
+#define HDSKY_SERVICE_EVENT_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "interface/hidden_database.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "runtime/thread_pool.h"
+#include "service/shared_cache.h"
+
+namespace hdsky {
+namespace service {
+
+class EventDrivenServer {
+ public:
+  struct Options {
+    /// IPv4 address to bind; loopback by default.
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back via port().
+    uint16_t port = 0;
+    /// Event-loop (I/O) threads. 0 = min(4, hardware threads).
+    int num_loops = 0;
+    /// Backend executor threads. 0 = min(8, hardware threads).
+    int num_workers = 0;
+    /// Concurrent connections; excess gets a best-effort kRateLimited
+    /// frame and is closed at accept time.
+    int max_connections = 4096;
+    /// Per-session query budget (0 = unlimited); charges client-visible
+    /// answers, replays never count.
+    int64_t per_client_query_budget = 0;
+    /// Enable the shared cross-session cache with single-flight dedup.
+    bool shared_cache = true;
+    /// Ready entries the shared cache may hold (0 = unlimited).
+    size_t cache_max_entries = 1 << 20;
+    /// Backend executions queued or running before fresh queries are
+    /// answered BUSY (0 = unlimited).
+    int max_pending_queries = 1024;
+    /// Unanswered pipelined queries buffered per connection before BUSY.
+    int max_pipeline_depth = 64;
+    /// Unsent reply bytes before a slow reader is shed.
+    size_t write_buffer_limit = 8u << 20;
+    /// Unsent reply bytes above which the server stops reading from the
+    /// connection until the backlog drains (must be < write_buffer_limit).
+    size_t read_pause_bytes = 1u << 20;
+    /// Connections idle this long are evicted (0 = never).
+    int idle_timeout_ms = 60000;
+    /// Serialize backend Execute calls under one mutex; leave false for
+    /// thread-safe backends (TopKInterface with static-order rankings).
+    bool serialize_backend = false;
+  };
+
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t connections_rejected = 0;
+    /// Connections dropped by the server: slow readers over the write
+    /// cap and idle-timeout evictions.
+    int64_t connections_shed = 0;
+    int64_t idle_closed = 0;
+    /// Fresh client-visible queries answered successfully.
+    int64_t queries_served = 0;
+    /// Queries that reached the backend (successful executions).
+    int64_t backend_executions = 0;
+    /// Served from a ready shared-cache entry.
+    int64_t cache_hits = 0;
+    /// Served by joining another session's in-flight execution.
+    int64_t singleflight_joins = 0;
+    int64_t queries_replayed = 0;
+    int64_t busy_rejections = 0;
+    int64_t budget_rejections = 0;
+    int64_t protocol_errors = 0;
+  };
+
+  /// Binds, listens, spawns the loops and executor. `db` must outlive
+  /// the server; it is the single backend all sessions share.
+  static common::Result<std::unique_ptr<EventDrivenServer>> Start(
+      interface::HiddenDatabase* db, const Options& options);
+
+  ~EventDrivenServer();
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, closes every connection, joins loops and executor.
+  /// Idempotent.
+  void Stop();
+
+  Stats stats() const;
+  /// The same counters in wire form (what kStats frames carry).
+  net::ServiceStats wire_stats() const;
+
+ private:
+  /// Replay + budget state of one client session; shared across the
+  /// session's reconnects. Protected by its own mutex because two
+  /// connections may present the same session id.
+  struct Session {
+    std::mutex mu;
+    uint64_t last_seq = 0;
+    bool has_reply = false;
+    net::FrameType reply_type = net::FrameType::kStatus;
+    std::string reply_payload;
+    int64_t queries_used = 0;
+  };
+
+  /// One live connection; owned and touched by exactly one loop thread.
+  struct Conn {
+    uint64_t id = 0;
+    size_t loop_index = 0;
+    net::Socket sock;
+    bool handshaken = false;
+    bool dead = false;
+    /// True while a backend execution / shared-cache wait is outstanding
+    /// for this connection (per-session ordering admits only one).
+    bool in_flight = false;
+    /// Reading paused because the reply backlog crossed read_pause_bytes.
+    bool read_paused = false;
+    std::string rbuf;
+    size_t rpos = 0;
+    std::string wbuf;
+    size_t wpos = 0;
+    bool want_write = false;
+    /// Parsed-but-unprocessed pipelined queries (seq, query).
+    std::deque<std::pair<uint64_t, interface::Query>> pending;
+    /// BUSY barrier: after answering BUSY for this seq, every arriving
+    /// query with a larger seq is also answered BUSY (it could not be
+    /// processed in order anymore). Cleared when the client retries the
+    /// barrier seq itself. 0 = no barrier.
+    uint64_t busy_floor = 0;
+    Session* session = nullptr;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  EventDrivenServer(interface::HiddenDatabase* db, const Options& options);
+
+  void AcceptReady();
+  void AdoptConnection(size_t loop_index, int fd);
+  void HandleIo(size_t loop_index, uint64_t conn_id, uint32_t events);
+  void HandleRead(Conn* conn);
+  void ParseFrames(Conn* conn);
+  void HandleFrame(Conn* conn, net::FrameType type,
+                   std::string_view payload);
+  void HandleQuery(Conn* conn, uint64_t seq, const interface::Query& query);
+  void ProcessPending(Conn* conn);
+  /// Runs on the owning loop thread when a backend/cache flight resolves.
+  void FinalizeAsync(size_t loop_index, uint64_t conn_id, uint64_t seq,
+                     const common::Status& status,
+                     std::shared_ptr<const interface::QueryResult> result);
+  /// Encodes and enqueues the reply, charges the session budget on
+  /// success, and records the reply in the session replay cache.
+  void Deliver(Conn* conn, uint64_t seq, const common::Status& status,
+               const std::shared_ptr<const interface::QueryResult>& result);
+  /// Transient BUSY: kRateLimited, never recorded for replay.
+  void DeliverBusy(Conn* conn, uint64_t seq);
+  void EnqueueFrame(Conn* conn, net::FrameType type,
+                    std::string_view payload);
+  void FlushWrites(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn);
+  void TickLoop(size_t loop_index);
+  /// Admission-controlled enqueue onto the executor; false = answer BUSY.
+  bool SubmitBackendTask(std::function<void()> task);
+  /// Runs the query on the backend (optionally serialized) and counts it.
+  common::Status ExecuteBackend(const interface::Query& query,
+                                interface::QueryResult* result);
+  SharedQueryCache::Callback MakeCompletion(Conn* conn, uint64_t seq);
+  Session* GetSession(uint64_t session_id);
+
+  Conn* FindConn(size_t loop_index, uint64_t conn_id);
+
+  interface::HiddenDatabase* db_;
+  Options options_;
+  net::ServerSocket listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> next_loop_{0};
+
+  std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+
+  std::unique_ptr<SharedQueryCache> cache_;
+
+  std::mutex backend_mu_;  // only used when serialize_backend
+
+  // Atomic counters: bumped from loop threads and the executor.
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> connections_shed_{0};
+  std::atomic<int64_t> idle_closed_{0};
+  std::atomic<int64_t> queries_served_{0};
+  std::atomic<int64_t> backend_executions_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> singleflight_joins_{0};
+  std::atomic<int64_t> queries_replayed_{0};
+  std::atomic<int64_t> busy_rejections_{0};
+  std::atomic<int64_t> budget_rejections_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+
+  /// Loops before executor: executor tasks post completions into loops,
+  /// so the loops must be destroyed after the executor drains.
+  std::vector<std::unique_ptr<net::EventLoop>> loops_;
+  /// conn_maps_[i] is owned by loop i's thread exclusively.
+  std::vector<std::unordered_map<uint64_t, std::unique_ptr<Conn>>> conn_maps_;
+  std::unique_ptr<runtime::ThreadPool> executor_;
+  std::vector<std::jthread> loop_threads_;  // last: joins first
+};
+
+}  // namespace service
+}  // namespace hdsky
+
+#endif  // HDSKY_SERVICE_EVENT_SERVER_H_

@@ -167,6 +167,30 @@ void DatabaseServer::ServeConnection(net::Socket sock) {
     if (!ready.ok()) return;
     if (!*ready) continue;  // idle; re-check the stop flag
     if (!net::ReadFrame(sock, &frame).ok()) return;  // closed / timed out
+    if (frame.type == FrameType::kStatsRequest) {
+      uint64_t seq = 0;
+      if (!net::DecodeStatsRequest(frame.payload, &seq).ok()) {
+        BumpStat(&Stats::protocol_errors);
+        return;
+      }
+      net::ServiceStats wire_stats;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        wire_stats.queries_served = stats_.queries_served;
+        // No shared cache in this engine: every fresh query hits the
+        // backend, so the deduped ratio reported to load generators is 0.
+        wire_stats.backend_executions = stats_.queries_served;
+        wire_stats.queries_replayed = stats_.queries_replayed;
+        wire_stats.budget_rejections = stats_.budget_rejections;
+        wire_stats.connections_accepted = stats_.connections_accepted;
+        wire_stats.connections_rejected = stats_.connections_rejected;
+        wire_stats.protocol_errors = stats_.protocol_errors;
+      }
+      std::string payload;
+      net::EncodeStats(seq, wire_stats, &payload);
+      if (!net::WriteFrame(sock, FrameType::kStats, payload).ok()) return;
+      continue;
+    }
     if (frame.type != FrameType::kQuery) {
       BumpStat(&Stats::protocol_errors);
       std::string payload;

@@ -1,0 +1,106 @@
+#include "service/shared_cache.h"
+
+#include <utility>
+
+namespace hdsky {
+namespace service {
+
+using common::Status;
+
+SharedQueryCache::SharedQueryCache(Options options)
+    : options_(options) {}
+
+SharedQueryCache::Shard& SharedQueryCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+const SharedQueryCache::Shard& SharedQueryCache::ShardFor(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+SharedQueryCache::Lookup SharedQueryCache::StartLookup(
+    const std::string& key,
+    std::shared_ptr<const interface::QueryResult>* out, Callback cb) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    Entry& entry = shard.map[key];
+    entry.pending.push_back(std::move(cb));
+    owners_.fetch_add(1, std::memory_order_relaxed);
+    return Lookup::kOwner;
+  }
+  if (it->second.ready) {
+    *out = it->second.result;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Lookup::kHit;
+  }
+  it->second.pending.push_back(std::move(cb));
+  joins_.fetch_add(1, std::memory_order_relaxed);
+  return Lookup::kWait;
+}
+
+void SharedQueryCache::Complete(
+    const std::string& key, const Status& status,
+    std::shared_ptr<const interface::QueryResult> result) {
+  std::vector<Callback> pending;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end() || it->second.ready) return;
+    pending = std::move(it->second.pending);
+    if (status.ok()) {
+      it->second.ready = true;
+      it->second.result = result;
+      it->second.pending.clear();
+      if (options_.max_entries > 0 &&
+          shard.map.size() > (options_.max_entries + kNumShards - 1) /
+                                 kNumShards) {
+        // Evict one ready entry other than the one just completed. The
+        // bucket walk makes the victim effectively arbitrary without
+        // maintaining any recency structure under the hot-path lock.
+        for (auto victim = shard.map.begin(); victim != shard.map.end();
+             ++victim) {
+          if (victim->second.ready && victim != it) {
+            shard.map.erase(victim);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    } else {
+      // Errors resolve the flight but are never memoized.
+      shard.map.erase(it);
+    }
+  }
+  // Callbacks run outside the shard lock: they post to event loops and
+  // may trigger fresh lookups for other keys.
+  for (Callback& cb : pending) {
+    if (cb) cb(status, result);
+  }
+}
+
+size_t SharedQueryCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.map) {
+      if (entry.ready) ++total;
+    }
+  }
+  return total;
+}
+
+SharedQueryCache::Stats SharedQueryCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.owners = owners_.load(std::memory_order_relaxed);
+  s.joins = joins_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace service
+}  // namespace hdsky

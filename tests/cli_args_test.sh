@@ -57,6 +57,15 @@ expect_usage "budget-negative" "$DISCOVER" --demo route --budget -1
 expect_usage "serve-port-garbage" "$SERVE" --demo route --port 80h
 expect_usage "serve-max-conn-zero" "$SERVE" --demo route --max-connections 0
 
+# Event-driven engine flags: unknown engine names and malformed knobs.
+expect_usage "serve-unknown-engine" "$SERVE" --demo route --engine fibers
+expect_usage "serve-engine-dangling" "$SERVE" --demo route --engine
+expect_usage "serve-loops-garbage" "$SERVE" --demo route --loops 2x
+expect_usage "serve-loops-negative" "$SERVE" --demo route --loops -1
+expect_usage "serve-max-pending-garbage" "$SERVE" --demo route --max-pending p
+expect_usage "serve-idle-timeout-negative" \
+  "$SERVE" --demo route --idle-timeout-ms -5
+
 # Flags that need a value but sit at the end of the line.
 expect_usage "discover-dangling-value" "$DISCOVER" --demo
 expect_usage "serve-dangling-value" "$SERVE" --demo route --port
