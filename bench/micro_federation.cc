@@ -1,0 +1,179 @@
+// Microbenchmark of the federation subsystem: discovering the skyline of
+// the union of K hidden databases with RunFederatedDiscovery versus K
+// independent sequential discoveries (the no-coordination baseline the
+// paper's single-site algorithms imply).
+//
+// The workload is three independently seeded Blue-Nile-shaped catalogs
+// (the paper's diamond inventory, Section 7) — three sites listing the
+// same kind of stock with different draws. Small scheduling rounds keep
+// the shared prune snapshot fresh; that is where the cross-backend prune
+// fires (a region corner sits at the domain minimum on every ranking
+// attribute the RQ tree has not lower-bounded yet, so witnesses must be
+// extreme there and the prune is sound but structurally rare — see
+// docs/federation.md for why savings are a few percent, not an order of
+// magnitude).
+//
+// Counters on BM_FederatedUnion (gated by scripts/compare_bench.py in
+// the CI federation smoke):
+//   sequential_queries   sum of the K standalone discovery costs
+//   federated_queries    total paid queries of the federated run
+//   pruned_queries       queries answered free from the shared index
+//   prune_ratio          pruned / (paid + pruned)
+//   queries_saved_ratio  1 - federated/sequential
+//   skyline_match        1 iff the federated union skyline equals the
+//                        merged-table ground truth exactly
+//   skyline_size         distinct ranking-value combinations found
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/rq_db_sky.h"
+#include "dataset/blue_nile.h"
+#include "federation/federated_discovery.h"
+#include "interface/ranking.h"
+#include "skyline/compute.h"
+
+namespace {
+
+using namespace hdsky;
+
+constexpr int kBackends = 3;
+constexpr int kPageSize = 10;
+/// Small rounds keep the frozen prune snapshot fresh; large rounds would
+/// finish cheap sites before any cross-backend witness exists.
+constexpr int64_t kRoundBudget = 32;
+
+/// Three sites, same catalog shape, independent inventory draws.
+const std::vector<data::Table>& BackendTables() {
+  static const std::vector<data::Table> tables = [] {
+    std::vector<data::Table> out;
+    for (int b = 0; b < kBackends; ++b) {
+      dataset::BlueNileOptions o;
+      o.num_tuples = bench::Scaled(2000);
+      o.seed = static_cast<uint64_t>(b + 1);
+      out.push_back(bench::Unwrap(dataset::GenerateBlueNile(o), "site"));
+    }
+    return out;
+  }();
+  return tables;
+}
+
+/// Distinct ranking-value combinations of the merged-table skyline: the
+/// ground truth a federated union run must reproduce exactly.
+const std::set<data::Tuple>& GroundTruth() {
+  static const std::set<data::Tuple> truth = [] {
+    const std::vector<data::Table>& tables = BackendTables();
+    data::Table merged(tables[0].schema());
+    for (const data::Table& t : tables) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        HDSKY_CHECK(merged.Append(t.GetTuple(r)).ok());
+      }
+    }
+    const std::vector<int> attrs = merged.schema().ranking_attributes();
+    std::set<data::Tuple> out;
+    for (const data::TupleId id : skyline::SkylineSFS(merged)) {
+      data::Tuple proj(attrs.size());
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        proj[a] = merged.value(id, attrs[a]);
+      }
+      out.insert(std::move(proj));
+    }
+    return out;
+  }();
+  return truth;
+}
+
+int64_t SequentialCost() {
+  static const int64_t cost = [] {
+    int64_t total = 0;
+    for (const data::Table& t : BackendTables()) {
+      auto iface =
+          bench::MakeInterface(&t, interface::MakeSumRanking(), kPageSize);
+      auto r = bench::Unwrap(core::RqDbSky(iface.get()), "sequential rq");
+      total += r.query_cost;
+    }
+    return total;
+  }();
+  return cost;
+}
+
+void BM_FederatedUnion(benchmark::State& state) {
+  const std::vector<data::Table>& tables = BackendTables();
+  const int64_t sequential = SequentialCost();
+
+  federation::FederatedResult last;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+    std::vector<interface::HiddenDatabase*> backends;
+    for (const data::Table& t : tables) {
+      ifaces.push_back(bench::MakeInterface(
+          &t, interface::MakeSumRanking(), kPageSize));
+      backends.push_back(ifaces.back().get());
+    }
+    federation::FederationOptions opts;
+    opts.mode = federation::FederationOptions::Mode::kUnion;
+    opts.round_budget = kRoundBudget;
+    auto r = bench::Unwrap(
+        federation::RunFederatedDiscovery(backends, opts), "federated");
+    benchmark::DoNotOptimize(r);
+    last = std::move(r);
+  }
+
+  std::set<data::Tuple> found;
+  for (const federation::UnionGroup& g : last.skyline) {
+    found.insert(g.rank_values);
+  }
+  const double paid = static_cast<double>(last.total_paid);
+  const double pruned = static_cast<double>(last.total_pruned);
+  state.counters["sequential_queries"] =
+      static_cast<double>(sequential);
+  state.counters["federated_queries"] = paid;
+  state.counters["pruned_queries"] = pruned;
+  state.counters["prune_ratio"] =
+      paid + pruned > 0 ? pruned / (paid + pruned) : 0.0;
+  state.counters["queries_saved_ratio"] =
+      sequential > 0 ? 1.0 - paid / static_cast<double>(sequential) : 0.0;
+  state.counters["skyline_match"] = found == GroundTruth() ? 1.0 : 0.0;
+  state.counters["skyline_size"] = static_cast<double>(found.size());
+}
+
+/// The same federated run at several worker counts: the round barriers
+/// and frozen snapshots make the result thread-count independent, so
+/// this measures pure coordination overhead.
+void BM_FederatedUnionThreads(benchmark::State& state) {
+  const std::vector<data::Table>& tables = BackendTables();
+  int64_t paid = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+    std::vector<interface::HiddenDatabase*> backends;
+    for (const data::Table& t : tables) {
+      ifaces.push_back(bench::MakeInterface(
+          &t, interface::MakeSumRanking(), kPageSize));
+      backends.push_back(ifaces.back().get());
+    }
+    federation::FederationOptions opts;
+    opts.mode = federation::FederationOptions::Mode::kUnion;
+    opts.round_budget = kRoundBudget;
+    opts.num_threads = static_cast<int>(state.range(0));
+    auto r = bench::Unwrap(
+        federation::RunFederatedDiscovery(backends, opts), "federated");
+    paid = r.total_paid;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["federated_queries"] = static_cast<double>(paid);
+}
+
+BENCHMARK(BM_FederatedUnion)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FederatedUnionThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

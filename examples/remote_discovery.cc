@@ -110,10 +110,13 @@ int main() {
   std::printf("complete           : %s\n",
               discovery->complete ? "yes" : "no");
 
-  const auto telemetry = remote->telemetry();
-  std::printf("\nclient telemetry   : %lld remote queries, %lld retries\n",
-              static_cast<long long>(telemetry.remote_queries),
-              static_cast<long long>(telemetry.retries));
+  const auto client_stats = remote->stats();
+  std::printf("\nclient stats       : %lld remote queries, %lld retries, "
+              "%lld B out / %lld B in\n",
+              static_cast<long long>(client_stats.remote_queries),
+              static_cast<long long>(client_stats.retries),
+              static_cast<long long>(client_stats.bytes_sent),
+              static_cast<long long>(client_stats.bytes_received));
   server->Stop();
   const auto stats = server->stats();
   std::printf("server accounting  : %lld served, %lld replayed, "
@@ -126,7 +129,7 @@ int main() {
   // one execution per external query the algorithm issued.
   const bool accounted =
       stats.queries_served == discovery->query_cost &&
-      telemetry.remote_queries == discovery->query_cost;
+      client_stats.remote_queries == discovery->query_cost;
   const bool match = discovered == truth;
   std::printf("\nmatches ground truth: %s\n", match ? "YES" : "NO");
   std::printf("exact accounting    : %s\n", accounted ? "YES" : "NO");

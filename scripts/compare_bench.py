@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Perf gate over the BENCH_*.json artifacts produced by run_benches.sh
-and tools/hdsky_loadgen. Two modes, auto-detected from the input:
+and tools/hdsky_loadgen. Three modes, auto-detected from the input:
 
 substrate mode (BENCH_substrate.json)
   Compares the vectorized execution paths against the row-at-a-time
@@ -31,6 +31,26 @@ counter, as written by hdsky_loadgen --json and micro_service_load)
     the same family (the benchmark name up to the first '/', so a
     smoke-scaled "loadgen/sessions:100/..." still gates against the
     pinned "loadgen/sessions:1000/..." envelope).
+
+federation mode (BENCH_federation.json — any entry carrying a
+prune_ratio counter, as written by micro_federation and
+hdsky_discover --federation-json)
+  Gates federated discovery over K backends:
+
+  * every run must have completed, and partial coverage (a backend
+    failed or exhausted its budget) fails unless --allow-partial,
+  * the cross-backend prune must answer at least --min-prune-ratio of
+    the would-be queries from the shared dominance snapshot (the prune
+    is structurally rare — witnesses must be extreme on every ranking
+    attribute the query tree has not bounded yet, see
+    docs/federation.md — so the floor is a fraction of a percent that
+    still proves the machinery fires; names matching --prune-exempt,
+    default "join", are exempt because join mode disables pruning),
+  * runs that also report sequential_queries (micro_federation does)
+    must pay strictly fewer federated queries than the K sequential
+    discoveries they replace, and
+  * runs that report skyline_match must report exactly 1.0 — the
+    federated union skyline equals the merged-dataset ground truth.
 
 Only the Python standard library is used. Median aggregates are
 preferred when the JSON carries repetitions; raw iterations are used
@@ -74,6 +94,10 @@ def time_ns(bench):
 
 def is_service_report(data):
     return any("dedup_ratio" in b for b in data.get("benchmarks", []))
+
+
+def is_federation_report(data):
+    return any("prune_ratio" in b for b in data.get("benchmarks", []))
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +232,71 @@ def gate_service(data, args):
 
 
 # ---------------------------------------------------------------------------
+# federation mode
+
+
+def gate_federation(data, args):
+    runs = select_runs(data)
+    failures = []
+    exempt = re.compile(args.prune_exempt)
+
+    checked = 0
+    for b in runs:
+        name = run_name(b)
+        if "prune_ratio" not in b:
+            continue
+        checked += 1
+        if b.get("error_occurred"):
+            failures.append(f"{name}: run failed: "
+                            f"{b.get('error_message', 'unknown error')}")
+            continue
+
+        partial = b.get("partial_coverage", 0.0)
+        if partial and not args.allow_partial:
+            failures.append(f"{name}: partial coverage (a backend failed "
+                            "or exhausted its budget); pass "
+                            "--allow-partial if that is expected")
+
+        paid = b.get("federated_queries", b.get("paid_queries"))
+        pruned = b.get("pruned_queries", 0.0)
+        ratio = b.get("prune_ratio", 0.0)
+        if exempt.search(name):
+            print(f"{name}: prune {ratio:.4f} (exempt), paid {paid:.0f}")
+        else:
+            verdict = "ok" if ratio >= args.min_prune_ratio else "FAIL"
+            print(f"{name}: prune {ratio:.4f} "
+                  f"(need >= {args.min_prune_ratio:.4f}), "
+                  f"paid {paid:.0f}, pruned {pruned:.0f} [{verdict}]")
+            if ratio < args.min_prune_ratio:
+                failures.append(f"{name}: prune ratio {ratio:.4f} below "
+                                f"{args.min_prune_ratio:.4f}")
+
+        sequential = b.get("sequential_queries")
+        if sequential is not None and paid is not None:
+            verdict = "ok" if paid < sequential else "FAIL"
+            print(f"{name}: federated {paid:.0f} vs sequential "
+                  f"{sequential:.0f} queries [{verdict}]")
+            if paid >= sequential:
+                failures.append(f"{name}: federated run paid {paid:.0f} "
+                                f"queries, not fewer than the "
+                                f"{sequential:.0f} sequential ones")
+
+        match = b.get("skyline_match")
+        if match is not None:
+            verdict = "ok" if match == 1.0 else "FAIL"
+            print(f"{name}: skyline_match {match:.0f} "
+                  f"(size {b.get('skyline_size', 0):.0f}) [{verdict}]")
+            if match != 1.0:
+                failures.append(f"{name}: federated union skyline does "
+                                "not equal the merged-dataset ground "
+                                "truth")
+
+    if checked == 0:
+        failures.append("no federation runs found")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 
 
 def main():
@@ -216,10 +305,11 @@ def main():
         formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("bench_json",
                     help="path to BENCH_substrate.json or BENCH_service.json")
-    ap.add_argument("--mode", choices=["auto", "substrate", "service"],
+    ap.add_argument("--mode",
+                    choices=["auto", "substrate", "service", "federation"],
                     default="auto",
                     help="gate to apply (default: auto-detect by the "
-                         "presence of dedup_ratio counters)")
+                         "presence of dedup_ratio / prune_ratio counters)")
     # substrate knobs
     ap.add_argument("--min-selective-speedup", type=float, default=3.0,
                     help="required naive/vectorized ratio on the "
@@ -241,15 +331,32 @@ def main():
                          "(default: NoCache)")
     ap.add_argument("--min-sessions", type=int, default=1,
                     help="min concurrent sessions per run (default: 1)")
+    # federation knobs
+    ap.add_argument("--min-prune-ratio", type=float, default=0.005,
+                    help="min fraction of would-be queries answered from "
+                         "the shared dominance snapshot (default: 0.005)")
+    ap.add_argument("--prune-exempt", default="join",
+                    help="regex of run names exempt from the prune floor "
+                         "(default: join — join mode disables pruning)")
+    ap.add_argument("--allow-partial", action="store_true",
+                    help="tolerate partial_coverage runs (expected when a "
+                         "backend is killed on purpose)")
     args = ap.parse_args()
 
     data = load_json(args.bench_json)
     mode = args.mode
     if mode == "auto":
-        mode = "service" if is_service_report(data) else "substrate"
+        if is_federation_report(data):
+            mode = "federation"
+        elif is_service_report(data):
+            mode = "service"
+        else:
+            mode = "substrate"
         print(f"mode: {mode} (auto-detected)")
 
-    if mode == "service":
+    if mode == "federation":
+        failures = gate_federation(data, args)
+    elif mode == "service":
         failures = gate_service(data, args)
     else:
         failures = gate_substrate(data, args)

@@ -39,6 +39,12 @@ enum class StatusCode : int8_t {
   /// An internal invariant was violated; indicates a bug in hdsky itself.
   kInternal = 7,
   kAlreadyExists = 8,
+  /// A backend is (for now) refusing service: the remote server kept
+  /// shedding load past the client's retry budget. Distinct from
+  /// kResourceExhausted — the *query budget* is intact, the *site* is
+  /// busy — so callers can tell shed-load from budget exhaustion and
+  /// from protocol failure (kIOError).
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a status code, e.g. "Unsupported".
@@ -79,6 +85,9 @@ class Status {
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +105,7 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,94 @@
+#include "federation/budget_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/cost_model.h"
+
+namespace hdsky {
+namespace federation {
+
+namespace {
+
+/// Price-per-tuple ceiling: beyond this the distinction "very expensive"
+/// vs "astronomically expensive" no longer changes allocations, and the
+/// combinatorial model overflows to inf/nan anyway.
+constexpr double kMaxPrice = 1e12;
+
+double Clamp(double price) {
+  if (!std::isfinite(price) || price > kMaxPrice) return kMaxPrice;
+  return std::max(price, 1.0);
+}
+
+}  // namespace
+
+double MarginalCostEstimate(const BackendYield& y) {
+  const int m = std::max(y.ranking_attrs, 1);
+  const int64_t s = std::max<int64_t>(y.confirmed, 0);
+  const double model = Clamp(analysis::ExpectedSqCost(m, s + 1) -
+                             analysis::ExpectedSqCost(m, s));
+  if (y.last_round_paid <= 0) return model;
+  // A round that paid but confirmed nothing is charged as if its next
+  // tuple costs twice what it just burned — expensive, but not written
+  // off: min_share keeps it probing.
+  const double observed =
+      y.last_round_new > 0
+          ? static_cast<double>(y.last_round_paid) /
+                static_cast<double>(y.last_round_new)
+          : 2.0 * static_cast<double>(y.last_round_paid);
+  return Clamp(0.5 * model + 0.5 * Clamp(observed));
+}
+
+std::vector<int64_t> AllocateBudget(const std::vector<BackendYield>& yields,
+                                    int64_t round_budget, int64_t min_share) {
+  std::vector<int64_t> alloc(yields.size(), 0);
+  std::vector<size_t> active;
+  for (size_t i = 0; i < yields.size(); ++i) {
+    if (yields[i].active) active.push_back(i);
+  }
+  if (active.empty() || round_budget <= 0) return alloc;
+
+  // Guaranteed floor first; what the floor cannot cover is split evenly
+  // (earlier backends get the odd units — deterministic).
+  int64_t budget = round_budget;
+  const int64_t floor_share =
+      std::min(std::max<int64_t>(min_share, 0),
+               round_budget / static_cast<int64_t>(active.size()));
+  for (const size_t i : active) {
+    alloc[i] = floor_share;
+    budget -= floor_share;
+  }
+
+  // Remainder goes to the cheap backends: weight = 1/price, floored
+  // proportional shares, leftovers by largest fractional part (ties to
+  // the lower index).
+  std::vector<double> weight(active.size());
+  double total_weight = 0.0;
+  for (size_t j = 0; j < active.size(); ++j) {
+    weight[j] = 1.0 / MarginalCostEstimate(yields[active[j]]);
+    total_weight += weight[j];
+  }
+  std::vector<double> fraction(active.size());
+  int64_t assigned = 0;
+  for (size_t j = 0; j < active.size(); ++j) {
+    const double exact =
+        static_cast<double>(budget) * (weight[j] / total_weight);
+    const int64_t whole = static_cast<int64_t>(exact);
+    alloc[active[j]] += whole;
+    assigned += whole;
+    fraction[j] = exact - static_cast<double>(whole);
+  }
+  std::vector<size_t> order(active.size());
+  for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return fraction[a] > fraction[b];
+  });
+  for (size_t j = 0; assigned < budget; ++j) {
+    alloc[active[order[j % order.size()]]] += 1;
+    assigned += 1;
+  }
+  return alloc;
+}
+
+}  // namespace federation
+}  // namespace hdsky

@@ -1,0 +1,61 @@
+// BudgetScheduler: deterministic per-round query-budget allocation
+// across federation backends.
+//
+// Each round the coordinator asks: given `round_budget` paid queries,
+// which backend should spend them? A backend's *price per new skyline
+// tuple* is estimated two ways and blended:
+//
+//  * Model: the marginal SQ-DB-SKY cost ExpectedSqCost(m, s+1) -
+//    ExpectedSqCost(m, s) from src/analysis/cost_model — the expected
+//    number of queries the (s+1)-th skyline tuple costs under the
+//    random-ranking model (the per-source crawl-cost reasoning of Sheng
+//    et al. applied to discovery). A backend deep into its skyline gets
+//    expensive and yields budget to fresher ones.
+//  * Observation: paid / new-confirmed from the backend's previous round
+//    — the ground truth the model cannot know (selectivity skew, how
+//    much of the backend the shared index already prunes).
+//
+// Budget is split proportionally to 1/price with largest-remainder
+// rounding (every unit is assigned; no float drift), after each active
+// backend is guaranteed `min_share` so a mispredicted backend can still
+// prove the model wrong. Pure integer outputs from pure inputs: the
+// same yields always produce the same allocation, which keeps federated
+// runs deterministic at any thread count.
+
+#ifndef HDSKY_FEDERATION_BUDGET_SCHEDULER_H_
+#define HDSKY_FEDERATION_BUDGET_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hdsky {
+namespace federation {
+
+/// What the coordinator knows about one backend when allocating.
+struct BackendYield {
+  /// Still has frontier to explore (not done, not failed).
+  bool active = false;
+  /// Ranking attributes of the backend (m of the cost model).
+  int ranking_attrs = 1;
+  /// Skyline tuples confirmed on this backend so far (s of the model).
+  int64_t confirmed = 0;
+  /// Paid queries / newly confirmed tuples in the previous round
+  /// (both 0 before the first round: the model alone decides).
+  int64_t last_round_paid = 0;
+  int64_t last_round_new = 0;
+};
+
+/// Estimated paid queries the next new skyline tuple will cost; >= 1,
+/// finite even where the closed-form model overflows.
+double MarginalCostEstimate(const BackendYield& y);
+
+/// Splits `round_budget` across backends (see file comment). Inactive
+/// backends get 0; every unit of a positive budget is assigned as long
+/// as any backend is active.
+std::vector<int64_t> AllocateBudget(const std::vector<BackendYield>& yields,
+                                    int64_t round_budget, int64_t min_share);
+
+}  // namespace federation
+}  // namespace hdsky
+
+#endif  // HDSKY_FEDERATION_BUDGET_SCHEDULER_H_

@@ -1,0 +1,120 @@
+#include "federation/entity_merge.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace hdsky {
+namespace federation {
+
+namespace {
+
+std::vector<int> AllAttrs(size_t m) {
+  std::vector<int> attrs(m);
+  std::iota(attrs.begin(), attrs.end(), 0);
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<UnionGroup> MergeUnionSkyline(std::vector<Candidate> candidates) {
+  std::vector<UnionGroup> out;
+  if (candidates.empty()) return out;
+  const std::vector<int> attrs = AllAttrs(candidates[0].rank_values.size());
+
+  // Entity-keyed grouping: one bucket per distinct ranking-value
+  // combination, sources ordered (backend, id). std::map keeps buckets in
+  // rank_values order, which is also the output order.
+  std::map<data::Tuple, std::vector<const Candidate*>> groups;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.backend != b.backend) return a.backend < b.backend;
+              return a.id < b.id;
+            });
+  for (const Candidate& c : candidates) {
+    groups[c.rank_values].push_back(&c);
+  }
+
+  // Global dominance filter over the distinct vectors. Candidate counts
+  // are skyline-sized, so the quadratic filter is cheap; sharing the
+  // Compare kernel with skyline/compute keeps the semantics identical to
+  // the single-site ground truth.
+  std::vector<const data::Tuple*> distinct;
+  distinct.reserve(groups.size());
+  for (const auto& kv : groups) distinct.push_back(&kv.first);
+  for (const auto& [values, members] : groups) {
+    bool dominated = false;
+    for (const data::Tuple* other : distinct) {
+      if (skyline::Compare(*other, values, attrs) ==
+          skyline::DomRelation::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    UnionGroup g;
+    g.rank_values = values;
+    g.representative = members.front()->tuple;
+    g.sources.reserve(members.size());
+    for (const Candidate* c : members) g.sources.emplace_back(c->backend, c->id);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<JoinedEntity> JoinSkyline(
+    const std::vector<std::vector<EntityObservation>>& per_backend,
+    int num_backends) {
+  std::vector<JoinedEntity> out;
+  if (num_backends <= 0) return out;
+
+  struct Acc {
+    data::Tuple mins;
+    std::vector<char> present;
+  };
+  std::map<data::Value, Acc> by_key;
+  for (size_t b = 0; b < per_backend.size(); ++b) {
+    for (const EntityObservation& obs : per_backend[b]) {
+      Acc& acc = by_key[obs.key];
+      if (acc.mins.empty()) {
+        acc.mins = obs.rank_values;
+        acc.present.assign(static_cast<size_t>(num_backends), 0);
+      } else {
+        for (size_t a = 0; a < acc.mins.size(); ++a) {
+          acc.mins[a] = std::min(acc.mins[a], obs.rank_values[a]);
+        }
+      }
+      if (b < acc.present.size()) acc.present[b] = 1;
+    }
+  }
+
+  // Inner join: an entity must be listed on every backend.
+  std::vector<JoinedEntity> joined;
+  for (const auto& [key, acc] : by_key) {
+    bool everywhere = true;
+    for (const char p : acc.present) everywhere &= (p != 0);
+    if (everywhere) joined.push_back({key, acc.mins});
+  }
+  if (joined.empty()) return out;
+
+  // Skyline of the joined vectors. Entities with equal vectors both stay
+  // — distinct real-world listings, same best offer.
+  const std::vector<int> attrs = AllAttrs(joined[0].rank_values.size());
+  for (const JoinedEntity& e : joined) {
+    bool dominated = false;
+    for (const JoinedEntity& other : joined) {
+      if (skyline::Compare(other.rank_values, e.rank_values, attrs) ==
+          skyline::DomRelation::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace federation
+}  // namespace hdsky

@@ -1,0 +1,80 @@
+// Cross-backend merge layer of the federation subsystem.
+//
+// Union mode: candidates — every tuple any backend's discovery confirmed
+// — are dominance-filtered globally over their ranking values and merged
+// entity-style: tuples equal on ALL ranking attributes collapse into one
+// group listing every (backend, id) source, the cross-site analogue of
+// core/expand_duplicates' DuplicateGroup (same listing on several sites,
+// one skyline entry). The global filter is also what makes cross-backend
+// pruning sound: a locally confirmed tuple whose dominator hid in a
+// pruned region is dominated by the pruning witness, which is always a
+// candidate here (see docs/federation.md).
+//
+// Join mode: entities are keyed by a shared attribute (e.g. a normalized
+// listing id); each backend contributes its componentwise-best ranking
+// vector for the entity, an entity present on every backend joins with
+// the componentwise min across backends (the best any site offers on
+// each attribute), and the skyline of the joined vectors is returned.
+
+#ifndef HDSKY_FEDERATION_ENTITY_MERGE_H_
+#define HDSKY_FEDERATION_ENTITY_MERGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace federation {
+
+/// One tuple a backend's discovery confirmed.
+struct Candidate {
+  int backend = 0;
+  data::TupleId id = data::kInvalidTupleId;
+  /// The backend's full tuple (its own schema's arity).
+  data::Tuple tuple;
+  /// Ranking values projected into the federation's canonical attribute
+  /// order — the only values the merge compares.
+  data::Tuple rank_values;
+};
+
+/// One entry of the merged union skyline: a distinct ranking-value
+/// combination plus every source listing it.
+struct UnionGroup {
+  data::Tuple rank_values;
+  /// Full tuple of the first source (lowest backend, then lowest id).
+  data::Tuple representative;
+  /// Every (backend, id) carrying these exact ranking values, sorted.
+  std::vector<std::pair<int, data::TupleId>> sources;
+};
+
+/// Global dominance filter + entity-keyed grouping (see file comment).
+/// Deterministic: groups are sorted by rank_values lexicographically.
+std::vector<UnionGroup> MergeUnionSkyline(std::vector<Candidate> candidates);
+
+/// One joined entity (join mode).
+struct JoinedEntity {
+  data::Value key = 0;
+  /// Componentwise min over every backend's best vector for this key.
+  data::Tuple rank_values;
+};
+
+/// Per-backend best-known ranking vectors keyed by join-attribute value.
+struct EntityObservation {
+  data::Value key = 0;
+  data::Tuple rank_values;
+};
+
+/// Inner-joins entities over `num_backends` backends: a key must appear
+/// in every backend's observations to join. Returns the skyline of the
+/// joined vectors, sorted by key. Deterministic.
+std::vector<JoinedEntity> JoinSkyline(
+    const std::vector<std::vector<EntityObservation>>& per_backend,
+    int num_backends);
+
+}  // namespace federation
+}  // namespace hdsky
+
+#endif  // HDSKY_FEDERATION_ENTITY_MERGE_H_

@@ -1,0 +1,427 @@
+#include "federation/federated_discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/discovery.h"
+#include "core/rq_db_sky.h"
+#include "core/sq_db_sky.h"
+#include "federation/budget_scheduler.h"
+#include "federation/pruning_database.h"
+#include "runtime/thread_pool.h"
+#include "skyline/dominance_index.h"
+
+namespace hdsky {
+namespace federation {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Coordinator-side state of one backend, touched by at most one worker
+/// task per round (the round barrier is the synchronization point).
+struct BackendState {
+  interface::HiddenDatabase* backend = nullptr;
+  std::unique_ptr<PruningDatabase> pruner;
+  std::string name;
+  std::string algorithm;  // "sq" or "rq", fixed for the whole run
+  /// Backend-local ranking attribute indices in canonical order.
+  std::vector<int> ranking_attrs;
+
+  /// Frontier + run state of the last pause; resumed from next round.
+  std::string run_state;
+  std::string frontier;
+  bool has_resume = false;
+
+  /// Cumulative confirmed tuples (the run's collector is cumulative
+  /// across rounds through resume, so each round's result replaces).
+  std::vector<data::TupleId> cand_ids;
+  std::vector<data::Tuple> cand_tuples;
+
+  int64_t prev_confirmed = 0;
+  int64_t prev_paid = 0;
+  int64_t last_round_paid = 0;
+  int64_t last_round_new = 0;
+  int64_t rounds = 0;
+  bool active = true;
+  bool complete = false;
+  bool failed = false;
+  std::string error;
+
+  /// Written by the round's worker task, read after the barrier.
+  bool ran_this_round = false;
+  bool round_ok = false;
+  Status round_status;
+  core::DiscoveryResult round_result;
+  std::string pending_run_state;
+  std::string pending_frontier;
+  bool pending_saved = false;
+};
+
+/// Picks the discovery driver a backend's interface taxonomy supports.
+Status PickAlgorithm(const data::Schema& schema, const std::string& requested,
+                     std::string* out) {
+  bool all_two_ended = true;
+  bool all_upper = true;
+  for (const int attr : schema.ranking_attributes()) {
+    const data::AttributeSpec& spec = schema.attribute(attr);
+    all_two_ended &= spec.supports_lower_bound() && spec.supports_upper_bound();
+    all_upper &= spec.supports_upper_bound();
+  }
+  if (requested == "rq" || (requested == "auto" && all_two_ended)) {
+    if (!all_two_ended) {
+      return Status::Unsupported(
+          "rq federation needs two-ended ranges on every ranking "
+          "attribute");
+    }
+    *out = "rq";
+    return Status::OK();
+  }
+  if (requested == "sq" || requested == "auto") {
+    if (!all_upper) {
+      return Status::Unsupported(
+          "sq federation needs an upper-bound predicate on every ranking "
+          "attribute (point-query-only backends are not federable)");
+    }
+    *out = "sq";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown federation algorithm '" +
+                                 requested + "' (auto | sq | rq)");
+}
+
+/// One backend's slice of a scheduling round: arm the pruner, run the
+/// discovery driver from the resumed frontier, capture the pause state.
+void RunBackendRound(BackendState* st, const skyline::DominanceIndex* frozen,
+                     int64_t allowance, const FederationOptions& options) {
+  st->pruner->StartRound(allowance, options.cross_prune ? frozen : nullptr);
+  st->pending_saved = false;
+  st->round_ok = false;
+
+  core::DiscoveryOptions opts;
+  opts.interrupt = options.interrupt;
+  if (st->has_resume) {
+    opts.resume_run_state = st->run_state;
+    opts.resume_frontier = st->frontier;
+  }
+  PruningDatabase* pruner = st->pruner.get();
+  opts.on_checkpoint = [st, pruner](core::DiscoveryRun& run,
+                                    const core::FrontierSaver& save) {
+    // Both drivers issue at most one paid query per loop iteration, so a
+    // snapshot at every starved iteration top means the last one before
+    // the pausing query reflects every paid query — resuming re-pays
+    // nothing.
+    if (pruner->remaining() != 0) return;
+    st->pending_run_state.clear();
+    st->pending_frontier.clear();
+    run.SaveState(&st->pending_run_state);
+    save(&st->pending_frontier);
+    st->pending_saved = true;
+  };
+
+  Result<core::DiscoveryResult> r = Status::Internal("not run");
+  if (st->algorithm == "rq") {
+    core::RqDbSkyOptions o;
+    o.common = opts;
+    r = core::RqDbSky(pruner, o);
+  } else {
+    core::SqDbSkyOptions o;
+    o.common = opts;
+    r = core::SqDbSky(pruner, o);
+  }
+  st->round_ok = r.ok();
+  if (r.ok()) {
+    st->round_result = std::move(r).value();
+  } else {
+    st->round_status = r.status();
+  }
+}
+
+data::Tuple Project(const data::Tuple& t, const std::vector<int>& attrs) {
+  data::Tuple out;
+  out.reserve(attrs.size());
+  for (const int a : attrs) out.push_back(t[static_cast<size_t>(a)]);
+  return out;
+}
+
+/// Join mode: collapse observed tuples to per-backend entity observations,
+/// probe backends that never surfaced a key other backends did (one
+/// equality query each), inner-join, and return the joined skyline.
+Status JoinPhase(std::vector<BackendState>& states,
+                 const std::vector<int>& join_attr_idx,
+                 FederatedResult* out) {
+  const int num_backends = static_cast<int>(states.size());
+  std::vector<std::vector<EntityObservation>> obs(states.size());
+  std::map<data::Value, std::vector<char>> seen_by;  // key -> backend bitmap
+  for (size_t i = 0; i < states.size(); ++i) {
+    const int jidx = join_attr_idx[i];
+    // The full observed pool, not just confirmed tuples: every returned
+    // tuple carries a real (key, ranking-vector) observation, so using
+    // all of them widens entity coverage and saves probes.
+    for (const data::Tuple& t : states[i].pruner->observed_tuples()) {
+      const data::Value key = t[static_cast<size_t>(jidx)];
+      obs[i].push_back({key, Project(t, states[i].ranking_attrs)});
+      auto& bitmap = seen_by[key];
+      if (bitmap.empty()) bitmap.assign(states.size(), 0);
+      bitmap[i] = 1;
+    }
+  }
+  // Probes run in key order on the coordinator thread: deterministic,
+  // and each failed backend is simply not probed (its entities cannot
+  // join anyway — inner-join semantics).
+  for (const auto& [key, bitmap] : seen_by) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (bitmap[i] || states[i].failed) continue;
+      interface::Query probe(states[i].backend->schema().num_attributes());
+      probe.AddEquals(join_attr_idx[i], key);
+      auto r = states[i].backend->Execute(probe);
+      if (!r.ok()) {
+        // A probe the backend refuses (budget, network) leaves that
+        // entity unjoined rather than failing the whole merge.
+        out->join_exact = false;
+        continue;
+      }
+      out->probe_queries += 1;
+      if (r->overflow) out->join_exact = false;
+      for (const data::Tuple& t : r->tuples) {
+        obs[i].push_back({key, Project(t, states[i].ranking_attrs)});
+      }
+    }
+  }
+  for (const BackendState& st : states) {
+    // A failed backend can contribute no observations; every entity
+    // would be dropped by the inner join, so flag instead of returning
+    // an empty join for a reason the caller cannot see.
+    if (st.failed) out->join_exact = false;
+  }
+  out->joined = JoinSkyline(obs, num_backends);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FederatedResult> RunFederatedDiscovery(
+    const std::vector<interface::HiddenDatabase*>& backends,
+    const FederationOptions& options, const std::vector<std::string>& names) {
+  if (backends.empty()) {
+    return Status::InvalidArgument("federation needs at least one backend");
+  }
+  if (options.mode == FederationOptions::Mode::kJoin &&
+      options.join_attr.empty()) {
+    return Status::InvalidArgument("join federation needs join_attr");
+  }
+  const bool cross_prune =
+      options.cross_prune && options.mode == FederationOptions::Mode::kUnion;
+
+  // Canonical ranking space: backend 0's ranking attribute names, in
+  // order. Every backend must rank the same names the same way — that
+  // is what makes values comparable across sites.
+  const data::Schema& schema0 = backends[0]->schema();
+  std::vector<std::string> rank_names;
+  for (const int a : schema0.ranking_attributes()) {
+    rank_names.push_back(schema0.attribute(a).name);
+  }
+  const int m = static_cast<int>(rank_names.size());
+  if (m == 0) {
+    return Status::InvalidArgument("backend 0 has no ranking attributes");
+  }
+
+  std::vector<BackendState> states(backends.size());
+  std::vector<int> join_attr_idx(backends.size(), -1);
+  for (size_t i = 0; i < backends.size(); ++i) {
+    BackendState& st = states[i];
+    st.backend = backends[i];
+    st.name = i < names.size() ? names[i]
+                               : "backend-" + std::to_string(i);
+    const data::Schema& schema = backends[i]->schema();
+    st.ranking_attrs = schema.ranking_attributes();
+    if (static_cast<int>(st.ranking_attrs.size()) != m) {
+      return Status::InvalidArgument(
+          st.name + ": ranks " + std::to_string(st.ranking_attrs.size()) +
+          " attributes, federation expects " + std::to_string(m));
+    }
+    for (int j = 0; j < m; ++j) {
+      const std::string& got =
+          schema.attribute(st.ranking_attrs[static_cast<size_t>(j)]).name;
+      if (got != rank_names[static_cast<size_t>(j)]) {
+        return Status::InvalidArgument(
+            st.name + ": ranking attribute " + std::to_string(j) + " is '" +
+            got + "', federation expects '" +
+            rank_names[static_cast<size_t>(j)] + "'");
+      }
+    }
+    HDSKY_RETURN_IF_ERROR(
+        PickAlgorithm(schema, options.algorithm, &st.algorithm));
+    if (options.mode == FederationOptions::Mode::kJoin) {
+      HDSKY_ASSIGN_OR_RETURN(join_attr_idx[i],
+                             schema.IndexOf(options.join_attr));
+    }
+    st.pruner = std::make_unique<PruningDatabase>(backends[i]);
+  }
+
+  const int64_t k = static_cast<int64_t>(backends.size());
+  const int64_t round_budget =
+      options.round_budget > 0 ? options.round_budget
+                               : std::max<int64_t>(64, 16 * k);
+  int64_t total_remaining = options.total_budget;  // 0 = unlimited
+
+  int pool_threads = options.num_threads > 0
+                         ? options.num_threads
+                         : std::min<int>(static_cast<int>(k),
+                                         runtime::HardwareThreadCount());
+  runtime::ThreadPool pool(std::min<int>(pool_threads, static_cast<int>(k)));
+
+  std::vector<int> canonical_attrs(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) canonical_attrs[static_cast<size_t>(j)] = j;
+
+  FederatedResult out;
+  out.ranking_attr_names = rank_names;
+
+  const auto interrupted = [&] {
+    return options.interrupt && options.interrupt();
+  };
+
+  while (!interrupted()) {
+    bool any_active = false;
+    for (const BackendState& st : states) any_active |= st.active;
+    if (!any_active) break;
+    if (options.max_rounds > 0 && out.rounds >= options.max_rounds) break;
+
+    int64_t budget = round_budget;
+    if (options.total_budget > 0) {
+      budget = std::min(budget, total_remaining);
+      if (budget <= 0) break;
+    }
+
+    std::vector<BackendYield> yields(states.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      yields[i] = {states[i].active, m, states[i].prev_confirmed,
+                   states[i].last_round_paid, states[i].last_round_new};
+    }
+    const std::vector<int64_t> alloc =
+        AllocateBudget(yields, budget, options.min_share);
+
+    // Freeze the round's shared dominance snapshot: every candidate any
+    // backend has confirmed, in canonical ranking space. Read-only for
+    // the whole round, shared by every worker. Confirmed tuples suffice
+    // as witnesses: each backend's confirmed set is the local skyline —
+    // the dominance closure — of everything it has observed, so a raw
+    // observed tuple can never dominate a region corner that a confirmed
+    // tuple does not already dominate (verified empirically: indexing
+    // the full observed pool changes no prune decision).
+    skyline::DominanceIndex frozen(canonical_attrs);
+    if (cross_prune) {
+      for (const BackendState& st : states) {
+        for (const data::Tuple& t : st.cand_tuples) {
+          frozen.Insert(Project(t, st.ranking_attrs));
+        }
+      }
+    }
+
+    for (BackendState& st : states) st.ran_this_round = false;
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (!states[i].active || alloc[i] <= 0) continue;
+      BackendState* st = &states[i];
+      const int64_t allowance = alloc[i];
+      st->ran_this_round = true;
+      pool.Submit([st, &frozen, allowance, &options] {
+        RunBackendRound(st, &frozen, allowance, options);
+      });
+    }
+    pool.WaitIdle();  // the round barrier
+    out.rounds += 1;
+
+    int64_t paid_this_round = 0;
+    for (BackendState& st : states) {
+      if (!st.ran_this_round) continue;
+      st.rounds += 1;
+      st.last_round_paid = st.pruner->paid() - st.prev_paid;
+      st.prev_paid = st.pruner->paid();
+      paid_this_round += st.last_round_paid;
+      if (!st.round_ok) {
+        // Graceful degradation: drop the backend, keep the federation.
+        st.failed = true;
+        st.active = false;
+        st.error = st.round_status.ToString();
+        out.partial_coverage = true;
+        continue;
+      }
+      st.last_round_new =
+          static_cast<int64_t>(st.round_result.skyline.size()) -
+          st.prev_confirmed;
+      st.prev_confirmed =
+          static_cast<int64_t>(st.round_result.skyline.size());
+      st.cand_ids = std::move(st.round_result.skyline_ids);
+      st.cand_tuples = std::move(st.round_result.skyline);
+      if (st.round_result.complete) {
+        st.complete = true;
+        st.active = false;
+      } else if (st.pruner->backend_exhausted()) {
+        // The backend's own budget is gone for good — its unexplored
+        // region may hide union-skyline tuples.
+        st.active = false;
+        out.partial_coverage = true;
+      } else if (st.pruner->round_paused()) {
+        if (st.pending_saved) {
+          st.run_state = std::move(st.pending_run_state);
+          st.frontier = std::move(st.pending_frontier);
+          st.has_resume = true;
+        }
+        // else: paused before any starved checkpoint fired (cannot
+        // happen with the one-query-per-iteration drivers; if it ever
+        // does, the stale resume state re-explores, never corrupts).
+      } else {
+        // Exhausted without pause or backend exhaustion: the interrupt
+        // fired inside the run.
+        st.active = false;
+      }
+    }
+    if (options.total_budget > 0) total_remaining -= paid_this_round;
+  }
+
+  for (const BackendState& st : states) {
+    out.complete &= st.complete;
+    BackendReport report;
+    report.name = st.name;
+    report.paid_queries = st.pruner->paid();
+    report.pruned_queries = st.pruner->pruned();
+    report.confirmed = static_cast<int64_t>(st.cand_tuples.size());
+    report.rounds = st.rounds;
+    report.complete = st.complete;
+    report.failed = st.failed;
+    report.error = st.error;
+    out.total_paid += report.paid_queries;
+    out.total_pruned += report.pruned_queries;
+    out.backends.push_back(std::move(report));
+  }
+
+  if (options.mode == FederationOptions::Mode::kJoin) {
+    HDSKY_RETURN_IF_ERROR(JoinPhase(states, join_attr_idx, &out));
+    // Probes are backend queries too.
+    out.total_paid += out.probe_queries;
+    return out;
+  }
+
+  // Union merge: global dominance filter + entity-keyed grouping. This
+  // is also what makes cross-backend pruning exact (docs/federation.md).
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < states.size(); ++i) {
+    const BackendState& st = states[i];
+    for (size_t j = 0; j < st.cand_tuples.size(); ++j) {
+      Candidate c;
+      c.backend = static_cast<int>(i);
+      c.id = st.cand_ids[j];
+      c.tuple = st.cand_tuples[j];
+      c.rank_values = Project(st.cand_tuples[j], st.ranking_attrs);
+      candidates.push_back(std::move(c));
+    }
+  }
+  out.skyline = MergeUnionSkyline(std::move(candidates));
+  return out;
+}
+
+}  // namespace federation
+}  // namespace hdsky

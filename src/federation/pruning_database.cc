@@ -1,0 +1,75 @@
+#include "federation/pruning_database.h"
+
+#include "interface/predicate.h"
+
+namespace hdsky {
+namespace federation {
+
+using common::Result;
+using common::Status;
+using interface::Query;
+using interface::QueryResult;
+
+PruningDatabase::PruningDatabase(interface::HiddenDatabase* backend)
+    : backend_(backend),
+      corner_(static_cast<size_t>(backend->schema().num_attributes()),
+              data::Value{0}) {}
+
+void PruningDatabase::StartRound(int64_t allowance,
+                                 const skyline::DominanceIndex* frozen) {
+  remaining_ = allowance;
+  frozen_ = frozen;
+  round_paused_ = false;
+  // backend_exhausted_ is terminal: a spent backend budget does not come
+  // back next round.
+}
+
+bool PruningDatabase::RegionPruned(const interface::Query& q) const {
+  if (frozen_ == nullptr || frozen_->size() == 0) return false;
+  const data::Schema& schema = backend_->schema();
+  // The best tuple the region could hold: every ranking attribute at its
+  // interval's lower bound (values are normalized smaller-is-better),
+  // clamped into the attribute domain. Non-ranking attributes are not
+  // read by the index.
+  for (const int attr : schema.ranking_attributes()) {
+    const interface::Interval& iv = q.interval(attr);
+    data::Value lo = iv.lower;
+    const data::Value dmin = schema.attribute(attr).domain_min;
+    if (lo < dmin) lo = dmin;
+    corner_[static_cast<size_t>(attr)] = lo;
+  }
+  return frozen_->DominatedOrEqual(corner_);
+}
+
+Result<QueryResult> PruningDatabase::Execute(const Query& q) {
+  if (RegionPruned(q)) {
+    pruned_ += 1;
+    // Empty and non-overflowing: exactly what the backend would answer
+    // if the region held nothing — which, for the union skyline's
+    // purposes, it does.
+    return QueryResult{};
+  }
+  if (remaining_ == 0) {
+    round_paused_ = true;
+    return Status::ResourceExhausted(
+        "federation round allowance spent; backend pauses until the "
+        "scheduler grants more budget");
+  }
+  Result<QueryResult> r = backend_->Execute(q);
+  if (r.ok()) {
+    paid_ += 1;
+    if (remaining_ > 0) remaining_ -= 1;
+    for (size_t i = 0; i < r->ids.size(); ++i) {
+      if (observed_id_set_.insert(r->ids[i]).second) {
+        observed_ids_.push_back(r->ids[i]);
+        observed_tuples_.push_back(r->tuples[i]);
+      }
+    }
+  } else if (r.status().IsResourceExhausted()) {
+    backend_exhausted_ = true;
+  }
+  return r;
+}
+
+}  // namespace federation
+}  // namespace hdsky

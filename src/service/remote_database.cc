@@ -44,6 +44,27 @@ Result<std::unique_ptr<RemoteHiddenDatabase>> RemoteHiddenDatabase::Connect(
   return db;
 }
 
+Status RemoteHiddenDatabase::SendFrame(net::FrameType type,
+                                       const std::string& payload) {
+  Status s = net::WriteFrame(socket_, type, payload);
+  // Count on success only: a failed write may have sent anywhere from 0
+  // to all bytes, and undercounting a torn frame beats inventing traffic.
+  if (s.ok()) {
+    stats_.bytes_sent +=
+        static_cast<int64_t>(net::kFrameHeaderBytes + payload.size());
+  }
+  return s;
+}
+
+Status RemoteHiddenDatabase::RecvFrame(net::Frame* frame) {
+  Status s = net::ReadFrame(socket_, frame);
+  if (s.ok()) {
+    stats_.bytes_received +=
+        static_cast<int64_t>(net::kFrameHeaderBytes + frame->payload.size());
+  }
+  return s;
+}
+
 Status RemoteHiddenDatabase::EnsureConnected() {
   if (socket_.valid()) return Status::OK();
   HDSKY_ASSIGN_OR_RETURN(
@@ -52,43 +73,59 @@ Status RemoteHiddenDatabase::EnsureConnected() {
   HDSKY_RETURN_IF_ERROR(sock.SetIoTimeout(options_.io_timeout_ms));
   std::string hello;
   net::EncodeHello(options_.session_id, &hello);
-  HDSKY_RETURN_IF_ERROR(net::WriteFrame(sock, FrameType::kHello, hello));
+  socket_ = std::move(sock);
+  Status hs = SendFrame(FrameType::kHello, hello);
+  if (!hs.ok()) {
+    Disconnect();
+    return hs;
+  }
   Frame frame;
-  HDSKY_RETURN_IF_ERROR(net::ReadFrame(sock, &frame));
+  hs = RecvFrame(&frame);
+  if (!hs.ok()) {
+    Disconnect();
+    return hs;
+  }
   if (frame.type == FrameType::kStatus) {
     // The server refused the connection (e.g. connection limit).
+    Disconnect();
     uint64_t seq;
     uint16_t code;
     std::string message;
     HDSKY_RETURN_IF_ERROR(
         net::DecodeStatusFrame(frame.payload, &seq, &code, &message));
     if (net::IsTransient(static_cast<WireStatus>(code))) {
-      // Reported as IOError so the retry loop treats it as transient
-      // rather than a final budget signal.
-      return Status::IOError("server throttled the connection: " + message);
+      // The server is shedding load, not broken: Unavailable, which the
+      // retry loop below still treats as transient.
+      return Status::Unavailable("server throttled the connection: " +
+                                 message);
     }
     return net::StatusFromWire(code, message);
   }
   if (frame.type != FrameType::kDescriptor) {
+    Disconnect();
     return Status::IOError(std::string("expected Descriptor, got ") +
                            net::FrameTypeToString(frame.type));
   }
-  HDSKY_ASSIGN_OR_RETURN(net::Descriptor descriptor,
-                         net::DecodeDescriptor(frame.payload));
+  auto descriptor_or = net::DecodeDescriptor(frame.payload);
+  if (!descriptor_or.ok()) {
+    Disconnect();
+    return descriptor_or.status();
+  }
+  net::Descriptor descriptor = std::move(descriptor_or).value();
   if (ever_connected_) {
     if (descriptor.schema.num_attributes() != schema_.num_attributes() ||
         descriptor.k != k_) {
+      Disconnect();
       return Status::IOError(
           "server changed its interface mid-session (schema or k differs)");
     }
-    telemetry_.reconnects += 1;
+    stats_.reconnects += 1;
   } else {
     schema_ = std::move(descriptor.schema);
     k_ = descriptor.k;
     ever_connected_ = true;
   }
   remaining_budget_ = descriptor.remaining_budget;
-  socket_ = std::move(sock);
   return Status::OK();
 }
 
@@ -102,6 +139,7 @@ void RemoteHiddenDatabase::Backoff(int attempt) {
   // Full jitter over the upper half of the window: desynchronizes
   // competing clients while keeping a floor under the wait.
   const int64_t jittered = delay / 2 + jitter_.UniformInt(0, delay / 2);
+  stats_.backoff_ms += jittered;
   std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
 }
 
@@ -118,23 +156,25 @@ Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
   Status last_error = Status::IOError("no attempt made");
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     if (attempt > 1) {
-      telemetry_.retries += 1;
+      stats_.retries += 1;
       Backoff(attempt - 1);
     }
     Status s = EnsureConnected();
     if (!s.ok()) {
-      if (!s.IsIOError()) return s;  // permanent refusal from the server
+      // IOError (link trouble) and Unavailable (throttled connect) are
+      // transient; anything else is a permanent refusal from the server.
+      if (!s.IsIOError() && !s.IsUnavailable()) return s;
       last_error = s;
       continue;
     }
-    s = net::WriteFrame(socket_, FrameType::kQuery, query_payload);
+    s = SendFrame(FrameType::kQuery, query_payload);
     if (!s.ok()) {
       Disconnect();
       last_error = s;
       continue;
     }
     Frame frame;
-    s = net::ReadFrame(socket_, &frame);
+    s = RecvFrame(&frame);
     if (!s.ok()) {
       Disconnect();
       last_error = s;
@@ -155,7 +195,7 @@ Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
         continue;
       }
       next_seq_ += 1;
-      telemetry_.remote_queries += 1;
+      stats_.remote_queries += 1;
       return result;
     }
     if (frame.type == FrameType::kStatus) {
@@ -171,8 +211,8 @@ Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
       if (net::IsTransient(static_cast<WireStatus>(code))) {
         // Server-side throttle: the connection is healthy, the query was
         // not executed; back off and retry the same sequence number.
-        telemetry_.rate_limited += 1;
-        last_error = Status::ResourceExhausted(
+        stats_.rate_limited += 1;
+        last_error = Status::Unavailable(
             "rate limited by server: " + message);
         continue;
       }
@@ -188,11 +228,15 @@ Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
   }
 
   // Retries exhausted: fail with the last underlying cause, descriptively.
+  // A run of kRateLimited bounces means the server is shedding load —
+  // Unavailable, so callers (exit codes, federation failover) can tell it
+  // apart from a spent budget (ResourceExhausted) and from protocol
+  // failure (IOError).
   const std::string detail = "remote query failed after " +
                              std::to_string(options_.max_attempts) +
                              " attempts: " + last_error.ToString();
-  if (last_error.IsResourceExhausted()) {
-    return Status::ResourceExhausted(detail);
+  if (last_error.IsUnavailable()) {
+    return Status::Unavailable(detail);
   }
   return Status::IOError(detail);
 }

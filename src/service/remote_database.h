@@ -16,7 +16,11 @@
 //    exactly what in-process discovery sees when TopKInterface's budget
 //    runs dry, so anytime behavior is identical locally and remotely.
 //  * When retries run out, Execute fails with a descriptive Status carrying
-//    the last underlying error — it never hangs and never lies.
+//    the last underlying error — it never hangs and never lies. A session
+//    that dies because the server kept shedding load (kRateLimited past the
+//    retry budget) fails with Unavailable, distinct from the
+//    ResourceExhausted a spent query budget produces, so callers can tell
+//    "site is busy, come back later" from "budget is gone".
 //
 // Retries cannot double-count queries: every query carries a session-scoped
 // sequence number and the server replays its cached answer for a sequence
@@ -63,7 +67,10 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
     uint64_t jitter_seed = 0;
   };
 
-  struct Telemetry {
+  /// Per-connection counters, cumulative over the session's lifetime.
+  /// The federation budget scheduler reads these to weigh a backend's
+  /// observed network cost, and hdsky_loadgen reports them per probe.
+  struct Stats {
     /// Queries answered by the server (each counted once, however many
     /// network attempts it took).
     int64_t remote_queries = 0;
@@ -73,6 +80,12 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
     int64_t reconnects = 0;
     /// kRateLimited bounces absorbed by backoff.
     int64_t rate_limited = 0;
+    /// Wire bytes written / read, frame headers included (handshake and
+    /// resent retries too — this is what actually crossed the socket).
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+    /// Total milliseconds spent asleep in retry backoff.
+    int64_t backoff_ms = 0;
   };
 
   /// Connects, performs the Hello/Descriptor handshake, and captures the
@@ -92,7 +105,7 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
   const data::Schema& schema() const override { return schema_; }
   int k() const override { return k_; }
 
-  const Telemetry& telemetry() const { return telemetry_; }
+  const Stats& stats() const { return stats_; }
   /// Remaining per-client budget reported by the server at the last
   /// handshake; -1 = unlimited.
   int64_t server_remaining_budget() const { return remaining_budget_; }
@@ -118,6 +131,9 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
   void Disconnect() { socket_.Close(); }
   /// Sleeps the jittered backoff before (1-based) retry `attempt`.
   void Backoff(int attempt);
+  /// WriteFrame/ReadFrame wrappers that account wire bytes in stats_.
+  common::Status SendFrame(net::FrameType type, const std::string& payload);
+  common::Status RecvFrame(net::Frame* frame);
 
   std::string host_;
   uint16_t port_;
@@ -129,7 +145,7 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
   bool ever_connected_ = false;
   uint64_t next_seq_ = 1;
   common::Rng jitter_;
-  Telemetry telemetry_;
+  Stats stats_;
 };
 
 }  // namespace service

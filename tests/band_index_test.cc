@@ -160,6 +160,87 @@ TEST(ExpandDuplicatesTest, FindsAllValueTwins) {
   EXPECT_EQ(total, 6u);  // 4 twins + 2 singletons
 }
 
+TEST(ExpandDuplicatesTest, EmptyDiscoveryExpandsToNothing) {
+  // An empty-result merge: expanding a discovery that found nothing
+  // costs nothing and is trivially complete.
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100}})).value();
+  Table t(std::move(schema));
+  auto iface = MakeInterface(&t, MakeSumRanking(), 2);
+  core::DiscoveryResult empty;
+  empty.complete = true;
+  auto expanded = core::ExpandDuplicates(iface.get(), empty);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_TRUE(expanded->complete);
+  EXPECT_TRUE(expanded->groups.empty());
+  EXPECT_EQ(expanded->query_cost, 0);
+}
+
+TEST(ExpandDuplicatesTest, NonOverflowingTwinsCostOneQueryEach) {
+  // Equal-ranked tuples differing only in the unranked key, but k is
+  // large enough that the equality query does not overflow: one query
+  // per skyline tuple, no crawl.
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"f", data::AttributeKind::kFiltering,
+        data::InterfaceType::kFilterEquality, 0, 9}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({10, 50, 4}).ok());  // twins
+  ASSERT_TRUE(t.Append({10, 50, 7}).ok());
+  ASSERT_TRUE(t.Append({5, 80, 0}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 3);
+  auto discovery = core::RqDbSky(iface.get());
+  ASSERT_TRUE(discovery.ok());
+  const int64_t discovery_cost = discovery->query_cost;
+
+  auto expanded = core::ExpandDuplicates(iface.get(), *discovery);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_TRUE(expanded->complete);
+  ASSERT_EQ(expanded->groups.size(), 2u);
+  for (const auto& g : expanded->groups) {
+    EXPECT_TRUE(g.complete);
+    EXPECT_EQ(g.ids.size(), g.tuples.size());
+  }
+  // One equality query per discovered tuple, nothing else.
+  EXPECT_EQ(expanded->query_cost, 2);
+  EXPECT_GT(discovery_cost, 0);
+}
+
+TEST(ExpandDuplicatesTest, UncrawlableTwinGroupIsFlaggedIncomplete) {
+  // Four identical rank vectors, NO filtering attribute: the equality
+  // query overflows at k=2 and there is no attribute left to enumerate
+  // the match set with — the group (and the result) must be flagged,
+  // not silently truncated.
+  auto schema = std::move(data::Schema::Create(
+      {{"a", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100},
+       {"b", data::AttributeKind::kRanking, data::InterfaceType::kRQ, 0,
+        100}})).value();
+  Table t(std::move(schema));
+  ASSERT_TRUE(t.Append({10, 50}).ok());
+  ASSERT_TRUE(t.Append({10, 50}).ok());
+  ASSERT_TRUE(t.Append({10, 50}).ok());
+  ASSERT_TRUE(t.Append({10, 50}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 2);
+  auto discovery = core::RqDbSky(iface.get());
+  ASSERT_TRUE(discovery.ok());
+  ASSERT_EQ(discovery->skyline.size(), 1u);
+
+  auto expanded = core::ExpandDuplicates(iface.get(), *discovery);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  ASSERT_EQ(expanded->groups.size(), 1u);
+  EXPECT_FALSE(expanded->groups[0].complete);
+  EXPECT_FALSE(expanded->complete);
+  // The representative and its page-mates are still reported.
+  EXPECT_GE(expanded->groups[0].ids.size(), 2u);
+}
+
 TEST(ExpandDuplicatesTest, BudgetStopsEarly) {
   dataset::SyntheticOptions o;
   o.num_tuples = 300;

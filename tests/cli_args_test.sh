@@ -92,6 +92,40 @@ expect_usage "cache-file-with-trials" \
 expect_usage "trace-with-trials" \
   "$DISCOVER" --demo route --trials 2 --trace /tmp/t.csv
 
+# Federation flags: --federate's vocabulary, and the flags it requires,
+# forbids, or combines with.
+expect_usage "federate-unknown-mode" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate both
+expect_usage "federate-without-connect" "$DISCOVER" --demo route --federate union
+expect_usage "multi-connect-without-federate" \
+  "$DISCOVER" --connect 127.0.0.1:1,127.0.0.1:2
+expect_usage "connect-bad-second-endpoint" \
+  "$DISCOVER" --connect 127.0.0.1:1,localhost --federate union
+expect_usage "join-without-join-attr" \
+  "$DISCOVER" --connect 127.0.0.1:1,127.0.0.1:2 --federate join
+expect_usage "union-with-join-attr" \
+  "$DISCOVER" --connect 127.0.0.1:1,127.0.0.1:2 --federate union --join-attr id
+expect_usage "round-budget-without-federate" \
+  "$DISCOVER" --connect 127.0.0.1:1 --round-budget 16
+expect_usage "federation-json-without-federate" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federation-json /tmp/f.json
+expect_usage "round-budget-garbage" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --round-budget 8x
+expect_usage "federate-with-journal" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --journal /tmp/j
+expect_usage "federate-with-cache" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --cache
+expect_usage "federate-with-trace" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --trace /tmp/t.csv
+expect_usage "federate-bad-algorithm" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --algorithm baseline
+
+# --dump-data is a local-table affair.
+expect_usage "dump-data-with-connect" \
+  "$DISCOVER" --connect 127.0.0.1:1 --dump-data /tmp/d.csv
+expect_usage "dump-data-with-trials" \
+  "$DISCOVER" --demo route --trials 2 --dump-data /tmp/d.csv
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures argument-validation case(s) failed" >&2
   exit 1

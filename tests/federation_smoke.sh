@@ -1,0 +1,186 @@
+#!/bin/sh
+# Federation loopback smoke: three hdsky_serve backends (one behind a
+# fault-injecting hdsky_proxy), one federated union discovery.
+#
+# Demands:
+#  * the federated union skyline equals the merged single-site ground
+#    truth exactly (at ranking-value granularity — the only granularity
+#    a top-k interface can reveal),
+#  * the federated run pays strictly fewer backend queries than the
+#    three sequential discoveries it replaces, with a non-zero number
+#    answered free from the shared dominance index,
+#  * scripts/compare_bench.py accepts the run's --federation-json, and
+#  * killing one backend mid-run degrades gracefully: the remaining
+#    backends finish, the exit code stays 0, and the output is flagged
+#    "coverage: PARTIAL".
+#
+# Usage: federation_smoke.sh <hdsky_serve> <hdsky_discover> <hdsky_proxy>
+#                            <compare_bench.py>
+set -u
+
+SERVE=$1
+DISCOVER=$2
+PROXY=$3
+COMPARE=$4
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hdsky_fed.XXXXXX") || exit 1
+PIDS=""
+
+cleanup() {
+  for pid in $PIDS; do
+    kill -TERM "$pid" 2>/dev/null
+  done
+  for pid in $PIDS; do
+    wait "$pid" 2>/dev/null
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# wait_listen <out-file> <pid>: blocks until the "listening on" line
+# appears, then prints the port.
+wait_listen() {
+  out=$1
+  pid=$2
+  i=0
+  while [ $i -lt 100 ]; do
+    if grep -q "listening on" "$out" 2>/dev/null; then
+      sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$out"
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || return 1
+    i=$((i + 1))
+    sleep 0.1
+  done
+  return 1
+}
+
+# start_serve <name> <n> <seed>: bluenile backend on an ephemeral port;
+# sets PORT.
+start_serve() {
+  name=$1
+  n=$2
+  seed=$3
+  "$SERVE" --demo bluenile --n "$n" --k 10 --seed "$seed" --port 0 \
+    >"$WORK/$name.out" 2>"$WORK/$name.err" &
+  pid=$!
+  PIDS="$PIDS $pid"
+  eval "${name}_PID=$pid"
+  PORT=$(wait_listen "$WORK/$name.out" "$pid") \
+    || fail "$name did not come up: $(cat "$WORK/$name.err")"
+}
+
+N=2000
+
+start_serve s1 $N 1
+P1=$PORT
+start_serve s2 $N 2
+P2=$PORT
+start_serve s3 $N 3
+P3=$PORT
+
+# Backend 3 sits behind an adversarial proxy: spurious BUSY bounces and
+# small delays, all recoverable by the client's retry machinery.
+"$PROXY" --upstream "127.0.0.1:$P3" --port 0 --seed 11 \
+  --rate-limit 0.05 --delay 0.02 --delay-ms 5 \
+  >"$WORK/proxy.out" 2>"$WORK/proxy.err" &
+PROXY_PID=$!
+PIDS="$PIDS $PROXY_PID"
+PP=$(wait_listen "$WORK/proxy.out" "$PROXY_PID") \
+  || fail "proxy did not come up: $(cat "$WORK/proxy.err")"
+
+# --- Ground truth: dump each site's table, merge, discover locally. ----
+for s in 1 2 3; do
+  "$DISCOVER" --demo bluenile --n $N --seed $s \
+    --dump-data "$WORK/site$s.csv" >/dev/null 2>&1 \
+    || fail "dump-data failed for seed $s"
+done
+head -1 "$WORK/site1.csv" >"$WORK/merged.csv"
+for s in 1 2 3; do
+  tail -n +2 "$WORK/site$s.csv" >>"$WORK/merged.csv"
+done
+"$DISCOVER" --data "$WORK/merged.csv" --algorithm rq \
+  --out "$WORK/truth.csv" >/dev/null 2>&1 \
+  || fail "ground-truth discovery over merged CSV failed"
+
+# --- Sequential baseline: three independent remote discoveries. -------
+SEQ=0
+for ep in "127.0.0.1:$P1" "127.0.0.1:$P2" "127.0.0.1:$PP"; do
+  "$DISCOVER" --connect "$ep" --algorithm rq >"$WORK/seq.txt" 2>/dev/null \
+    || fail "sequential discovery against $ep failed"
+  q=$(sed -n 's/^queries : \([0-9][0-9]*\).*/\1/p' "$WORK/seq.txt")
+  [ -n "$q" ] || fail "no query count in sequential output for $ep"
+  SEQ=$((SEQ + q))
+done
+
+# --- Federated union over all three (one behind the proxy). -----------
+"$DISCOVER" --connect "127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$PP" \
+  --federate union --algorithm rq --round-budget 24 \
+  --out "$WORK/fed.csv" --federation-json "$WORK/fed.json" \
+  >"$WORK/fed.txt" 2>"$WORK/fed.err" \
+  || fail "federated discovery failed: $(cat "$WORK/fed.err")"
+grep -q "coverage: PARTIAL" "$WORK/fed.txt" \
+  && fail "healthy federation reported partial coverage"
+
+# Exactness at ranking-value granularity (first 5 bluenile columns are
+# the ranked ones; representatives may differ in the filtering Shape).
+rank_proj() {
+  tail -n +2 "$1" | cut -d, -f1-5 | sort -u
+}
+rank_proj "$WORK/truth.csv" >"$WORK/truth.proj"
+rank_proj "$WORK/fed.csv" >"$WORK/fed.proj"
+diff -q "$WORK/truth.proj" "$WORK/fed.proj" >/dev/null \
+  || fail "federated union skyline differs from merged ground truth"
+GROUPS=$(wc -l <"$WORK/truth.proj")
+echo "union   : $GROUPS skyline groups, identical to merged ground truth"
+
+# Savings: strictly fewer paid queries than the sequential runs, with a
+# non-zero pruned count.
+PAID=$(sed -n 's/^queries : \([0-9][0-9]*\) paid.*/\1/p' "$WORK/fed.txt")
+PRUNED=$(sed -n 's/^queries : [0-9]* paid, \([0-9][0-9]*\) answered.*/\1/p' \
+  "$WORK/fed.txt")
+[ -n "$PAID" ] && [ -n "$PRUNED" ] \
+  || fail "could not parse federation summary: $(cat "$WORK/fed.txt")"
+[ "$PAID" -lt "$SEQ" ] \
+  || fail "federation paid $PAID queries, sequential only $SEQ"
+[ "$PRUNED" -gt 0 ] || fail "no queries pruned by the shared index"
+echo "queries : federated $PAID vs sequential $SEQ ($PRUNED pruned)"
+
+# The bench JSON must pass the federation perf gate.
+python3 "$COMPARE" "$WORK/fed.json" \
+  || fail "compare_bench.py rejected the federation JSON"
+
+# --- Graceful degradation: kill one backend mid-run. ------------------
+# The victim gets a catalog an order of magnitude bigger than the
+# survivors, so its traversal is guaranteed to still be in flight when
+# the kill lands even on a fast unloaded machine; the kill itself comes
+# early, right after the connections are up. Landing before the first
+# victim query is fine too — the next query fails and the backend is
+# dropped the same way.
+start_serve victim 20000 4
+PV=$PORT
+"$DISCOVER" --connect "127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$PV" \
+  --federate union --algorithm rq --round-budget 24 \
+  >"$WORK/kill.txt" 2>"$WORK/kill.err" &
+DISC_PID=$!
+sleep 0.2
+kill -KILL "$victim_PID" 2>/dev/null
+wait "$DISC_PID"
+code=$?
+[ "$code" -eq 0 ] \
+  || fail "federation exited $code after backend kill: $(cat "$WORK/kill.err")"
+grep -q "coverage: PARTIAL" "$WORK/kill.txt" \
+  || fail "no partial-coverage flag after backend kill"
+grep -q "FAILED" "$WORK/kill.err" \
+  || fail "no failed-backend report on stderr after kill"
+# The survivors must have finished their full traversals.
+n_complete=$(grep -c "complete$" "$WORK/kill.err")
+[ "$n_complete" -eq 2 ] \
+  || fail "expected 2 surviving complete backends, saw $n_complete"
+echo "degrade : backend kill tolerated, survivors complete, flagged PARTIAL"
+
+echo "federation smoke passed"

@@ -1,0 +1,522 @@
+// Tests for the federation subsystem: budget scheduler, cross-backend
+// pruning decorator, entity merge, and end-to-end federated discovery
+// over multiple local backends.
+
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rq_db_sky.h"
+#include "dataset/blue_nile.h"
+#include "federation/budget_scheduler.h"
+#include "federation/entity_merge.h"
+#include "federation/federated_discovery.h"
+#include "federation/pruning_database.h"
+#include "skyline/compute.h"
+#include "skyline/dominance.h"
+#include "skyline/dominance_index.h"
+#include "tests/test_util.h"
+
+namespace hdsky {
+namespace {
+
+using data::Table;
+using data::Tuple;
+using data::TupleId;
+using federation::AllocateBudget;
+using federation::BackendYield;
+using federation::Candidate;
+using federation::EntityObservation;
+using federation::FederatedResult;
+using federation::FederationOptions;
+using federation::JoinSkyline;
+using federation::MergeUnionSkyline;
+using federation::PruningDatabase;
+using federation::RunFederatedDiscovery;
+using interface::MakeSumRanking;
+using testutil::MakeInterface;
+
+// ---------------------------------------------------------------------------
+// Budget scheduler
+
+TEST(BudgetSchedulerTest, InactiveBackendsGetNothing) {
+  std::vector<BackendYield> yields(3);
+  yields[1].active = true;
+  yields[1].ranking_attrs = 2;
+  const auto alloc = AllocateBudget(yields, 100, 4);
+  EXPECT_EQ(alloc[0], 0);
+  EXPECT_EQ(alloc[1], 100);
+  EXPECT_EQ(alloc[2], 0);
+}
+
+TEST(BudgetSchedulerTest, EveryUnitAssignedAndMinShareHolds) {
+  std::vector<BackendYield> yields(3);
+  for (int i = 0; i < 3; ++i) {
+    yields[static_cast<size_t>(i)].active = true;
+    yields[static_cast<size_t>(i)].ranking_attrs = 3;
+    yields[static_cast<size_t>(i)].confirmed = 10 * (i + 1);
+  }
+  const int64_t budget = 101;  // odd on purpose: remainder must go somewhere
+  const auto alloc = AllocateBudget(yields, budget, 4);
+  int64_t total = 0;
+  for (const int64_t a : alloc) {
+    EXPECT_GE(a, 4);
+    total += a;
+  }
+  EXPECT_EQ(total, budget);
+}
+
+TEST(BudgetSchedulerTest, HigherObservedYieldWinsBudget) {
+  std::vector<BackendYield> yields(2);
+  for (auto& y : yields) {
+    y.active = true;
+    y.ranking_attrs = 2;
+    y.confirmed = 20;
+    y.last_round_paid = 20;
+  }
+  yields[0].last_round_new = 10;  // 2 queries per new tuple
+  yields[1].last_round_new = 1;   // 20 queries per new tuple
+  const auto alloc = AllocateBudget(yields, 100, 4);
+  EXPECT_GT(alloc[0], alloc[1]);
+  EXPECT_EQ(alloc[0] + alloc[1], 100);
+}
+
+TEST(BudgetSchedulerTest, DeterministicForEqualInputs) {
+  std::vector<BackendYield> yields(4);
+  for (size_t i = 0; i < yields.size(); ++i) {
+    yields[i].active = true;
+    yields[i].ranking_attrs = 2 + static_cast<int>(i % 2);
+    yields[i].confirmed = static_cast<int64_t>(7 * i);
+    yields[i].last_round_paid = static_cast<int64_t>(3 * i);
+    yields[i].last_round_new = static_cast<int64_t>(i);
+  }
+  EXPECT_EQ(AllocateBudget(yields, 77, 2), AllocateBudget(yields, 77, 2));
+}
+
+// ---------------------------------------------------------------------------
+// PruningDatabase
+
+data::Schema TwoAttrRqSchema() {
+  return std::move(data::Schema::Create(
+                       {{"a", data::AttributeKind::kRanking,
+                         data::InterfaceType::kRQ, 0, 100},
+                        {"b", data::AttributeKind::kRanking,
+                         data::InterfaceType::kRQ, 0, 100}}))
+      .value();
+}
+
+TEST(PruningDatabaseTest, PrunesRegionDominatedByFrozenWitness) {
+  Table t(TwoAttrRqSchema());
+  ASSERT_TRUE(t.Append({50, 50}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 5);
+  PruningDatabase pruner(iface.get());
+
+  skyline::DominanceIndex frozen({0, 1});
+  frozen.Insert({10, 10});
+  pruner.StartRound(-1, &frozen);
+
+  // Region [20, 100] x [20, 100]: best corner (20, 20) is dominated by
+  // the witness (10, 10) — answered free and empty.
+  interface::Query pruned_q(2);
+  pruned_q.AddAtLeast(0, 20).AddAtLeast(1, 20);
+  auto r1 = pruner.Execute(pruned_q);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_TRUE(r1->empty());
+  EXPECT_FALSE(r1->overflow);
+  EXPECT_EQ(pruner.pruned(), 1);
+  EXPECT_EQ(pruner.paid(), 0);
+
+  // Region [5, 100] x [5, 100]: corner (5, 5) beats the witness — the
+  // query is forwarded and pays.
+  interface::Query open_q(2);
+  open_q.AddAtLeast(0, 5).AddAtLeast(1, 5);
+  auto r2 = pruner.Execute(open_q);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->size(), 1);
+  EXPECT_EQ(pruner.paid(), 1);
+}
+
+TEST(PruningDatabaseTest, EqualCornerIsPrunedToo) {
+  Table t(TwoAttrRqSchema());
+  ASSERT_TRUE(t.Append({50, 50}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 5);
+  PruningDatabase pruner(iface.get());
+
+  skyline::DominanceIndex frozen({0, 1});
+  frozen.Insert({20, 20});
+  pruner.StartRound(-1, &frozen);
+
+  // Corner exactly equals the witness: a value duplicate cannot improve
+  // the union skyline, so equality prunes as well.
+  interface::Query q(2);
+  q.AddAtLeast(0, 20).AddAtLeast(1, 20);
+  auto r = pruner.Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(pruner.pruned(), 1);
+}
+
+TEST(PruningDatabaseTest, AllowancePausesAndResumesAcrossRounds) {
+  Table t(TwoAttrRqSchema());
+  ASSERT_TRUE(t.Append({1, 2}).ok());
+  ASSERT_TRUE(t.Append({2, 1}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1);
+  PruningDatabase pruner(iface.get());
+
+  pruner.StartRound(1, nullptr);
+  interface::Query q(2);
+  EXPECT_TRUE(pruner.Execute(q).ok());
+  EXPECT_EQ(pruner.remaining(), 0);
+  auto starved = pruner.Execute(q);
+  EXPECT_TRUE(starved.status().IsResourceExhausted());
+  EXPECT_TRUE(pruner.round_paused());
+  EXPECT_FALSE(pruner.backend_exhausted());
+
+  // A new round's allowance clears the pause.
+  pruner.StartRound(1, nullptr);
+  EXPECT_FALSE(pruner.round_paused());
+  EXPECT_TRUE(pruner.Execute(q).ok());
+  EXPECT_EQ(pruner.paid(), 2);
+}
+
+TEST(PruningDatabaseTest, BackendBudgetExhaustionIsTerminal) {
+  Table t(TwoAttrRqSchema());
+  ASSERT_TRUE(t.Append({1, 2}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 1, /*budget=*/1);
+  PruningDatabase pruner(iface.get());
+
+  pruner.StartRound(-1, nullptr);
+  interface::Query q(2);
+  EXPECT_TRUE(pruner.Execute(q).ok());
+  auto refused = pruner.Execute(q);
+  EXPECT_TRUE(refused.status().IsResourceExhausted());
+  EXPECT_TRUE(pruner.backend_exhausted());
+  EXPECT_FALSE(pruner.round_paused());
+}
+
+TEST(PruningDatabaseTest, ObservedPoolDeduplicatesById) {
+  Table t(TwoAttrRqSchema());
+  ASSERT_TRUE(t.Append({1, 2}).ok());
+  ASSERT_TRUE(t.Append({2, 1}).ok());
+  auto iface = MakeInterface(&t, MakeSumRanking(), 5);
+  PruningDatabase pruner(iface.get());
+
+  pruner.StartRound(-1, nullptr);
+  interface::Query q(2);
+  EXPECT_TRUE(pruner.Execute(q).ok());
+  EXPECT_TRUE(pruner.Execute(q).ok());  // same page again
+  EXPECT_EQ(pruner.paid(), 2);
+  EXPECT_EQ(pruner.observed_ids().size(), 2u);
+  EXPECT_EQ(pruner.observed_tuples().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Entity merge
+
+Candidate MakeCandidate(int backend, TupleId id, Tuple rank_values) {
+  Candidate c;
+  c.backend = backend;
+  c.id = id;
+  c.tuple = rank_values;
+  c.rank_values = std::move(rank_values);
+  return c;
+}
+
+TEST(EntityMergeTest, GroupsDuplicateRanksAcrossSources) {
+  // The same rank vector surfaces on two backends (and twice on one of
+  // them under different listing ids): one group, every source listed.
+  std::vector<Candidate> cands;
+  cands.push_back(MakeCandidate(1, 7, {3, 4}));
+  cands.push_back(MakeCandidate(0, 2, {3, 4}));
+  cands.push_back(MakeCandidate(0, 9, {3, 4}));
+  cands.push_back(MakeCandidate(1, 1, {1, 9}));
+  const auto groups = MergeUnionSkyline(std::move(cands));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].rank_values, Tuple({1, 9}));
+  EXPECT_EQ(groups[1].rank_values, Tuple({3, 4}));
+  ASSERT_EQ(groups[1].sources.size(), 3u);
+  // Sources sorted by (backend, id); representative is the first.
+  EXPECT_EQ(groups[1].sources[0], std::make_pair(0, TupleId{2}));
+  EXPECT_EQ(groups[1].sources[1], std::make_pair(0, TupleId{9}));
+  EXPECT_EQ(groups[1].sources[2], std::make_pair(1, TupleId{7}));
+}
+
+TEST(EntityMergeTest, CrossBackendDominanceIsFiltered) {
+  std::vector<Candidate> cands;
+  cands.push_back(MakeCandidate(0, 1, {5, 5}));
+  cands.push_back(MakeCandidate(1, 1, {4, 5}));  // dominates backend 0's
+  const auto groups = MergeUnionSkyline(std::move(cands));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].rank_values, Tuple({4, 5}));
+}
+
+TEST(EntityMergeTest, EmptyMergeYieldsEmptySkyline) {
+  EXPECT_TRUE(MergeUnionSkyline({}).empty());
+}
+
+TEST(EntityMergeTest, JoinRequiresEveryBackend) {
+  // Entity keys: 1 on both backends, 2 only on backend 0.
+  std::vector<std::vector<EntityObservation>> obs(2);
+  obs[0].push_back({1, {5, 5}});
+  obs[0].push_back({2, {1, 1}});
+  obs[1].push_back({1, {3, 7}});
+  const auto joined = JoinSkyline(obs, 2);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].key, 1);
+  // Componentwise best across backends.
+  EXPECT_EQ(joined[0].rank_values, Tuple({3, 5}));
+}
+
+TEST(EntityMergeTest, JoinSkylineFiltersDominatedEntities) {
+  std::vector<std::vector<EntityObservation>> obs(1);
+  obs[0].push_back({1, {2, 2}});
+  obs[0].push_back({2, {3, 3}});  // dominated by entity 1
+  obs[0].push_back({3, {1, 4}});
+  const auto joined = JoinSkyline(obs, 1);
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined[0].key, 1);
+  EXPECT_EQ(joined[1].key, 3);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end federated discovery
+
+/// Three independently seeded small catalogs of the same shape.
+std::vector<Table> ThreeSites(int64_t n) {
+  std::vector<Table> sites;
+  for (int s = 1; s <= 3; ++s) {
+    dataset::BlueNileOptions o;
+    o.num_tuples = n;
+    o.seed = static_cast<uint64_t>(s);
+    sites.push_back(std::move(dataset::GenerateBlueNile(o)).value());
+  }
+  return sites;
+}
+
+std::set<Tuple> MergedGroundTruth(const std::vector<Table>& sites) {
+  Table merged(sites[0].schema());
+  for (const Table& t : sites) {
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_TRUE(merged.Append(t.GetTuple(r)).ok());
+    }
+  }
+  const std::vector<int> attrs = merged.schema().ranking_attributes();
+  std::set<Tuple> truth;
+  for (const TupleId id : skyline::SkylineSFS(merged)) {
+    Tuple p(attrs.size());
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      p[a] = merged.value(id, attrs[a]);
+    }
+    truth.insert(std::move(p));
+  }
+  return truth;
+}
+
+std::set<Tuple> FederatedValues(const FederatedResult& r) {
+  std::set<Tuple> found;
+  for (const auto& g : r.skyline) found.insert(g.rank_values);
+  return found;
+}
+
+TEST(FederatedDiscoveryTest, UnionEqualsMergedSkylineAndNeverPaysMore) {
+  const std::vector<Table> sites = ThreeSites(300);
+  int64_t sequential = 0;
+  std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+  std::vector<interface::HiddenDatabase*> backends;
+  for (const Table& t : sites) {
+    auto iface = MakeInterface(&t, MakeSumRanking(), 10);
+    auto solo = core::RqDbSky(iface.get());
+    ASSERT_TRUE(solo.ok()) << solo.status();
+    sequential += solo->query_cost;
+    ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+    backends.push_back(ifaces.back().get());
+  }
+
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 32;
+  auto r = RunFederatedDiscovery(backends, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->complete);
+  EXPECT_FALSE(r->partial_coverage);
+  EXPECT_EQ(FederatedValues(*r), MergedGroundTruth(sites));
+  // Resume-exact round slicing never re-pays a query, and pruning only
+  // subtracts: the federation can never cost more than K solo runs.
+  EXPECT_LE(r->total_paid, sequential);
+  EXPECT_EQ(r->total_paid + r->total_pruned, sequential);
+}
+
+TEST(FederatedDiscoveryTest, ResultIndependentOfThreadCount) {
+  const std::vector<Table> sites = ThreeSites(200);
+  std::vector<FederatedResult> results;
+  for (const int threads : {1, 4}) {
+    std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+    std::vector<interface::HiddenDatabase*> backends;
+    for (const Table& t : sites) {
+      ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+      backends.push_back(ifaces.back().get());
+    }
+    FederationOptions opts;
+    opts.mode = FederationOptions::Mode::kUnion;
+    opts.round_budget = 16;
+    opts.num_threads = threads;
+    auto r = RunFederatedDiscovery(backends, opts);
+    ASSERT_TRUE(r.ok()) << r.status();
+    results.push_back(std::move(*r));
+  }
+  EXPECT_EQ(FederatedValues(results[0]), FederatedValues(results[1]));
+  ASSERT_EQ(results[0].backends.size(), results[1].backends.size());
+  for (size_t i = 0; i < results[0].backends.size(); ++i) {
+    EXPECT_EQ(results[0].backends[i].paid_queries,
+              results[1].backends[i].paid_queries);
+    EXPECT_EQ(results[0].backends[i].pruned_queries,
+              results[1].backends[i].pruned_queries);
+  }
+}
+
+/// Delegating backend that starts failing after `fail_after` queries —
+/// a site that goes down mid-federation.
+class DyingBackend : public interface::HiddenDatabase {
+ public:
+  DyingBackend(interface::HiddenDatabase* inner, int64_t fail_after)
+      : inner_(inner), fail_after_(fail_after) {}
+  const data::Schema& schema() const override { return inner_->schema(); }
+  int k() const override { return inner_->k(); }
+  common::Result<interface::QueryResult> Execute(
+      const interface::Query& q) override {
+    if (executed_ >= fail_after_) {
+      return common::Status::IOError("backend died");
+    }
+    ++executed_;
+    return inner_->Execute(q);
+  }
+
+ private:
+  interface::HiddenDatabase* inner_;
+  int64_t fail_after_;
+  int64_t executed_ = 0;
+};
+
+TEST(FederatedDiscoveryTest, DeadBackendDegradesGracefully) {
+  const std::vector<Table> sites = ThreeSites(200);
+  std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+  for (const Table& t : sites) {
+    ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+  }
+  DyingBackend dying(ifaces[1].get(), 12);
+  std::vector<interface::HiddenDatabase*> backends = {
+      ifaces[0].get(), &dying, ifaces[2].get()};
+
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 16;
+  auto r = RunFederatedDiscovery(backends, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->partial_coverage);
+  EXPECT_FALSE(r->complete);
+  ASSERT_EQ(r->backends.size(), 3u);
+  EXPECT_TRUE(r->backends[1].failed);
+  EXPECT_FALSE(r->backends[1].error.empty());
+  EXPECT_TRUE(r->backends[0].complete);
+  EXPECT_TRUE(r->backends[2].complete);
+
+  // Anytime guarantee relative to what WAS explored. The dead site's
+  // unexplored tail may dominate reported vectors (that is what the
+  // partial_coverage flag warns about), but the two complete sites are
+  // fully accounted for:
+  //  * nothing either complete site holds dominates a reported vector,
+  //  * every skyline vector of their union is reported, or was knocked
+  //    out by a reported candidate the dead site surfaced in time.
+  const std::set<Tuple> alive_truth =
+      MergedGroundTruth({sites[0], sites[2]});
+  const std::set<Tuple> reported = FederatedValues(*r);
+  std::vector<int> attrs(r->ranking_attr_names.size());
+  std::iota(attrs.begin(), attrs.end(), 0);
+  for (const Tuple& v : reported) {
+    for (const Tuple& s : alive_truth) {
+      EXPECT_NE(skyline::Compare(s, v, attrs),
+                skyline::DomRelation::kDominates)
+          << "a complete site's skyline dominates a reported vector";
+    }
+  }
+  for (const Tuple& s : alive_truth) {
+    bool covered = reported.count(s) > 0;
+    for (auto it = reported.begin(); !covered && it != reported.end();
+         ++it) {
+      covered = skyline::Compare(*it, s, attrs) ==
+                skyline::DomRelation::kDominates;
+    }
+    EXPECT_TRUE(covered)
+        << "complete sites' skyline vector neither reported nor beaten";
+  }
+}
+
+TEST(FederatedDiscoveryTest, RejectsMismatchedRankingSchemas) {
+  Table a(TwoAttrRqSchema());
+  ASSERT_TRUE(a.Append({1, 2}).ok());
+  auto other_schema = std::move(data::Schema::Create(
+                                    {{"x", data::AttributeKind::kRanking,
+                                      data::InterfaceType::kRQ, 0, 100},
+                                     {"b", data::AttributeKind::kRanking,
+                                      data::InterfaceType::kRQ, 0, 100}}))
+                          .value();
+  Table b(std::move(other_schema));
+  ASSERT_TRUE(b.Append({1, 2}).ok());
+  auto ia = MakeInterface(&a, MakeSumRanking(), 5);
+  auto ib = MakeInterface(&b, MakeSumRanking(), 5);
+  FederationOptions opts;
+  auto r = RunFederatedDiscovery({ia.get(), ib.get()}, opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+data::Schema KeyedSchema() {
+  return std::move(data::Schema::Create(
+                       {{"price", data::AttributeKind::kRanking,
+                         data::InterfaceType::kRQ, 0, 100},
+                        {"stops", data::AttributeKind::kRanking,
+                         data::InterfaceType::kRQ, 0, 100},
+                        {"key", data::AttributeKind::kFiltering,
+                         data::InterfaceType::kFilterEquality, 0, 9}}))
+      .value();
+}
+
+TEST(FederatedDiscoveryTest, JoinModeInnerJoinsOnSharedKey) {
+  // Keys 1..3 on site A, keys 2..4 on site B: only 2 and 3 join.
+  Table a(KeyedSchema());
+  ASSERT_TRUE(a.Append({10, 10, 1}).ok());
+  ASSERT_TRUE(a.Append({20, 5, 2}).ok());
+  ASSERT_TRUE(a.Append({5, 20, 3}).ok());
+  Table b(KeyedSchema());
+  ASSERT_TRUE(b.Append({15, 8, 2}).ok());
+  ASSERT_TRUE(b.Append({8, 15, 3}).ok());
+  ASSERT_TRUE(b.Append({1, 1, 4}).ok());
+  auto ia = MakeInterface(&a, MakeSumRanking(), 5);
+  auto ib = MakeInterface(&b, MakeSumRanking(), 5);
+
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kJoin;
+  opts.join_attr = "key";
+  auto r = RunFederatedDiscovery({ia.get(), ib.get()}, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->joined.size(), 2u);
+  EXPECT_EQ(r->joined[0].key, 2);
+  EXPECT_EQ(r->joined[0].rank_values, Tuple({15, 5}));
+  EXPECT_EQ(r->joined[1].key, 3);
+  EXPECT_EQ(r->joined[1].rank_values, Tuple({5, 15}));
+}
+
+TEST(FederatedDiscoveryTest, JoinNeedsJoinAttr) {
+  Table a(KeyedSchema());
+  ASSERT_TRUE(a.Append({10, 10, 1}).ok());
+  auto ia = MakeInterface(&a, MakeSumRanking(), 5);
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kJoin;
+  auto r = RunFederatedDiscovery({ia.get()}, opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hdsky

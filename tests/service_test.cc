@@ -111,8 +111,8 @@ void ExpectLoopbackEquivalence(data::InterfaceType iface_type,
             local_backend->stats().queries_issued);
   EXPECT_EQ(served_backend->stats().tuples_returned,
             local_backend->stats().tuples_returned);
-  EXPECT_EQ(remote->telemetry().remote_queries, local->query_cost);
-  EXPECT_EQ(remote->telemetry().retries, 0);
+  EXPECT_EQ(remote->stats().remote_queries, local->query_cost);
+  EXPECT_EQ(remote->stats().retries, 0);
 
   server->Stop();
   const DatabaseServer::Stats stats = server->stats();
@@ -212,12 +212,12 @@ TEST(ServiceLoopbackTest, ConnectionLimitThrottlesExtraClients) {
                              "127.0.0.1", server->port(), FastClient(1)))
                    .value();
   // The slot is held; a second client is bounced with a transient
-  // throttle, which Connect reports as a retryable IOError.
+  // throttle, which Connect reports as retryable Unavailable.
   RemoteHiddenDatabase::Options second_opts = FastClient(2);
   auto second = RemoteHiddenDatabase::Connect("127.0.0.1", server->port(),
                                               second_opts);
   ASSERT_FALSE(second.ok());
-  EXPECT_TRUE(second.status().IsIOError());
+  EXPECT_TRUE(second.status().IsUnavailable());
   EXPECT_NE(second.status().ToString().find("throttled"),
             std::string::npos)
       << second.status().ToString();
@@ -257,7 +257,7 @@ TEST(ServiceLoopbackTest, CacheStackShortCircuitsTheNetwork) {
   EXPECT_EQ(cached.hits(), 5);
   EXPECT_EQ(cached.misses(), 1);
   // Only the miss crossed the wire.
-  EXPECT_EQ(remote->telemetry().remote_queries, 1);
+  EXPECT_EQ(remote->stats().remote_queries, 1);
   EXPECT_EQ(backend->stats().queries_issued, 1);
 }
 
@@ -289,7 +289,7 @@ TEST(ServiceLoopbackTest, ServerSurvivesGarbageAndKeepsServing) {
 
 struct FaultRunResult {
   core::DiscoveryResult discovery;
-  RemoteHiddenDatabase::Telemetry telemetry;
+  RemoteHiddenDatabase::Stats client_stats;
   FaultInjectingProxy::Stats proxy_stats;
   DatabaseServer::Stats server_stats;
   interface::AccessStats backend_stats;
@@ -312,7 +312,7 @@ FaultRunResult RunRqThroughFaults(const FaultInjectingProxy::Policy& policy,
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   FaultRunResult out;
   out.discovery = std::move(result).value();
-  out.telemetry = remote->telemetry();
+  out.client_stats = remote->stats();
   proxy->Stop();
   server->Stop();
   out.proxy_stats = proxy->stats();
@@ -339,7 +339,11 @@ TEST(FaultInjectionTest, SurvivesDropsAndTruncationsWithExactAccounting) {
   EXPECT_GT(run.proxy_stats.frames_dropped +
                 run.proxy_stats.frames_truncated,
             0);
-  EXPECT_GT(run.telemetry.retries, 0);
+  EXPECT_GT(run.client_stats.retries, 0);
+  // Every retry slept a jittered backoff and every frame was metered.
+  EXPECT_GT(run.client_stats.backoff_ms, 0);
+  EXPECT_GT(run.client_stats.bytes_sent, 0);
+  EXPECT_GT(run.client_stats.bytes_received, 0);
   // …yet the backend executed each query exactly once: retried sequences
   // were replayed from the server's session cache, never re-executed.
   EXPECT_EQ(run.backend_stats.queries_issued,
@@ -361,7 +365,7 @@ TEST(FaultInjectionTest, AbsorbsSpuriousRateLimitsWithBackoff) {
 
   EXPECT_EQ(run.discovery.skyline_ids, clean->skyline_ids);
   EXPECT_GT(run.proxy_stats.rate_limits_injected, 0);
-  EXPECT_EQ(run.telemetry.rate_limited,
+  EXPECT_EQ(run.client_stats.rate_limited,
             run.proxy_stats.rate_limits_injected);
   EXPECT_EQ(run.backend_stats.queries_issued,
             clean_backend->stats().queries_issued);
@@ -421,11 +425,11 @@ TEST(FaultInjectionTest, PermanentRateLimitGivesUpDescriptively) {
   q.AddAtMost(0, 10);
   auto result = remote->Execute(q);
   ASSERT_FALSE(result.ok());
-  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_TRUE(result.status().IsUnavailable());
   EXPECT_NE(result.status().ToString().find("3 attempts"),
             std::string::npos)
       << result.status().ToString();
-  EXPECT_EQ(remote->telemetry().rate_limited, 3);
+  EXPECT_EQ(remote->stats().rate_limited, 3);
   EXPECT_EQ(backend->stats().queries_issued, 0);
 }
 

@@ -10,11 +10,24 @@
 //   hdsky_discover --demo flights --n 100000 --algorithm rq --budget 500
 //   hdsky_discover --demo autos --band 2
 //   hdsky_discover --connect 127.0.0.1:7447 --algorithm sq --cache
+//   hdsky_discover --connect h1:7447,h2:7447,h3:7447 --federate union
 //
 // Flags:
 //   --data PATH         input CSV (one source: --data | --demo | --connect)
 //   --demo NAME         flights | bluenile | autos | route
-//   --connect HOST:PORT discover against a remote hdsky_serve
+//   --connect HOST:PORT[,HOST:PORT...]
+//                       discover against remote hdsky_serve instance(s);
+//                       more than one endpoint requires --federate
+//   --federate MODE     union | join — federated discovery over every
+//                       --connect endpoint (src/federation); sq/rq only
+//   --join-attr NAME    entity key for --federate join
+//   --round-budget N    paid queries per federation scheduling round
+//                       (0 = auto)
+//   --federation-json PATH
+//                       write the federation summary as benchmark JSON
+//                       (gated in CI by scripts/compare_bench.py)
+//   --dump-data PATH    write the generated/loaded dataset as CSV and
+//                       exit (local sources; builds smoke ground truth)
 //   --n N               demo dataset size (default: the paper's)
 //   --algorithm A       auto | sq | rq | pq | mq | baseline  (default auto)
 //   --k K               page size of the interface (default 10)
@@ -40,7 +53,15 @@
 //
 // The remote interface's page size, ranking, and budget are fixed by the
 // server, so --k/--ranking/--budget (and the local-generation flags) are
-// rejected alongside --connect instead of being silently ignored.
+// rejected alongside --connect instead of being silently ignored. Under
+// --federate, --budget and --threads come back: they configure the
+// federation coordinator (total query budget, fan-out workers), not the
+// remote interfaces.
+//
+// Exit codes: 0 success (including anytime-partial results), 64 usage,
+// 69 the server (or a federation backend at connect time) is shedding
+// load — retry later; the backend is alive but refusing work — and 1 for
+// everything else (protocol failure, bad data, I/O).
 //
 // SIGINT/SIGTERM interrupt the discovery cooperatively: the run unwinds
 // as an anytime partial result, the journal (if any) takes a final
@@ -50,6 +71,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +94,7 @@
 #include "dataset/flights_on_time.h"
 #include "dataset/google_flights.h"
 #include "dataset/yahoo_autos.h"
+#include "federation/federated_discovery.h"
 #include "interface/concurrent_caching_database.h"
 #include "interface/ranking.h"
 #include "interface/top_k_interface.h"
@@ -104,6 +127,12 @@ struct Args {
   std::string data;
   std::string demo;
   std::string connect;
+  std::vector<std::string> connects;  // --connect split on commas
+  std::string federate;               // "" | "union" | "join"
+  std::string join_attr;
+  int64_t round_budget = 0;
+  std::string federation_json;
+  std::string dump_data;
   int64_t n = 0;
   std::string algorithm = "auto";
   int64_t k = 10;
@@ -127,9 +156,16 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: hdsky_discover (--data PATH | --demo NAME | --connect "
-      "HOST:PORT) [options]\n"
+      "HOST:PORT[,...]) [options]\n"
       "  --demo NAME         flights | bluenile | autos | route\n"
-      "  --connect HOST:PORT discover against a remote hdsky_serve\n"
+      "  --connect HOST:PORT[,HOST:PORT...]\n"
+      "                      discover against remote hdsky_serve(s)\n"
+      "  --federate MODE     union | join over every --connect endpoint\n"
+      "  --join-attr NAME    entity key for --federate join\n"
+      "  --round-budget N    paid queries per federation round (0 = "
+      "auto)\n"
+      "  --federation-json PATH  write the federation benchmark JSON\n"
+      "  --dump-data PATH    write the local dataset as CSV and exit\n"
       "  --n N               demo dataset size\n"
       "  --algorithm A       auto | sq | rq | pq | mq | baseline\n"
       "  --k K               interface page size (default 10)\n"
@@ -191,14 +227,42 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->demo = value;
     } else if (flag == "--connect" && need_value(&value)) {
       args->connect = value;
-      std::string host;
-      uint16_t port = 0;
-      const common::Status s = net::ParseHostPort(value, &host, &port);
-      if (!s.ok()) {
-        std::fprintf(stderr, "invalid --connect: %s\n",
-                     s.ToString().c_str());
+      args->connects.clear();
+      // Comma-separated endpoints; each must parse as HOST:PORT.
+      std::string rest = value;
+      while (!rest.empty()) {
+        const size_t comma = rest.find(',');
+        const std::string endpoint = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        std::string host;
+        uint16_t port = 0;
+        const common::Status s =
+            net::ParseHostPort(endpoint, &host, &port);
+        if (!s.ok()) {
+          std::fprintf(stderr, "invalid --connect endpoint '%s': %s\n",
+                       endpoint.c_str(), s.ToString().c_str());
+          return false;
+        }
+        args->connects.push_back(endpoint);
+      }
+      if (args->connects.empty()) {
+        std::fprintf(stderr, "empty --connect\n");
         return false;
       }
+    } else if (flag == "--federate" && need_value(&value)) {
+      if (value != "union" && value != "join") {
+        std::fprintf(stderr, "--federate takes union | join\n");
+        return false;
+      }
+      args->federate = value;
+    } else if (flag == "--join-attr" && need_value(&value)) {
+      args->join_attr = value;
+    } else if (flag == "--round-budget") {
+      if (!int_flag(0, INT64_MAX, &args->round_budget)) return false;
+    } else if (flag == "--federation-json" && need_value(&value)) {
+      args->federation_json = value;
+    } else if (flag == "--dump-data" && need_value(&value)) {
+      args->dump_data = value;
     } else if (flag == "--n") {
       if (!int_flag(1, INT64_MAX, &args->n)) return false;
     } else if (flag == "--algorithm" && need_value(&value)) {
@@ -251,17 +315,75 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "required\n");
     return false;
   }
+  if (!args->federate.empty() && args->connect.empty()) {
+    std::fprintf(stderr, "--federate requires --connect\n");
+    return false;
+  }
+  if (args->connects.size() > 1 && args->federate.empty()) {
+    std::fprintf(stderr,
+                 "multiple --connect endpoints need --federate "
+                 "union|join\n");
+    return false;
+  }
+  if (!args->federate.empty()) {
+    if (args->federate == "join" && args->join_attr.empty()) {
+      std::fprintf(stderr, "--federate join needs --join-attr\n");
+      return false;
+    }
+    if (args->federate == "union" && !args->join_attr.empty()) {
+      std::fprintf(stderr, "--join-attr only applies to --federate "
+                           "join\n");
+      return false;
+    }
+    if (args->algorithm != "auto" && args->algorithm != "sq" &&
+        args->algorithm != "rq") {
+      std::fprintf(stderr,
+                   "--federate drives the checkpointable sq/rq "
+                   "algorithms only (got --algorithm %s)\n",
+                   args->algorithm.c_str());
+      return false;
+    }
+    for (const char* single_site :
+         {"--band", "--cache", "--cache-file", "--journal", "--trace"}) {
+      if (seen.count(single_site)) {
+        std::fprintf(stderr, "%s is a single-site feature; it cannot be "
+                             "combined with --federate\n",
+                     single_site);
+        return false;
+      }
+    }
+  } else {
+    for (const char* federate_only :
+         {"--round-budget", "--federation-json"}) {
+      if (seen.count(federate_only)) {
+        std::fprintf(stderr, "%s requires --federate\n", federate_only);
+        return false;
+      }
+    }
+  }
   if (!args->connect.empty()) {
-    for (const char* local_only :
-         {"--n", "--k", "--ranking", "--budget", "--seed", "--trials",
-          "--threads"}) {
-      if (seen.count(local_only)) {
+    // The server controls the interface; under --federate, --budget and
+    // --threads configure the coordinator instead and stay legal.
+    std::vector<const char*> local_only = {"--n", "--k", "--ranking",
+                                           "--seed", "--trials"};
+    if (args->federate.empty()) {
+      local_only.push_back("--budget");
+      local_only.push_back("--threads");
+    }
+    for (const char* flag : local_only) {
+      if (seen.count(flag)) {
         std::fprintf(stderr,
                      "%s configures a local interface; the server "
                      "controls it under --connect\n",
-                     local_only);
+                     flag);
         return false;
       }
+    }
+    if (seen.count("--dump-data")) {
+      std::fprintf(stderr,
+                   "--dump-data exports a locally generated dataset; it "
+                   "cannot be combined with --connect\n");
+      return false;
     }
   }
   if (args->trials > 1 && args->demo.empty()) {
@@ -270,7 +392,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->trials > 1) {
     for (const char* single_run :
-         {"--journal", "--cache-file", "--trace"}) {
+         {"--journal", "--cache-file", "--trace", "--dump-data"}) {
       if (seen.count(single_run)) {
         std::fprintf(stderr,
                      "%s describes one durable run; it cannot be combined "
@@ -521,6 +643,213 @@ common::Status WriteTrace(const core::ProgressTrace& trace,
   return common::AtomicWriteFile(path, csv);
 }
 
+/// Exit code for a failed connect/discovery: 69 (EX_UNAVAILABLE) when the
+/// server is shedding load — the caller should retry later, nothing is
+/// broken — and 1 for protocol or local failures.
+int FailureExit(const common::Status& s, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+  if (s.IsUnavailable()) {
+    std::fprintf(stderr,
+                 "%s: the server is shedding load (rate limited / at "
+                 "capacity), not failing; retry later\n",
+                 what);
+    return 69;
+  }
+  return 1;
+}
+
+/// Federation summary in google-benchmark JSON shape, so
+/// scripts/compare_bench.py can gate the prune ratio and coverage in CI.
+common::Status WriteFederationJson(const Args& args,
+                                   const federation::FederatedResult& fr,
+                                   double elapsed_ms) {
+  const int64_t skyline_size =
+      args.federate == "join" ? static_cast<int64_t>(fr.joined.size())
+                              : static_cast<int64_t>(fr.skyline.size());
+  const double denom =
+      static_cast<double>(fr.total_paid + fr.total_pruned);
+  const double prune_ratio =
+      denom > 0 ? static_cast<double>(fr.total_pruned) / denom : 0.0;
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"context\": {\"executable\": \"hdsky_discover\"},\n"
+      "  \"benchmarks\": [\n"
+      "    {\n"
+      "      \"name\": \"federation/%s/backends:%zu\",\n"
+      "      \"run_type\": \"iteration\",\n"
+      "      \"iterations\": 1,\n"
+      "      \"real_time\": %.3f,\n"
+      "      \"cpu_time\": %.3f,\n"
+      "      \"time_unit\": \"ms\",\n"
+      "      \"backends\": %zu,\n"
+      "      \"paid_queries\": %lld,\n"
+      "      \"pruned_queries\": %lld,\n"
+      "      \"prune_ratio\": %.6f,\n"
+      "      \"probe_queries\": %lld,\n"
+      "      \"skyline_size\": %lld,\n"
+      "      \"rounds\": %lld,\n"
+      "      \"complete\": %d,\n"
+      "      \"partial_coverage\": %d\n"
+      "    }\n"
+      "  ]\n"
+      "}\n",
+      args.federate.c_str(), fr.backends.size(), elapsed_ms, elapsed_ms,
+      fr.backends.size(), static_cast<long long>(fr.total_paid),
+      static_cast<long long>(fr.total_pruned), prune_ratio,
+      static_cast<long long>(fr.probe_queries),
+      static_cast<long long>(skyline_size),
+      static_cast<long long>(fr.rounds), fr.complete ? 1 : 0,
+      fr.partial_coverage ? 1 : 0);
+  return common::AtomicWriteFile(args.federation_json, buf);
+}
+
+/// Federated discovery over every --connect endpoint: connect to each,
+/// run the round-scheduled coordinator, report, and write the optional
+/// benchmark JSON / skyline CSV.
+int RunFederation(const Args& args) {
+  std::vector<std::unique_ptr<service::RemoteHiddenDatabase>> remotes;
+  std::vector<interface::HiddenDatabase*> backends;
+  for (const std::string& endpoint : args.connects) {
+    std::string host;
+    uint16_t port = 0;
+    const common::Status parsed =
+        net::ParseHostPort(endpoint, &host, &port);
+    if (!parsed.ok()) {  // ParseArgs validated; defensive
+      std::fprintf(stderr, "connect: %s\n", parsed.ToString().c_str());
+      return 64;
+    }
+    service::RemoteHiddenDatabase::Options ropts;
+    auto remote = service::RemoteHiddenDatabase::Connect(host, port, ropts);
+    if (!remote.ok()) {
+      return FailureExit(remote.status(),
+                         ("connect " + endpoint).c_str());
+    }
+    std::fprintf(stderr, "remote  : %s, %s, k=%d\n", endpoint.c_str(),
+                 (*remote)->schema().ToString().c_str(), (*remote)->k());
+    backends.push_back(remote->get());
+    remotes.push_back(std::move(remote).value());
+  }
+
+  federation::FederationOptions fopts;
+  fopts.mode = args.federate == "join"
+                   ? federation::FederationOptions::Mode::kJoin
+                   : federation::FederationOptions::Mode::kUnion;
+  fopts.total_budget = args.budget;
+  fopts.round_budget = args.round_budget;
+  fopts.num_threads = static_cast<int>(args.threads);
+  fopts.algorithm = args.algorithm;
+  fopts.join_attr = args.join_attr;
+  fopts.interrupt = [] { return g_interrupt.load(); };
+
+  const auto start = std::chrono::steady_clock::now();
+  auto result =
+      federation::RunFederatedDiscovery(backends, fopts, args.connects);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (!result.ok()) return FailureExit(result.status(), "federation");
+  const federation::FederatedResult& fr = *result;
+
+  std::printf("federate: %s over %zu backends\n", args.federate.c_str(),
+              backends.size());
+  if (args.federate == "join") {
+    std::printf("found   : %zu joined skyline entities%s\n",
+                fr.joined.size(),
+                fr.join_exact ? "" : "  (approximate: a probe overflowed)");
+  } else {
+    std::printf("found   : %zu skyline groups\n", fr.skyline.size());
+  }
+  std::printf("queries : %lld paid, %lld answered free from the shared "
+              "index, %lld rounds\n",
+              static_cast<long long>(fr.total_paid),
+              static_cast<long long>(fr.total_pruned),
+              static_cast<long long>(fr.rounds));
+  if (fr.probe_queries > 0) {
+    std::printf("probes  : %lld join probes (included in paid)\n",
+                static_cast<long long>(fr.probe_queries));
+  }
+  if (fr.partial_coverage) {
+    std::printf("coverage: PARTIAL — a backend failed or ran out of "
+                "budget; tuples only it holds may be missing\n");
+  }
+  for (size_t i = 0; i < fr.backends.size(); ++i) {
+    const federation::BackendReport& r = fr.backends[i];
+    std::fprintf(stderr,
+                 "backend : %s  paid %lld  pruned %lld  confirmed %lld  "
+                 "rounds %lld  %s%s\n",
+                 r.name.c_str(), static_cast<long long>(r.paid_queries),
+                 static_cast<long long>(r.pruned_queries),
+                 static_cast<long long>(r.confirmed),
+                 static_cast<long long>(r.rounds),
+                 r.failed ? "FAILED: " : (r.complete ? "complete" : "stopped"),
+                 r.failed ? r.error.c_str() : "");
+    if (i < remotes.size()) {
+      const service::RemoteHiddenDatabase::Stats& t = remotes[i]->stats();
+      std::fprintf(stderr,
+                   "network : %s  %lld remote queries, %lld retries, "
+                   "%lld reconnects, %lld rate-limited, %lld B out, "
+                   "%lld B in, %lld ms backoff\n",
+                   r.name.c_str(),
+                   static_cast<long long>(t.remote_queries),
+                   static_cast<long long>(t.retries),
+                   static_cast<long long>(t.reconnects),
+                   static_cast<long long>(t.rate_limited),
+                   static_cast<long long>(t.bytes_sent),
+                   static_cast<long long>(t.bytes_received),
+                   static_cast<long long>(t.backoff_ms));
+    }
+  }
+
+  if (!args.federation_json.empty()) {
+    const common::Status s = WriteFederationJson(args, fr, elapsed_ms);
+    if (!s.ok()) {
+      std::fprintf(stderr, "federation-json: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("json    : %s\n", args.federation_json.c_str());
+  }
+
+  if (!args.out.empty()) {
+    if (args.federate == "join") {
+      std::fprintf(stderr,
+                   "--out writes union-mode representative tuples; join "
+                   "mode has no full tuples to write\n");
+      return 64;
+    }
+    // Representatives are full tuples of their source backend, so one CSV
+    // needs every backend to share the full schema.
+    for (size_t i = 1; i < remotes.size(); ++i) {
+      if (remotes[i]->schema().ToString() !=
+          remotes[0]->schema().ToString()) {
+        std::fprintf(stderr,
+                     "--out needs identical backend schemas (%s differs "
+                     "from %s)\n",
+                     args.connects[i].c_str(), args.connects[0].c_str());
+        return 1;
+      }
+    }
+    data::Table out(remotes[0]->schema());
+    out.Reserve(static_cast<int64_t>(fr.skyline.size()));
+    for (const federation::UnionGroup& g : fr.skyline) {
+      const common::Status s = out.Append(g.representative);
+      if (!s.ok()) {
+        std::fprintf(stderr, "collect: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const common::Status s = dataset::WriteCsv(out, args.out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote   : %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,6 +864,7 @@ int main(int argc, char** argv) {
   if (!args.crash_point.empty()) recovery::ArmCrashPoint(args.crash_point);
 
   if (args.trials > 1) return RunTrials(args);
+  if (!args.federate.empty()) return RunFederation(args);
 
   // Exactly one of these owners is populated; `source` aliases it.
   data::Table table;  // local sources only
@@ -573,9 +903,7 @@ int main(int argc, char** argv) {
     auto remote_result =
         service::RemoteHiddenDatabase::Connect(host, port, ropts);
     if (!remote_result.ok()) {
-      std::fprintf(stderr, "connect: %s\n",
-                   remote_result.status().ToString().c_str());
-      return 1;
+      return FailureExit(remote_result.status(), "connect");
     }
     remote = std::move(remote_result).value();
     source = remote.get();
@@ -592,6 +920,17 @@ int main(int argc, char** argv) {
     std::printf("dataset : %lld tuples, %s\n",
                 static_cast<long long>(table.num_rows()),
                 table.schema().ToString().c_str());
+    if (!args.dump_data.empty()) {
+      // Pure data export — the smoke harness uses it to build a merged
+      // ground-truth table from the per-backend generator seeds.
+      const common::Status s = dataset::WriteCsv(table, args.dump_data);
+      if (!s.ok()) {
+        std::fprintf(stderr, "dump-data: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("dumped  : %s\n", args.dump_data.c_str());
+      return 0;
+    }
 
     auto ranking_result = MakeRanking(args, table.schema());
     if (!ranking_result.ok()) {
@@ -744,11 +1083,7 @@ int main(int argc, char** argv) {
                    s.ToString().c_str());
     }
   }
-  if (!result.ok()) {
-    std::fprintf(stderr, "discovery: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return FailureExit(result.status(), "discovery");
 
   std::printf("found   : %zu %s tuples\n", result->skyline.size(),
               args.band > 0 ? "sky-band" : "skyline");
@@ -780,14 +1115,18 @@ int main(int argc, char** argv) {
                  static_cast<long long>(journal->epoch()));
   }
   if (remote) {
-    const service::RemoteHiddenDatabase::Telemetry& t = remote->telemetry();
+    const service::RemoteHiddenDatabase::Stats& t = remote->stats();
     std::fprintf(stderr,
                  "network : %lld remote queries, %lld retries, %lld "
-                 "reconnects, %lld rate-limited\n",
+                 "reconnects, %lld rate-limited, %lld B out, %lld B in, "
+                 "%lld ms backoff\n",
                  static_cast<long long>(t.remote_queries),
                  static_cast<long long>(t.retries),
                  static_cast<long long>(t.reconnects),
-                 static_cast<long long>(t.rate_limited));
+                 static_cast<long long>(t.rate_limited),
+                 static_cast<long long>(t.bytes_sent),
+                 static_cast<long long>(t.bytes_received),
+                 static_cast<long long>(t.backoff_ms));
   }
   if (interrupted && !args.journal.empty()) {
     std::fprintf(stderr,

@@ -26,6 +26,9 @@
 //   --timeout-ms T      whole-run deadline (default 120000)
 //   --seed S            workload seed (default 42)
 //   --connect HOST:PORT external server instead of in-process
+//   --probe             pre-flight a single RemoteHiddenDatabase client
+//                       before the load and report its wire counters
+//                       (handshake bytes, retries, backoff) to stderr
 //   --json PATH         write a google-benchmark-shaped JSON report
 //
 // $HDSKY_SCALE (a float, default 1) multiplies --sessions and --queries,
@@ -49,6 +52,7 @@
 #include "net/socket.h"
 #include "service/event_server.h"
 #include "service/load_driver.h"
+#include "service/remote_database.h"
 
 namespace {
 
@@ -69,6 +73,7 @@ struct Args {
   int64_t timeout_ms = 120000;
   int64_t seed = 42;
   std::string connect;
+  bool probe = false;
   std::string json;
 };
 
@@ -90,6 +95,7 @@ void Usage() {
       "  --timeout-ms T      whole-run deadline (default 120000)\n"
       "  --seed S            workload seed (default 42)\n"
       "  --connect HOST:PORT target an external server\n"
+      "  --probe             pre-flight one client, report wire counters\n"
       "  --json PATH         write a google-benchmark-shaped JSON report\n");
 }
 
@@ -149,6 +155,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!int_flag(0, INT64_MAX, &args->seed)) return false;
     } else if (flag == "--connect" && need_value(&value)) {
       args->connect = value;
+    } else if (flag == "--probe") {
+      args->probe = true;
     } else if (flag == "--json" && need_value(&value)) {
       args->json = value;
     } else {
@@ -293,6 +301,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--connect: %s\n", parse.ToString().c_str());
       return 64;
     }
+  }
+
+  if (args.probe) {
+    // A single real client ahead of the storm: proves the server answers
+    // the full handshake and surfaces the wire cost of connecting (the
+    // per-connection counters every RemoteHiddenDatabase now keeps).
+    auto probe = service::RemoteHiddenDatabase::Connect(host, port);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "probe    : %s%s\n",
+                   probe.status().ToString().c_str(),
+                   probe.status().IsUnavailable()
+                       ? " (server shedding load)"
+                       : "");
+      return 1;
+    }
+    const service::RemoteHiddenDatabase::Stats& ps = (*probe)->stats();
+    std::fprintf(stderr,
+                 "probe    : %s k=%d, handshake %" PRId64 " B out / %"
+                 PRId64 " B in, %" PRId64 " retries, %" PRId64
+                 " ms backoff\n",
+                 (*probe)->schema().ToString().c_str(), (*probe)->k(),
+                 ps.bytes_sent, ps.bytes_received, ps.retries,
+                 ps.backoff_ms);
   }
 
   service::LoadOptions load;
