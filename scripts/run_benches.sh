@@ -35,6 +35,29 @@ if [ ! -x "$BUILD_DIR/bench/micro_substrate" ]; then
   exit 1
 fi
 
+# Refuse non-Release build trees: a debug tree records
+# "library_build_type": "debug" in every BENCH_*.json and silently
+# poisons any baseline pinned from it. HDSKY_ALLOW_DEBUG_BENCH=1
+# overrides for local experiments, with a loud tag on stderr.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [ "${HDSKY_ALLOW_DEBUG_BENCH:-0}" = "1" ]; then
+      echo "WARNING: benching a '${BUILD_TYPE:-unset}' build tree" \
+           "(HDSKY_ALLOW_DEBUG_BENCH=1); do NOT pin baselines from" \
+           "these numbers" >&2
+    else
+      echo "error: $BUILD_DIR is configured as" \
+           "'${BUILD_TYPE:-unset}', not Release; its numbers would" \
+           "poison perf baselines." >&2
+      echo "Reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" \
+           "HDSKY_ALLOW_DEBUG_BENCH=1 to run anyway." >&2
+      exit 1
+    fi
+    ;;
+esac
+
 run_bench() {
   local bin="$1" out="$2"
   "$BUILD_DIR/bench/$bin" \

@@ -1,0 +1,35 @@
+#include "common/crc32c.h"
+
+namespace hdsky {
+namespace common {
+
+namespace {
+
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace common
+}  // namespace hdsky

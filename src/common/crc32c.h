@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli), the checksum shared by the persistence layers:
+// journal record framing (src/recovery) and paged block-file pages
+// (src/data/block_file). One implementation so a checksum computed by
+// any writer verifies under any reader.
+
+#ifndef HDSKY_COMMON_CRC32C_H_
+#define HDSKY_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdsky {
+namespace common {
+
+/// CRC32C over `data` (Castagnoli polynomial, reflected form
+/// 0x82F63B78). Software byte-at-a-time — plenty for journal records of
+/// a few KiB and block pages of a few hundred KiB verified once per
+/// buffer-pool load.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace common
+}  // namespace hdsky
+
+#endif  // HDSKY_COMMON_CRC32C_H_

@@ -102,6 +102,82 @@ Status SyncDir(const std::string& dir) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<AtomicFileWriter>> AtomicFileWriter::Create(
+    const std::string& path) {
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  return std::unique_ptr<AtomicFileWriter>(
+      new AtomicFileWriter(path, std::move(tmp), fd));
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) {
+    ::close(fd_);
+    ::unlink(tmp_.c_str());
+  }
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t len) {
+  if (done_) return Status::IOError("append after commit: " + tmp_);
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd_, p + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", tmp_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  appended_ += len;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::WriteAt(uint64_t offset, const void* data,
+                                 size_t len) {
+  if (done_) return Status::IOError("pwrite after commit: " + tmp_);
+  if (offset + len > appended_) {
+    return Status::IOError("pwrite past appended end: " + tmp_);
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n =
+        ::pwrite(fd_, p + written, len - written,
+                 static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", tmp_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (done_) return Status::IOError("double commit: " + tmp_);
+  done_ = true;
+  if (::fsync(fd_) != 0) {
+    const Status s = Errno("fsync", tmp_);
+    ::close(fd_);
+    ::unlink(tmp_.c_str());
+    return s;
+  }
+  if (::close(fd_) != 0) {
+    const Status s = Errno("close", tmp_);
+    ::unlink(tmp_.c_str());
+    return s;
+  }
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    const Status s = Errno("rename", tmp_ + " -> " + path_);
+    ::unlink(tmp_.c_str());
+    return s;
+  }
+  return SyncDir(ParentDir(path_));
+}
+
 void RemoveStaleTempFiles(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return;

@@ -11,6 +11,8 @@
 #ifndef HDSKY_COMMON_FS_UTIL_H_
 #define HDSKY_COMMON_FS_UTIL_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -36,6 +38,48 @@ Status SyncDir(const std::string& dir);
 /// Deletes "*.tmp.*" siblings left behind by interrupted AtomicWriteFile
 /// calls in `dir`. Best-effort; never fails on individual unlink errors.
 void RemoveStaleTempFiles(const std::string& dir);
+
+/// Streaming variant of AtomicWriteFile for files too large to hold in
+/// one string (the paged block files). Bytes accumulate in a sibling
+/// "<path>.tmp.<pid>" via Append (sequential) and WriteAt (back-patching
+/// an already-reserved region, e.g. a header written last); Commit then
+/// runs the same fsync + rename + fsync-directory dance. Destroying an
+/// uncommitted writer unlinks the temporary, so a failed bulk load never
+/// leaves a torn file under the target name.
+class AtomicFileWriter {
+ public:
+  /// Opens the temporary. Fails if the sibling cannot be created.
+  static Result<std::unique_ptr<AtomicFileWriter>> Create(
+      const std::string& path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `len` bytes at the current end of the temporary.
+  Status Append(const void* data, size_t len);
+
+  /// Overwrites `len` bytes at absolute `offset` (pwrite; does not move
+  /// the append position). The region must already have been appended.
+  Status WriteAt(uint64_t offset, const void* data, size_t len);
+
+  /// Bytes appended so far (== the next Append offset).
+  uint64_t bytes_appended() const { return appended_; }
+
+  /// fsync + close + rename over the target + fsync parent directory.
+  /// After Commit (success or failure) the writer is inert.
+  Status Commit();
+
+ private:
+  AtomicFileWriter(std::string path, std::string tmp, int fd)
+      : path_(std::move(path)), tmp_(std::move(tmp)), fd_(fd) {}
+
+  std::string path_;
+  std::string tmp_;
+  int fd_;
+  uint64_t appended_ = 0;
+  bool done_ = false;
+};
 
 }  // namespace common
 }  // namespace hdsky

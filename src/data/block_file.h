@@ -1,0 +1,221 @@
+// On-disk paged column-block file ("block file", extension .hdb): the
+// out-of-core backing store for a hidden database whose rows exceed RAM.
+//
+// Layout. The file is a sequence of fixed-size pages (page_bytes, a
+// multiple of 4 KiB so every page can be madvise(2)'d independently):
+//
+//   page 0                  header (magic, geometry, ranking name,
+//                           serialized schema, CRC32C)
+//   pages 1..D              data pages, one column block each, in the
+//                           baked rank order (see below)
+//   pages D+1..             zone-map index pages, level 0 first
+//
+// Data page: an 8-byte header {u32 payload CRC32C, u32 row count},
+// then the PAX payload — the block's TupleIds followed by the
+// attribute-major value runs (values[a * rows + i]), which is exactly
+// the layout the fused leaf-match kernel (interface/exec/kernels.h)
+// consumes, so scans run unchanged on a pinned page.
+//
+// Zone-map index: level 0 holds one entry per data page — per-attribute
+// (min, max) over the page, NULL included (NULL sorts worst, so a page
+// containing NULLs has max == kNullValue, mirroring the in-memory
+// BlockedColumns zone maps). Level l+1 aggregates `index_fanout`
+// consecutive level-l entries. The levels form an implicit STR-packed
+// tree over the rank-ordered page sequence: an in-order traversal
+// visits data pages in rank order, so a top-k scan can prune whole
+// subtrees on bounds and stop after k+1 matches — the paged equivalent
+// of the VectorEngine early exit. Index pages carry the same
+// {CRC, entry count} header and go through the same buffer pool.
+//
+// Rank order is baked at write time: rows MUST be appended
+// best-rank-first (dataset/pack.h does this via the ranking policy's
+// static order), and the header records the ranking's name. Readers
+// trust the stored order; that is what makes paged top-k exact without
+// materializing a rank permutation in memory.
+//
+// All integers are host-endian (the file is a local cache format, not
+// an interchange format). Writes go through common::AtomicFileWriter,
+// so a crashed bulk load never leaves a torn file under the target
+// name; torn or bit-flipped pages are caught by the per-page CRC at
+// buffer-pool load time.
+
+#ifndef HDSKY_DATA_BLOCK_FILE_H_
+#define HDSKY_DATA_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+
+inline constexpr uint32_t kBlockFileVersion = 1;
+inline constexpr size_t kBlockFileAlign = 4096;
+inline constexpr size_t kPageHeaderBytes = 8;  // u32 CRC + u32 count
+inline constexpr int kMaxIndexLevels = 8;
+
+struct BlockFileOptions {
+  /// Rows per data page. Larger blocks amortize pin/CRC overhead;
+  /// smaller blocks give finer zone-map pruning and a finer-grained
+  /// buffer pool.
+  int64_t rows_per_block = 4096;
+  /// Children per zone-map index node.
+  int index_fanout = 64;
+};
+
+/// Streaming bounded-memory writer: holds one block buffer plus one
+/// 2m-value zone entry per data page written (a few bytes per page), so
+/// packing a dataset ≫ RAM never materializes it.
+class BlockFileWriter {
+ public:
+  /// Opens "<path>.tmp.<pid>" and reserves the header page. `ranking`
+  /// names the order rows will arrive in (recorded in the header).
+  static common::Result<std::unique_ptr<BlockFileWriter>> Create(
+      const std::string& path, const Schema& schema,
+      const std::string& ranking, const BlockFileOptions& options);
+
+  /// Appends one row (`num_attributes` values) with its original
+  /// TupleId. Rows must arrive best-rank-first.
+  common::Status Append(TupleId id, const Value* row);
+
+  /// Flushes the tail block, writes the index levels and header, and
+  /// atomically renames the file into place. Returns rows written.
+  common::Result<int64_t> Finish();
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  BlockFileWriter() = default;
+
+  common::Status FlushBlock();
+
+  std::unique_ptr<common::AtomicFileWriter> out_;
+  Schema schema_;
+  std::string ranking_;
+  int64_t rows_per_block_ = 0;
+  int index_fanout_ = 0;
+  size_t page_bytes_ = 0;
+  int num_attrs_ = 0;
+
+  // Current partially-filled block.
+  std::vector<TupleId> ids_;
+  std::vector<std::vector<Value>> cols_;
+  // Per-data-page zone entries: 2 * num_attrs values each (min, max).
+  std::vector<Value> level0_zones_;
+  int64_t rows_written_ = 0;
+  int64_t data_pages_ = 0;
+  std::vector<uint8_t> page_buf_;
+  bool finished_ = false;
+};
+
+/// Read-side view of a block file: the whole file is memory-mapped
+/// read-only with MADV_RANDOM at open (header validated eagerly, CRC
+/// and all), and pages are handed out as raw pointers into the mapping.
+/// Residency, CRC verification, and eviction are the BufferPool's job —
+/// everything here is immutable after Open and safe to share across
+/// threads.
+class BlockFile {
+ public:
+  static common::Result<std::unique_ptr<BlockFile>> Open(
+      const std::string& path);
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  const std::string& ranking_name() const { return ranking_; }
+  const std::string& path() const { return path_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_data_pages() const { return num_data_pages_; }
+  int num_attributes() const { return num_attrs_; }
+  int64_t rows_per_block() const { return rows_per_block_; }
+  size_t page_bytes() const { return page_bytes_; }
+  int64_t total_pages() const { return total_pages_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+  int index_fanout() const { return index_fanout_; }
+  int num_index_levels() const {
+    return static_cast<int>(level_counts_.size());
+  }
+  int64_t level_entries(int level) const {
+    return level_counts_[static_cast<size_t>(level)];
+  }
+  /// Logical payload bytes: ids + values of every row. The out-of-core
+  /// ratio in the benches is data_bytes() / pool budget.
+  uint64_t data_bytes() const {
+    return static_cast<uint64_t>(num_rows_) *
+           static_cast<uint64_t>(num_attrs_ + 1) * sizeof(Value);
+  }
+
+  int64_t data_page_id(int64_t block) const { return 1 + block; }
+  int64_t index_entries_per_page() const { return index_entries_per_page_; }
+  int64_t index_page_id(int level, int64_t entry) const {
+    return level_start_pages_[static_cast<size_t>(level)] +
+           entry / index_entries_per_page_;
+  }
+
+  /// Raw mapped bytes of a page; valid for any page id in
+  /// [0, total_pages). Contents are only trustworthy after VerifyPage
+  /// (the buffer pool runs it once per residency).
+  const uint8_t* page(int64_t page_id) const {
+    return base_ + static_cast<size_t>(page_id) * page_bytes_;
+  }
+
+  /// Structural + CRC validation of one data or index page.
+  common::Status VerifyPage(int64_t page_id) const;
+
+  /// madvise(2) over one page of the mapping; best-effort.
+  void Advise(int64_t page_id, int advice) const;
+
+  struct DataPageView {
+    int64_t rows;
+    const TupleId* ids;
+    const Value* values;  // attribute-major runs: values[a * rows + i]
+  };
+  DataPageView data_page(const uint8_t* page) const {
+    DataPageView v;
+    v.rows = static_cast<int64_t>(
+        reinterpret_cast<const uint32_t*>(page)[1]);
+    v.ids = reinterpret_cast<const TupleId*>(page + kPageHeaderBytes);
+    v.values = reinterpret_cast<const Value*>(page + kPageHeaderBytes) +
+               v.rows;
+    return v;
+  }
+
+  /// Zone entry `slot` of an index page: 2 * num_attributes values,
+  /// entry[2a] = min, entry[2a + 1] = max of attribute a.
+  const Value* index_entry(const uint8_t* page, int64_t slot) const {
+    return reinterpret_cast<const Value*>(page + kPageHeaderBytes) +
+           slot * 2 * num_attrs_;
+  }
+
+ private:
+  BlockFile() = default;
+
+  std::string path_;
+  Schema schema_;
+  std::string ranking_;
+  const uint8_t* base_ = nullptr;
+  uint64_t file_bytes_ = 0;
+  size_t page_bytes_ = 0;
+  int64_t rows_per_block_ = 0;
+  int num_attrs_ = 0;
+  int64_t num_rows_ = 0;
+  int64_t num_data_pages_ = 0;
+  int64_t total_pages_ = 0;
+  int index_fanout_ = 0;
+  int64_t index_entries_per_page_ = 0;
+  std::vector<int64_t> level_counts_;
+  std::vector<int64_t> level_start_pages_;
+};
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_BLOCK_FILE_H_

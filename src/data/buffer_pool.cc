@@ -1,0 +1,123 @@
+#include "data/buffer_pool.h"
+
+#include <sys/mman.h>
+
+namespace hdsky {
+namespace data {
+
+using common::Result;
+using common::Status;
+
+BufferPool::BufferPool(const BlockFile* file, const Options& options)
+    : file_(file),
+      budget_(options.budget_bytes < file->page_bytes()
+                  ? file->page_bytes()
+                  : options.budget_bytes),
+      page_bytes_(file->page_bytes()) {}
+
+Result<BufferPool::PageRef> BufferPool::Pin(int64_t page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Frame& frame = frames_[page_id];
+  ++frame.pins;
+  if (frame.in_lru) {
+    // Resident and unpinned until now: pull it off the eviction list.
+    // Splice onto the spare list instead of erasing — node recycling
+    // keeps the warm pin/unpin cycle allocation-free.
+    spare_.splice(spare_.begin(), lru_, frame.lru_it);
+    frame.in_lru = false;
+  }
+  if (frame.resident) {
+    ++stats_.hits;
+    return PageRef(this, page_id, file_->page(page_id));
+  }
+  // Single-flight: one thread verifies, the rest wait for the verdict.
+  while (frame.loading) {
+    load_cv_.wait(lock);
+    if (frame.resident) {
+      ++stats_.hits;
+      return PageRef(this, page_id, file_->page(page_id));
+    }
+  }
+  if (frame.resident) {
+    ++stats_.hits;
+    return PageRef(this, page_id, file_->page(page_id));
+  }
+  frame.loading = true;
+  lock.unlock();
+  // Fault + verify outside the lock; the frame's loading flag keeps
+  // this page out of every other thread's way (it cannot be evicted —
+  // it is not resident — and concurrent pins wait above).
+  file_->Advise(page_id, MADV_WILLNEED);
+  const Status verify = file_->VerifyPage(page_id);
+  lock.lock();
+  Frame& f = frames_[page_id];
+  f.loading = false;
+  if (!verify.ok()) {
+    ++stats_.crc_failures;
+    if (--f.pins == 0) frames_.erase(page_id);
+    load_cv_.notify_all();
+    return verify;
+  }
+  f.resident = true;
+  ++stats_.loads;
+  stats_.resident_bytes += page_bytes_;
+  ++stats_.resident_pages;
+  EvictToBudget();
+  load_cv_.notify_all();
+  return PageRef(this, page_id, file_->page(page_id));
+}
+
+void BufferPool::Unpin(int64_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return;
+  Frame& frame = it->second;
+  if (--frame.pins > 0) return;
+  if (!frame.resident) {
+    frames_.erase(it);
+    return;
+  }
+  if (spare_.empty()) {
+    frame.lru_it = lru_.insert(lru_.end(), page_id);
+  } else {
+    lru_.splice(lru_.end(), spare_, spare_.begin());
+    frame.lru_it = std::prev(lru_.end());
+    *frame.lru_it = page_id;
+  }
+  frame.in_lru = true;
+  EvictToBudget();
+}
+
+void BufferPool::EvictToBudget() {
+  while (stats_.resident_bytes > budget_ && !lru_.empty()) {
+    const int64_t victim = lru_.front();
+    spare_.splice(spare_.begin(), lru_, lru_.begin());
+    frames_.erase(victim);
+    file_->Advise(victim, MADV_DONTNEED);
+    ++stats_.evictions;
+    stats_.resident_bytes -= page_bytes_;
+    --stats_.resident_pages;
+  }
+  if (stats_.resident_bytes > budget_) ++stats_.overcommits;
+}
+
+void BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) {
+    const int64_t victim = lru_.front();
+    spare_.splice(spare_.begin(), lru_, lru_.begin());
+    frames_.erase(victim);
+    file_->Advise(victim, MADV_DONTNEED);
+    ++stats_.evictions;
+    stats_.resident_bytes -= page_bytes_;
+    --stats_.resident_pages;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace data
+}  // namespace hdsky

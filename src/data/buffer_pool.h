@@ -1,0 +1,148 @@
+// LRU buffer pool over a memory-mapped BlockFile.
+//
+// The mapping itself is established once at open; what the pool manages
+// is *logical residency* within a byte budget: a page is resident after
+// its first Pin has CRC-verified the mapped bytes (with MADV_WILLNEED
+// prefetch), and eviction drops the physical memory back to the kernel
+// with MADV_DONTNEED so a later pin re-faults — and re-verifies — it
+// from disk. Both column-block data pages and zone-map index pages go
+// through the same pool, so one budget bounds the whole working set.
+//
+// Invariants (exercised by tests/storage_test.cc, TSan-clean under the
+// event server's concurrent sessions):
+//   * a page with pins > 0 is never evicted, whatever the budget says;
+//   * CRC verification runs exactly once per residency, single-flight:
+//     concurrent first pins of one page wait on the loading thread
+//     instead of racing the verify;
+//   * a failed CRC makes every waiting Pin fail and leaves the page
+//     non-resident (a retry re-reads — and re-fails — from disk);
+//   * unpinned residents are evicted in least-recently-*unpinned* order
+//     until resident bytes fit the budget; if every resident page is
+//     pinned the pool runs over budget rather than deadlock, and
+//     records the overcommit in its stats.
+
+#ifndef HDSKY_DATA_BUFFER_POOL_H_
+#define HDSKY_DATA_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "data/block_file.h"
+
+namespace hdsky {
+namespace data {
+
+class BufferPool {
+ public:
+  struct Options {
+    /// Resident-byte budget. At least one page is always allowed.
+    size_t budget_bytes = size_t{256} << 20;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;         // pins of an already-resident page
+    uint64_t loads = 0;        // CRC-verified (re)loads
+    uint64_t evictions = 0;    // MADV_DONTNEED drops
+    uint64_t crc_failures = 0;
+    uint64_t overcommits = 0;  // budget exceeded because all pins held
+    uint64_t resident_bytes = 0;
+    uint64_t resident_pages = 0;
+  };
+
+  /// `file` must outlive the pool.
+  BufferPool(const BlockFile* file, const Options& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII pin: the page stays resident (and its bytes valid) until the
+  /// ref is destroyed. Movable, not copyable.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& o) noexcept
+        : pool_(o.pool_), page_(o.page_), data_(o.data_) {
+      o.pool_ = nullptr;
+    }
+    PageRef& operator=(PageRef&& o) noexcept {
+      if (this != &o) {
+        Release();
+        pool_ = o.pool_;
+        page_ = o.page_;
+        data_ = o.data_;
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~PageRef() { Release(); }
+
+    const uint8_t* data() const { return data_; }
+    int64_t page_id() const { return page_; }
+    explicit operator bool() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, int64_t page, const uint8_t* data)
+        : pool_(pool), page_(page), data_(data) {}
+    void Release() {
+      if (pool_ != nullptr) {
+        pool_->Unpin(page_);
+        pool_ = nullptr;
+      }
+    }
+
+    BufferPool* pool_ = nullptr;
+    int64_t page_ = 0;
+    const uint8_t* data_ = nullptr;
+  };
+
+  /// Pins a page, loading + CRC-verifying it if not resident. Fails
+  /// with the BlockFile's corruption status on CRC mismatch.
+  common::Result<PageRef> Pin(int64_t page_id);
+
+  /// Evicts every unpinned resident page (the benches' buffer-pool-cold
+  /// reset). Pinned pages stay.
+  void DropAll();
+
+  Stats stats() const;
+  size_t budget_bytes() const { return budget_; }
+  const BlockFile* file() const { return file_; }
+
+ private:
+  struct Frame {
+    int pins = 0;
+    bool resident = false;
+    bool loading = false;
+    std::list<int64_t>::iterator lru_it{};
+    bool in_lru = false;
+  };
+
+  void Unpin(int64_t page_id);
+  /// Drops LRU unpinned pages until resident bytes fit the budget.
+  /// Caller holds mu_.
+  void EvictToBudget();
+
+  const BlockFile* file_;
+  const size_t budget_;
+  const size_t page_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  std::unordered_map<int64_t, Frame> frames_;
+  std::list<int64_t> lru_;  // unpinned residents, least recent first
+  /// Recycled lru_ nodes (bounded by the peak resident page count):
+  /// repinning and unpinning splice nodes between the two lists, so the
+  /// steady-state warm path never touches the allocator.
+  std::list<int64_t> spare_;
+  Stats stats_;
+};
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_BUFFER_POOL_H_

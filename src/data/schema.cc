@@ -1,13 +1,67 @@
 #include "data/schema.h"
 
+#include <charconv>
 #include <sstream>
 #include <unordered_set>
+
+#include "data/value.h"
 
 namespace hdsky {
 namespace data {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+const char* IfaceCode(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kSQ:
+      return "SQ";
+    case InterfaceType::kRQ:
+      return "RQ";
+    case InterfaceType::kPQ:
+      return "PQ";
+    case InterfaceType::kFilterEquality:
+      return "EQ";
+  }
+  return "??";
+}
+
+Result<InterfaceType> ParseIfaceCode(const std::string& s) {
+  if (s == "SQ") return InterfaceType::kSQ;
+  if (s == "RQ") return InterfaceType::kRQ;
+  if (s == "PQ") return InterfaceType::kPQ;
+  if (s == "EQ") return InterfaceType::kFilterEquality;
+  return Status::IOError("unknown interface code '" + s + "'");
+}
+
+std::vector<std::string> SplitOn(const std::string& line, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : line) {
+    if (c == sep) {
+      parts.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(std::move(cur));
+  return parts;
+}
+
+Result<Value> ParseDomainValue(const std::string& s) {
+  if (s == "NULL") return kNullValue;
+  Value v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::IOError("cannot parse value '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
 
 Result<Schema> Schema::Create(std::vector<AttributeSpec> attrs) {
   if (attrs.empty()) {
@@ -97,6 +151,53 @@ std::string Schema::ToString() const {
   }
   os << ")";
   return os.str();
+}
+
+std::string Schema::Serialize() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeSpec& a = attrs_[i];
+    if (i) os << ',';
+    os << a.name << ':'
+       << (a.kind == AttributeKind::kRanking ? 'R' : 'F') << ':'
+       << IfaceCode(a.iface) << ':';
+    if (a.domain_min == kNullValue) {
+      os << "NULL";
+    } else {
+      os << a.domain_min;
+    }
+    os << ':';
+    if (a.domain_max == kNullValue) {
+      os << "NULL";
+    } else {
+      os << a.domain_max;
+    }
+  }
+  return os.str();
+}
+
+Result<Schema> Schema::Deserialize(const std::string& line) {
+  std::vector<AttributeSpec> attrs;
+  for (const std::string& col : SplitOn(line, ',')) {
+    const std::vector<std::string> f = SplitOn(col, ':');
+    if (f.size() != 5) {
+      return Status::IOError("malformed header column '" + col + "'");
+    }
+    AttributeSpec spec;
+    spec.name = f[0];
+    if (f[1] == "R") {
+      spec.kind = AttributeKind::kRanking;
+    } else if (f[1] == "F") {
+      spec.kind = AttributeKind::kFiltering;
+    } else {
+      return Status::IOError("unknown attribute kind '" + f[1] + "'");
+    }
+    HDSKY_ASSIGN_OR_RETURN(spec.iface, ParseIfaceCode(f[2]));
+    HDSKY_ASSIGN_OR_RETURN(spec.domain_min, ParseDomainValue(f[3]));
+    HDSKY_ASSIGN_OR_RETURN(spec.domain_max, ParseDomainValue(f[4]));
+    attrs.push_back(std::move(spec));
+  }
+  return Create(std::move(attrs));
 }
 
 }  // namespace data

@@ -56,6 +56,15 @@ class Schema {
 
   std::string ToString() const;
 
+  /// One-line machine-readable form: comma-separated
+  /// "name:kind:iface:domain_min:domain_max" columns (kind R/F, iface
+  /// SQ/RQ/PQ/EQ, NULL for null domain bounds). This is both the CSV
+  /// header line and the schema blob embedded in paged block files.
+  std::string Serialize() const;
+
+  /// Parses a Serialize() line back through Create() validation.
+  static common::Result<Schema> Deserialize(const std::string& line);
+
  private:
   std::vector<AttributeSpec> attrs_;
   std::vector<int> ranking_;

@@ -5,6 +5,8 @@
 #ifndef HDSKY_DATA_TABLE_H_
 #define HDSKY_DATA_TABLE_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +16,9 @@
 
 namespace hdsky {
 namespace data {
+
+class PagedTable;
+struct PagedTableOptions;
 
 /// An append-only column store with a fixed schema. Values are validated
 /// against their attribute domain at append time (NULL is always legal).
@@ -47,6 +52,13 @@ class Table {
   /// Appends a row; fails if the arity is wrong or a non-NULL value falls
   /// outside its attribute domain.
   common::Status Append(const Tuple& tuple);
+
+  /// Opens an on-disk paged table (a block file packed by hdsky_pack /
+  /// dataset::PackTable) whose working set is bounded by a buffer pool
+  /// instead of materializing the rows in memory. Defined in
+  /// paged_table.cc; include data/paged_table.h to use the result.
+  static common::Result<std::unique_ptr<PagedTable>> OpenPaged(
+      const std::string& path, const PagedTableOptions& options);
 
   /// Reserves row capacity across all columns.
   void Reserve(int64_t rows);

@@ -10,37 +10,12 @@ namespace dataset {
 
 using common::Result;
 using common::Status;
-using data::AttributeKind;
-using data::AttributeSpec;
-using data::InterfaceType;
 using data::Schema;
 using data::Table;
 using data::Tuple;
 using data::Value;
 
 namespace {
-
-const char* IfaceCode(InterfaceType t) {
-  switch (t) {
-    case InterfaceType::kSQ:
-      return "SQ";
-    case InterfaceType::kRQ:
-      return "RQ";
-    case InterfaceType::kPQ:
-      return "PQ";
-    case InterfaceType::kFilterEquality:
-      return "EQ";
-  }
-  return "??";
-}
-
-Result<InterfaceType> ParseIface(const std::string& s) {
-  if (s == "SQ") return InterfaceType::kSQ;
-  if (s == "RQ") return InterfaceType::kRQ;
-  if (s == "PQ") return InterfaceType::kPQ;
-  if (s == "EQ") return InterfaceType::kFilterEquality;
-  return Status::IOError("unknown interface code '" + s + "'");
-}
 
 std::vector<std::string> SplitOn(const std::string& line, char sep) {
   std::vector<std::string> parts;
@@ -74,15 +49,7 @@ Status WriteCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   const Schema& schema = table.schema();
-  for (int a = 0; a < schema.num_attributes(); ++a) {
-    const AttributeSpec& spec = schema.attribute(a);
-    if (a) out << ',';
-    out << spec.name << ':'
-        << (spec.kind == AttributeKind::kRanking ? 'R' : 'F') << ':'
-        << IfaceCode(spec.iface) << ':' << spec.domain_min << ':'
-        << spec.domain_max;
-  }
-  out << '\n';
+  out << schema.Serialize() << '\n';
   const int64_t n = table.num_rows();
   for (int64_t r = 0; r < n; ++r) {
     for (int a = 0; a < schema.num_attributes(); ++a) {
@@ -108,27 +75,7 @@ Result<Table> ReadCsv(const std::string& path) {
   if (!std::getline(in, line)) {
     return Status::IOError(path + " is empty (missing header)");
   }
-  std::vector<AttributeSpec> attrs;
-  for (const std::string& col : SplitOn(line, ',')) {
-    const std::vector<std::string> f = SplitOn(col, ':');
-    if (f.size() != 5) {
-      return Status::IOError("malformed header column '" + col + "'");
-    }
-    AttributeSpec spec;
-    spec.name = f[0];
-    if (f[1] == "R") {
-      spec.kind = AttributeKind::kRanking;
-    } else if (f[1] == "F") {
-      spec.kind = AttributeKind::kFiltering;
-    } else {
-      return Status::IOError("unknown attribute kind '" + f[1] + "'");
-    }
-    HDSKY_ASSIGN_OR_RETURN(spec.iface, ParseIface(f[2]));
-    HDSKY_ASSIGN_OR_RETURN(spec.domain_min, ParseValue(f[3]));
-    HDSKY_ASSIGN_OR_RETURN(spec.domain_max, ParseValue(f[4]));
-    attrs.push_back(std::move(spec));
-  }
-  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+  HDSKY_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(line));
   const int width = schema.num_attributes();
   Table table(std::move(schema));
   int64_t line_no = 1;

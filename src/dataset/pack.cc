@@ -1,0 +1,44 @@
+#include "dataset/pack.h"
+
+#include <vector>
+
+namespace hdsky {
+namespace dataset {
+
+using common::Result;
+using common::Status;
+using data::TupleId;
+using data::Value;
+
+Result<int64_t> PackTable(
+    const data::Table& table,
+    std::shared_ptr<interface::RankingPolicy> ranking,
+    const std::string& path, const data::BlockFileOptions& options) {
+  if (ranking == nullptr) {
+    return Status::InvalidArgument("ranking policy must not be null");
+  }
+  HDSKY_RETURN_IF_ERROR(
+      ranking->Bind(&table, table.schema().ranking_attributes()));
+  const std::vector<TupleId>* order = ranking->static_order();
+  if (order == nullptr) {
+    return Status::InvalidArgument(
+        "ranking '" + ranking->name() +
+        "' has no static order and cannot be packed");
+  }
+  HDSKY_ASSIGN_OR_RETURN(
+      std::unique_ptr<data::BlockFileWriter> writer,
+      data::BlockFileWriter::Create(path, table.schema(), ranking->name(),
+                                    options));
+  const int m = table.schema().num_attributes();
+  std::vector<Value> row(static_cast<size_t>(m));
+  for (const TupleId id : *order) {
+    for (int a = 0; a < m; ++a) {
+      row[static_cast<size_t>(a)] = table.value(id, a);
+    }
+    HDSKY_RETURN_IF_ERROR(writer->Append(id, row.data()));
+  }
+  return writer->Finish();
+}
+
+}  // namespace dataset
+}  // namespace hdsky

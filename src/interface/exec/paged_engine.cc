@@ -1,0 +1,210 @@
+#include "interface/exec/paged_engine.h"
+
+#include <algorithm>
+
+#include "data/block_file.h"
+#include "data/buffer_pool.h"
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+using data::BlockFile;
+using data::BufferPool;
+using data::TupleId;
+using data::Value;
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Per-thread reusable buffers, mirroring VectorEngine's discipline:
+/// steady-state execution allocates only the QueryResult handed back.
+struct Scratch {
+  std::vector<int32_t> sel;
+  std::vector<TupleId> ids;     // matched row ids, rank order
+  std::vector<Value> values;    // matched rows' values, m per match
+  struct Node {
+    int level;
+    int64_t entry;
+  };
+  std::vector<Node> stack;
+};
+
+Scratch& LocalScratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+/// True when the zone entry (min/max per attribute) cannot intersect
+/// some bound — same test as the in-memory BlockedColumns prune.
+bool Prunable(const Value* zone, const std::vector<AttrBound>& bounds) {
+  for (const AttrBound& bd : bounds) {
+    const Value zmin = zone[2 * bd.attr];
+    const Value zmax = zone[2 * bd.attr + 1];
+    if (bd.lo > zmax || bd.hi < zmin) return true;
+  }
+  return false;
+}
+
+/// Scans one pinned data page, appending matches (id + values) to the
+/// scratch until `want` total matches are held.
+void ScanPage(const BlockFile& file, const uint8_t* page,
+              const std::vector<AttrBound>& bounds, int64_t want,
+              Scratch* scr) {
+  const BlockFile::DataPageView view = file.data_page(page);
+  const int64_t rows = view.rows;
+  const int num_attrs = file.num_attributes();
+  scr->sel.resize(static_cast<size_t>(rows));
+  int32_t* sel = scr->sel.data();
+  int32_t count = 0;
+
+  const int64_t have = static_cast<int64_t>(scr->ids.size());
+  if (bounds.empty()) {
+    count = static_cast<int32_t>(std::min(rows, want - have));
+    for (int32_t i = 0; i < count; ++i) sel[i] = i;
+  } else if (4 * want >= rows) {
+    // Broad query: the early-exit target is within reach of the first
+    // chunks — run the same adaptive chunk loop as VectorEngine so we
+    // never pay for the rest of the page.
+    int64_t chunk = std::max<int64_t>(32, 4 * want);
+    int64_t taken = have;
+    for (int64_t cb = 0; cb < rows && taken < want;
+         cb += chunk, chunk = std::min<int64_t>(chunk * 2, 1024)) {
+      const int32_t n =
+          static_cast<int32_t>(std::min<int64_t>(chunk, rows - cb));
+      int32_t c = SelectInterval(
+          view.values + static_cast<int64_t>(bounds[0].attr) * rows + cb,
+          n, bounds[0], sel + count);
+      for (size_t j = 1; j < bounds.size() && c > 0; ++j) {
+        c = RefineInterval(
+            view.values + static_cast<int64_t>(bounds[j].attr) * rows +
+                cb,
+            bounds[j], sel + count, c);
+      }
+      // Chunk positions are chunk-relative; rebase and clip to want.
+      c = static_cast<int32_t>(
+          std::min<int64_t>(c, want - taken));
+      for (int32_t i = 0; i < c; ++i) {
+        sel[count + i] += static_cast<int32_t>(cb);
+      }
+      count += c;
+      taken += c;
+    }
+  } else {
+    // Selective query: one fused pass over the whole page.
+    count = LeafMatchKernel()(view.values, rows, bounds.data(),
+                              static_cast<int>(bounds.size()), sel);
+    count = static_cast<int32_t>(
+        std::min<int64_t>(count, want - have));
+  }
+
+  for (int32_t i = 0; i < count; ++i) {
+    const int64_t pos = sel[i];
+    scr->ids.push_back(view.ids[pos]);
+    for (int a = 0; a < num_attrs; ++a) {
+      scr->values.push_back(
+          view.values[static_cast<int64_t>(a) * rows + pos]);
+    }
+  }
+}
+
+}  // namespace
+
+PagedEngine::PagedEngine(const data::PagedTable* table) : table_(table) {}
+
+Status PagedEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
+                                int k, QueryResult* out) const {
+  const BlockFile& file = table_->file();
+  BufferPool* pool = table_->pool();
+  Scratch& scr = LocalScratch();
+  scr.ids.clear();
+  scr.values.clear();
+  const int64_t want = static_cast<int64_t>(k) + 1;
+  const int num_attrs = file.num_attributes();
+
+  if (file.num_data_pages() > 0) {
+    if (bounds.empty()) {
+      // Unconstrained: the first pages in rank order are the answer —
+      // no zone consultation needed.
+      for (int64_t b = 0;
+           b < file.num_data_pages() &&
+           static_cast<int64_t>(scr.ids.size()) < want;
+           ++b) {
+        HDSKY_ASSIGN_OR_RETURN(BufferPool::PageRef ref,
+                               pool->Pin(file.data_page_id(b)));
+        ScanPage(file, ref.data(), bounds, want, &scr);
+      }
+    } else {
+      // DFS over the zone-map levels, children pushed in reverse so
+      // data pages are visited in ascending — i.e. rank — order. One
+      // index PageRef is cached per level: consecutive entries of a
+      // level share pages, so the common case re-pins nothing.
+      const int levels = file.num_index_levels();
+      BufferPool::PageRef level_ref[data::kMaxIndexLevels];
+      int64_t level_page[data::kMaxIndexLevels];
+      std::fill(level_page, level_page + data::kMaxIndexLevels,
+                int64_t{-1});
+      auto zone_of = [&](int level,
+                         int64_t entry) -> Result<const Value*> {
+        const int64_t pid = file.index_page_id(level, entry);
+        if (level_page[level] != pid) {
+          HDSKY_ASSIGN_OR_RETURN(level_ref[level], pool->Pin(pid));
+          level_page[level] = pid;
+        }
+        return file.index_entry(level_ref[level].data(),
+                                entry % file.index_entries_per_page());
+      };
+
+      scr.stack.clear();
+      const int top = levels - 1;
+      for (int64_t e = file.level_entries(top) - 1; e >= 0; --e) {
+        scr.stack.push_back(Scratch::Node{top, e});
+      }
+      while (!scr.stack.empty() &&
+             static_cast<int64_t>(scr.ids.size()) < want) {
+        const Scratch::Node node = scr.stack.back();
+        scr.stack.pop_back();
+        HDSKY_ASSIGN_OR_RETURN(const Value* zone,
+                               zone_of(node.level, node.entry));
+        if (Prunable(zone, bounds)) continue;
+        if (node.level == 0) {
+          HDSKY_ASSIGN_OR_RETURN(
+              BufferPool::PageRef ref,
+              pool->Pin(file.data_page_id(node.entry)));
+          ScanPage(file, ref.data(), bounds, want, &scr);
+          continue;
+        }
+        const int64_t first =
+            node.entry * file.index_fanout();
+        const int64_t last = std::min(
+            file.level_entries(node.level - 1),
+            first + file.index_fanout());
+        for (int64_t c = last - 1; c >= first; --c) {
+          scr.stack.push_back(Scratch::Node{node.level - 1, c});
+        }
+      }
+    }
+  }
+
+  out->overflow = static_cast<int64_t>(scr.ids.size()) > k;
+  const size_t n =
+      out->overflow ? static_cast<size_t>(k) : scr.ids.size();
+  out->ids.resize(n);
+  out->tuples.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->ids[i] = scr.ids[i];
+    data::Tuple& t = out->tuples[i];
+    t.resize(static_cast<size_t>(num_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      t[static_cast<size_t>(a)] =
+          scr.values[i * static_cast<size_t>(num_attrs) +
+                     static_cast<size_t>(a)];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky

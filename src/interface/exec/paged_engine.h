@@ -1,0 +1,59 @@
+// Out-of-core top-k query execution over a paged block file.
+//
+// The paged counterpart of exec::VectorEngine: data pages hold column
+// blocks in baked static-rank order, so scanning page 0, 1, ... and
+// positions within each page in order visits rows best-rank-first, and
+// the engine stops the moment k+1 matches are known. Instead of the
+// in-memory per-block zone array, pruning walks the file's zone-map
+// index levels (an STR-packed tree over consecutive page ranges) — a
+// pruned level-l entry skips fanout^l data pages without faulting a
+// single one of them in. Every page touched, index and data alike, is
+// pinned through the BufferPool, so the query working set stays inside
+// the pool budget and every byte read has passed its CRC.
+//
+// The kernels are the PR 3 ones, unchanged: a page's PAX payload is
+// exactly the attribute-major layout the fused AVX-512/scalar
+// LeafMatchKernel consumes (selective queries, one pass over the whole
+// page), while broad queries run the same chunked SelectInterval/
+// RefineInterval loop as VectorEngine so the early exit still skips
+// most of the first page. Matched rows are copied out while the page
+// is pinned; results are bit-identical to the in-memory engine over
+// the same data and ranking.
+
+#ifndef HDSKY_INTERFACE_EXEC_PAGED_ENGINE_H_
+#define HDSKY_INTERFACE_EXEC_PAGED_ENGINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/paged_table.h"
+#include "interface/exec/kernels.h"
+#include "interface/hidden_database.h"
+
+namespace hdsky {
+namespace interface {
+namespace exec {
+
+class PagedEngine {
+ public:
+  /// `table` must outlive the engine. Thread-safe: concurrent
+  /// ExecuteTopK calls share the buffer pool and nothing else.
+  explicit PagedEngine(const data::PagedTable* table);
+
+  /// Answers the conjunctive top-k query compiled into `bounds`: fills
+  /// out->ids with the first k matching row ids in rank order,
+  /// materializes out->tuples, and sets out->overflow when a (k+1)-th
+  /// match exists. Fails (leaving *out* unspecified) only on storage
+  /// errors — a page that no longer passes its CRC.
+  common::Status ExecuteTopK(const std::vector<AttrBound>& bounds, int k,
+                             QueryResult* out) const;
+
+ private:
+  const data::PagedTable* table_;
+};
+
+}  // namespace exec
+}  // namespace interface
+}  // namespace hdsky
+
+#endif  // HDSKY_INTERFACE_EXEC_PAGED_ENGINE_H_

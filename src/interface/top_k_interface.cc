@@ -58,6 +58,23 @@ Result<std::unique_ptr<TopKInterface>> TopKInterface::Create(
   return iface;
 }
 
+Result<std::unique_ptr<TopKInterface>> TopKInterface::CreatePaged(
+    const data::PagedTable* paged, TopKOptions options) {
+  if (paged == nullptr) {
+    return Status::InvalidArgument("paged table must not be null");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.query_budget < 0) {
+    return Status::InvalidArgument("query budget must be >= 0");
+  }
+  auto iface = std::unique_ptr<TopKInterface>(
+      new TopKInterface(paged, options));
+  iface->paged_engine_ = std::make_unique<exec::PagedEngine>(paged);
+  return iface;
+}
+
 Status ValidateAgainstSchema(const data::Schema& schema, const Query& q) {
   if (q.num_attributes() != schema.num_attributes()) {
     return Status::InvalidArgument(
@@ -92,11 +109,11 @@ Status ValidateAgainstSchema(const data::Schema& schema, const Query& q) {
 }
 
 Status TopKInterface::ValidateQuery(const Query& q) const {
-  return ValidateAgainstSchema(table_->schema(), q);
+  return ValidateAgainstSchema(schema(), q);
 }
 
 bool TopKInterface::OutsideDomain(const Query& q) const {
-  const data::Schema& schema = table_->schema();
+  const data::Schema& schema = this->schema();
   for (int a = 0; a < q.num_attributes(); ++a) {
     const Interval& iv = q.interval(a);
     if (!iv.constrained()) continue;
@@ -218,6 +235,35 @@ Status TopKInterface::Execute(const Query& q, QueryResult* out) {
   if (q.HasEmptyInterval() || OutsideDomain(q)) {
     tally.empty_queries.fetch_add(1, std::memory_order_relaxed);
     out->tuples.clear();
+    return Status::OK();
+  }
+
+  if (paged_engine_ != nullptr) {
+    // Out-of-core path: compile bounds and walk the paged zone tree in
+    // the file's baked rank order. A storage failure (CRC on a page)
+    // undoes this query's accounting — it was never answered.
+    thread_local std::vector<exec::AttrBound> paged_bounds;
+    if (!exec::CollectBounds(q, &paged_bounds)) {
+      tally.empty_queries.fetch_add(1, std::memory_order_relaxed);
+      out->tuples.clear();
+      return Status::OK();
+    }
+    const Status stored = paged_engine_->ExecuteTopK(paged_bounds, k, out);
+    if (!stored.ok()) {
+      tally.queries_issued.fetch_sub(1, std::memory_order_relaxed);
+      if (options_.query_budget > 0) {
+        budget_used_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      return stored;
+    }
+    tally.tuples_returned.fetch_add(out->size(),
+                                    std::memory_order_relaxed);
+    if (out->overflow) {
+      tally.overflowed_queries.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (out->empty()) {
+      tally.empty_queries.fetch_add(1, std::memory_order_relaxed);
+    }
     return Status::OK();
   }
 

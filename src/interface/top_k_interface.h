@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/paged_table.h"
 #include "data/table.h"
+#include "interface/exec/paged_engine.h"
 #include "interface/exec/vector_engine.h"
 #include "interface/hidden_database.h"
 #include "interface/kd_index.h"
@@ -93,6 +95,16 @@ class TopKInterface : public HiddenDatabase {
       const data::Table* table, std::shared_ptr<RankingPolicy> ranking,
       TopKOptions options);
 
+  /// Out-of-core variant over a paged block file: the rank order is the
+  /// one baked into the file at pack time (no ranking policy is bound),
+  /// and every query runs through exec::PagedEngine, pinning its working
+  /// set through the table's buffer pool. Budget enforcement, per-thread
+  /// accounting, and validation behave exactly as in the in-memory
+  /// interface. kd_index_threshold / vectorized_scan are ignored. The
+  /// paged table must outlive the interface.
+  static common::Result<std::unique_ptr<TopKInterface>> CreatePaged(
+      const data::PagedTable* paged, TopKOptions options);
+
   /// Executes a conjunctive query. Fails with Unsupported if a predicate
   /// exceeds the attribute's interface capability, ResourceExhausted when
   /// the query budget is spent.
@@ -107,7 +119,9 @@ class TopKInterface : public HiddenDatabase {
   /// user inspecting the search form).
   common::Status ValidateQuery(const Query& q) const override;
 
-  const data::Schema& schema() const override { return table_->schema(); }
+  const data::Schema& schema() const override {
+    return paged_ != nullptr ? paged_->schema() : table_->schema();
+  }
   int k() const override { return options_.k; }
 
   /// Snapshot of the counters, merged over the internal per-thread
@@ -129,6 +143,8 @@ class TopKInterface : public HiddenDatabase {
   TopKInterface(const data::Table* table,
                 std::shared_ptr<RankingPolicy> ranking, TopKOptions options)
       : table_(table), ranking_(std::move(ranking)), options_(options) {}
+  TopKInterface(const data::PagedTable* paged, TopKOptions options)
+      : table_(nullptr), paged_(paged), options_(options) {}
 
   /// True when some constrained interval lies wholly outside its
   /// attribute's domain — the answer is empty without evaluation.
@@ -155,6 +171,9 @@ class TopKInterface : public HiddenDatabase {
   StatShard& LocalShard();
 
   const data::Table* table_;
+  /// Out-of-core mode (CreatePaged): table_ and ranking_ are null, and
+  /// every answer comes from paged_engine_ over the baked rank order.
+  const data::PagedTable* paged_ = nullptr;
   std::shared_ptr<RankingPolicy> ranking_;
   TopKOptions options_;
   StatShard stat_shards_[kStatShards];
@@ -165,6 +184,7 @@ class TopKInterface : public HiddenDatabase {
   std::vector<int64_t> rank_of_row_;
   std::unique_ptr<KdIndex> index_;
   std::unique_ptr<exec::VectorEngine> engine_;
+  std::unique_ptr<exec::PagedEngine> paged_engine_;
 };
 
 }  // namespace interface

@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/crc32c.h"
 #include "common/fs_util.h"
 #include "net/wire.h"
 #include "recovery/crash_point.h"
@@ -24,24 +25,6 @@ Status Errno(const std::string& op, const std::string& path) {
   return Status::IOError(op + " " + path + ": " + std::strerror(errno));
 }
 
-/// CRC32C lookup table (Castagnoli polynomial 0x1EDC6F41, reflected form
-/// 0x82F63B78), generated at first use. Software byte-at-a-time is plenty
-/// for journal records of a few KiB.
-const uint32_t* Crc32cTable() {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
 void PutLE32(uint32_t v, std::string* out) {
   for (int i = 0; i < 4; ++i) {
     out->push_back(static_cast<char>(static_cast<uint8_t>(v >> (8 * i))));
@@ -58,14 +41,7 @@ uint32_t GetLE32(const char* p) {
 
 }  // namespace
 
-uint32_t Crc32c(std::string_view data) {
-  const uint32_t* table = Crc32cTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : data) {
-    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+uint32_t Crc32c(std::string_view data) { return common::Crc32c(data); }
 
 void AppendFrame(std::string_view payload, std::string* out) {
   PutLE32(static_cast<uint32_t>(payload.size()), out);

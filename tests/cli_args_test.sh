@@ -3,11 +3,12 @@
 # malformed values must print usage to stderr and exit non-zero (64),
 # and must not start doing work.
 #
-# Usage: cli_args_test.sh <hdsky_discover> <hdsky_serve>
+# Usage: cli_args_test.sh <hdsky_discover> <hdsky_serve> [hdsky_pack]
 set -u
 
 DISCOVER=$1
 SERVE=$2
+PACK=${3:-}
 failures=0
 
 # expect_usage <label> <binary> [args...]
@@ -125,6 +126,58 @@ expect_usage "dump-data-with-connect" \
   "$DISCOVER" --connect 127.0.0.1:1 --dump-data /tmp/d.csv
 expect_usage "dump-data-with-trials" \
   "$DISCOVER" --demo route --trials 2 --dump-data /tmp/d.csv
+
+# Out-of-core flags: --dataset-file is a data source (exactly one of
+# --data/--demo/--dataset-file/--connect), --buffer-pool-bytes rides
+# only on it, and a packed file fixes generation/ranking knobs at pack
+# time. Validation fires before the file is opened, so the paths need
+# not exist.
+expect_usage "serve-dataset-file-plus-demo" \
+  "$SERVE" --demo route --dataset-file /tmp/x.hdb
+expect_usage "serve-dataset-file-with-ranking" \
+  "$SERVE" --dataset-file /tmp/x.hdb --ranking sum
+expect_usage "serve-pool-without-dataset-file" \
+  "$SERVE" --demo route --buffer-pool-bytes 1048576
+expect_usage "serve-pool-bytes-garbage" \
+  "$SERVE" --dataset-file /tmp/x.hdb --buffer-pool-bytes 1m
+expect_usage "serve-pool-bytes-zero" \
+  "$SERVE" --dataset-file /tmp/x.hdb --buffer-pool-bytes 0
+expect_usage "serve-dataset-file-dangling" "$SERVE" --dataset-file
+expect_usage "discover-dataset-file-plus-demo" \
+  "$DISCOVER" --demo route --dataset-file /tmp/x.hdb
+expect_usage "discover-dataset-file-plus-connect" \
+  "$DISCOVER" --connect 127.0.0.1:1 --dataset-file /tmp/x.hdb
+expect_usage "discover-pool-without-dataset-file" \
+  "$DISCOVER" --demo route --buffer-pool-bytes 1048576
+expect_usage "discover-pool-bytes-zero" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --buffer-pool-bytes 0
+expect_usage "discover-dataset-file-with-n" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --n 100
+expect_usage "discover-dataset-file-with-seed" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --seed 5
+expect_usage "discover-dataset-file-with-ranking" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --ranking sum
+expect_usage "discover-dataset-file-with-trials" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --trials 2
+expect_usage "discover-dataset-file-with-dump-data" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --dump-data /tmp/d.csv
+
+# hdsky_pack (when supplied): source/output selection and block
+# geometry validation.
+if [ -n "$PACK" ]; then
+  expect_usage "pack-no-source" "$PACK" --out /tmp/x.hdb
+  expect_usage "pack-two-sources" \
+    "$PACK" --demo route --data x.csv --out /tmp/x.hdb
+  expect_usage "pack-missing-out" "$PACK" --demo route
+  expect_usage "pack-out-dangling" "$PACK" --demo route --out
+  expect_usage "pack-rows-per-block-zero" \
+    "$PACK" --demo route --out /tmp/x.hdb --rows-per-block 0
+  expect_usage "pack-rows-per-block-garbage" \
+    "$PACK" --demo route --out /tmp/x.hdb --rows-per-block 4k
+  expect_usage "pack-n-zero" "$PACK" --demo route --out /tmp/x.hdb --n 0
+  expect_usage "pack-unknown-flag" \
+    "$PACK" --demo route --out /tmp/x.hdb --bogus
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures argument-validation case(s) failed" >&2

@@ -1,0 +1,625 @@
+// Out-of-core storage suite: block-file round trips and corruption
+// detection, buffer-pool residency invariants (LRU eviction order, pin
+// protection, single-flight CRC verification under concurrent readers —
+// the TSan target for the paged path), and the paged TopKInterface's
+// differential contract against the in-memory engine.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/block_file.h"
+#include "data/buffer_pool.h"
+#include "data/paged_table.h"
+#include "data/table.h"
+#include "dataset/pack.h"
+#include "dataset/synthetic.h"
+#include "interface/ranking.h"
+#include "interface/top_k_interface.h"
+#include "tests/test_util.h"
+
+namespace hdsky {
+namespace data {
+namespace {
+
+using dataset::PackTable;
+using interface::Query;
+using interface::QueryResult;
+using interface::TopKInterface;
+using interface::TopKOptions;
+
+std::string TempDir(const std::string& tag) {
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      ("hdsky_storage_" + tag + ".XXXXXX"))
+                         .string();
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& tag) : path(TempDir(tag)) {}
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+Table MakeTable(int64_t n, data::InterfaceType iface = InterfaceType::kRQ,
+                int64_t domain = 100, uint64_t seed = 7) {
+  dataset::SyntheticOptions o;
+  o.num_tuples = n;
+  o.num_attributes = 3;
+  o.domain_size = domain;
+  o.distribution = dataset::Distribution::kAntiCorrelated;
+  o.iface = iface;
+  o.seed = seed;
+  return std::move(dataset::GenerateSynthetic(o)).value();
+}
+
+// Packs `table` under sum ranking into <dir>/<name>.hdb and returns the
+// path. 64-row blocks keep many pages even for small test tables.
+std::string Pack(const Table& table, const std::string& dir,
+                 const std::string& name, int64_t rows_per_block = 64) {
+  BlockFileOptions o;
+  o.rows_per_block = rows_per_block;
+  const std::string path = dir + "/" + name + ".hdb";
+  auto rows =
+      PackTable(table, interface::MakeSumRanking(), path, o);
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(*rows, table.num_rows());
+  return path;
+}
+
+std::unique_ptr<BlockFile> OpenFile(const std::string& path) {
+  auto f = BlockFile::Open(path);
+  EXPECT_TRUE(f.ok()) << f.status();
+  return std::move(f).value();
+}
+
+// Flips one byte of the file in place (the on-disk image a mmap'd
+// reader will observe).
+void FlipByte(const std::string& path, int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(offset);
+  f.write(&b, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Block file: format round trip and corruption rejection.
+
+TEST(StorageBlockFileTest, RoundTripContentAndRankOrder) {
+  ScopedDir dir("roundtrip");
+  Table table = MakeTable(500);
+  const std::string path = Pack(table, dir.path, "t");
+
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+  EXPECT_EQ(file->num_rows(), 500);
+  EXPECT_EQ(file->num_attributes(), 3);
+  EXPECT_EQ(file->ranking_name(), "linear");  // MakeSumRanking's name
+  EXPECT_EQ(file->num_data_pages(), (500 + 63) / 64);
+  EXPECT_EQ(file->schema().num_attributes(),
+            table.schema().num_attributes());
+
+  // The file's row sequence must be exactly the rank order the
+  // in-memory interface would answer in: an unconstrained top-n query
+  // returns every row, best-ranked first.
+  auto iface = testutil::MakeInterface(&table, interface::MakeSumRanking(),
+                                       /*k=*/500);
+  auto truth = iface->Execute(Query(3));
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  ASSERT_EQ(truth->size(), 500);
+
+  BufferPool::Options popts;
+  popts.budget_bytes = size_t{64} << 20;
+  BufferPool pool(file.get(), popts);
+  int64_t row = 0;
+  for (int64_t b = 0; b < file->num_data_pages(); ++b) {
+    auto page = pool.Pin(file->data_page_id(b));
+    ASSERT_TRUE(page.ok()) << page.status();
+    BlockFile::DataPageView v = file->data_page(page->data());
+    for (int64_t i = 0; i < v.rows; ++i, ++row) {
+      ASSERT_LT(row, 500);
+      EXPECT_EQ(v.ids[i], truth->ids[static_cast<size_t>(row)]);
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_EQ(v.values[a * v.rows + i], table.value(v.ids[i], a));
+      }
+    }
+  }
+  EXPECT_EQ(row, 500);
+}
+
+TEST(StorageBlockFileTest, BoundaryRowCounts) {
+  ScopedDir dir("boundary");
+  for (int64_t n : {int64_t{1}, int64_t{64}, int64_t{65}, int64_t{128}}) {
+    Table table = MakeTable(n);
+    const std::string path =
+        Pack(table, dir.path, "n" + std::to_string(n));
+    std::unique_ptr<BlockFile> file = OpenFile(path);
+    EXPECT_EQ(file->num_rows(), n);
+    EXPECT_EQ(file->num_data_pages(), (n + 63) / 64);
+
+    BufferPool::Options popts;
+    BufferPool pool(file.get(), popts);
+    int64_t rows = 0;
+    for (int64_t b = 0; b < file->num_data_pages(); ++b) {
+      auto page = pool.Pin(file->data_page_id(b));
+      ASSERT_TRUE(page.ok()) << page.status();
+      rows += file->data_page(page->data()).rows;
+    }
+    EXPECT_EQ(rows, n);
+  }
+}
+
+TEST(StorageBlockFileTest, PackRejectsDynamicRanking) {
+  ScopedDir dir("dynamic");
+  Table table = MakeTable(100);
+  BlockFileOptions o;
+  auto rows = PackTable(table, interface::MakeAdversarialRanking(3),
+                        dir.path + "/t.hdb", o);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/t.hdb"));
+}
+
+TEST(StorageBlockFileTest, OpenRejectsTruncatedFile) {
+  ScopedDir dir("truncated");
+  Table table = MakeTable(300);
+  const std::string path = Pack(table, dir.path, "t");
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_FALSE(BlockFile::Open(path).ok());
+}
+
+TEST(StorageBlockFileTest, OpenRejectsCorruptHeader) {
+  ScopedDir dir("header");
+  Table table = MakeTable(300);
+  const std::string path = Pack(table, dir.path, "t");
+  FlipByte(path, 3);  // inside the magic
+  EXPECT_FALSE(BlockFile::Open(path).ok());
+}
+
+TEST(StorageBlockFileTest, OpenRejectsMissingFile) {
+  EXPECT_FALSE(BlockFile::Open("/nonexistent/nope.hdb").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool: residency accounting under a byte budget.
+
+TEST(BufferPoolTest, EvictsInLeastRecentlyUnpinnedOrder) {
+  ScopedDir dir("lru");
+  Table table = MakeTable(640);  // 10 data pages of 64 rows
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  popts.budget_bytes = 3 * file->page_bytes();
+  BufferPool pool(file.get(), popts);
+  auto touch = [&](int64_t page_id) {
+    auto r = pool.Pin(page_id);
+    ASSERT_TRUE(r.ok()) << r.status();
+  };
+
+  touch(1);
+  touch(2);
+  touch(3);
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.loads, 3u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.resident_pages, 3u);
+
+  // A fourth page exceeds the budget: page 1 — least recently
+  // unpinned — goes.
+  touch(4);
+  s = pool.stats();
+  EXPECT_EQ(s.loads, 4u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.resident_pages, 3u);
+
+  // Page 2 is still resident (hit) and becomes most recent.
+  touch(2);
+  s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.loads, 4u);
+
+  // Reloading page 1 evicts page 3, now the coldest.
+  touch(1);
+  // And pinning 3 again must be a fresh load that evicts page 4.
+  touch(3);
+  s = pool.stats();
+  EXPECT_EQ(s.loads, 6u);
+  EXPECT_EQ(s.evictions, 3u);
+  EXPECT_EQ(s.resident_pages, 3u);
+
+  // Page 2 survived the whole dance.
+  touch(2);
+  EXPECT_EQ(pool.stats().hits, 2u);
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveBudgetPressure) {
+  ScopedDir dir("pins");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  popts.budget_bytes = 1;  // floored to one page
+  BufferPool pool(file.get(), popts);
+  EXPECT_EQ(pool.budget_bytes(), file->page_bytes());
+
+  auto held = pool.Pin(1);
+  ASSERT_TRUE(held.ok()) << held.status();
+  const BlockFile::DataPageView before = file->data_page(held->data());
+  const TupleId first_id = before.ids[0];
+  const Value first_val = before.values[0];
+
+  {
+    // Over-budget churn while page 1 stays pinned.
+    auto h2 = pool.Pin(2);
+    ASSERT_TRUE(h2.ok()) << h2.status();
+    auto h3 = pool.Pin(3);
+    ASSERT_TRUE(h3.ok()) << h3.status();
+    BufferPool::Stats s = pool.stats();
+    EXPECT_EQ(s.resident_pages, 3u);  // nothing evictable
+    EXPECT_GT(s.overcommits, 0u);
+    EXPECT_EQ(s.evictions, 0u);
+  }
+  for (int64_t p = 4; p <= 8; ++p) {
+    auto r = pool.Pin(p);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  // The pinned page was never evicted and its bytes never moved.
+  BlockFile::DataPageView after = file->data_page(held->data());
+  EXPECT_EQ(after.ids[0], first_id);
+  EXPECT_EQ(after.values[0], first_val);
+  EXPECT_EQ(pool.stats().hits, 0u);  // every other pin was a fresh load
+
+  held = BufferPool::PageRef();  // release
+  BufferPool::Stats s = pool.stats();
+  EXPECT_LE(s.resident_pages, 1u);
+  EXPECT_LE(s.resident_bytes, pool.budget_bytes());
+}
+
+TEST(BufferPoolTest, DropAllSparesPinnedPages) {
+  ScopedDir dir("dropall");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  popts.budget_bytes = 8 * file->page_bytes();
+  BufferPool pool(file.get(), popts);
+  auto held = pool.Pin(1);
+  ASSERT_TRUE(held.ok()) << held.status();
+  { auto r = pool.Pin(2); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Pin(3); ASSERT_TRUE(r.ok()); }
+
+  pool.DropAll();
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.resident_pages, 1u);
+
+  // The pinned page answers from residency; the dropped one reloads.
+  { auto r = pool.Pin(1); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Pin(2); ASSERT_TRUE(r.ok()); }
+  s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.loads, 4u);
+}
+
+TEST(BufferPoolTest, CorruptDataPageFailsEveryPin) {
+  ScopedDir dir("crcdata");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  {
+    // Corrupt a value byte in data page 2's payload before mapping.
+    std::unique_ptr<BlockFile> probe = OpenFile(path);
+    FlipByte(path, static_cast<int64_t>(2 * probe->page_bytes()) +
+                       kPageHeaderBytes + 24);
+  }
+  std::unique_ptr<BlockFile> file = OpenFile(path);  // header is intact
+
+  BufferPool::Options popts;
+  BufferPool pool(file.get(), popts);
+  { auto r = pool.Pin(1); EXPECT_TRUE(r.ok()) << r.status(); }
+  auto bad = pool.Pin(2);
+  EXPECT_FALSE(bad.ok());
+  // A retry re-reads and re-fails; the page never becomes resident.
+  auto again = pool.Pin(2);
+  EXPECT_FALSE(again.ok());
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.crc_failures, 2u);
+  EXPECT_EQ(s.resident_pages, 1u);
+}
+
+TEST(BufferPoolTest, CorruptIndexPageFailsPin) {
+  ScopedDir dir("crcindex");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  int64_t index_page = 0;
+  size_t page_bytes = 0;
+  {
+    std::unique_ptr<BlockFile> probe = OpenFile(path);
+    ASSERT_GE(probe->num_index_levels(), 1);
+    index_page = probe->index_page_id(0, 0);
+    page_bytes = probe->page_bytes();
+  }
+  FlipByte(path, static_cast<int64_t>(page_bytes) * index_page +
+                     kPageHeaderBytes + 8);
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  BufferPool pool(file.get(), popts);
+  EXPECT_FALSE(pool.Pin(index_page).ok());
+  EXPECT_EQ(pool.stats().crc_failures, 1u);
+}
+
+TEST(BufferPoolTest, ConcurrentReadersStayCoherent) {
+  ScopedDir dir("threads");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+  const int64_t data_pages = file->num_data_pages();
+
+  // Reference copy of every page, read through a roomy pool.
+  std::vector<std::vector<TupleId>> want_ids(
+      static_cast<size_t>(data_pages));
+  std::vector<std::vector<Value>> want_vals(
+      static_cast<size_t>(data_pages));
+  {
+    BufferPool::Options roomy;
+    BufferPool ref_pool(file.get(), roomy);
+    for (int64_t b = 0; b < data_pages; ++b) {
+      auto page = ref_pool.Pin(file->data_page_id(b));
+      ASSERT_TRUE(page.ok()) << page.status();
+      BlockFile::DataPageView v = file->data_page(page->data());
+      want_ids[static_cast<size_t>(b)].assign(v.ids, v.ids + v.rows);
+      want_vals[static_cast<size_t>(b)].assign(
+          v.values, v.values + 3 * v.rows);
+    }
+  }
+
+  // Two-page budget over ten data pages: every thread's pins contend
+  // on load, eviction, and the single-flight CRC path.
+  BufferPool::Options tiny;
+  tiny.budget_bytes = 2 * file->page_bytes();
+  BufferPool pool(file.get(), tiny);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<uint32_t>(1000 + t));
+      std::uniform_int_distribution<int64_t> pick(0, data_pages - 1);
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t b = pick(rng);
+        auto page = pool.Pin(file->data_page_id(b));
+        if (!page.ok()) {
+          ++mismatches;
+          continue;
+        }
+        BlockFile::DataPageView v = file->data_page(page->data());
+        const auto& ids = want_ids[static_cast<size_t>(b)];
+        const auto& vals = want_vals[static_cast<size_t>(b)];
+        if (v.rows != static_cast<int64_t>(ids.size()) ||
+            v.ids[0] != ids[0] ||
+            v.ids[v.rows - 1] != ids[ids.size() - 1] ||
+            v.values[3 * v.rows - 1] != vals[vals.size() - 1]) {
+          ++mismatches;
+        }
+        if (i % 64 == 0 && t == 0) pool.DropAll();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.hits + s.loads,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.crc_failures, 0u);
+  EXPECT_LE(s.resident_bytes, pool.budget_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Paged interface: differential contract against the in-memory engine.
+
+// Asserts the two answers are bit-identical.
+void ExpectSameAnswer(const QueryResult& got, const QueryResult& want) {
+  EXPECT_EQ(got.overflow, want.overflow);
+  EXPECT_EQ(got.ids, want.ids);
+  EXPECT_EQ(got.tuples, want.tuples);
+}
+
+struct PagedFixture {
+  Table table;
+  std::unique_ptr<PagedTable> paged;
+  std::unique_ptr<TopKInterface> iface;      // out-of-core
+  std::unique_ptr<TopKInterface> in_memory;  // ground truth
+
+  PagedFixture(const std::string& dir, int64_t n, int k,
+               data::InterfaceType iface_type = InterfaceType::kRQ,
+               size_t pool_bytes = 8192)
+      : table(MakeTable(n, iface_type, /*domain=*/50)) {
+    Init(dir, k, pool_bytes);
+  }
+
+  // ASSERT_* needs a void-returning frame, which a constructor is not.
+  void Init(const std::string& dir, int k, size_t pool_bytes) {
+    const std::string path = Pack(table, dir, "t");
+    PagedTableOptions popts;
+    popts.buffer_pool_bytes = pool_bytes;  // tiny: evicts during queries
+    auto p = PagedTable::Open(path, popts);
+    ASSERT_TRUE(p.ok()) << p.status();
+    paged = std::move(p).value();
+    TopKOptions topts;
+    topts.k = k;
+    auto i = TopKInterface::CreatePaged(paged.get(), topts);
+    ASSERT_TRUE(i.ok()) << i.status();
+    iface = std::move(i).value();
+    in_memory =
+        testutil::MakeInterface(&table, interface::MakeSumRanking(), k);
+  }
+};
+
+TEST(PagedInterfaceTest, MatchesInMemoryOnRandomQueries) {
+  ScopedDir dir("diff");
+  PagedFixture fx(dir.path, /*n=*/2000, /*k=*/10);
+
+  std::vector<Query> battery;
+  battery.push_back(Query(3));  // unconstrained
+  battery.push_back(Query(3).AddAtMost(0, 25));
+  battery.push_back(Query(3).AddEquals(0, 7).AddEquals(1, 7));
+  battery.push_back(Query(3).AddEquals(0, 1).AddEquals(1, 1).AddEquals(2, 1));
+  battery.push_back(Query(3).AddAtLeast(0, 49).AddAtMost(0, 0));  // empty
+  battery.push_back(Query(3).AddAtLeast(0, 5000));  // out of domain
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<Value> val(0, 49);
+  std::uniform_int_distribution<int> nconstraints(1, 3);
+  for (int i = 0; i < 60; ++i) {
+    Query q(3);
+    const int c = nconstraints(rng);
+    for (int j = 0; j < c; ++j) {
+      const int attr = j;
+      switch (i % 3) {
+        case 0: q.AddAtMost(attr, val(rng)); break;
+        case 1: q.AddAtLeast(attr, val(rng)); break;
+        default: q.AddEquals(attr, val(rng)); break;
+      }
+    }
+    battery.push_back(q);
+  }
+
+  for (size_t i = 0; i < battery.size(); ++i) {
+    auto got = fx.iface->Execute(battery[i]);
+    auto want = fx.in_memory->Execute(battery[i]);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(want.ok()) << want.status();
+    SCOPED_TRACE("query #" + std::to_string(i));
+    ExpectSameAnswer(*got, *want);
+  }
+  // The tiny pool really was exercised out-of-core.
+  EXPECT_GT(fx.paged->pool_stats().evictions, 0u);
+}
+
+TEST(PagedInterfaceTest, BufferReuseExecuteMatches) {
+  ScopedDir dir("reuse");
+  PagedFixture fx(dir.path, /*n=*/1000, /*k=*/5);
+
+  QueryResult out;
+  for (Value v = 0; v < 20; ++v) {
+    Query q(3);
+    q.AddAtMost(0, v);
+    common::Status s = fx.iface->Execute(q, &out);
+    ASSERT_TRUE(s.ok()) << s;
+    auto want = fx.in_memory->Execute(q);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ExpectSameAnswer(out, *want);
+  }
+}
+
+TEST(PagedInterfaceTest, EnforcesQueryBudget) {
+  ScopedDir dir("budget");
+  Table table = MakeTable(300);
+  const std::string path = Pack(table, dir.path, "t");
+  PagedTableOptions popts;
+  auto paged = PagedTable::Open(path, popts);
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  TopKOptions topts;
+  topts.k = 5;
+  topts.query_budget = 3;
+  auto iface = TopKInterface::CreatePaged(paged->get(), topts);
+  ASSERT_TRUE(iface.ok()) << iface.status();
+
+  for (int i = 0; i < 3; ++i) {
+    Query q(3);
+    q.AddAtMost(0, static_cast<Value>(i));
+    EXPECT_TRUE((*iface)->Execute(q).ok());
+  }
+  EXPECT_EQ((*iface)->RemainingBudget(), 0);
+  auto spent = (*iface)->Execute(Query(3));
+  EXPECT_FALSE(spent.ok());
+  EXPECT_TRUE(spent.status().IsResourceExhausted());
+  EXPECT_EQ((*iface)->stats().queries_issued, 3);
+}
+
+TEST(PagedInterfaceTest, RejectsUnsupportedPredicates) {
+  ScopedDir dir("unsupported");
+  // SQ attributes accept only upper bounds / equality; a lower bound
+  // must be rejected without being charged.
+  Table table = MakeTable(300, InterfaceType::kSQ);
+  const std::string path = Pack(table, dir.path, "t");
+  PagedTableOptions popts;
+  auto paged = PagedTable::Open(path, popts);
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  TopKOptions topts;
+  topts.k = 5;
+  auto iface = TopKInterface::CreatePaged(paged->get(), topts);
+  ASSERT_TRUE(iface.ok()) << iface.status();
+
+  Query q(3);
+  q.AddAtLeast(0, 5);
+  auto r = (*iface)->Execute(q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnsupported());
+  EXPECT_EQ((*iface)->stats().queries_issued, 0);
+  EXPECT_EQ((*iface)->stats().rejected_queries, 1);
+}
+
+TEST(PagedInterfaceTest, ConcurrentQueriesMatchSerial) {
+  ScopedDir dir("parallel");
+  PagedFixture fx(dir.path, /*n=*/1500, /*k=*/8);
+
+  // Serial ground truth for a fixed query set, then the same set
+  // answered from many threads through the tiny shared pool.
+  std::vector<Query> queries;
+  for (Value v = 0; v < 32; ++v) {
+    Query q(3);
+    q.AddAtMost(v % 3, v);
+    queries.push_back(q);
+  }
+  std::vector<QueryResult> want;
+  for (const Query& q : queries) {
+    auto r = fx.in_memory->Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status();
+    want.push_back(std::move(r).value());
+  }
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < queries.size() * 4;
+           i += kThreads) {
+        const size_t qi = i % queries.size();
+        auto got = fx.iface->Execute(queries[qi]);
+        if (!got.ok() || got->ids != want[qi].ids ||
+            got->overflow != want[qi].overflow) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hdsky

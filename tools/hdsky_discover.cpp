@@ -13,8 +13,16 @@
 //   hdsky_discover --connect h1:7447,h2:7447,h3:7447 --federate union
 //
 // Flags:
-//   --data PATH         input CSV (one source: --data | --demo | --connect)
+//   --data PATH         input CSV (one source: --data | --demo |
+//                       --dataset-file | --connect)
 //   --demo NAME         flights | bluenile | autos | route
+//   --dataset-file FILE packed block file written by hdsky_pack;
+//                       discovery runs out-of-core through the buffer
+//                       pool (ranking/order are baked into the file, so
+//                       the local-generation flags are rejected)
+//   --buffer-pool-bytes N
+//                       resident-memory budget for --dataset-file
+//                       (default 256 MiB)
 //   --connect HOST:PORT[,HOST:PORT...]
 //                       discover against remote hdsky_serve instance(s);
 //                       more than one endpoint requires --federate
@@ -89,6 +97,7 @@
 #include "core/rq_db_sky.h"
 #include "core/skyband_discovery.h"
 #include "core/sq_db_sky.h"
+#include "data/paged_table.h"
 #include "dataset/blue_nile.h"
 #include "dataset/csv.h"
 #include "dataset/flights_on_time.h"
@@ -126,6 +135,8 @@ void InstallSignalHandlers() {
 struct Args {
   std::string data;
   std::string demo;
+  std::string dataset_file;
+  int64_t buffer_pool_bytes = 0;  // 0 = PagedTableOptions default
   std::string connect;
   std::vector<std::string> connects;  // --connect split on commas
   std::string federate;               // "" | "union" | "join"
@@ -155,9 +166,14 @@ struct Args {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: hdsky_discover (--data PATH | --demo NAME | --connect "
-      "HOST:PORT[,...]) [options]\n"
+      "usage: hdsky_discover (--data PATH | --demo NAME | --dataset-file "
+      "FILE | --connect HOST:PORT[,...]) [options]\n"
       "  --demo NAME         flights | bluenile | autos | route\n"
+      "  --dataset-file FILE packed block file (hdsky_pack); runs "
+      "out-of-core\n"
+      "  --buffer-pool-bytes N\n"
+      "                      resident budget for --dataset-file (default "
+      "256 MiB)\n"
       "  --connect HOST:PORT[,HOST:PORT...]\n"
       "                      discover against remote hdsky_serve(s)\n"
       "  --federate MODE     union | join over every --connect endpoint\n"
@@ -225,6 +241,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->data = value;
     } else if (flag == "--demo" && need_value(&value)) {
       args->demo = value;
+    } else if (flag == "--dataset-file" && need_value(&value)) {
+      args->dataset_file = value;
+    } else if (flag == "--buffer-pool-bytes") {
+      if (!int_flag(1, INT64_MAX, &args->buffer_pool_bytes)) return false;
     } else if (flag == "--connect" && need_value(&value)) {
       args->connect = value;
       args->connects.clear();
@@ -308,12 +328,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   const int sources = (!args->data.empty() ? 1 : 0) +
                       (!args->demo.empty() ? 1 : 0) +
+                      (!args->dataset_file.empty() ? 1 : 0) +
                       (!args->connect.empty() ? 1 : 0);
   if (sources != 1) {
     std::fprintf(stderr,
-                 "exactly one of --data / --demo / --connect is "
-                 "required\n");
+                 "exactly one of --data / --demo / --dataset-file / "
+                 "--connect is required\n");
     return false;
+  }
+  if (seen.count("--buffer-pool-bytes") && args->dataset_file.empty()) {
+    std::fprintf(stderr, "--buffer-pool-bytes requires --dataset-file\n");
+    return false;
+  }
+  if (!args->dataset_file.empty()) {
+    // Generation and ranking are baked into the file at pack time.
+    for (const char* baked :
+         {"--n", "--seed", "--ranking", "--trials", "--dump-data"}) {
+      if (seen.count(baked)) {
+        std::fprintf(stderr,
+                     "%s configures local generation/ranking; a packed "
+                     "--dataset-file fixes these at pack time\n",
+                     baked);
+        return false;
+      }
+    }
   }
   if (!args->federate.empty() && args->connect.empty()) {
     std::fprintf(stderr, "--federate requires --connect\n");
@@ -868,11 +906,43 @@ int main(int argc, char** argv) {
 
   // Exactly one of these owners is populated; `source` aliases it.
   data::Table table;  // local sources only
+  std::unique_ptr<data::PagedTable> paged;  // --dataset-file only
   std::unique_ptr<interface::TopKInterface> local;
   std::unique_ptr<service::RemoteHiddenDatabase> remote;
   interface::HiddenDatabase* source = nullptr;
 
-  if (!args.connect.empty()) {
+  if (!args.dataset_file.empty()) {
+    data::PagedTableOptions popts;
+    if (args.buffer_pool_bytes > 0) {
+      popts.buffer_pool_bytes =
+          static_cast<size_t>(args.buffer_pool_bytes);
+    }
+    auto paged_result = data::Table::OpenPaged(args.dataset_file, popts);
+    if (!paged_result.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   paged_result.status().ToString().c_str());
+      return 1;
+    }
+    paged = std::move(paged_result).value();
+    std::printf("dataset : %lld tuples (paged, ranking %s, pool %lld "
+                "bytes), %s\n",
+                static_cast<long long>(paged->num_rows()),
+                paged->ranking_name().c_str(),
+                static_cast<long long>(paged->pool()->budget_bytes()),
+                paged->schema().ToString().c_str());
+    interface::TopKOptions topk;
+    topk.k = static_cast<int>(args.k);
+    topk.query_budget = args.budget;
+    auto iface_result =
+        interface::TopKInterface::CreatePaged(paged.get(), topk);
+    if (!iface_result.ok()) {
+      std::fprintf(stderr, "interface: %s\n",
+                   iface_result.status().ToString().c_str());
+      return 1;
+    }
+    local = std::move(iface_result).value();
+    source = local.get();
+  } else if (!args.connect.empty()) {
     std::string host;
     uint16_t port = 0;
     const common::Status parsed =
@@ -1113,6 +1183,16 @@ int main(int argc, char** argv) {
                  static_cast<long long>(js.paid),
                  static_cast<long long>(js.errors),
                  static_cast<long long>(journal->epoch()));
+  }
+  if (paged) {
+    const data::BufferPool::Stats ps = paged->pool_stats();
+    std::fprintf(stderr,
+                 "pool    : %llu hits, %llu loads, %llu evictions, %llu "
+                 "resident bytes\n",
+                 static_cast<unsigned long long>(ps.hits),
+                 static_cast<unsigned long long>(ps.loads),
+                 static_cast<unsigned long long>(ps.evictions),
+                 static_cast<unsigned long long>(ps.resident_bytes));
   }
   if (remote) {
     const service::RemoteHiddenDatabase::Stats& t = remote->stats();

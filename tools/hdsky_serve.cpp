@@ -10,8 +10,15 @@
 //   hdsky_serve --demo flights --client-budget 500         # per-session cap
 //
 // Flags:
-//   --data PATH            input CSV (mutually exclusive with --demo)
+//   --data PATH            input CSV (one source: --data | --demo |
+//                          --dataset-file)
 //   --demo NAME            flights | bluenile | autos | route
+//   --dataset-file FILE    packed block file written by hdsky_pack; the
+//                          server answers out-of-core through the buffer
+//                          pool (--ranking is rejected: the rank order
+//                          is baked into the file at pack time)
+//   --buffer-pool-bytes N  resident-memory budget for --dataset-file
+//                          (default 256 MiB)
 //   --n N                  demo dataset size (default: the paper's)
 //   --k K                  page size of the interface (default 10)
 //   --ranking R            sum | lex:<attr_name>   (default sum)
@@ -45,6 +52,7 @@
 #include <string>
 #include <thread>
 
+#include "data/paged_table.h"
 #include "dataset/blue_nile.h"
 #include "dataset/csv.h"
 #include "dataset/flights_on_time.h"
@@ -66,6 +74,9 @@ void HandleSignal(int) { g_shutdown.store(true); }
 struct Args {
   std::string data;
   std::string demo;
+  std::string dataset_file;
+  int64_t buffer_pool_bytes = 0;  // 0 = PagedTableOptions default
+  bool ranking_set = false;
   int64_t n = 0;
   int64_t k = 10;
   std::string ranking = "sum";
@@ -86,8 +97,14 @@ struct Args {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: hdsky_serve (--data PATH | --demo NAME) [options]\n"
+      "usage: hdsky_serve (--data PATH | --demo NAME | --dataset-file "
+      "FILE) [options]\n"
       "  --demo NAME          flights | bluenile | autos | route\n"
+      "  --dataset-file FILE  packed block file (hdsky_pack); serves "
+      "out-of-core\n"
+      "  --buffer-pool-bytes N\n"
+      "                       resident budget for --dataset-file "
+      "(default 256 MiB)\n"
       "  --n N                demo dataset size\n"
       "  --k K                interface page size (default 10)\n"
       "  --ranking R          sum | lex:<attr_name>\n"
@@ -139,12 +156,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->data = value;
     } else if (flag == "--demo" && need_value(&value)) {
       args->demo = value;
+    } else if (flag == "--dataset-file" && need_value(&value)) {
+      args->dataset_file = value;
+    } else if (flag == "--buffer-pool-bytes") {
+      if (!int_flag(1, INT64_MAX, &args->buffer_pool_bytes)) return false;
     } else if (flag == "--n") {
       if (!int_flag(1, INT64_MAX, &args->n)) return false;
     } else if (flag == "--k") {
       if (!int_flag(1, 1000000, &args->k)) return false;
     } else if (flag == "--ranking" && need_value(&value)) {
       args->ranking = value;
+      args->ranking_set = true;
     } else if (flag == "--budget") {
       if (!int_flag(0, INT64_MAX, &args->budget)) return false;
     } else if (flag == "--client-budget") {
@@ -181,8 +203,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->data.empty() == args->demo.empty()) {
-    std::fprintf(stderr, "exactly one of --data / --demo is required\n");
+  const int sources = (!args->data.empty() ? 1 : 0) +
+                      (!args->demo.empty() ? 1 : 0) +
+                      (!args->dataset_file.empty() ? 1 : 0);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "exactly one of --data / --demo / --dataset-file is "
+                 "required\n");
+    return false;
+  }
+  if (args->buffer_pool_bytes > 0 && args->dataset_file.empty()) {
+    std::fprintf(stderr, "--buffer-pool-bytes requires --dataset-file\n");
+    return false;
+  }
+  if (!args->dataset_file.empty() && args->ranking_set) {
+    std::fprintf(stderr,
+                 "--ranking is baked into a packed --dataset-file at "
+                 "pack time\n");
     return false;
   }
   return true;
@@ -239,31 +276,57 @@ int main(int argc, char** argv) {
     return 64;
   }
 
-  auto table_result = LoadTable(args);
-  if (!table_result.ok()) {
-    std::fprintf(stderr, "load: %s\n",
-                 table_result.status().ToString().c_str());
-    return 1;
-  }
-  const data::Table table = std::move(table_result).value();
-
-  auto ranking_result = MakeRanking(args, table.schema());
-  if (!ranking_result.ok()) {
-    std::fprintf(stderr, "ranking: %s\n",
-                 ranking_result.status().ToString().c_str());
-    return 1;
-  }
+  data::Table table;  // local in-memory sources only
+  std::unique_ptr<data::PagedTable> paged;  // --dataset-file only
+  std::unique_ptr<interface::TopKInterface> iface;
   interface::TopKOptions topk;
   topk.k = static_cast<int>(args.k);
   topk.query_budget = args.budget;
-  auto iface_result = interface::TopKInterface::Create(
-      &table, std::move(ranking_result).value(), topk);
-  if (!iface_result.ok()) {
-    std::fprintf(stderr, "interface: %s\n",
-                 iface_result.status().ToString().c_str());
-    return 1;
+  if (!args.dataset_file.empty()) {
+    data::PagedTableOptions popts;
+    if (args.buffer_pool_bytes > 0) {
+      popts.buffer_pool_bytes =
+          static_cast<size_t>(args.buffer_pool_bytes);
+    }
+    auto paged_result = data::Table::OpenPaged(args.dataset_file, popts);
+    if (!paged_result.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   paged_result.status().ToString().c_str());
+      return 1;
+    }
+    paged = std::move(paged_result).value();
+    auto iface_result =
+        interface::TopKInterface::CreatePaged(paged.get(), topk);
+    if (!iface_result.ok()) {
+      std::fprintf(stderr, "interface: %s\n",
+                   iface_result.status().ToString().c_str());
+      return 1;
+    }
+    iface = std::move(iface_result).value();
+  } else {
+    auto table_result = LoadTable(args);
+    if (!table_result.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   table_result.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(table_result).value();
+
+    auto ranking_result = MakeRanking(args, table.schema());
+    if (!ranking_result.ok()) {
+      std::fprintf(stderr, "ranking: %s\n",
+                   ranking_result.status().ToString().c_str());
+      return 1;
+    }
+    auto iface_result = interface::TopKInterface::Create(
+        &table, std::move(ranking_result).value(), topk);
+    if (!iface_result.ok()) {
+      std::fprintf(stderr, "interface: %s\n",
+                   iface_result.status().ToString().c_str());
+      return 1;
+    }
+    iface = std::move(iface_result).value();
   }
-  auto iface = std::move(iface_result).value();
 
   // TopKInterface with a static-order ranking is thread-safe (see
   // docs/concurrency.md); both built-in rankings qualify, so connections
@@ -312,9 +375,19 @@ int main(int argc, char** argv) {
     bound_port = epoll_server->port();
   }
 
-  std::fprintf(stderr, "dataset : %lld tuples, %s\n",
-               static_cast<long long>(table.num_rows()),
-               table.schema().ToString().c_str());
+  if (paged != nullptr) {
+    std::fprintf(stderr,
+                 "dataset : %lld tuples (paged, ranking %s, pool %lld "
+                 "bytes), %s\n",
+                 static_cast<long long>(paged->num_rows()),
+                 paged->ranking_name().c_str(),
+                 static_cast<long long>(paged->pool()->budget_bytes()),
+                 paged->schema().ToString().c_str());
+  } else {
+    std::fprintf(stderr, "dataset : %lld tuples, %s\n",
+                 static_cast<long long>(table.num_rows()),
+                 table.schema().ToString().c_str());
+  }
   std::fprintf(stderr, "engine  : %s\n", args.engine.c_str());
   std::printf("listening on %s:%u\n", args.bind.c_str(), bound_port);
   std::fflush(stdout);
@@ -363,5 +436,15 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "backend : %lld queries issued, %lld tuples returned\n",
                static_cast<long long>(access.queries_issued),
                static_cast<long long>(access.tuples_returned));
+  if (paged != nullptr) {
+    const data::BufferPool::Stats ps = paged->pool_stats();
+    std::fprintf(stderr,
+                 "pool    : %llu hits, %llu loads, %llu evictions, %llu "
+                 "resident bytes\n",
+                 static_cast<unsigned long long>(ps.hits),
+                 static_cast<unsigned long long>(ps.loads),
+                 static_cast<unsigned long long>(ps.evictions),
+                 static_cast<unsigned long long>(ps.resident_bytes));
+  }
   return 0;
 }
