@@ -127,11 +127,25 @@ void BM_ExecutePointQuery(benchmark::State& state) {
 // the identical queries through the memory-resident scan engine (k-d index
 // off, so both sides pay a zone-pruned scan) — the pair the 2x warm gate
 // in scripts/compare_bench.py compares. Counters: pool_bytes, data_bytes,
-// evictions, and exact_match (1 when a differential battery of queries
-// returned bit-identical answers from the paged and in-memory interfaces).
-// HDSKY_BUFFER_POOL_BYTES shrinks the pool further (CI's eviction-churn
-// smoke); values above the 1/8 cap are clamped so the ratio gate stays
-// meaningful.
+// evictions, bytes_read_per_iter (stored bytes fetched from disk per
+// query, prefetch included), and exact_match (1 when a differential
+// battery of queries returned bit-identical answers from the paged and
+// in-memory interfaces). HDSKY_BUFFER_POOL_BYTES shrinks the pool
+// further (CI's eviction-churn smoke); values above the 1/8 cap are
+// clamped so the ratio gate stays meaningful.
+//
+// The *Cold tier comes in four variants per query shape, crossing the
+// physical format with the read path:
+//
+//   BM_OocBroadQueryCold           format v1 (raw slots),  mmap
+//   BM_OocBroadQueryColdComp       format v2 (compressed), mmap
+//   BM_OocBroadQueryColdPread      format v1,              pread+readahead
+//   BM_OocBroadQueryColdCompPread  format v2,              pread+readahead
+//
+// compare_bench.py pairs them by stripping the Comp/Pread suffixes and
+// gates (a) compressed files reading >= --min-compress-bytes-ratio fewer
+// stored bytes per cold query than raw at equal exactness and (b) pread
+// cold medians staying within --pread-tolerance of mmap cold medians.
 //
 // The tier runs at k=100 (not the in-memory tier's k=10): a broad query
 // at k=10 early-exits after ~40 rows and measures in the low hundreds of
@@ -146,6 +160,13 @@ struct OocContext {
   std::unique_ptr<data::PagedTable> table;
   std::unique_ptr<interface::TopKInterface> iface;
   bool exact = false;
+};
+
+/// Both read paths over one packed file. The file is unlinked once both
+/// tables hold it open (mmap keeps the mapping, pread keeps the fd).
+struct OocGroup {
+  OocContext mmap;
+  OocContext pread;
 };
 
 /// Memory-resident twin of the paged engine's work: vectorized rank-order
@@ -184,37 +205,18 @@ bool SameAnswer(const interface::QueryResult& a,
   return a.overflow == b.overflow && a.ids == b.ids && a.tuples == b.tuples;
 }
 
-const OocContext& Ooc(int64_t n) {
-  static std::map<int64_t, OocContext> cache;
-  const int64_t key = bench::Scaled(n);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-
-  const data::Table& t = Data(n);
-  const std::string path = "/tmp/hdsky_ooc_" +
-                           std::to_string(::getpid()) + "_" +
-                           std::to_string(key) + ".hdb";
-  data::BlockFileOptions fopts;
-  fopts.rows_per_block = 1024;  // several pages even at smoke scale
-  bench::Unwrap(dataset::PackTable(t, interface::MakeSumRanking(), path,
-                                   fopts),
-                "pack");
-
-  const uint64_t data_bytes =
-      static_cast<uint64_t>(t.num_rows()) *
-      static_cast<uint64_t>(t.schema().num_attributes() + 1) * 8;
-  uint64_t pool = data_bytes / 8;
-  if (const char* env = std::getenv("HDSKY_BUFFER_POOL_BYTES")) {
-    const uint64_t v = std::strtoull(env, nullptr, 10);
-    if (v > 0 && v < pool) pool = v;
-  }
+/// Opens one read-path variant over `path` and proves it exact against
+/// the in-memory twin with the differential battery.
+OocContext MakeOocContext(const data::Table& t, const std::string& path,
+                          size_t pool, data::ReadPathKind kind) {
   data::PagedTableOptions popts;
-  popts.buffer_pool_bytes = static_cast<size_t>(pool);
+  popts.buffer_pool_bytes = pool;
+  popts.read_path = kind;
+  popts.readahead_pages = 8;
 
   OocContext ctx;
   ctx.table =
       bench::Unwrap(data::Table::OpenPaged(path, popts), "OpenPaged");
-  ::unlink(path.c_str());  // the mmap keeps the file alive
 
   interface::TopKOptions topk;
   topk.k = kOocK;
@@ -232,8 +234,51 @@ const OocContext& Ooc(int64_t n) {
     const auto sm = mem->Execute(q, &rm);
     if (!sp.ok() || !sm.ok() || !SameAnswer(rp, rm)) ctx.exact = false;
   }
+  return ctx;
+}
 
-  return cache.emplace(key, std::move(ctx)).first->second;
+const OocGroup& OocFor(int64_t n, data::Compression comp) {
+  static std::map<std::pair<int64_t, int>, OocGroup> cache;
+  const std::pair<int64_t, int> key(bench::Scaled(n),
+                                    static_cast<int>(comp));
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const data::Table& t = Data(n);
+  const std::string path = "/tmp/hdsky_ooc_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(key.first) + "_c" +
+                           std::to_string(key.second) + ".hdb";
+  data::BlockFileOptions fopts;
+  fopts.rows_per_block = 1024;  // several pages even at smoke scale
+  fopts.compression = comp;
+  bench::Unwrap(dataset::PackTable(t, interface::MakeSumRanking(), path,
+                                   fopts),
+                "pack");
+
+  const uint64_t data_bytes =
+      static_cast<uint64_t>(t.num_rows()) *
+      static_cast<uint64_t>(t.schema().num_attributes() + 1) * 8;
+  uint64_t pool = data_bytes / 8;
+  if (const char* env = std::getenv("HDSKY_BUFFER_POOL_BYTES")) {
+    const uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0 && v < pool) pool = v;
+  }
+
+  OocGroup group;
+  group.mmap = MakeOocContext(t, path, static_cast<size_t>(pool),
+                              data::ReadPathKind::kMmap);
+  group.pread = MakeOocContext(t, path, static_cast<size_t>(pool),
+                               data::ReadPathKind::kPread);
+  ::unlink(path.c_str());  // both tables hold the file open
+
+  return cache.emplace(key, std::move(group)).first->second;
+}
+
+const OocContext& Ooc(int64_t n, data::Compression comp,
+                      data::ReadPathKind kind) {
+  const OocGroup& group = OocFor(n, comp);
+  return kind == data::ReadPathKind::kPread ? group.pread : group.mmap;
 }
 
 void SetOocCounters(benchmark::State& state, const OocContext& ctx) {
@@ -254,6 +299,7 @@ void RunOocQueryBench(benchmark::State& state, const OocContext& ctx,
     auto prime = ctx.iface->Execute(q, &r);  // fault the working set in
     benchmark::DoNotOptimize(prime);
   }
+  const uint64_t bytes_before = ctx.table->pool_stats().bytes_read;
   for (auto _ : state) {
     if (cold) {
       state.PauseTiming();
@@ -266,22 +312,67 @@ void RunOocQueryBench(benchmark::State& state, const OocContext& ctx,
   }
   state.SetItemsProcessed(state.iterations());
   SetOocCounters(state, ctx);
+  const uint64_t bytes_after = ctx.table->pool_stats().bytes_read;
+  state.counters["bytes_read_per_iter"] =
+      state.iterations() > 0
+          ? static_cast<double>(bytes_after - bytes_before) /
+                static_cast<double>(state.iterations())
+          : 0.0;
 }
 
+constexpr data::Compression kRaw = data::Compression::kOff;
+constexpr data::Compression kComp = data::Compression::kAuto;
+constexpr data::ReadPathKind kMmapPath = data::ReadPathKind::kMmap;
+constexpr data::ReadPathKind kPreadPath = data::ReadPathKind::kPread;
+
 void BM_OocBroadQueryCold(benchmark::State& state) {
-  RunOocQueryBench(state, Ooc(state.range(0)), BroadQuery(), true);
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kMmapPath),
+                   BroadQuery(), true);
+}
+
+void BM_OocBroadQueryColdComp(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kComp, kMmapPath),
+                   BroadQuery(), true);
+}
+
+void BM_OocBroadQueryColdPread(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kPreadPath),
+                   BroadQuery(), true);
+}
+
+void BM_OocBroadQueryColdCompPread(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kComp, kPreadPath),
+                   BroadQuery(), true);
 }
 
 void BM_OocBroadQueryWarm(benchmark::State& state) {
-  RunOocQueryBench(state, Ooc(state.range(0)), BroadQuery(), false);
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kMmapPath),
+                   BroadQuery(), false);
 }
 
 void BM_OocSelectiveQueryCold(benchmark::State& state) {
-  RunOocQueryBench(state, Ooc(state.range(0)), SelectiveQuery(), true);
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kMmapPath),
+                   SelectiveQuery(), true);
+}
+
+void BM_OocSelectiveQueryColdComp(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kComp, kMmapPath),
+                   SelectiveQuery(), true);
+}
+
+void BM_OocSelectiveQueryColdPread(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kPreadPath),
+                   SelectiveQuery(), true);
+}
+
+void BM_OocSelectiveQueryColdCompPread(benchmark::State& state) {
+  RunOocQueryBench(state, Ooc(state.range(0), kComp, kPreadPath),
+                   SelectiveQuery(), true);
 }
 
 void BM_OocSelectiveQueryWarm(benchmark::State& state) {
-  RunOocQueryBench(state, Ooc(state.range(0)), SelectiveQuery(), false);
+  RunOocQueryBench(state, Ooc(state.range(0), kRaw, kMmapPath),
+                   SelectiveQuery(), false);
 }
 
 void BM_OocMemBroadQuery(benchmark::State& state) {
@@ -364,8 +455,14 @@ BENCHMARK(BM_ExecuteSelectiveQuery)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_ExecuteSelectiveQueryNaive)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_ExecutePointQuery)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocBroadQueryCold)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocBroadQueryColdComp)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocBroadQueryColdPread)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocBroadQueryColdCompPread)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocBroadQueryWarm)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocSelectiveQueryCold)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocSelectiveQueryColdComp)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocSelectiveQueryColdPread)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_OocSelectiveQueryColdCompPread)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocSelectiveQueryWarm)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocMemBroadQuery)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_OocMemSelectiveQuery)->Arg(10000)->Arg(100000);

@@ -17,6 +17,17 @@ substrate mode (BENCH_substrate.json)
     at least --min-selective-speedup (default 3x, the repo's acceptance
     floor for the columnar engine).
 
+  The out-of-core tier adds two physical-layout gates at the largest
+  size, applied to each BM_Ooc*Cold pair that is present (an artifact
+  without the Comp/Pread variants skips them):
+
+  * the Comp variant (format-v2 compressed file) must read at least
+    --min-compress-bytes-ratio fewer stored bytes per cold query than
+    its raw twin (bytes_read_per_iter counters; exactness of both is
+    already gated by the differential battery), and
+  * the Pread variant (pread + asynchronous readahead) must keep its
+    cold median within --pread-tolerance of the mmap twin's.
+
 service mode (BENCH_service.json — any entry carrying a dedup_ratio
 counter, as written by hdsky_loadgen --json and micro_service_load)
   Gates the event-driven multi-tenant service under load:
@@ -233,6 +244,53 @@ def gate_substrate(data, args):
                                 f"the memory-resident path, over "
                                 f"{args.ooc_warm_tolerance:.2f}x")
 
+        # Physical-layout gates over the cold variant matrix. Pairing is
+        # by name: stripping the Comp / Pread suffixes of a variant must
+        # yield another benchmark in the artifact; pairs whose other half
+        # is absent (older artifacts, filtered runs) are skipped, not
+        # failed.
+        for base in ("BM_OocBroadQueryCold", "BM_OocSelectiveQueryCold"):
+            for pread_suffix in ("", "Pread"):
+                raw = ooc.get(base + pread_suffix + suffix)
+                comp = ooc.get(base + "Comp" + pread_suffix + suffix)
+                if raw is None or comp is None:
+                    continue
+                raw_b = raw.get("bytes_read_per_iter", 0.0)
+                comp_b = comp.get("bytes_read_per_iter", 0.0)
+                if comp_b <= 0:
+                    failures.append(f"{base}Comp{pread_suffix}{suffix}: no "
+                                    "bytes_read_per_iter counter")
+                    continue
+                ratio = raw_b / comp_b
+                need = args.min_compress_bytes_ratio
+                verdict = "ok" if ratio >= need else "FAIL"
+                print(f"{base}Comp{pread_suffix}{suffix}: cold read "
+                      f"{comp_b:.0f} B/query vs raw {raw_b:.0f} B/query "
+                      f"({ratio:.1f}x fewer, need >= {need:.1f}x) "
+                      f"[{verdict}]")
+                if ratio < need:
+                    failures.append(f"{base}Comp{pread_suffix}{suffix}: "
+                                    f"compressed cold query reads only "
+                                    f"{ratio:.1f}x fewer bytes than raw, "
+                                    f"below {need:.1f}x")
+            for comp_infix in ("", "Comp"):
+                mmap_name = base + comp_infix + suffix
+                pread_name = base + comp_infix + "Pread" + suffix
+                mmap_t = times.get(mmap_name)
+                pread_t = times.get(pread_name)
+                if mmap_t is None or pread_t is None:
+                    continue
+                bound = mmap_t * args.pread_tolerance
+                verdict = "ok" if pread_t <= bound else "FAIL"
+                print(f"{pread_name}: cold {pread_t:.0f} ns vs mmap "
+                      f"{mmap_t:.0f} ns ({pread_t / mmap_t:.2f}x, "
+                      f"tolerance {args.pread_tolerance:.2f}x) [{verdict}]")
+                if pread_t > bound:
+                    failures.append(f"{pread_name}: pread cold median "
+                                    f"{pread_t / mmap_t:.2f}x the mmap "
+                                    f"path, over "
+                                    f"{args.pread_tolerance:.2f}x")
+
     if checked == 0 and ooc_checked == 0:
         failures.append("no vectorized/naive bench pairs or out-of-core "
                         "runs found")
@@ -410,6 +468,13 @@ def main():
                     help="max warm-paged/memory-resident ratio on the "
                          "broad-query bench at the largest size "
                          "(default: 2.0)")
+    ap.add_argument("--min-compress-bytes-ratio", type=float, default=2.0,
+                    help="min raw/compressed stored-bytes-read ratio the "
+                         "cold out-of-core tier must demonstrate at its "
+                         "largest size (default: 2.0)")
+    ap.add_argument("--pread-tolerance", type=float, default=1.10,
+                    help="max pread/mmap cold-median ratio at the largest "
+                         "out-of-core size (default: 1.10)")
     # service knobs
     ap.add_argument("--baseline", default=None,
                     help="pinned BENCH_service.json to gate p99 against")

@@ -1,8 +1,8 @@
 // On-disk paged column-block file ("block file", extension .hdb): the
 // out-of-core backing store for a hidden database whose rows exceed RAM.
 //
-// Layout. The file is a sequence of fixed-size pages (page_bytes, a
-// multiple of 4 KiB so every page can be madvise(2)'d independently):
+// Logical layout (identical in both format versions). The file is a
+// sequence of pages:
 //
 //   page 0                  header (magic, geometry, ranking name,
 //                           serialized schema, CRC32C)
@@ -10,11 +10,28 @@
 //                           baked rank order (see below)
 //   pages D+1..             zone-map index pages, level 0 first
 //
-// Data page: an 8-byte header {u32 payload CRC32C, u32 row count},
-// then the PAX payload — the block's TupleIds followed by the
-// attribute-major value runs (values[a * rows + i]), which is exactly
-// the layout the fused leaf-match kernel (interface/exec/kernels.h)
-// consumes, so scans run unchanged on a pinned page.
+// A *decoded* data page is an 8-byte header {u32 payload CRC32C, u32
+// row count}, then the PAX payload — the block's TupleIds followed by
+// the attribute-major value runs (values[a * rows + i]), which is
+// exactly the layout the fused leaf-match kernel
+// (interface/exec/kernels.h) consumes, so scans run unchanged on a
+// pinned frame.
+//
+// Physical layout differs by version:
+//
+//   v1 (--compress=off)  every page occupies a fixed page_bytes slot
+//                        (a multiple of 4 KiB); page id * page_bytes is
+//                        the page's offset, and the stored bytes ARE
+//                        the decoded bytes.
+//   v2 (--compress=auto) each page stores its column runs independently
+//                        encoded (data/encoding.h: FOR / delta /
+//                        dictionary, per-run raw fallback), starts at a
+//                        4 KiB-aligned offset, and is followed by a
+//                        trailing page directory {offset, encoded
+//                        bytes} per page (CRC32C'd, its offset
+//                        back-patched into the header). The page CRC
+//                        covers the *encoded* payload, so corruption is
+//                        caught before the decoder runs.
 //
 // Zone-map index: level 0 holds one entry per data page — per-attribute
 // (min, max) over the page, NULL included (NULL sorts worst, so a page
@@ -25,7 +42,8 @@
 // visits data pages in rank order, so a top-k scan can prune whole
 // subtrees on bounds and stop after k+1 matches — the paged equivalent
 // of the VectorEngine early exit. Index pages carry the same
-// {CRC, entry count} header and go through the same buffer pool.
+// {CRC, entry count} header (v2: a single encoded run of the zone
+// values) and go through the same buffer pool.
 //
 // Rank order is baked at write time: rows MUST be appended
 // best-rank-first (dataset/pack.h does this via the ranking policy's
@@ -37,7 +55,10 @@
 // an interchange format). Writes go through common::AtomicFileWriter,
 // so a crashed bulk load never leaves a torn file under the target
 // name; torn or bit-flipped pages are caught by the per-page CRC at
-// buffer-pool load time.
+// buffer-pool load time. Reading goes through a pluggable
+// data::ReadPath (mmap or pread; see read_path.h) owned by the buffer
+// pool — BlockFile itself only parses the header, keeps the fd, and
+// decodes fetched bytes.
 
 #ifndef HDSKY_DATA_BLOCK_FILE_H_
 #define HDSKY_DATA_BLOCK_FILE_H_
@@ -56,9 +77,19 @@ namespace hdsky {
 namespace data {
 
 inline constexpr uint32_t kBlockFileVersion = 1;
+inline constexpr uint32_t kBlockFileVersionCompressed = 2;
 inline constexpr size_t kBlockFileAlign = 4096;
 inline constexpr size_t kPageHeaderBytes = 8;  // u32 CRC + u32 count
 inline constexpr int kMaxIndexLevels = 8;
+
+enum class Compression : uint8_t {
+  /// Format v1: raw fixed-slot pages. Bit-compatible with files written
+  /// before compression existed.
+  kOff = 0,
+  /// Format v2: per-run encoding chosen by the writer (smallest of
+  /// FOR / delta / dictionary / raw).
+  kAuto = 1,
+};
 
 struct BlockFileOptions {
   /// Rows per data page. Larger blocks amortize pin/CRC overhead;
@@ -67,6 +98,34 @@ struct BlockFileOptions {
   int64_t rows_per_block = 4096;
   /// Children per zone-map index node.
   int index_fanout = 64;
+  /// Physical page encoding (see Compression).
+  Compression compression = Compression::kAuto;
+};
+
+/// Byte accounting filled by BlockFileWriter::Finish, surfaced by
+/// `hdsky_pack --stats`. Column 0 is the TupleId run; columns 1..m are
+/// the schema attributes in order.
+struct BlockFileWriteStats {
+  int64_t rows = 0;
+  int64_t data_pages = 0;
+  int64_t index_pages = 0;
+  int num_index_levels = 0;
+  uint64_t file_bytes = 0;
+  struct Column {
+    uint64_t raw_bytes = 0;      // 8 * values
+    uint64_t encoded_bytes = 0;  // run headers + encoded bodies
+  };
+  std::vector<Column> columns;
+  uint64_t raw_payload_bytes() const {
+    uint64_t t = 0;
+    for (const Column& c : columns) t += c.raw_bytes;
+    return t;
+  }
+  uint64_t encoded_payload_bytes() const {
+    uint64_t t = 0;
+    for (const Column& c : columns) t += c.encoded_bytes;
+    return t;
+  }
 };
 
 /// Streaming bounded-memory writer: holds one block buffer plus one
@@ -84,16 +143,27 @@ class BlockFileWriter {
   /// TupleId. Rows must arrive best-rank-first.
   common::Status Append(TupleId id, const Value* row);
 
-  /// Flushes the tail block, writes the index levels and header, and
-  /// atomically renames the file into place. Returns rows written.
+  /// Flushes the tail block, writes the index levels, directory (v2),
+  /// and header, and atomically renames the file into place. Returns
+  /// rows written.
   common::Result<int64_t> Finish();
 
   int64_t rows_written() const { return rows_written_; }
+
+  /// Valid after Finish().
+  const BlockFileWriteStats& stats() const { return stats_; }
 
  private:
   BlockFileWriter() = default;
 
   common::Status FlushBlock();
+  /// Encodes + appends one page (v2) or writes the fixed slot (v1).
+  /// `runs[r]` points at `counts[r]` values; the decoded payload is the
+  /// runs concatenated. `col_stat` indexes stats_.columns for data
+  /// pages, or -1 for index pages.
+  common::Status AppendPage(const Value* const* runs,
+                            const size_t* counts, size_t num_runs,
+                            uint32_t entry_count, int first_col_stat);
 
   std::unique_ptr<common::AtomicFileWriter> out_;
   Schema schema_;
@@ -102,6 +172,7 @@ class BlockFileWriter {
   int index_fanout_ = 0;
   size_t page_bytes_ = 0;
   int num_attrs_ = 0;
+  Compression compression_ = Compression::kAuto;
 
   // Current partially-filled block.
   std::vector<TupleId> ids_;
@@ -111,15 +182,19 @@ class BlockFileWriter {
   int64_t rows_written_ = 0;
   int64_t data_pages_ = 0;
   std::vector<uint8_t> page_buf_;
+  // v2 page directory under construction: offset + encoded size per
+  // page (entry 0 covers the header page).
+  std::vector<uint64_t> page_offsets_;
+  std::vector<uint32_t> page_enc_bytes_;
+  BlockFileWriteStats stats_;
   bool finished_ = false;
 };
 
-/// Read-side view of a block file: the whole file is memory-mapped
-/// read-only with MADV_RANDOM at open (header validated eagerly, CRC
-/// and all), and pages are handed out as raw pointers into the mapping.
-/// Residency, CRC verification, and eviction are the BufferPool's job —
-/// everything here is immutable after Open and safe to share across
-/// threads.
+/// Read-side view of a block file: Open parses and validates the header
+/// (and, for v2, the page directory) via pread(2), then keeps only the
+/// fd. Fetching page bytes is the ReadPath's job and residency /
+/// decoding / eviction are the BufferPool's — everything here is
+/// immutable after Open and safe to share across threads.
 class BlockFile {
  public:
   static common::Result<std::unique_ptr<BlockFile>> Open(
@@ -132,10 +207,14 @@ class BlockFile {
   const Schema& schema() const { return schema_; }
   const std::string& ranking_name() const { return ranking_; }
   const std::string& path() const { return path_; }
+  uint32_t version() const { return version_; }
+  bool compressed() const { return version_ >= kBlockFileVersionCompressed; }
+  int fd() const { return fd_; }
   int64_t num_rows() const { return num_rows_; }
   int64_t num_data_pages() const { return num_data_pages_; }
   int num_attributes() const { return num_attrs_; }
   int64_t rows_per_block() const { return rows_per_block_; }
+  /// Decoded capacity of a full page (frame sizes never exceed this).
   size_t page_bytes() const { return page_bytes_; }
   int64_t total_pages() const { return total_pages_; }
   uint64_t file_bytes() const { return file_bytes_; }
@@ -160,48 +239,68 @@ class BlockFile {
            entry / index_entries_per_page_;
   }
 
-  /// Raw mapped bytes of a page; valid for any page id in
-  /// [0, total_pages). Contents are only trustworthy after VerifyPage
-  /// (the buffer pool runs it once per residency).
-  const uint8_t* page(int64_t page_id) const {
-    return base_ + static_cast<size_t>(page_id) * page_bytes_;
+  /// Physical location of a page's stored (possibly encoded) bytes.
+  struct Extent {
+    uint64_t offset;
+    uint32_t bytes;
+  };
+  Extent extent(int64_t page_id) const {
+    if (!compressed()) {
+      return Extent{static_cast<uint64_t>(page_id) * page_bytes_,
+                    static_cast<uint32_t>(page_bytes_)};
+    }
+    return Extent{page_offsets_[static_cast<size_t>(page_id)],
+                  page_enc_bytes_[static_cast<size_t>(page_id)]};
   }
 
-  /// Structural + CRC validation of one data or index page.
-  common::Status VerifyPage(int64_t page_id) const;
+  /// Exact decoded size of a page's frame: 8-byte header + the decoded
+  /// payload (never exceeds page_bytes()).
+  size_t frame_bytes(int64_t page_id) const;
 
-  /// madvise(2) over one page of the mapping; best-effort.
-  void Advise(int64_t page_id, int advice) const;
+  /// Validates the fetched bytes of a page (exact expected entry count
+  /// from the CRC'd header geometry, then CRC32C over the stored
+  /// payload) and materializes the decoded frame — `frame` must hold
+  /// frame_bytes(page_id). For v1 this is verify + copy; for v2 the
+  /// column runs are decoded into the v1 frame layout. Any structural
+  /// inconsistency in the encoded runs fails like a CRC mismatch.
+  common::Status DecodePage(int64_t page_id, const uint8_t* raw,
+                            size_t raw_len, uint8_t* frame) const;
 
   struct DataPageView {
     int64_t rows;
     const TupleId* ids;
     const Value* values;  // attribute-major runs: values[a * rows + i]
   };
-  DataPageView data_page(const uint8_t* page) const {
+  DataPageView data_page(const uint8_t* frame) const {
     DataPageView v;
     v.rows = static_cast<int64_t>(
-        reinterpret_cast<const uint32_t*>(page)[1]);
-    v.ids = reinterpret_cast<const TupleId*>(page + kPageHeaderBytes);
-    v.values = reinterpret_cast<const Value*>(page + kPageHeaderBytes) +
+        reinterpret_cast<const uint32_t*>(frame)[1]);
+    v.ids = reinterpret_cast<const TupleId*>(frame + kPageHeaderBytes);
+    v.values = reinterpret_cast<const Value*>(frame + kPageHeaderBytes) +
                v.rows;
     return v;
   }
 
-  /// Zone entry `slot` of an index page: 2 * num_attributes values,
+  /// Zone entry `slot` of an index frame: 2 * num_attributes values,
   /// entry[2a] = min, entry[2a + 1] = max of attribute a.
-  const Value* index_entry(const uint8_t* page, int64_t slot) const {
-    return reinterpret_cast<const Value*>(page + kPageHeaderBytes) +
+  const Value* index_entry(const uint8_t* frame, int64_t slot) const {
+    return reinterpret_cast<const Value*>(frame + kPageHeaderBytes) +
            slot * 2 * num_attrs_;
   }
 
  private:
   BlockFile() = default;
 
+  /// Entries (rows or zone entries) page_id must carry, derived from
+  /// the validated geometry. Sets *is_data. Fails for out-of-range ids.
+  common::Status ExpectedCount(int64_t page_id, int64_t* count,
+                               bool* is_data) const;
+
   std::string path_;
   Schema schema_;
   std::string ranking_;
-  const uint8_t* base_ = nullptr;
+  int fd_ = -1;
+  uint32_t version_ = 0;
   uint64_t file_bytes_ = 0;
   size_t page_bytes_ = 0;
   int64_t rows_per_block_ = 0;
@@ -213,6 +312,9 @@ class BlockFile {
   int64_t index_entries_per_page_ = 0;
   std::vector<int64_t> level_counts_;
   std::vector<int64_t> level_start_pages_;
+  // v2 page directory.
+  std::vector<uint64_t> page_offsets_;
+  std::vector<uint32_t> page_enc_bytes_;
 };
 
 }  // namespace data

@@ -1,6 +1,7 @@
 #include "data/buffer_pool.h"
 
-#include <sys/mman.h>
+#include <algorithm>
+#include <vector>
 
 namespace hdsky {
 namespace data {
@@ -10,10 +11,80 @@ using common::Status;
 
 BufferPool::BufferPool(const BlockFile* file, const Options& options)
     : file_(file),
+      requested_budget_(options.budget_bytes),
       budget_(options.budget_bytes < file->page_bytes()
                   ? file->page_bytes()
                   : options.budget_bytes),
-      page_bytes_(file->page_bytes()) {}
+      kind_(options.read_path),
+      readahead_pages_(std::max(0, options.readahead_pages)) {
+  auto rp = ReadPath::Create(kind_, *file);
+  if (!rp.ok()) {
+    init_status_ = rp.status();
+    return;
+  }
+  read_path_ = std::move(rp).value();
+  if (kind_ == ReadPathKind::kPread && readahead_pages_ > 0) {
+    worker_ = std::thread(&BufferPool::WorkerLoop, this);
+  }
+}
+
+BufferPool::~BufferPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+const char* BufferPool::read_path_name() const {
+  return read_path_ != nullptr
+             ? read_path_->name()
+             : (kind_ == ReadPathKind::kPread ? "pread" : "mmap");
+}
+
+Status BufferPool::LoadLocked(std::unique_lock<std::mutex>& lock,
+                              int64_t page_id) {
+  const BlockFile::Extent ext = file_->extent(page_id);
+  const size_t frame_bytes = file_->frame_bytes(page_id);
+  lock.unlock();
+  // Fetch + verify + decode outside the lock; the frame's loading flag
+  // keeps this page out of every other thread's way (it cannot be
+  // evicted — it is not resident — and concurrent pins wait).
+  std::unique_ptr<uint8_t[]> buf(new uint8_t[frame_bytes]);
+  thread_local std::vector<uint8_t> scratch;
+  Status st = init_status_;
+  bool fetched = false;
+  if (st.ok()) {
+    auto src = read_path_->Fetch(ext.offset, ext.bytes, &scratch);
+    if (!src.ok()) {
+      st = src.status();
+    } else {
+      fetched = true;
+      st = file_->DecodePage(page_id, src.value(), ext.bytes, buf.get());
+      // The stored bytes are consumed either way — the frame owns the
+      // decoded copy now, so the kernel can drop the mapped originals.
+      read_path_->Discard(ext.offset, ext.bytes);
+    }
+  }
+  lock.lock();
+  if (fetched) stats_.bytes_read += ext.bytes;
+  Frame& f = frames_[page_id];
+  f.loading = false;
+  if (!st.ok()) {
+    ++stats_.crc_failures;
+    load_cv_.notify_all();
+    return st;
+  }
+  f.data = std::move(buf);
+  f.bytes = static_cast<uint32_t>(frame_bytes);
+  ++stats_.loads;
+  stats_.resident_bytes += frame_bytes;
+  ++stats_.resident_pages;
+  EvictToBudget();
+  load_cv_.notify_all();
+  return Status::OK();
+}
 
 Result<BufferPool::PageRef> BufferPool::Pin(int64_t page_id) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -26,45 +97,119 @@ Result<BufferPool::PageRef> BufferPool::Pin(int64_t page_id) {
     spare_.splice(spare_.begin(), lru_, frame.lru_it);
     frame.in_lru = false;
   }
-  if (frame.resident) {
+  if (frame.data != nullptr) {
     ++stats_.hits;
-    return PageRef(this, page_id, file_->page(page_id));
+    if (frame.prefetched) {
+      frame.prefetched = false;
+      ++stats_.prefetch_hits;
+    }
+    return PageRef(this, page_id, frame.data.get());
   }
-  // Single-flight: one thread verifies, the rest wait for the verdict.
+  ++stats_.misses;
+  // Single-flight: one thread (a pin or the readahead worker) loads,
+  // the rest wait for the verdict.
   while (frame.loading) {
     load_cv_.wait(lock);
-    if (frame.resident) {
+    if (frame.data != nullptr) {
       ++stats_.hits;
-      return PageRef(this, page_id, file_->page(page_id));
+      if (frame.prefetched) {
+        frame.prefetched = false;
+        ++stats_.prefetch_hits;
+      }
+      return PageRef(this, page_id, frame.data.get());
     }
   }
-  if (frame.resident) {
+  if (frame.data != nullptr) {
     ++stats_.hits;
-    return PageRef(this, page_id, file_->page(page_id));
+    if (frame.prefetched) {
+      frame.prefetched = false;
+      ++stats_.prefetch_hits;
+    }
+    return PageRef(this, page_id, frame.data.get());
   }
   frame.loading = true;
-  lock.unlock();
-  // Fault + verify outside the lock; the frame's loading flag keeps
-  // this page out of every other thread's way (it cannot be evicted —
-  // it is not resident — and concurrent pins wait above).
-  file_->Advise(page_id, MADV_WILLNEED);
-  const Status verify = file_->VerifyPage(page_id);
-  lock.lock();
+  const Status st = LoadLocked(lock, page_id);
   Frame& f = frames_[page_id];
-  f.loading = false;
-  if (!verify.ok()) {
-    ++stats_.crc_failures;
+  if (!st.ok()) {
     if (--f.pins == 0) frames_.erase(page_id);
-    load_cv_.notify_all();
-    return verify;
+    return st;
   }
-  f.resident = true;
-  ++stats_.loads;
-  stats_.resident_bytes += page_bytes_;
-  ++stats_.resident_pages;
-  EvictToBudget();
-  load_cv_.notify_all();
-  return PageRef(this, page_id, file_->page(page_id));
+  return PageRef(this, page_id, f.data.get());
+}
+
+void BufferPool::Prefetch(const int64_t* page_ids, int n) {
+  if (read_path_ == nullptr || n <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < n; ++i) {
+    const int64_t id = page_ids[i];
+    if (id < 1 || id >= file_->total_pages()) continue;
+    auto it = frames_.find(id);
+    if (it != frames_.end() &&
+        (it->second.data != nullptr || it->second.loading)) {
+      continue;
+    }
+    if (hinted_.count(id) != 0) continue;
+    if (kind_ == ReadPathKind::kMmap) {
+      const BlockFile::Extent ext = file_->extent(id);
+      read_path_->Hint(ext.offset, ext.bytes);
+      hinted_.insert(id);
+      ++stats_.prefetch_issued;
+      continue;
+    }
+    if (readahead_pages_ == 0 ||
+        queue_.size() >= static_cast<size_t>(readahead_pages_)) {
+      break;
+    }
+    // Never evict to make room for readahead: if the budget has no
+    // free headroom (the eviction-churn regime), drop the hint.
+    if (stats_.resident_bytes + file_->frame_bytes(id) > budget_) break;
+    queue_.push_back(id);
+    hinted_.insert(id);
+    ++stats_.prefetch_issued;
+    work_cv_.notify_one();
+  }
+}
+
+void BufferPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const int64_t id = queue_.front();
+    queue_.pop_front();
+    hinted_.erase(id);
+    auto it = frames_.find(id);
+    if (it != frames_.end() &&
+        (it->second.data != nullptr || it->second.loading)) {
+      continue;
+    }
+    // Re-check headroom at dequeue time; the pool may have filled up
+    // since the hint was accepted.
+    if (stats_.resident_bytes + file_->frame_bytes(id) > budget_) {
+      continue;
+    }
+    Frame& frame = frames_[id];
+    frame.loading = true;
+    const Status st = LoadLocked(lock, id);
+    Frame& f = frames_[id];
+    if (!st.ok()) {
+      if (f.pins == 0 && f.data == nullptr) frames_.erase(id);
+      continue;
+    }
+    ++stats_.prefetch_loads;
+    f.prefetched = true;
+    if (f.pins == 0 && !f.in_lru) {
+      // Unpinned resident: eligible for eviction like any other.
+      if (spare_.empty()) {
+        f.lru_it = lru_.insert(lru_.end(), id);
+      } else {
+        lru_.splice(lru_.end(), spare_, spare_.begin());
+        f.lru_it = std::prev(lru_.end());
+        *f.lru_it = id;
+      }
+      f.in_lru = true;
+    }
+  }
 }
 
 void BufferPool::Unpin(int64_t page_id) {
@@ -73,7 +218,7 @@ void BufferPool::Unpin(int64_t page_id) {
   if (it == frames_.end()) return;
   Frame& frame = it->second;
   if (--frame.pins > 0) return;
-  if (!frame.resident) {
+  if (frame.data == nullptr) {
     frames_.erase(it);
     return;
   }
@@ -88,29 +233,30 @@ void BufferPool::Unpin(int64_t page_id) {
   EvictToBudget();
 }
 
+void BufferPool::EvictFront() {
+  const int64_t victim = lru_.front();
+  spare_.splice(spare_.begin(), lru_, lru_.begin());
+  auto it = frames_.find(victim);
+  stats_.resident_bytes -= it->second.bytes;
+  --stats_.resident_pages;
+  frames_.erase(it);
+  hinted_.erase(victim);
+  ++stats_.evictions;
+}
+
 void BufferPool::EvictToBudget() {
   while (stats_.resident_bytes > budget_ && !lru_.empty()) {
-    const int64_t victim = lru_.front();
-    spare_.splice(spare_.begin(), lru_, lru_.begin());
-    frames_.erase(victim);
-    file_->Advise(victim, MADV_DONTNEED);
-    ++stats_.evictions;
-    stats_.resident_bytes -= page_bytes_;
-    --stats_.resident_pages;
+    EvictFront();
   }
   if (stats_.resident_bytes > budget_) ++stats_.overcommits;
 }
 
 void BufferPool::DropAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  hinted_.clear();
   while (!lru_.empty()) {
-    const int64_t victim = lru_.front();
-    spare_.splice(spare_.begin(), lru_, lru_.begin());
-    frames_.erase(victim);
-    file_->Advise(victim, MADV_DONTNEED);
-    ++stats_.evictions;
-    stats_.resident_bytes -= page_bytes_;
-    --stats_.resident_pages;
+    EvictFront();
   }
 }
 

@@ -1,21 +1,33 @@
-// LRU buffer pool over a memory-mapped BlockFile.
+// LRU buffer pool of decoded page frames over a BlockFile.
 //
-// The mapping itself is established once at open; what the pool manages
-// is *logical residency* within a byte budget: a page is resident after
-// its first Pin has CRC-verified the mapped bytes (with MADV_WILLNEED
-// prefetch), and eviction drops the physical memory back to the kernel
-// with MADV_DONTNEED so a later pin re-faults — and re-verifies — it
-// from disk. Both column-block data pages and zone-map index pages go
-// through the same pool, so one budget bounds the whole working set.
+// The pool owns the decoded memory: a *frame* is a heap buffer holding
+// a page in the v1 layout ({CRC, count} header + PAX payload) that the
+// kernels consume directly. Loading a page means fetching its stored
+// extent through the pluggable ReadPath (mmap fault or pread copy),
+// CRC-verifying the stored bytes, and decoding them into a pool-owned
+// frame (for v1 files the "decode" is a verify + copy). Both
+// column-block data pages and zone-map index pages go through the same
+// pool, so one byte budget bounds the whole decoded working set.
+//
+// Readahead: with the pread path, Prefetch(ids) enqueues up to
+// `readahead_pages` page ids to a single worker thread that performs
+// the fetch + decode asynchronously, so a zone-DFS that hints its next
+// leaves overlaps disk latency with scan work. Prefetch shares the
+// single-flight machinery with Pin (a pin of an in-flight prefetch
+// waits instead of re-reading) and never evicts to make room — if the
+// budget has no free headroom (the eviction-churn regime) the hint is
+// dropped, so readahead cannot thrash the working set. On the mmap
+// path the hints degrade to MADV_WILLNEED.
 //
 // Invariants (exercised by tests/storage_test.cc, TSan-clean under the
 // event server's concurrent sessions):
 //   * a page with pins > 0 is never evicted, whatever the budget says;
-//   * CRC verification runs exactly once per residency, single-flight:
-//     concurrent first pins of one page wait on the loading thread
-//     instead of racing the verify;
-//   * a failed CRC makes every waiting Pin fail and leaves the page
-//     non-resident (a retry re-reads — and re-fails — from disk);
+//   * verification + decode run exactly once per residency,
+//     single-flight: concurrent first pins of one page (and the
+//     readahead worker) wait on the loading thread instead of racing;
+//   * a failed CRC or decode makes every waiting Pin fail and leaves
+//     the page non-resident (a retry re-reads — and re-fails — from
+//     disk);
 //   * unpinned residents are evicted in least-recently-*unpinned* order
 //     until resident bytes fit the budget; if every resident page is
 //     pinned the pool runs over budget rather than deadlock, and
@@ -26,13 +38,17 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/status.h"
 #include "data/block_file.h"
+#include "data/read_path.h"
 
 namespace hdsky {
 namespace data {
@@ -40,28 +56,40 @@ namespace data {
 class BufferPool {
  public:
   struct Options {
-    /// Resident-byte budget. At least one page is always allowed.
+    /// Resident-byte budget. At least one page is always allowed (see
+    /// budget_was_clamped()).
     size_t budget_bytes = size_t{256} << 20;
+    /// How stored bytes reach memory (read_path.h).
+    ReadPathKind read_path = ReadPathKind::kMmap;
+    /// Depth of the asynchronous readahead queue (pread path only;
+    /// 0 disables the worker). On mmap, hints become MADV_WILLNEED.
+    int readahead_pages = 8;
   };
 
   struct Stats {
-    uint64_t hits = 0;         // pins of an already-resident page
-    uint64_t loads = 0;        // CRC-verified (re)loads
-    uint64_t evictions = 0;    // MADV_DONTNEED drops
+    uint64_t hits = 0;    // pins served from residency without a load
+    uint64_t misses = 0;  // pins that found the page non-resident
+    uint64_t loads = 0;   // verified + decoded frame installs
+    uint64_t evictions = 0;
     uint64_t crc_failures = 0;
     uint64_t overcommits = 0;  // budget exceeded because all pins held
+    uint64_t prefetch_issued = 0;  // hints accepted (queued or advised)
+    uint64_t prefetch_loads = 0;   // frames installed by the worker
+    uint64_t prefetch_hits = 0;    // pins served by a prefetched frame
+    uint64_t bytes_read = 0;  // stored bytes fetched, incl. prefetch
     uint64_t resident_bytes = 0;
     uint64_t resident_pages = 0;
   };
 
   /// `file` must outlive the pool.
   BufferPool(const BlockFile* file, const Options& options);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// RAII pin: the page stays resident (and its bytes valid) until the
-  /// ref is destroyed. Movable, not copyable.
+  /// RAII pin: the page stays resident (and its frame bytes valid)
+  /// until the ref is destroyed. Movable, not copyable.
   class PageRef {
    public:
     PageRef() = default;
@@ -101,23 +129,37 @@ class BufferPool {
     const uint8_t* data_ = nullptr;
   };
 
-  /// Pins a page, loading + CRC-verifying it if not resident. Fails
-  /// with the BlockFile's corruption status on CRC mismatch.
+  /// Pins a page, loading + verifying + decoding it if not resident.
+  /// Fails with the BlockFile's corruption status on CRC or decode
+  /// mismatch.
   common::Result<PageRef> Pin(int64_t page_id);
 
-  /// Evicts every unpinned resident page (the benches' buffer-pool-cold
-  /// reset). Pinned pages stay.
+  /// Readahead hint: the pages are likely to be pinned soon, in order.
+  /// Best-effort and non-blocking; duplicates, resident pages, and
+  /// hints beyond the queue depth or the budget's free headroom are
+  /// dropped.
+  void Prefetch(const int64_t* page_ids, int n);
+
+  /// Evicts every unpinned resident page and drops queued readahead
+  /// (the benches' buffer-pool-cold reset). Pinned pages stay.
   void DropAll();
 
   Stats stats() const;
   size_t budget_bytes() const { return budget_; }
+  /// The budget the caller asked for, before the one-page floor. When
+  /// budget_was_clamped(), tools warn instead of silently rounding up.
+  size_t requested_budget_bytes() const { return requested_budget_; }
+  bool budget_was_clamped() const { return budget_ != requested_budget_; }
+  const char* read_path_name() const;
   const BlockFile* file() const { return file_; }
 
  private:
   struct Frame {
     int pins = 0;
-    bool resident = false;
     bool loading = false;
+    bool prefetched = false;  // installed by the worker, not pinned yet
+    std::unique_ptr<uint8_t[]> data;  // non-null == resident
+    uint32_t bytes = 0;               // frame size (budget accounting)
     std::list<int64_t>::iterator lru_it{};
     bool in_lru = false;
   };
@@ -126,20 +168,41 @@ class BufferPool {
   /// Drops LRU unpinned pages until resident bytes fit the budget.
   /// Caller holds mu_.
   void EvictToBudget();
+  /// Evicts lru_.front(). Caller holds mu_.
+  void EvictFront();
+  /// Fetches + verifies + decodes page_id, whose frame the caller has
+  /// marked loading. Drops and reacquires `lock` around the I/O;
+  /// installs the frame and notifies waiters. Caller handles pin
+  /// bookkeeping / LRU insertion afterwards.
+  common::Status LoadLocked(std::unique_lock<std::mutex>& lock,
+                            int64_t page_id);
+  void WorkerLoop();
 
   const BlockFile* file_;
+  const size_t requested_budget_;
   const size_t budget_;
-  const size_t page_bytes_;
+  std::unique_ptr<ReadPath> read_path_;
+  common::Status init_status_;
+  const ReadPathKind kind_;
+  const int readahead_pages_;
 
   mutable std::mutex mu_;
   std::condition_variable load_cv_;
+  std::condition_variable work_cv_;
   std::unordered_map<int64_t, Frame> frames_;
   std::list<int64_t> lru_;  // unpinned residents, least recent first
   /// Recycled lru_ nodes (bounded by the peak resident page count):
   /// repinning and unpinning splice nodes between the two lists, so the
   /// steady-state warm path never touches the allocator.
   std::list<int64_t> spare_;
+  /// Pages with an outstanding hint: queued for the worker (pread) or
+  /// already MADV_WILLNEED'd (mmap). Cleared on eviction so a page can
+  /// be hinted again after it leaves.
+  std::unordered_set<int64_t> hinted_;
+  std::deque<int64_t> queue_;  // readahead work, FIFO
+  bool stop_ = false;
   Stats stats_;
+  std::thread worker_;  // last member: joins before state tears down
 };
 
 }  // namespace data

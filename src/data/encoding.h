@@ -1,0 +1,86 @@
+// Lightweight integer compression for block-file pages (src/data).
+//
+// A format-v2 page stores each column block as an independently encoded
+// *run* of int64 values. The writer tries every applicable encoding and
+// keeps the smallest; a raw fallback guarantees a pathological column
+// never costs more than ~8 bytes/value plus a fixed header, so
+// compression can be on by default without a regression risk.
+//
+// Encodings (chosen per run, recorded in the run header):
+//   kRaw   — verbatim little-host int64s. The fallback.
+//   kFor   — frame of reference: int64 base (the minimum), then each
+//            value - base bit-packed at the run's max delta width.
+//            Width 0 encodes a constant run in 16 bytes.
+//   kDelta — int64 first value, then zigzag(value[i] - value[i-1])
+//            bit-packed. Wins on sorted / locally monotone runs, which
+//            the baked static-rank order produces by construction.
+//   kDict  — sorted distinct values, then per-value dictionary indexes
+//            bit-packed at ceil(log2(#distinct)). Wins on
+//            low-cardinality attributes whose values straddle a wide
+//            range (so FOR widths stay large).
+//
+// All arithmetic that could overflow (ranges spanning the full int64
+// domain, kNullValue = INT64_MAX deltas) is done in uint64 mod 2^64,
+// which is exact for the round-trip. Decoding validates structure
+// (known encoding, width <= 64, body length consistent with the value
+// count, dictionary indexes in range) and fails with a Status instead
+// of reading out of bounds — the buffer pool treats a decode failure
+// exactly like a CRC failure.
+
+#ifndef HDSKY_DATA_ENCODING_H_
+#define HDSKY_DATA_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+
+enum class Encoding : uint8_t {
+  kRaw = 0,
+  kFor = 1,
+  kDelta = 2,
+  kDict = 3,
+};
+
+/// Fixed per-run header preceding the encoded body.
+///   u8 encoding | u8 bit width | u16 reserved (0) | u32 body bytes
+inline constexpr size_t kRunHeaderBytes = 8;
+
+/// Upper bound on the encoded size of any run of n values: the raw
+/// fallback plus its header. Sizing a scratch buffer at this bound
+/// guarantees EncodeRun never reallocates mid-page.
+inline constexpr size_t MaxEncodedRunBytes(size_t n) {
+  return kRunHeaderBytes + n * sizeof(Value);
+}
+
+/// Encodes `values[0..n)` into `out` (appended), picking the smallest
+/// applicable encoding. Returns the number of bytes appended
+/// (header + body). n == 0 emits a raw run with an empty body.
+size_t EncodeRun(const Value* values, size_t n, std::vector<uint8_t>* out);
+
+/// Forces a specific encoding (tests / diagnostics). Returns 0 without
+/// touching `out` when the encoding cannot represent the run (e.g. a
+/// FOR width above 64 bits, a dictionary above the cardinality cap).
+size_t EncodeRunAs(Encoding enc, const Value* values, size_t n,
+                   std::vector<uint8_t>* out);
+
+/// Decodes one run of exactly `n` values from `encoded[0..len)` into
+/// `values[0..n)`. On success sets *consumed to the run's total
+/// encoded size (header + body). Fails (without writing past
+/// `values + n`) on any structural inconsistency.
+common::Status DecodeRun(const uint8_t* encoded, size_t len, size_t n,
+                         Value* values, size_t* consumed);
+
+/// Peeks the encoding tag of a run header (diagnostics; does not
+/// validate the body). Requires len >= kRunHeaderBytes.
+Encoding PeekRunEncoding(const uint8_t* encoded);
+
+}  // namespace data
+}  // namespace hdsky
+
+#endif  // HDSKY_DATA_ENCODING_H_

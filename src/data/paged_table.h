@@ -21,6 +21,11 @@ namespace data {
 struct PagedTableOptions {
   /// Buffer-pool resident budget (--buffer-pool-bytes in the tools).
   size_t buffer_pool_bytes = size_t{256} << 20;
+  /// How stored bytes reach memory (--read-path in the tools).
+  ReadPathKind read_path = ReadPathKind::kMmap;
+  /// Asynchronous readahead depth for the pread path
+  /// (--readahead-pages in the tools).
+  int readahead_pages = 8;
 };
 
 class PagedTable {

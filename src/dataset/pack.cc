@@ -13,7 +13,8 @@ using data::Value;
 Result<int64_t> PackTable(
     const data::Table& table,
     std::shared_ptr<interface::RankingPolicy> ranking,
-    const std::string& path, const data::BlockFileOptions& options) {
+    const std::string& path, const data::BlockFileOptions& options,
+    data::BlockFileWriteStats* stats) {
   if (ranking == nullptr) {
     return Status::InvalidArgument("ranking policy must not be null");
   }
@@ -37,7 +38,9 @@ Result<int64_t> PackTable(
     }
     HDSKY_RETURN_IF_ERROR(writer->Append(id, row.data()));
   }
-  return writer->Finish();
+  HDSKY_ASSIGN_OR_RETURN(const int64_t rows, writer->Finish());
+  if (stats != nullptr) *stats = writer->stats();
+  return rows;
 }
 
 }  // namespace dataset

@@ -25,12 +25,17 @@ namespace dataset {
 
 /// Packs `table` into a block file at `path` (atomically: temp + fsync
 /// + rename). `ranking` is bound to the table and its static order
-/// baked into the file; the header records the policy's name. Returns
-/// the number of rows written.
+/// baked into the file; the header records the policy's name.
+/// `options.compression` selects the physical format (v1 raw slots or
+/// v2 per-run encoded pages). When `stats` is non-null, the writer's
+/// byte accounting (pages, levels, per-column raw vs encoded bytes) is
+/// copied out on success — `hdsky_pack --stats` prints it. Returns the
+/// number of rows written.
 common::Result<int64_t> PackTable(
     const data::Table& table,
     std::shared_ptr<interface::RankingPolicy> ranking,
-    const std::string& path, const data::BlockFileOptions& options);
+    const std::string& path, const data::BlockFileOptions& options,
+    data::BlockFileWriteStats* stats = nullptr);
 
 }  // namespace dataset
 }  // namespace hdsky

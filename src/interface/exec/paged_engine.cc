@@ -109,9 +109,18 @@ void ScanPage(const BlockFile& file, const uint8_t* page,
   }
 }
 
+/// How many upcoming data pages a scan hints to the pool before each
+/// pin. Matches the pool's default readahead queue depth; hints past
+/// the queue or the budget's free headroom are dropped by the pool.
+constexpr int kPrefetchDepth = 8;
+
 }  // namespace
 
 PagedEngine::PagedEngine(const data::PagedTable* table) : table_(table) {}
+
+data::BufferPool::Stats PagedEngine::pool_stats() const {
+  return table_->pool_stats();
+}
 
 Status PagedEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
                                 int k, QueryResult* out) const {
@@ -133,6 +142,23 @@ Status PagedEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
            ++b) {
         HDSKY_ASSIGN_OR_RETURN(BufferPool::PageRef ref,
                                pool->Pin(file.data_page_id(b)));
+        // Readahead triggers on a proven multi-page scan, not on the
+        // first page: broad queries fill k from page one, and a hint
+        // issued for their benefit would fetch pages the query never
+        // reads. Hinting after the pin (not before) keeps the pool's
+        // headroom guard honest — it sees this page resident and only
+        // accepts readahead the budget can hold — and the worker's
+        // fetch+decode of the next pages overlaps this page's scan.
+        if (b > 0) {
+          int64_t ahead[kPrefetchDepth];
+          int n_ahead = 0;
+          for (int64_t nb = b + 1;
+               nb < file.num_data_pages() && n_ahead < kPrefetchDepth;
+               ++nb) {
+            ahead[n_ahead++] = file.data_page_id(nb);
+          }
+          pool->Prefetch(ahead, n_ahead);
+        }
         ScanPage(file, ref.data(), bounds, want, &scr);
       }
     } else {
@@ -157,6 +183,7 @@ Status PagedEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
       };
 
       scr.stack.clear();
+      int64_t data_pages_scanned = 0;
       const int top = levels - 1;
       for (int64_t e = file.level_entries(top) - 1; e >= 0; --e) {
         scr.stack.push_back(Scratch::Node{top, e});
@@ -172,6 +199,28 @@ Status PagedEngine::ExecuteTopK(const std::vector<AttrBound>& bounds,
           HDSKY_ASSIGN_OR_RETURN(
               BufferPool::PageRef ref,
               pool->Pin(file.data_page_id(node.entry)));
+          // The next leaves the DFS will visit sit on top of the
+          // stack; hint their data pages so the pread worker overlaps
+          // their fetch+decode with this page's scan. (Some may yet be
+          // pruned — a readahead hint, not a promise.) Readahead only
+          // starts once the scan has proven multi-page: a broad query
+          // fills k from its first page, and prefetching on its behalf
+          // fetches pages the query never reads. Hinting after the pin
+          // keeps the pool's headroom guard honest: readahead is only
+          // accepted when the budget can hold it alongside the page
+          // being scanned.
+          if (data_pages_scanned > 0) {
+            int64_t ahead[kPrefetchDepth];
+            int n_ahead = 0;
+            for (auto it = scr.stack.rbegin();
+                 it != scr.stack.rend() && n_ahead < kPrefetchDepth;
+                 ++it) {
+              if (it->level != 0) break;
+              ahead[n_ahead++] = file.data_page_id(it->entry);
+            }
+            pool->Prefetch(ahead, n_ahead);
+          }
+          ++data_pages_scanned;
           ScanPage(file, ref.data(), bounds, want, &scr);
           continue;
         }

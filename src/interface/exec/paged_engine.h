@@ -48,6 +48,11 @@ class PagedEngine {
   common::Status ExecuteTopK(const std::vector<AttrBound>& bounds, int k,
                              QueryResult* out) const;
 
+  /// The engine's I/O counters: a snapshot of the underlying pool's
+  /// hit/miss/eviction/prefetch/bytes-read stats (the engine performs
+  /// no I/O outside the pool, so these are exactly its costs).
+  data::BufferPool::Stats pool_stats() const;
+
  private:
   const data::PagedTable* table_;
 };

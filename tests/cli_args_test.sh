@@ -177,6 +177,62 @@ if [ -n "$PACK" ]; then
   expect_usage "pack-n-zero" "$PACK" --demo route --out /tmp/x.hdb --n 0
   expect_usage "pack-unknown-flag" \
     "$PACK" --demo route --out /tmp/x.hdb --bogus
+  expect_usage "pack-compress-unknown" \
+    "$PACK" --demo route --out /tmp/x.hdb --compress gzip
+  expect_usage "pack-compress-dangling" \
+    "$PACK" --demo route --out /tmp/x.hdb --compress
+fi
+
+# Read-path flags: vocabulary, numeric range, and the --dataset-file
+# dependency (the pool flags describe a paged table, nothing else).
+expect_usage "discover-read-path-unknown" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --read-path directio
+expect_usage "discover-read-path-dangling" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --read-path
+expect_usage "discover-read-path-without-dataset-file" \
+  "$DISCOVER" --demo route --read-path pread
+expect_usage "discover-readahead-garbage" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --readahead-pages 8x
+expect_usage "discover-readahead-negative" \
+  "$DISCOVER" --dataset-file /tmp/x.hdb --readahead-pages -1
+expect_usage "discover-readahead-without-dataset-file" \
+  "$DISCOVER" --demo route --readahead-pages 8
+expect_usage "serve-read-path-unknown" \
+  "$SERVE" --dataset-file /tmp/x.hdb --read-path directio
+expect_usage "serve-read-path-without-dataset-file" \
+  "$SERVE" --demo route --read-path mmap
+expect_usage "serve-readahead-garbage" \
+  "$SERVE" --dataset-file /tmp/x.hdb --readahead-pages p
+expect_usage "serve-readahead-without-dataset-file" \
+  "$SERVE" --demo route --readahead-pages 4
+
+# A below-one-page --buffer-pool-bytes must not be silently clamped:
+# the run proceeds (exit 0) but a warning with the effective budget
+# lands on stderr.
+if [ -n "$PACK" ]; then
+  tmpdir=$(mktemp -d)
+  if "$PACK" --demo bluenile --n 500 --out "$tmpdir/clamp.hdb" \
+      >/dev/null 2>&1; then
+    err=$("$DISCOVER" --dataset-file "$tmpdir/clamp.hdb" \
+        --buffer-pool-bytes 1 --algorithm rq --k 5 2>&1 >/dev/null)
+    code=$?
+    if [ "$code" -ne 0 ]; then
+      echo "FAIL(pool-clamp-warning): exit $code, want 0" >&2
+      failures=$((failures + 1))
+    else
+      case "$err" in
+        *"warning: --buffer-pool-bytes 1 below one page"*) ;;
+        *)
+          echo "FAIL(pool-clamp-warning): no clamp warning; got: $err" >&2
+          failures=$((failures + 1))
+          ;;
+      esac
+    fi
+  else
+    echo "FAIL(pool-clamp-warning): pack step failed" >&2
+    failures=$((failures + 1))
+  fi
+  rm -rf "$tmpdir"
 fi
 
 if [ "$failures" -ne 0 ]; then

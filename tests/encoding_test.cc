@@ -1,0 +1,269 @@
+// Property and adversarial tests for the format-v2 run encodings
+// (data/encoding.h): round trips over extreme and degenerate inputs,
+// forced-encoding behavior, the auto pick's no-regression guarantee,
+// and rejection of structurally corrupt encoded streams.
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/encoding.h"
+#include "data/value.h"
+
+namespace hdsky {
+namespace data {
+namespace {
+
+std::vector<Value> Decode(const std::vector<uint8_t>& buf, size_t n) {
+  std::vector<Value> out(n, Value{-12345});
+  size_t consumed = 0;
+  common::Status s = DecodeRun(buf.data(), buf.size(), n, out.data(),
+                               &consumed);
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(consumed, buf.size());
+  return out;
+}
+
+void ExpectRoundTrip(const std::vector<Value>& values) {
+  std::vector<uint8_t> buf;
+  const size_t written = EncodeRun(values.data(), values.size(), &buf);
+  ASSERT_EQ(written, buf.size());
+  ASSERT_LE(written, MaxEncodedRunBytes(values.size()));
+  EXPECT_EQ(Decode(buf, values.size()), values);
+}
+
+TEST(EncodingTest, RoundTripExtremeValues) {
+  ExpectRoundTrip({std::numeric_limits<Value>::min(),
+                   std::numeric_limits<Value>::max(), 0, -1, 1,
+                   kNullValue, -kNullValue});
+  ExpectRoundTrip({std::numeric_limits<Value>::min()});
+  ExpectRoundTrip({std::numeric_limits<Value>::max()});
+  ExpectRoundTrip({kNullValue, kNullValue, kNullValue});
+}
+
+TEST(EncodingTest, RoundTripNegativeRuns) {
+  ExpectRoundTrip({-5, -4, -3, -2, -1});
+  ExpectRoundTrip({-1000000000000LL, -999999999999LL, -1, -1000});
+}
+
+TEST(EncodingTest, ConstantRunEncodesTiny) {
+  const std::vector<Value> values(1000, Value{42});
+  std::vector<uint8_t> buf;
+  const size_t written = EncodeRun(values.data(), values.size(), &buf);
+  // FOR with width 0: header + base, no packed body.
+  EXPECT_EQ(written, kRunHeaderBytes + sizeof(Value));
+  EXPECT_EQ(Decode(buf, values.size()), values);
+}
+
+TEST(EncodingTest, SingleElementAndEmptyRuns) {
+  ExpectRoundTrip({Value{7}});
+  ExpectRoundTrip({});
+}
+
+TEST(EncodingTest, SortedRunsCompressWell) {
+  std::vector<Value> sorted;
+  for (Value v = 0; v < 4096; ++v) sorted.push_back(v * 3);
+  std::vector<uint8_t> buf;
+  const size_t written = EncodeRun(sorted.data(), sorted.size(), &buf);
+  EXPECT_LT(written, sorted.size() * sizeof(Value) / 4);
+  EXPECT_EQ(Decode(buf, sorted.size()), sorted);
+}
+
+TEST(EncodingTest, EveryForcedEncodingRoundTrips) {
+  // Low-cardinality, wide-range, locally sorted: every encoding applies.
+  std::vector<Value> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back((i / 100) * 1000000007LL);
+  }
+  for (const Encoding enc :
+       {Encoding::kRaw, Encoding::kFor, Encoding::kDelta, Encoding::kDict}) {
+    std::vector<uint8_t> buf;
+    const size_t written =
+        EncodeRunAs(enc, values.data(), values.size(), &buf);
+    ASSERT_GT(written, 0u) << static_cast<int>(enc);
+    EXPECT_EQ(PeekRunEncoding(buf.data()), enc);
+    EXPECT_EQ(Decode(buf, values.size()), values);
+  }
+}
+
+TEST(EncodingTest, FullRangeRunsFallBackToRaw) {
+  // min..max spans 2^64 - 1: a frame-of-reference width would need 64
+  // bits, so FOR must refuse. Delta still applies — the differences
+  // wrap mod 2^64 to ±1, whose zigzag packs in one bit — and the auto
+  // pick must round-trip regardless of which representation wins.
+  const std::vector<Value> values = {std::numeric_limits<Value>::min(),
+                                     std::numeric_limits<Value>::max(),
+                                     std::numeric_limits<Value>::min()};
+  std::vector<uint8_t> buf;
+  EXPECT_EQ(EncodeRunAs(Encoding::kFor, values.data(), values.size(), &buf),
+            0u);
+  EXPECT_TRUE(buf.empty());
+  ExpectRoundTrip(values);
+
+  // A single step of exactly INT64_MIN zigzags to a 64-bit value, the
+  // one magnitude delta cannot pack; it must refuse and the run still
+  // round-trips via another encoding.
+  const std::vector<Value> steep = {0, std::numeric_limits<Value>::min()};
+  EXPECT_EQ(EncodeRunAs(Encoding::kDelta, steep.data(), steep.size(), &buf),
+            0u);
+  EXPECT_TRUE(buf.empty());
+  ExpectRoundTrip(steep);
+}
+
+TEST(EncodingTest, DictRefusesAboveCardinalityCap) {
+  std::vector<Value> values;
+  for (Value v = 0; v < 5000; ++v) values.push_back(v * v);
+  std::vector<uint8_t> buf;
+  EXPECT_EQ(EncodeRunAs(Encoding::kDict, values.data(), values.size(), &buf),
+            0u);
+  ExpectRoundTrip(values);
+}
+
+TEST(EncodingTest, AutoPickNeverBeatenByForcedEncoding) {
+  std::mt19937_64 rng(2024);
+  std::vector<Value> values;
+  for (int trial = 0; trial < 50; ++trial) {
+    values.clear();
+    const int n = 1 + static_cast<int>(rng() % 2000);
+    const int mode = trial % 4;
+    Value acc = static_cast<Value>(rng());
+    for (int i = 0; i < n; ++i) {
+      switch (mode) {
+        case 0: values.push_back(static_cast<Value>(rng())); break;
+        case 1: values.push_back(static_cast<Value>(rng() % 16)); break;
+        case 2: acc += static_cast<Value>(rng() % 100); values.push_back(acc); break;
+        default: values.push_back(Value{123456}); break;
+      }
+    }
+    std::vector<uint8_t> amt;
+    const size_t autop = EncodeRun(values.data(), values.size(), &amt);
+    for (const Encoding enc : {Encoding::kRaw, Encoding::kFor,
+                               Encoding::kDelta, Encoding::kDict}) {
+      std::vector<uint8_t> forced;
+      const size_t w =
+          EncodeRunAs(enc, values.data(), values.size(), &forced);
+      if (w > 0) {
+        EXPECT_LE(autop, w) << "trial " << trial;
+      }
+    }
+    EXPECT_EQ(Decode(amt, values.size()), values) << "trial " << trial;
+  }
+}
+
+TEST(EncodingTest, PropertyFuzzRoundTrip) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Value> values;
+    const int n = static_cast<int>(rng() % 300);
+    const int shift = static_cast<int>(rng() % 64);
+    for (int i = 0; i < n; ++i) {
+      values.push_back(static_cast<Value>(rng() >> shift));
+    }
+    ExpectRoundTrip(values);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt stream rejection: every structural mutation must fail with a
+// Status, never read out of bounds or return success.
+
+std::vector<uint8_t> EncodeSample(Encoding enc, size_t* n_out) {
+  std::vector<Value> values;
+  for (int i = 0; i < 200; ++i) values.push_back((i % 10) * 1000);
+  std::vector<uint8_t> buf;
+  EXPECT_GT(EncodeRunAs(enc, values.data(), values.size(), &buf), 0u);
+  *n_out = values.size();
+  return buf;
+}
+
+void ExpectDecodeFails(const std::vector<uint8_t>& buf, size_t n) {
+  std::vector<Value> out(n);
+  size_t consumed = 0;
+  EXPECT_FALSE(
+      DecodeRun(buf.data(), buf.size(), n, out.data(), &consumed).ok());
+}
+
+TEST(EncodingTest, RejectsUnknownEncodingTag) {
+  size_t n = 0;
+  std::vector<uint8_t> buf = EncodeSample(Encoding::kFor, &n);
+  buf[0] = 9;
+  ExpectDecodeFails(buf, n);
+}
+
+TEST(EncodingTest, RejectsOverwideBitWidth) {
+  size_t n = 0;
+  std::vector<uint8_t> buf = EncodeSample(Encoding::kFor, &n);
+  buf[1] = 64;
+  ExpectDecodeFails(buf, n);
+}
+
+TEST(EncodingTest, RejectsNonZeroReservedBytes) {
+  size_t n = 0;
+  std::vector<uint8_t> buf = EncodeSample(Encoding::kDict, &n);
+  buf[2] = 1;
+  ExpectDecodeFails(buf, n);
+}
+
+TEST(EncodingTest, RejectsTruncatedBody) {
+  for (const Encoding enc : {Encoding::kRaw, Encoding::kFor,
+                             Encoding::kDelta, Encoding::kDict}) {
+    size_t n = 0;
+    std::vector<uint8_t> buf = EncodeSample(enc, &n);
+    buf.resize(buf.size() - 1);
+    ExpectDecodeFails(buf, n);
+  }
+}
+
+TEST(EncodingTest, RejectsBodyLengthMismatch) {
+  size_t n = 0;
+  std::vector<uint8_t> buf = EncodeSample(Encoding::kFor, &n);
+  // body_bytes is the u32 at offset 4; shrinking it desynchronizes the
+  // declared body from the width/count arithmetic.
+  buf[4] = static_cast<uint8_t>(buf[4] ^ 0x01);
+  ExpectDecodeFails(buf, n);
+}
+
+TEST(EncodingTest, RejectsWrongValueCount) {
+  // Bit-packing is word-granular, so an off-by-one count can land in
+  // the same number of packed words and be structurally undetectable.
+  // Probe raw (byte-exact per value, so ±1 must fail) and a packed
+  // encoding with counts far enough off to change the word count.
+  size_t n = 0;
+  std::vector<uint8_t> raw = EncodeSample(Encoding::kRaw, &n);
+  ExpectDecodeFails(raw, n + 1);
+  ExpectDecodeFails(raw, n - 1);
+  std::vector<uint8_t> packed = EncodeSample(Encoding::kFor, &n);
+  ExpectDecodeFails(packed, n * 2);
+  ExpectDecodeFails(packed, n / 2);
+}
+
+TEST(EncodingTest, RejectsDictIndexOutOfRange) {
+  // Hand-build a dictionary run whose packed indexes point past the
+  // dictionary: 2 values, dict_n = 2 (width 1), index stream = 0b11..,
+  // then shrink dict_n to 1 while leaving width at 1.
+  std::vector<Value> values = {10, 20, 10, 20};
+  std::vector<uint8_t> buf;
+  ASSERT_GT(EncodeRunAs(Encoding::kDict, values.data(), values.size(), &buf),
+            0u);
+  // Body layout: u64 dict_n | dict values | packed indexes.
+  // Overwrite a dictionary index word so an index exceeds dict_n.
+  // Forcing dict_n down by patching the low byte (2 -> 1) makes every
+  // packed "1" index out of range; the decoder must notice.
+  ASSERT_EQ(buf[kRunHeaderBytes], 2);
+  buf[kRunHeaderBytes] = 1;
+  // Fix body_bytes? No: leave it — either the length check or the
+  // index-range check must reject, and neither may crash.
+  ExpectDecodeFails(buf, values.size());
+}
+
+TEST(EncodingTest, RejectsShortBuffer) {
+  std::vector<uint8_t> tiny = {0, 0, 0};
+  ExpectDecodeFails(tiny, 1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hdsky

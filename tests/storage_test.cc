@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -18,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "data/block_file.h"
+#include "data/encoding.h"
 #include "data/buffer_pool.h"
 #include "data/paged_table.h"
 #include "data/table.h"
@@ -66,10 +68,14 @@ Table MakeTable(int64_t n, data::InterfaceType iface = InterfaceType::kRQ,
 
 // Packs `table` under sum ranking into <dir>/<name>.hdb and returns the
 // path. 64-row blocks keep many pages even for small test tables.
+// Defaults to format v1 (kOff): the corruption tests below compute
+// on-disk offsets from the fixed v1 page geometry.
 std::string Pack(const Table& table, const std::string& dir,
-                 const std::string& name, int64_t rows_per_block = 64) {
+                 const std::string& name, int64_t rows_per_block = 64,
+                 Compression compression = Compression::kOff) {
   BlockFileOptions o;
   o.rows_per_block = rows_per_block;
+  o.compression = compression;
   const std::string path = dir + "/" + name + ".hdb";
   auto rows =
       PackTable(table, interface::MakeSumRanking(), path, o);
@@ -204,7 +210,9 @@ TEST(BufferPoolTest, EvictsInLeastRecentlyUnpinnedOrder) {
   std::unique_ptr<BlockFile> file = OpenFile(path);
 
   BufferPool::Options popts;
-  popts.budget_bytes = 3 * file->page_bytes();
+  // The pool budgets decoded frames, which for short pages are smaller
+  // than the on-disk page slot — room for exactly three full frames.
+  popts.budget_bytes = 3 * file->frame_bytes(1);
   BufferPool pool(file.get(), popts);
   auto touch = [&](int64_t page_id) {
     auto r = pool.Pin(page_id);
@@ -579,6 +587,352 @@ TEST(PagedInterfaceTest, RejectsUnsupportedPredicates) {
   EXPECT_TRUE(r.status().IsUnsupported());
   EXPECT_EQ((*iface)->stats().queries_issued, 0);
   EXPECT_EQ((*iface)->stats().rejected_queries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: compressed pages, backward compatibility, corruption.
+
+TEST(StorageBlockFileTest, CompressedRoundTripMatchesRaw) {
+  ScopedDir dir("v2roundtrip");
+  // Big blocks so the v1 slot dwarfs the 4 KiB alignment quantum the
+  // v2 pages round up to — otherwise tiny pages can't shrink.
+  Table table = MakeTable(3000);
+  const std::string v1 =
+      Pack(table, dir.path, "v1", 512, Compression::kOff);
+  const std::string v2 =
+      Pack(table, dir.path, "v2", 512, Compression::kAuto);
+
+  std::unique_ptr<BlockFile> f1 = OpenFile(v1);
+  std::unique_ptr<BlockFile> f2 = OpenFile(v2);
+  EXPECT_EQ(f1->version(), 1);
+  EXPECT_FALSE(f1->compressed());
+  EXPECT_EQ(f2->version(), 2);
+  EXPECT_TRUE(f2->compressed());
+  ASSERT_EQ(f1->num_data_pages(), f2->num_data_pages());
+  ASSERT_EQ(f1->num_index_levels(), f2->num_index_levels());
+
+  // Low-cardinality anti-correlated data in rank order: the encoded
+  // file must be substantially smaller.
+  EXPECT_LT(std::filesystem::file_size(v2),
+            std::filesystem::file_size(v1) / 2);
+
+  // Every decoded frame — data and index — must be bit-identical.
+  BufferPool::Options popts;
+  BufferPool p1(f1.get(), popts);
+  BufferPool p2(f2.get(), popts);
+  for (int64_t page = 1; page < f1->total_pages(); ++page) {
+    auto r1 = p1.Pin(page);
+    auto r2 = p2.Pin(page);
+    ASSERT_TRUE(r1.ok()) << r1.status();
+    ASSERT_TRUE(r2.ok()) << r2.status();
+    ASSERT_EQ(f1->frame_bytes(page), f2->frame_bytes(page));
+    EXPECT_EQ(std::memcmp(r1->data(), r2->data(), f1->frame_bytes(page)),
+              0)
+        << "page " << page;
+  }
+}
+
+TEST(StorageBlockFileTest, V1FilesStillOpenUnchanged) {
+  ScopedDir dir("v1compat");
+  Table table = MakeTable(300);
+  const std::string path = Pack(table, dir.path, "t");  // kOff default
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+  EXPECT_EQ(file->version(), 1);
+  EXPECT_EQ(file->num_rows(), 300);
+  BufferPool::Options popts;
+  BufferPool pool(file.get(), popts);
+  int64_t rows = 0;
+  for (int64_t b = 0; b < file->num_data_pages(); ++b) {
+    auto page = pool.Pin(file->data_page_id(b));
+    ASSERT_TRUE(page.ok()) << page.status();
+    rows += file->data_page(page->data()).rows;
+  }
+  EXPECT_EQ(rows, 300);
+}
+
+TEST(StorageBlockFileTest, CorruptCompressedPayloadFailsPin) {
+  ScopedDir dir("v2crc");
+  Table table = MakeTable(640);
+  const std::string path =
+      Pack(table, dir.path, "t", 64, Compression::kAuto);
+  uint64_t payload_off = 0;
+  {
+    std::unique_ptr<BlockFile> probe = OpenFile(path);
+    ASSERT_TRUE(probe->compressed());
+    // A byte inside data page 2's encoded payload, past the page's
+    // {crc, count} prologue and the first run header.
+    payload_off = probe->extent(2).offset + kPageHeaderBytes +
+                  kRunHeaderBytes + 2;
+  }
+  FlipByte(path, static_cast<int64_t>(payload_off));
+  std::unique_ptr<BlockFile> file = OpenFile(path);  // header + dir intact
+
+  BufferPool::Options popts;
+  BufferPool pool(file.get(), popts);
+  { auto r = pool.Pin(1); EXPECT_TRUE(r.ok()) << r.status(); }
+  EXPECT_FALSE(pool.Pin(2).ok());
+  EXPECT_FALSE(pool.Pin(2).ok());  // retry re-reads and re-fails
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.crc_failures, 2u);
+  EXPECT_EQ(s.resident_pages, 1u);
+}
+
+TEST(StorageBlockFileTest, CorruptPageDirectoryFailsOpen) {
+  ScopedDir dir("v2dir");
+  Table table = MakeTable(300);
+  const std::string path =
+      Pack(table, dir.path, "t", 64, Compression::kAuto);
+  // The directory trailer ends the file; its CRC is the last 4 bytes
+  // and an entry byte sits just before them.
+  const auto size = std::filesystem::file_size(path);
+  FlipByte(path, static_cast<int64_t>(size) - 10);
+  EXPECT_FALSE(BlockFile::Open(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Read paths and readahead.
+
+TEST(BufferPoolTest, PreadPathServesIdenticalFrames) {
+  ScopedDir dir("pread");
+  Table table = MakeTable(640);
+  for (const Compression comp : {Compression::kOff, Compression::kAuto}) {
+    const std::string path =
+        Pack(table, dir.path,
+             comp == Compression::kOff ? "raw" : "comp", 64, comp);
+    std::unique_ptr<BlockFile> file = OpenFile(path);
+
+    BufferPool::Options mopts;
+    mopts.read_path = ReadPathKind::kMmap;
+    BufferPool mmap_pool(file.get(), mopts);
+    BufferPool::Options popts;
+    popts.read_path = ReadPathKind::kPread;
+    popts.readahead_pages = 4;
+    BufferPool pread_pool(file.get(), popts);
+    EXPECT_STREQ(mmap_pool.read_path_name(), "mmap");
+    EXPECT_STREQ(pread_pool.read_path_name(), "pread");
+
+    for (int64_t page = 1; page < file->total_pages(); ++page) {
+      auto a = mmap_pool.Pin(page);
+      auto b = pread_pool.Pin(page);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      EXPECT_EQ(std::memcmp(a->data(), b->data(), file->frame_bytes(page)),
+                0);
+    }
+    // Both paths read the same stored bytes for the same pages.
+    EXPECT_EQ(mmap_pool.stats().bytes_read, pread_pool.stats().bytes_read);
+    EXPECT_GT(pread_pool.stats().bytes_read, 0u);
+  }
+}
+
+TEST(BufferPoolTest, BudgetClampIsReported) {
+  ScopedDir dir("clamp");
+  Table table = MakeTable(300);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options tiny;
+  tiny.budget_bytes = 1;
+  BufferPool clamped(file.get(), tiny);
+  EXPECT_TRUE(clamped.budget_was_clamped());
+  EXPECT_EQ(clamped.requested_budget_bytes(), 1u);
+  EXPECT_EQ(clamped.budget_bytes(), file->page_bytes());
+
+  BufferPool::Options roomy;
+  BufferPool fine(file.get(), roomy);
+  EXPECT_FALSE(fine.budget_was_clamped());
+  EXPECT_EQ(fine.requested_budget_bytes(), fine.budget_bytes());
+}
+
+TEST(BufferPoolReadaheadTest, PrefetchedPagesCountAsPrefetchHits) {
+  ScopedDir dir("prefetch");
+  Table table = MakeTable(640);  // 10 data pages
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  popts.read_path = ReadPathKind::kPread;
+  popts.readahead_pages = 8;
+  popts.budget_bytes = size_t{64} << 20;  // plenty of headroom
+  BufferPool pool(file.get(), popts);
+
+  // Hint every data page, then wait for the worker by pinning each:
+  // a pin either finds the loaded frame (prefetch hit) or loads it
+  // itself — both must serve identical bytes and account consistently.
+  std::vector<int64_t> ids;
+  for (int64_t b = 0; b < file->num_data_pages(); ++b) {
+    ids.push_back(file->data_page_id(b));
+  }
+  pool.Prefetch(ids.data(), static_cast<int>(ids.size()));
+  int64_t rows = 0;
+  for (const int64_t id : ids) {
+    auto r = pool.Pin(id);
+    ASSERT_TRUE(r.ok()) << r.status();
+    rows += file->data_page(r->data()).rows;
+  }
+  EXPECT_EQ(rows, 640);
+
+  BufferPool::Stats s = pool.stats();
+  EXPECT_GT(s.prefetch_issued, 0u);
+  EXPECT_EQ(s.prefetch_loads, s.prefetch_hits);
+  // Every data page was loaded exactly once, by the worker or by a pin.
+  EXPECT_EQ(s.loads, static_cast<uint64_t>(file->num_data_pages()));
+  // Every pin was served: prefetched frames count as hits, the rest as
+  // this thread's own loads.
+  EXPECT_EQ(s.hits + (s.loads - s.prefetch_loads),
+            static_cast<uint64_t>(file->num_data_pages()));
+  EXPECT_GT(s.bytes_read, 0u);
+}
+
+TEST(BufferPoolReadaheadTest, ChurnPoolNeverPrefetchEvicts) {
+  ScopedDir dir("churnguard");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+
+  BufferPool::Options popts;
+  popts.read_path = ReadPathKind::kPread;
+  popts.readahead_pages = 8;
+  popts.budget_bytes = file->page_bytes();  // one frame of budget
+  BufferPool pool(file.get(), popts);
+
+  for (int round = 0; round < 3; ++round) {
+    for (int64_t b = 0; b < file->num_data_pages(); ++b) {
+      auto held = pool.Pin(file->data_page_id(b));
+      ASSERT_TRUE(held.ok()) << held.status();
+      std::vector<int64_t> ahead;
+      for (int64_t nb = b + 1; nb < file->num_data_pages(); ++nb) {
+        ahead.push_back(file->data_page_id(nb));
+      }
+      pool.Prefetch(ahead.data(), static_cast<int>(ahead.size()));
+    }
+  }
+  // With the whole budget held by the pinned page, every readahead
+  // hint must have been dropped, not loaded over the budget.
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.prefetch_loads, 0u);
+  EXPECT_LE(s.resident_bytes, pool.budget_bytes());
+}
+
+TEST(BufferPoolReadaheadTest, ConcurrentPinsAndPrefetchStayCoherent) {
+  ScopedDir dir("rathreads");
+  Table table = MakeTable(640);
+  const std::string path = Pack(table, dir.path, "t");
+  std::unique_ptr<BlockFile> file = OpenFile(path);
+  const int64_t data_pages = file->num_data_pages();
+
+  std::vector<std::vector<TupleId>> want_ids(
+      static_cast<size_t>(data_pages));
+  {
+    BufferPool::Options roomy;
+    BufferPool ref_pool(file.get(), roomy);
+    for (int64_t b = 0; b < data_pages; ++b) {
+      auto page = ref_pool.Pin(file->data_page_id(b));
+      ASSERT_TRUE(page.ok()) << page.status();
+      BlockFile::DataPageView v = file->data_page(page->data());
+      want_ids[static_cast<size_t>(b)].assign(v.ids, v.ids + v.rows);
+    }
+  }
+
+  // Three-page budget, pread + readahead worker live, every thread
+  // racing pins, hints, and DropAll: the TSan target for the
+  // asynchronous readahead pipeline.
+  BufferPool::Options tiny;
+  tiny.budget_bytes = 3 * file->page_bytes();
+  tiny.read_path = ReadPathKind::kPread;
+  tiny.readahead_pages = 4;
+  BufferPool pool(file.get(), tiny);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<uint32_t>(7000 + t));
+      std::uniform_int_distribution<int64_t> pick(0, data_pages - 1);
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t b = pick(rng);
+        const int64_t ahead[2] = {
+            file->data_page_id((b + 1) % data_pages),
+            file->data_page_id((b + 2) % data_pages)};
+        pool.Prefetch(ahead, 2);
+        auto page = pool.Pin(file->data_page_id(b));
+        if (!page.ok()) {
+          ++mismatches;
+          continue;
+        }
+        BlockFile::DataPageView v = file->data_page(page->data());
+        const auto& ids = want_ids[static_cast<size_t>(b)];
+        if (v.rows != static_cast<int64_t>(ids.size()) ||
+            v.ids[0] != ids[0] ||
+            v.ids[v.rows - 1] != ids[ids.size() - 1]) {
+          ++mismatches;
+        }
+        if (i % 64 == 0 && t == 0) pool.DropAll();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.crc_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery over the full format x read-path matrix.
+
+TEST(PagedInterfaceTest, MatchesInMemoryAcrossFormatsAndReadPaths) {
+  ScopedDir dir("matrix");
+  Table table = MakeTable(2000, InterfaceType::kRQ, /*domain=*/50);
+  auto in_memory =
+      testutil::MakeInterface(&table, interface::MakeSumRanking(), 10);
+
+  std::vector<Query> battery;
+  battery.push_back(Query(3));
+  battery.push_back(Query(3).AddAtMost(0, 25));
+  battery.push_back(Query(3).AddEquals(0, 7).AddEquals(1, 7));
+  battery.push_back(Query(3).AddAtLeast(0, 49).AddAtMost(0, 0));
+  battery.push_back(Query(3).AddAtLeast(0, 5000));
+  std::mt19937 rng(41);
+  std::uniform_int_distribution<Value> val(0, 49);
+  for (int i = 0; i < 25; ++i) {
+    Query q(3);
+    q.AddAtMost(i % 3, val(rng));
+    if (i % 2 == 0) q.AddAtLeast((i + 1) % 3, val(rng));
+    battery.push_back(q);
+  }
+
+  for (const Compression comp : {Compression::kOff, Compression::kAuto}) {
+    const std::string path =
+        Pack(table, dir.path,
+             comp == Compression::kOff ? "raw" : "comp", 64, comp);
+    for (const ReadPathKind kind :
+         {ReadPathKind::kMmap, ReadPathKind::kPread}) {
+      SCOPED_TRACE(std::string(comp == Compression::kOff ? "raw" : "comp") +
+                   "/" + (kind == ReadPathKind::kMmap ? "mmap" : "pread"));
+      PagedTableOptions popts;
+      popts.buffer_pool_bytes = 8192;  // tiny: evicts during queries
+      popts.read_path = kind;
+      popts.readahead_pages = 4;
+      auto paged = PagedTable::Open(path, popts);
+      ASSERT_TRUE(paged.ok()) << paged.status();
+      TopKOptions topts;
+      topts.k = 10;
+      auto iface = TopKInterface::CreatePaged(paged->get(), topts);
+      ASSERT_TRUE(iface.ok()) << iface.status();
+
+      for (size_t i = 0; i < battery.size(); ++i) {
+        auto got = (*iface)->Execute(battery[i]);
+        auto want = in_memory->Execute(battery[i]);
+        ASSERT_TRUE(got.ok()) << got.status();
+        ASSERT_TRUE(want.ok()) << want.status();
+        SCOPED_TRACE("query #" + std::to_string(i));
+        ExpectSameAnswer(*got, *want);
+      }
+      EXPECT_GT((*paged)->pool_stats().evictions, 0u);
+    }
+  }
 }
 
 TEST(PagedInterfaceTest, ConcurrentQueriesMatchSerial) {

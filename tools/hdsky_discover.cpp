@@ -137,6 +137,8 @@ struct Args {
   std::string demo;
   std::string dataset_file;
   int64_t buffer_pool_bytes = 0;  // 0 = PagedTableOptions default
+  std::string read_path = "mmap";
+  int64_t readahead_pages = 8;
   std::string connect;
   std::vector<std::string> connects;  // --connect split on commas
   std::string federate;               // "" | "union" | "join"
@@ -174,6 +176,10 @@ void Usage() {
       "  --buffer-pool-bytes N\n"
       "                      resident budget for --dataset-file (default "
       "256 MiB)\n"
+      "  --read-path P       mmap | pread page fetch for --dataset-file "
+      "(default mmap)\n"
+      "  --readahead-pages N pread readahead depth, 0 disables (default "
+      "8)\n"
       "  --connect HOST:PORT[,HOST:PORT...]\n"
       "                      discover against remote hdsky_serve(s)\n"
       "  --federate MODE     union | join over every --connect endpoint\n"
@@ -245,6 +251,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->dataset_file = value;
     } else if (flag == "--buffer-pool-bytes") {
       if (!int_flag(1, INT64_MAX, &args->buffer_pool_bytes)) return false;
+    } else if (flag == "--read-path" && need_value(&value)) {
+      data::ReadPathKind kind;
+      if (!data::ParseReadPathKind(value, &kind)) {
+        std::fprintf(stderr, "invalid value for --read-path: %s\n",
+                     value.c_str());
+        return false;
+      }
+      args->read_path = value;
+    } else if (flag == "--readahead-pages") {
+      if (!int_flag(0, 1 << 16, &args->readahead_pages)) return false;
     } else if (flag == "--connect" && need_value(&value)) {
       args->connect = value;
       args->connects.clear();
@@ -336,9 +352,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "--connect is required\n");
     return false;
   }
-  if (seen.count("--buffer-pool-bytes") && args->dataset_file.empty()) {
-    std::fprintf(stderr, "--buffer-pool-bytes requires --dataset-file\n");
-    return false;
+  for (const char* pool_flag :
+       {"--buffer-pool-bytes", "--read-path", "--readahead-pages"}) {
+    if (seen.count(pool_flag) && args->dataset_file.empty()) {
+      std::fprintf(stderr, "%s requires --dataset-file\n", pool_flag);
+      return false;
+    }
   }
   if (!args->dataset_file.empty()) {
     // Generation and ranking are baked into the file at pack time.
@@ -917,6 +936,8 @@ int main(int argc, char** argv) {
       popts.buffer_pool_bytes =
           static_cast<size_t>(args.buffer_pool_bytes);
     }
+    data::ParseReadPathKind(args.read_path, &popts.read_path);
+    popts.readahead_pages = static_cast<int>(args.readahead_pages);
     auto paged_result = data::Table::OpenPaged(args.dataset_file, popts);
     if (!paged_result.ok()) {
       std::fprintf(stderr, "load: %s\n",
@@ -924,9 +945,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     paged = std::move(paged_result).value();
-    std::printf("dataset : %lld tuples (paged, ranking %s, pool %lld "
+    if (paged->pool()->budget_was_clamped()) {
+      std::fprintf(
+          stderr,
+          "warning: --buffer-pool-bytes %llu below one page; effective "
+          "budget %llu bytes\n",
+          static_cast<unsigned long long>(
+              paged->pool()->requested_budget_bytes()),
+          static_cast<unsigned long long>(paged->pool()->budget_bytes()));
+    }
+    std::printf("dataset : %lld tuples (paged %s, ranking %s, pool %lld "
                 "bytes), %s\n",
                 static_cast<long long>(paged->num_rows()),
+                paged->pool()->read_path_name(),
                 paged->ranking_name().c_str(),
                 static_cast<long long>(paged->pool()->budget_bytes()),
                 paged->schema().ToString().c_str());
@@ -1187,11 +1218,17 @@ int main(int argc, char** argv) {
   if (paged) {
     const data::BufferPool::Stats ps = paged->pool_stats();
     std::fprintf(stderr,
-                 "pool    : %llu hits, %llu loads, %llu evictions, %llu "
-                 "resident bytes\n",
+                 "pool    : %s path, %llu hits, %llu misses, %llu loads, "
+                 "%llu evictions, %llu prefetched (%llu hit), %llu bytes "
+                 "read, %llu resident bytes\n",
+                 paged->pool()->read_path_name(),
                  static_cast<unsigned long long>(ps.hits),
+                 static_cast<unsigned long long>(ps.misses),
                  static_cast<unsigned long long>(ps.loads),
                  static_cast<unsigned long long>(ps.evictions),
+                 static_cast<unsigned long long>(ps.prefetch_loads),
+                 static_cast<unsigned long long>(ps.prefetch_hits),
+                 static_cast<unsigned long long>(ps.bytes_read),
                  static_cast<unsigned long long>(ps.resident_bytes));
   }
   if (remote) {

@@ -18,9 +18,14 @@
 //   --seed S              generator seed for --demo
 //   --ranking R           sum | lex:<attr_name>   (default sum)
 //   --rows-per-block B    rows per data page (default 4096)
+//   --compress MODE       auto (format v2, per-run FOR/delta/dict
+//                         encoding; default) | off (format v1 raw)
+//   --stats               print pages, zone-map levels, bytes/row, and
+//                         per-attribute compression ratios after packing
 //
 // Prints one summary line to stderr and exits 0 on success; exit 64 on
-// usage errors, 1 on load/pack failures.
+// usage errors (including --compress with a value type the encoders do
+// not support), 1 on load/pack failures.
 
 #include <cerrno>
 #include <cstdio>
@@ -50,6 +55,8 @@ struct Args {
   uint64_t seed = 42;
   std::string ranking = "sum";
   int64_t rows_per_block = 4096;
+  std::string compress = "auto";
+  bool stats = false;
 };
 
 void Usage() {
@@ -61,7 +68,9 @@ void Usage() {
       "  --n N               demo dataset size\n"
       "  --seed S            demo generator seed\n"
       "  --ranking R         sum | lex:<attr_name>   (default sum)\n"
-      "  --rows-per-block B  rows per data page (default 4096)\n");
+      "  --rows-per-block B  rows per data page (default 4096)\n"
+      "  --compress MODE     auto (format v2, default) | off (format v1)\n"
+      "  --stats             print page/level/compression stats\n");
 }
 
 /// Strict integer parse: the whole token must be a number in [min, max].
@@ -109,6 +118,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->ranking = value;
     } else if (flag == "--rows-per-block") {
       if (!int_flag(1, 1 << 20, &args->rows_per_block)) return false;
+    } else if (flag == "--compress" && need_value(&value)) {
+      if (value != "auto" && value != "off") {
+        std::fprintf(stderr, "invalid value for --compress: %s\n",
+                     value.c_str());
+        return false;
+      }
+      args->compress = value;
+    } else if (flag == "--stats") {
+      args->stats = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                    flag.c_str());
@@ -194,8 +212,26 @@ int main(int argc, char** argv) {
 
   data::BlockFileOptions options;
   options.rows_per_block = args.rows_per_block;
+  options.compression = args.compress == "off" ? data::Compression::kOff
+                                               : data::Compression::kAuto;
+  if (options.compression == data::Compression::kAuto) {
+    // The per-run encoders operate on bounded int64 rank codes; an
+    // attribute with an inverted domain has no representable value
+    // range and cannot be compressed.
+    for (int a = 0; a < table.schema().num_attributes(); ++a) {
+      const data::AttributeSpec& spec = table.schema().attribute(a);
+      if (spec.domain_min > spec.domain_max) {
+        std::fprintf(stderr,
+                     "--compress=auto: attribute %s has an unsupported "
+                     "value type (inverted domain); use --compress=off\n",
+                     spec.name.c_str());
+        return 64;
+      }
+    }
+  }
+  data::BlockFileWriteStats stats;
   auto packed = dataset::PackTable(table, std::move(ranking_result).value(),
-                                   args.out, options);
+                                   args.out, options, &stats);
   if (!packed.ok()) {
     std::fprintf(stderr, "pack: %s\n",
                  packed.status().ToString().c_str());
@@ -205,5 +241,35 @@ int main(int argc, char** argv) {
                static_cast<long long>(packed.value()),
                table.schema().ToString().c_str(), args.ranking.c_str(),
                args.out.c_str());
+  if (args.stats) {
+    const double rows = stats.rows > 0 ? static_cast<double>(stats.rows)
+                                       : 1.0;
+    std::fprintf(stderr,
+                 "stats   : %lld data pages + %lld index pages, %d "
+                 "zone-map levels, %.1f bytes/row on disk (%.1f logical)\n",
+                 static_cast<long long>(stats.data_pages),
+                 static_cast<long long>(stats.index_pages),
+                 stats.num_index_levels,
+                 static_cast<double>(stats.file_bytes) / rows,
+                 static_cast<double>(stats.raw_payload_bytes()) / rows);
+    for (size_t c = 0; c < stats.columns.size(); ++c) {
+      const auto& col = stats.columns[c];
+      const char* name =
+          c == 0 ? "<tuple id>"
+                 : table.schema()
+                       .attribute(static_cast<int>(c) - 1)
+                       .name.c_str();
+      const double ratio =
+          col.encoded_bytes > 0
+              ? static_cast<double>(col.raw_bytes) /
+                    static_cast<double>(col.encoded_bytes)
+              : 1.0;
+      std::fprintf(stderr,
+                   "stats   :   %-12s %10llu B -> %10llu B (%.2fx)\n",
+                   name, static_cast<unsigned long long>(col.raw_bytes),
+                   static_cast<unsigned long long>(col.encoded_bytes),
+                   ratio);
+    }
+  }
   return 0;
 }

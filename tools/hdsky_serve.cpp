@@ -76,6 +76,10 @@ struct Args {
   std::string demo;
   std::string dataset_file;
   int64_t buffer_pool_bytes = 0;  // 0 = PagedTableOptions default
+  std::string read_path = "mmap";
+  bool read_path_set = false;
+  int64_t readahead_pages = 8;
+  bool readahead_set = false;
   bool ranking_set = false;
   int64_t n = 0;
   int64_t k = 10;
@@ -105,6 +109,10 @@ void Usage() {
       "  --buffer-pool-bytes N\n"
       "                       resident budget for --dataset-file "
       "(default 256 MiB)\n"
+      "  --read-path P        mmap | pread page fetch for --dataset-file "
+      "(default mmap)\n"
+      "  --readahead-pages N  pread readahead depth, 0 disables "
+      "(default 8)\n"
       "  --n N                demo dataset size\n"
       "  --k K                interface page size (default 10)\n"
       "  --ranking R          sum | lex:<attr_name>\n"
@@ -160,6 +168,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->dataset_file = value;
     } else if (flag == "--buffer-pool-bytes") {
       if (!int_flag(1, INT64_MAX, &args->buffer_pool_bytes)) return false;
+    } else if (flag == "--read-path" && need_value(&value)) {
+      data::ReadPathKind kind;
+      if (!data::ParseReadPathKind(value, &kind)) {
+        std::fprintf(stderr, "invalid value for --read-path: %s\n",
+                     value.c_str());
+        return false;
+      }
+      args->read_path = value;
+      args->read_path_set = true;
+    } else if (flag == "--readahead-pages") {
+      if (!int_flag(0, 1 << 16, &args->readahead_pages)) return false;
+      args->readahead_set = true;
     } else if (flag == "--n") {
       if (!int_flag(1, INT64_MAX, &args->n)) return false;
     } else if (flag == "--k") {
@@ -214,6 +234,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->buffer_pool_bytes > 0 && args->dataset_file.empty()) {
     std::fprintf(stderr, "--buffer-pool-bytes requires --dataset-file\n");
+    return false;
+  }
+  if ((args->read_path_set || args->readahead_set) &&
+      args->dataset_file.empty()) {
+    std::fprintf(stderr,
+                 "--read-path / --readahead-pages require "
+                 "--dataset-file\n");
     return false;
   }
   if (!args->dataset_file.empty() && args->ranking_set) {
@@ -288,6 +315,8 @@ int main(int argc, char** argv) {
       popts.buffer_pool_bytes =
           static_cast<size_t>(args.buffer_pool_bytes);
     }
+    data::ParseReadPathKind(args.read_path, &popts.read_path);
+    popts.readahead_pages = static_cast<int>(args.readahead_pages);
     auto paged_result = data::Table::OpenPaged(args.dataset_file, popts);
     if (!paged_result.ok()) {
       std::fprintf(stderr, "load: %s\n",
@@ -295,6 +324,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     paged = std::move(paged_result).value();
+    if (paged->pool()->budget_was_clamped()) {
+      std::fprintf(
+          stderr,
+          "warning: --buffer-pool-bytes %llu below one page; effective "
+          "budget %llu bytes\n",
+          static_cast<unsigned long long>(
+              paged->pool()->requested_budget_bytes()),
+          static_cast<unsigned long long>(paged->pool()->budget_bytes()));
+    }
     auto iface_result =
         interface::TopKInterface::CreatePaged(paged.get(), topk);
     if (!iface_result.ok()) {
@@ -439,11 +477,17 @@ int main(int argc, char** argv) {
   if (paged != nullptr) {
     const data::BufferPool::Stats ps = paged->pool_stats();
     std::fprintf(stderr,
-                 "pool    : %llu hits, %llu loads, %llu evictions, %llu "
-                 "resident bytes\n",
+                 "pool    : %s path, %llu hits, %llu misses, %llu loads, "
+                 "%llu evictions, %llu prefetched (%llu hit), %llu bytes "
+                 "read, %llu resident bytes\n",
+                 paged->pool()->read_path_name(),
                  static_cast<unsigned long long>(ps.hits),
+                 static_cast<unsigned long long>(ps.misses),
                  static_cast<unsigned long long>(ps.loads),
                  static_cast<unsigned long long>(ps.evictions),
+                 static_cast<unsigned long long>(ps.prefetch_loads),
+                 static_cast<unsigned long long>(ps.prefetch_hits),
+                 static_cast<unsigned long long>(ps.bytes_read),
                  static_cast<unsigned long long>(ps.resident_bytes));
   }
   return 0;
