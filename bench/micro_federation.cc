@@ -23,9 +23,19 @@
 //   skyline_match        1 iff the federated union skyline equals the
 //                        merged-table ground truth exactly
 //   skyline_size         distinct ranking-value combinations found
+//
+// BM_FederatedResume measures the durable-session path: a run stopped at
+// a round barrier and resumed from the checkpoint with fresh backends.
+// Its counters (also gated by scripts/compare_bench.py):
+//   resumed_duplicate_queries  queries the resumed life re-issued that
+//                              the first life had already paid for
+//                              (must be 0 — resume replays nothing)
+//   skyline_match              1 iff the resumed run still reproduces
+//                              the merged-table ground truth
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -35,6 +45,7 @@
 #include "dataset/blue_nile.h"
 #include "federation/federated_discovery.h"
 #include "interface/ranking.h"
+#include "recovery/federation_state.h"
 #include "skyline/compute.h"
 
 namespace {
@@ -141,6 +152,105 @@ void BM_FederatedUnion(benchmark::State& state) {
   state.counters["skyline_size"] = static_cast<double>(found.size());
 }
 
+/// A backend recording the signature of every query it actually serves
+/// (pruned queries never reach it), so the resume bench can count
+/// cross-life duplicates on the wire side of the pruning layer.
+class RecordingBackend : public interface::HiddenDatabase {
+ public:
+  explicit RecordingBackend(interface::HiddenDatabase* inner)
+      : inner_(inner) {}
+  const data::Schema& schema() const override { return inner_->schema(); }
+  int k() const override { return inner_->k(); }
+  common::Result<interface::QueryResult> Execute(
+      const interface::Query& q) override {
+    signatures_.push_back(q.Signature());
+    return inner_->Execute(q);
+  }
+  const std::vector<std::string>& signatures() const { return signatures_; }
+
+ private:
+  interface::HiddenDatabase* inner_;
+  std::vector<std::string> signatures_;
+};
+
+/// Durable-session path: the first life stops at a round barrier (the
+/// same consistent snapshot hdsky_discover persists under --journal),
+/// the second life resumes from that checkpoint against fresh backend
+/// objects. The benchmark times both lives together; the counters prove
+/// the resumed life re-issues none of the queries the first life paid
+/// for and still lands on the exact merged-table skyline.
+void BM_FederatedResume(benchmark::State& state) {
+  const std::vector<data::Table>& tables = BackendTables();
+
+  int64_t duplicates = 0;
+  bool match = false;
+  for (auto _ : state) {
+    // First life: run a few rounds, keep the last barrier checkpoint.
+    std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+    std::vector<std::unique_ptr<RecordingBackend>> first;
+    std::vector<interface::HiddenDatabase*> backends;
+    for (const data::Table& t : tables) {
+      ifaces.push_back(bench::MakeInterface(
+          &t, interface::MakeSumRanking(), kPageSize));
+      first.push_back(
+          std::make_unique<RecordingBackend>(ifaces.back().get()));
+      backends.push_back(first.back().get());
+    }
+    federation::FederationOptions opts;
+    opts.mode = federation::FederationOptions::Mode::kUnion;
+    opts.round_budget = kRoundBudget;
+    opts.max_rounds = 3;
+    recovery::FederationSessionState barrier;
+    bool captured = false;
+    opts.on_round_checkpoint =
+        [&](const recovery::FederationSessionState& s) {
+          barrier = s;
+          captured = true;
+          return common::Status::OK();
+        };
+    bench::Unwrap(federation::RunFederatedDiscovery(backends, opts),
+                  "interrupted run");
+    HDSKY_CHECK(captured);
+
+    // Second life: fresh interfaces, resumed from the checkpoint.
+    std::vector<std::unique_ptr<interface::TopKInterface>> rifaces;
+    std::vector<std::unique_ptr<RecordingBackend>> second;
+    std::vector<interface::HiddenDatabase*> rbackends;
+    for (const data::Table& t : tables) {
+      rifaces.push_back(bench::MakeInterface(
+          &t, interface::MakeSumRanking(), kPageSize));
+      second.push_back(
+          std::make_unique<RecordingBackend>(rifaces.back().get()));
+      rbackends.push_back(second.back().get());
+    }
+    federation::FederationOptions ropts;
+    ropts.mode = federation::FederationOptions::Mode::kUnion;
+    ropts.round_budget = kRoundBudget;
+    ropts.resume_state = &barrier;
+    auto r = bench::Unwrap(
+        federation::RunFederatedDiscovery(rbackends, ropts), "resumed run");
+    benchmark::DoNotOptimize(r);
+
+    duplicates = 0;
+    for (int b = 0; b < kBackends; ++b) {
+      const std::set<std::string> paid(first[b]->signatures().begin(),
+                                       first[b]->signatures().end());
+      for (const std::string& sig : second[b]->signatures()) {
+        if (paid.count(sig)) ++duplicates;
+      }
+    }
+    std::set<data::Tuple> found;
+    for (const federation::UnionGroup& g : r.skyline) {
+      found.insert(g.rank_values);
+    }
+    match = found == GroundTruth();
+  }
+
+  state.counters["resumed_duplicate_queries"] =
+      static_cast<double>(duplicates);
+  state.counters["skyline_match"] = match ? 1.0 : 0.0;
+}
+
 /// The same federated run at several worker counts: the round barriers
 /// and frozen snapshots make the result thread-count independent, so
 /// this measures pure coordination overhead.
@@ -168,6 +278,7 @@ void BM_FederatedUnionThreads(benchmark::State& state) {
 }
 
 BENCHMARK(BM_FederatedUnion)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FederatedResume)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FederatedUnionThreads)
     ->Arg(1)
     ->Arg(2)

@@ -61,7 +61,11 @@ hdsky_discover --federation-json)
     must pay strictly fewer federated queries than the K sequential
     discoveries they replace, and
   * runs that report skyline_match must report exactly 1.0 — the
-    federated union skyline equals the merged-dataset ground truth.
+    federated union skyline equals the merged-dataset ground truth, and
+  * runs that report resumed_duplicate_queries (BM_FederatedResume, the
+    stop-at-a-barrier-and-resume durability path) must report exactly 0:
+    a resumed session replays none of the queries its first life already
+    paid for. Their skyline_match is gated on the same 1.0 floor.
 
 Only the Python standard library is used. Median aggregates are
 preferred when the JSON carries repetitions; raw iterations are used
@@ -433,6 +437,35 @@ def gate_federation(data, args):
                 failures.append(f"{name}: federated union skyline does "
                                 "not equal the merged-dataset ground "
                                 "truth")
+
+    # Durability runs (BM_FederatedResume) carry no prune_ratio — the
+    # interesting quantity is the cross-life duplicate count, which must
+    # be exactly zero: a resumed session pays only for work the first
+    # life had not reached. Their skyline_match shares the 1.0 floor.
+    for b in runs:
+        name = run_name(b)
+        dup = b.get("resumed_duplicate_queries")
+        if dup is None or "prune_ratio" in b:
+            continue
+        checked += 1
+        if b.get("error_occurred"):
+            failures.append(f"{name}: run failed: "
+                            f"{b.get('error_message', 'unknown error')}")
+            continue
+        verdict = "ok" if dup == 0 else "FAIL"
+        print(f"{name}: resumed duplicates {dup:.0f} (need == 0) "
+              f"[{verdict}]")
+        if dup != 0:
+            failures.append(f"{name}: resumed session re-issued "
+                            f"{dup:.0f} queries its first life already "
+                            "paid for")
+        match = b.get("skyline_match")
+        if match is not None:
+            verdict = "ok" if match == 1.0 else "FAIL"
+            print(f"{name}: skyline_match {match:.0f} [{verdict}]")
+            if match != 1.0:
+                failures.append(f"{name}: resumed skyline does not "
+                                "equal the merged-dataset ground truth")
 
     if checked == 0:
         failures.append("no federation runs found")

@@ -51,6 +51,17 @@ struct BackendState {
   bool failed = false;
   std::string error;
 
+  /// Health state machine (HEALTHY -> DEGRADED -> DEAD, with DEGRADED ->
+  /// HEALTHY on a successful re-probe). A degraded backend keeps its
+  /// paused frontier and waits out a deterministic round-count backoff.
+  BackendHealth health = BackendHealth::kHealthy;
+  int64_t probe_attempts = 0;
+  int64_t next_probe_round = 0;
+  int64_t recoveries = 0;
+  /// Scheduled into the current round (set per round on the coordinator
+  /// thread before any task is submitted).
+  bool participates = false;
+
   /// Written by the round's worker task, read after the barrier.
   bool ran_this_round = false;
   bool round_ok = false;
@@ -147,6 +158,140 @@ data::Tuple Project(const data::Tuple& t, const std::vector<int>& attrs) {
   return out;
 }
 
+const char* ModeName(FederationOptions::Mode mode) {
+  return mode == FederationOptions::Mode::kJoin ? "join" : "union";
+}
+
+/// Rounds to wait before re-probing `backend` after its `attempt`-th
+/// consecutive failure: exponential in the attempt (capped), plus a
+/// deterministic per-(backend, attempt) jitter so simultaneous failures
+/// do not re-probe in lockstep. No wall clock, no shared RNG — the
+/// schedule replays identically on resume.
+int64_t ProbeDelayRounds(const FederationOptions& options, size_t backend,
+                         int64_t attempt) {
+  int64_t base = std::max<int64_t>(1, options.probe_backoff_rounds);
+  for (int64_t i = 1; i < attempt && base < 16; ++i) base *= 2;
+  base = std::min<int64_t>(base, 16);
+  const uint64_t h = (static_cast<uint64_t>(backend) * 1000003ull +
+                      static_cast<uint64_t>(attempt)) *
+                     2654435761ull;
+  return base + static_cast<int64_t>(h % static_cast<uint64_t>(base));
+}
+
+/// The coordinator's barrier state, exactly as the resume path consumes
+/// it. Called only between rounds, where every persisted value is
+/// consistent with every backend journal.
+recovery::FederationSessionState BuildCheckpoint(
+    const FederationOptions& options, const std::vector<BackendState>& states,
+    int64_t rounds, int64_t total_remaining) {
+  recovery::FederationSessionState s;
+  s.mode = ModeName(options.mode);
+  s.algorithm = options.algorithm;
+  s.rounds = rounds;
+  s.total_remaining = total_remaining;
+  s.backends.reserve(states.size());
+  for (const BackendState& st : states) {
+    recovery::FederatedBackendState b;
+    b.name = st.name;
+    b.algorithm = st.algorithm;
+    b.has_resume = st.has_resume;
+    b.run_state = st.run_state;
+    b.frontier = st.frontier;
+    b.cand_ids = st.cand_ids;
+    b.cand_tuples = st.cand_tuples;
+    b.prev_confirmed = st.prev_confirmed;
+    b.prev_paid = st.prev_paid;
+    b.last_round_paid = st.last_round_paid;
+    b.last_round_new = st.last_round_new;
+    b.rounds = st.rounds;
+    b.paid = st.pruner->paid();
+    b.pruned = st.pruner->pruned();
+    b.health = static_cast<uint8_t>(st.health);
+    b.probe_attempts = st.probe_attempts;
+    b.next_probe_round = st.next_probe_round;
+    b.recoveries = st.recoveries;
+    b.complete = st.complete;
+    b.failed = st.failed;
+    b.backend_exhausted = st.pruner->backend_exhausted();
+    b.error = st.error;
+    b.observed_ids = st.pruner->observed_ids();
+    b.observed_tuples = st.pruner->observed_tuples();
+    s.backends.push_back(std::move(b));
+  }
+  return s;
+}
+
+/// Rehydrates the coordinator from a round checkpoint, validating that
+/// the live federation matches the one that saved it.
+Status RestoreFederation(const recovery::FederationSessionState& rs,
+                         const FederationOptions& options,
+                         std::vector<BackendState>* states, int64_t* rounds,
+                         int64_t* total_remaining) {
+  if (rs.mode != ModeName(options.mode)) {
+    return Status::InvalidArgument(
+        "resumed federation was started as --federate " + rs.mode +
+        "; restart with the original mode or a fresh --journal directory");
+  }
+  if (rs.backends.size() != states->size()) {
+    return Status::InvalidArgument(
+        "resumed federation had " + std::to_string(rs.backends.size()) +
+        " backends, this run connects " + std::to_string(states->size()));
+  }
+  for (size_t i = 0; i < states->size(); ++i) {
+    BackendState& st = (*states)[i];
+    const recovery::FederatedBackendState& b = rs.backends[i];
+    if (b.name != st.name) {
+      return Status::InvalidArgument(
+          "resumed federation backend " + std::to_string(i) + " was '" +
+          b.name + "', this run connects '" + st.name +
+          "' (the --connect list must not change across a resume)");
+    }
+    if (b.algorithm != st.algorithm) {
+      return Status::InvalidArgument(
+          st.name + ": journaled session ran algorithm '" + b.algorithm +
+          "' but this run resolved '" + st.algorithm +
+          "'; resuming would diverge from the journal");
+    }
+    const size_t width =
+        static_cast<size_t>(st.backend->schema().num_attributes());
+    for (const auto* pool : {&b.cand_tuples, &b.observed_tuples}) {
+      for (const data::Tuple& t : *pool) {
+        if (t.size() != width) {
+          return Status::IOError(st.name +
+                                 ": federation state tuple width does not "
+                                 "match the backend schema");
+        }
+      }
+    }
+    st.has_resume = b.has_resume;
+    st.run_state = b.run_state;
+    st.frontier = b.frontier;
+    st.cand_ids = b.cand_ids;
+    st.cand_tuples = b.cand_tuples;
+    st.prev_confirmed = b.prev_confirmed;
+    st.prev_paid = b.prev_paid;
+    st.last_round_paid = b.last_round_paid;
+    st.last_round_new = b.last_round_new;
+    st.rounds = b.rounds;
+    st.health = static_cast<BackendHealth>(b.health);
+    st.probe_attempts = b.probe_attempts;
+    st.next_probe_round = b.next_probe_round;
+    st.recoveries = b.recoveries;
+    st.complete = b.complete;
+    st.failed = b.failed;
+    st.error = b.error;
+    // Active is derived, not stored: anything not terminally finished
+    // (including a degraded backend mid-backoff) picks up where the
+    // previous process stopped.
+    st.active = !b.complete && !b.failed && !b.backend_exhausted;
+    st.pruner->RestoreAccounting(b.paid, b.pruned, b.backend_exhausted);
+    st.pruner->RestoreObserved(b.observed_ids, b.observed_tuples);
+  }
+  *rounds = rs.rounds;
+  if (options.total_budget > 0) *total_remaining = rs.total_remaining;
+  return Status::OK();
+}
+
 /// Join mode: collapse observed tuples to per-backend entity observations,
 /// probe backends that never surfaced a key other backends did (one
 /// equality query each), inner-join, and return the joined skyline.
@@ -202,6 +347,18 @@ Status JoinPhase(std::vector<BackendState>& states,
 }
 
 }  // namespace
+
+const char* BackendHealthName(BackendHealth h) {
+  switch (h) {
+    case BackendHealth::kHealthy:
+      return "healthy";
+    case BackendHealth::kDegraded:
+      return "degraded";
+    case BackendHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
 
 Result<FederatedResult> RunFederatedDiscovery(
     const std::vector<interface::HiddenDatabase*>& backends,
@@ -280,8 +437,19 @@ Result<FederatedResult> RunFederatedDiscovery(
   FederatedResult out;
   out.ranking_attr_names = rank_names;
 
+  if (options.resume_state != nullptr) {
+    HDSKY_RETURN_IF_ERROR(RestoreFederation(*options.resume_state, options,
+                                            &states, &out.rounds,
+                                            &total_remaining));
+  }
+
   const auto interrupted = [&] {
     return options.interrupt && options.interrupt();
+  };
+  const auto checkpoint = [&]() -> Status {
+    if (!options.on_round_checkpoint) return Status::OK();
+    return options.on_round_checkpoint(
+        BuildCheckpoint(options, states, out.rounds, total_remaining));
   };
 
   while (!interrupted()) {
@@ -296,9 +464,26 @@ Result<FederatedResult> RunFederatedDiscovery(
       if (budget <= 0) break;
     }
 
+    // Round participants: healthy actives always run; a degraded backend
+    // sits out its backoff and then runs one re-probe round.
+    bool any_participant = false;
+    for (BackendState& st : states) {
+      st.participates = st.active && (st.health == BackendHealth::kHealthy ||
+                                      out.rounds >= st.next_probe_round);
+      any_participant |= st.participates;
+    }
+    if (!any_participant) {
+      // Every active backend is waiting out a probe backoff: tick the
+      // round clock so the nearest probe comes due. The tick is
+      // checkpointed — a resumed session must replay the same schedule.
+      out.rounds += 1;
+      HDSKY_RETURN_IF_ERROR(checkpoint());
+      continue;
+    }
+
     std::vector<BackendYield> yields(states.size());
     for (size_t i = 0; i < states.size(); ++i) {
-      yields[i] = {states[i].active, m, states[i].prev_confirmed,
+      yields[i] = {states[i].participates, m, states[i].prev_confirmed,
                    states[i].last_round_paid, states[i].last_round_new};
     }
     const std::vector<int64_t> alloc =
@@ -323,8 +508,23 @@ Result<FederatedResult> RunFederatedDiscovery(
 
     for (BackendState& st : states) st.ran_this_round = false;
     for (size_t i = 0; i < states.size(); ++i) {
-      if (!states[i].active || alloc[i] <= 0) continue;
+      if (!states[i].participates || alloc[i] <= 0) continue;
       BackendState* st = &states[i];
+      if (st->health == BackendHealth::kDegraded &&
+          options.on_backend_reprobe) {
+        // Settle any dangling journal intent from the failed attempt
+        // before the driver restarts against a newer frozen snapshot.
+        // A failure here IS the probe result: the backend is still
+        // unreachable, so record a failed probe round and let the
+        // health machine back off again.
+        const common::Status ps = options.on_backend_reprobe(i);
+        if (!ps.ok()) {
+          st->ran_this_round = true;
+          st->round_ok = false;
+          st->round_status = ps;
+          continue;
+        }
+      }
       const int64_t allowance = alloc[i];
       st->ran_this_round = true;
       pool.Submit([st, &frozen, allowance, &options] {
@@ -332,22 +532,61 @@ Result<FederatedResult> RunFederatedDiscovery(
       });
     }
     pool.WaitIdle();  // the round barrier
-    out.rounds += 1;
 
+    // A round some backend left mid-flight (the cooperative interrupt
+    // fired inside a driver) is torn: the backend's frontier snapshot
+    // does not cover its payments, so adopting or persisting it would
+    // desynchronize the coordinator from the backend journals. Discard
+    // the whole round — the journals keep every paid answer, and a
+    // resumed session re-executes the round from the previous barrier,
+    // replaying those payments for free.
+    bool torn = false;
+    for (const BackendState& st : states) {
+      if (!st.ran_this_round || !st.round_ok) continue;
+      if (!st.round_result.complete && !st.pruner->round_paused() &&
+          !st.pruner->backend_exhausted()) {
+        torn = true;
+        break;
+      }
+    }
+    if (torn) break;
+
+    out.rounds += 1;
     int64_t paid_this_round = 0;
-    for (BackendState& st : states) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      BackendState& st = states[i];
       if (!st.ran_this_round) continue;
       st.rounds += 1;
       st.last_round_paid = st.pruner->paid() - st.prev_paid;
       st.prev_paid = st.pruner->paid();
       paid_this_round += st.last_round_paid;
       if (!st.round_ok) {
-        // Graceful degradation: drop the backend, keep the federation.
-        st.failed = true;
-        st.active = false;
+        // Health machine: a transient failure keeps the frontier (it
+        // was not touched this round) and schedules a re-probe; a
+        // permanent error or a spent probe budget drops the backend.
         st.error = st.round_status.ToString();
-        out.partial_coverage = true;
+        st.probe_attempts += 1;
+        const bool transient = st.round_status.IsIOError() ||
+                               st.round_status.IsUnavailable();
+        if (!transient || st.probe_attempts > options.max_probe_attempts) {
+          st.health = BackendHealth::kDead;
+          st.failed = true;
+          st.active = false;
+        } else {
+          st.health = BackendHealth::kDegraded;
+          st.next_probe_round =
+              out.rounds + ProbeDelayRounds(options, i, st.probe_attempts);
+        }
         continue;
+      }
+      if (st.health == BackendHealth::kDegraded) {
+        // The re-probe succeeded: reintegrate. Coverage is judged at
+        // the end of the run, so a recovered backend upgrades a
+        // would-be PARTIAL result back to FULL.
+        st.health = BackendHealth::kHealthy;
+        st.probe_attempts = 0;
+        st.recoveries += 1;
+        st.error.clear();
       }
       st.last_round_new =
           static_cast<int64_t>(st.round_result.skyline.size()) -
@@ -361,9 +600,9 @@ Result<FederatedResult> RunFederatedDiscovery(
         st.active = false;
       } else if (st.pruner->backend_exhausted()) {
         // The backend's own budget is gone for good — its unexplored
-        // region may hide union-skyline tuples.
+        // region may hide union-skyline tuples. Coverage is flagged at
+        // the end of the run.
         st.active = false;
-        out.partial_coverage = true;
       } else if (st.pruner->round_paused()) {
         if (st.pending_saved) {
           st.run_state = std::move(st.pending_run_state);
@@ -373,17 +612,23 @@ Result<FederatedResult> RunFederatedDiscovery(
         // else: paused before any starved checkpoint fired (cannot
         // happen with the one-query-per-iteration drivers; if it ever
         // does, the stale resume state re-explores, never corrupts).
-      } else {
-        // Exhausted without pause or backend exhaustion: the interrupt
-        // fired inside the run.
-        st.active = false;
       }
+      // (complete / backend-exhausted / paused is exhaustive here: torn
+      // rounds were discarded above.)
     }
     if (options.total_budget > 0) total_remaining -= paid_this_round;
+    HDSKY_RETURN_IF_ERROR(checkpoint());
   }
 
   for (const BackendState& st : states) {
     out.complete &= st.complete;
+    // Coverage is judged here, at the end: a backend that failed and was
+    // later reintegrated by a re-probe does not taint the result, while
+    // one still degraded (or dead, or budget-exhausted) does.
+    if (st.failed || st.health == BackendHealth::kDegraded ||
+        st.pruner->backend_exhausted()) {
+      out.partial_coverage = true;
+    }
     BackendReport report;
     report.name = st.name;
     report.paid_queries = st.pruner->paid();
@@ -393,6 +638,8 @@ Result<FederatedResult> RunFederatedDiscovery(
     report.complete = st.complete;
     report.failed = st.failed;
     report.error = st.error;
+    report.health = st.health;
+    report.recoveries = st.recoveries;
     out.total_paid += report.paid_queries;
     out.total_pruned += report.pruned_queries;
     out.backends.push_back(std::move(report));

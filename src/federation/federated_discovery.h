@@ -27,9 +27,26 @@
 // the same per-backend costs.
 //
 // A backend that fails mid-run (connection lost, server shedding load
-// past the retry budget, crash) is dropped from the federation; the
-// remaining backends finish and the result is flagged partial_coverage —
-// graceful degradation, never a stall.
+// past the retry budget, crash) is NOT dropped outright: the coordinator
+// runs a health state machine per backend — HEALTHY, DEGRADED, DEAD. A
+// transient failure (IOError / Unavailable) moves the backend to
+// DEGRADED: its paused frontier and candidates are kept, and the
+// coordinator re-probes it after a deterministic jittered backoff
+// (rounds, not wall clock — determinism survives). A successful probe
+// reintegrates the backend: it resumes its frontier against the CURRENT
+// frozen dominance snapshot, and if every backend eventually finishes
+// the result is FULL coverage, not partial. Only a permanent error or an
+// exhausted probe budget moves a backend to DEAD (dropped, coverage
+// flagged partial) — graceful degradation, never a stall.
+//
+// Durable sessions (on_round_checkpoint / resume_state): the coordinator
+// hands a recovery::FederationSessionState snapshot of every round
+// barrier to the caller, and can be restarted from one. Snapshots are
+// taken ONLY at consistent barriers; a round some backend left mid-
+// flight (the cooperative interrupt fired inside a driver) is discarded
+// whole, so a resumed coordinator re-executes the torn round from
+// identical inputs and per-backend journals replay its payments for
+// free (docs/federation.md, "Durable federation").
 //
 // The final union skyline is the global dominance filter + entity merge
 // of every candidate (src/federation/entity_merge); docs/federation.md
@@ -52,9 +69,21 @@
 #include "common/status.h"
 #include "federation/entity_merge.h"
 #include "interface/hidden_database.h"
+#include "recovery/federation_state.h"
 
 namespace hdsky {
 namespace federation {
+
+/// Health state machine of one backend (see the file comment).
+enum class BackendHealth : uint8_t {
+  kHealthy = 0,
+  /// Failed transiently; frontier kept, re-probe scheduled.
+  kDegraded = 1,
+  /// Permanently dropped (permanent error or probe budget exhausted).
+  kDead = 2,
+};
+
+const char* BackendHealthName(BackendHealth h);
 
 struct FederationOptions {
   enum class Mode { kUnion, kJoin };
@@ -88,6 +117,38 @@ struct FederationOptions {
   std::string join_attr;
   /// Cooperative cancellation, polled between queries and rounds.
   std::function<bool()> interrupt;
+
+  /// Re-probes a DEGRADED backend may fail before it is declared DEAD
+  /// (0 restores the pre-health-machine instant-drop behavior: the
+  /// first failure is final).
+  int64_t max_probe_attempts = 3;
+  /// Base backoff, in scheduling rounds, before the first re-probe of a
+  /// degraded backend; doubles per failed probe (capped) with a
+  /// deterministic per-backend jitter so simultaneous failures do not
+  /// re-probe in lockstep.
+  int64_t probe_backoff_rounds = 2;
+  /// Fired on the coordinator thread just before a DEGRADED backend runs
+  /// a re-probe round. hdsky_discover wires this to
+  /// JournalingDatabase::ResolvePending: a dangling intent from the
+  /// failed attempt is settled under its original wire sequence number
+  /// (the server replays or charges exactly once) before the driver
+  /// restarts against a newer dominance snapshot, so the re-probe's
+  /// first fresh query is never misread as journal divergence. A
+  /// returned error counts as a failed probe (the backend stays
+  /// DEGRADED and backs off again) rather than aborting the run.
+  std::function<common::Status(size_t backend_index)> on_backend_reprobe;
+
+  /// Durable sessions: invoked at the end of every consistent scheduling
+  /// round with the coordinator's barrier state. A returned error aborts
+  /// the run (a session that cannot persist must not pretend to be
+  /// durable). hdsky_discover wires this to SaveFederationState.
+  std::function<common::Status(const recovery::FederationSessionState&)>
+      on_round_checkpoint;
+  /// Resume from a prior round checkpoint. Validated against the live
+  /// backends (mode, count, names, resolved algorithms); a mismatch is
+  /// rejected rather than silently diverging. Not owned; must outlive
+  /// the call.
+  const recovery::FederationSessionState* resume_state = nullptr;
 };
 
 /// Per-backend accounting of a federated run.
@@ -106,6 +167,12 @@ struct BackendReport {
   /// The backend failed and was dropped (error says why).
   bool failed = false;
   std::string error;
+  /// Final health-machine position (kDegraded: still in backoff when the
+  /// run ended — coverage is partial but the backend was never dropped).
+  BackendHealth health = BackendHealth::kHealthy;
+  /// Times the backend failed transiently and a later re-probe
+  /// reintegrated it.
+  int64_t recoveries = 0;
 };
 
 struct FederatedResult {

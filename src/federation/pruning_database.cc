@@ -24,6 +24,21 @@ void PruningDatabase::StartRound(int64_t allowance,
   // back next round.
 }
 
+void PruningDatabase::RestoreAccounting(int64_t paid, int64_t pruned,
+                                        bool backend_exhausted) {
+  paid_ = paid;
+  pruned_ = pruned;
+  backend_exhausted_ = backend_exhausted;
+}
+
+void PruningDatabase::RestoreObserved(const std::vector<data::TupleId>& ids,
+                                      const std::vector<data::Tuple>& tuples) {
+  observed_ids_ = ids;
+  observed_tuples_ = tuples;
+  observed_id_set_.clear();
+  for (const data::TupleId id : ids) observed_id_set_.insert(id);
+}
+
 bool PruningDatabase::RegionPruned(const interface::Query& q) const {
   if (frozen_ == nullptr || frozen_->size() == 0) return false;
   const data::Schema& schema = backend_->schema();

@@ -55,6 +55,15 @@ class PruningDatabase : public interface::HiddenDatabase {
   /// (nullptr disables cross-backend pruning). Clears the round flags.
   void StartRound(int64_t allowance, const skyline::DominanceIndex* frozen);
 
+  /// Coordinator resume (recovery/federation_state.h): restores the
+  /// cumulative accounting a previous process checkpointed at a round
+  /// barrier. Only legal before the first StartRound.
+  void RestoreAccounting(int64_t paid, int64_t pruned, bool backend_exhausted);
+  /// Restores the observed-tuple pool (ids and tuples parallel, already
+  /// deduplicated by the run that saved them).
+  void RestoreObserved(const std::vector<data::TupleId>& ids,
+                       const std::vector<data::Tuple>& tuples);
+
   /// Paid queries remaining in this round; -1 = unlimited.
   int64_t remaining() const { return remaining_; }
   /// True once an Execute was refused because the round allowance ran

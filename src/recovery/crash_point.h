@@ -20,6 +20,10 @@
 //                             manifest still points at the old epoch
 //   checkpoint.pre_cleanup    manifest renamed, old epoch files not yet
 //                             deleted
+//   federation.checkpoint.pre_state   a federation round fully executed,
+//                             DIR/STATE still describing the previous one
+//   federation.checkpoint.post_state  DIR/STATE atomically swung to the
+//                             new round
 //
 // In production nothing is armed and every CrashPointHit() is a single
 // predictable branch.

@@ -1,0 +1,205 @@
+#include "recovery/federation_state.h"
+
+#include <utility>
+
+#include "common/fs_util.h"
+#include "net/wire.h"
+#include "recovery/crash_point.h"
+#include "recovery/journal.h"
+
+namespace hdsky {
+namespace recovery {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr char kFederationStateMagic[] = "hdsky-fedstate-v1";
+
+void PutTuplePool(const std::vector<data::TupleId>& ids,
+                  const std::vector<data::Tuple>& tuples, net::Encoder* enc) {
+  enc->PutU64(static_cast<uint64_t>(ids.size()));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    enc->PutI64(ids[i]);
+    for (const data::Value v : tuples[i]) enc->PutI64(v);
+  }
+}
+
+Status GetTuplePool(net::Decoder* dec, uint32_t width, const char* what,
+                    std::vector<data::TupleId>* ids,
+                    std::vector<data::Tuple>* tuples) {
+  uint64_t count = 0;
+  if (!dec->GetU64(&count) ||
+      count > dec->remaining() / (8 * (static_cast<uint64_t>(width) + 1))) {
+    return Status::IOError(std::string("federation state: implausible ") +
+                           what + " tuple count");
+  }
+  ids->reserve(count);
+  tuples->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    data::TupleId id = 0;
+    dec->GetI64(&id);
+    data::Tuple t(width);
+    for (uint32_t j = 0; j < width; ++j) dec->GetI64(&t[j]);
+    if (!dec->ok()) {
+      return Status::IOError(std::string("federation state: truncated ") +
+                             what + " tuple pool");
+    }
+    ids->push_back(id);
+    tuples->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFederationState(const FederationSessionState& state) {
+  std::string out;
+  net::Encoder enc(&out);
+  enc.PutString(kFederationStateMagic);
+  enc.PutString(state.mode);
+  enc.PutString(state.algorithm);
+  enc.PutI64(state.rounds);
+  enc.PutI64(state.total_remaining);
+  enc.PutU64(static_cast<uint64_t>(state.backends.size()));
+  for (const FederatedBackendState& b : state.backends) {
+    enc.PutString(b.name);
+    enc.PutString(b.algorithm);
+    enc.PutU8(b.has_resume ? 1 : 0);
+    enc.PutString(b.run_state);
+    enc.PutString(b.frontier);
+    // Tuples of one backend all share the full schema width; encode it
+    // once so the decoder can validate every tuple against it.
+    const uint32_t width =
+        b.cand_tuples.empty()
+            ? (b.observed_tuples.empty()
+                   ? 0
+                   : static_cast<uint32_t>(b.observed_tuples[0].size()))
+            : static_cast<uint32_t>(b.cand_tuples[0].size());
+    enc.PutU32(width);
+    PutTuplePool(b.cand_ids, b.cand_tuples, &enc);
+    enc.PutI64(b.prev_confirmed);
+    enc.PutI64(b.prev_paid);
+    enc.PutI64(b.last_round_paid);
+    enc.PutI64(b.last_round_new);
+    enc.PutI64(b.rounds);
+    enc.PutI64(b.paid);
+    enc.PutI64(b.pruned);
+    enc.PutU8(b.health);
+    enc.PutI64(b.probe_attempts);
+    enc.PutI64(b.next_probe_round);
+    enc.PutI64(b.recoveries);
+    enc.PutU8(b.complete ? 1 : 0);
+    enc.PutU8(b.failed ? 1 : 0);
+    enc.PutU8(b.backend_exhausted ? 1 : 0);
+    enc.PutString(b.error);
+    PutTuplePool(b.observed_ids, b.observed_tuples, &enc);
+  }
+  return out;
+}
+
+Result<FederationSessionState> DecodeFederationState(std::string_view blob) {
+  net::Decoder dec(blob);
+  std::string magic;
+  uint64_t backend_count = 0;
+  FederationSessionState state;
+  dec.GetString(&magic);
+  dec.GetString(&state.mode);
+  dec.GetString(&state.algorithm);
+  dec.GetI64(&state.rounds);
+  dec.GetI64(&state.total_remaining);
+  if (!dec.GetU64(&backend_count) || magic != kFederationStateMagic) {
+    return Status::IOError("malformed federation state header");
+  }
+  if (backend_count > dec.remaining()) {
+    return Status::IOError("federation state: implausible backend count");
+  }
+  state.backends.reserve(backend_count);
+  for (uint64_t i = 0; i < backend_count; ++i) {
+    FederatedBackendState b;
+    uint8_t has_resume = 0, health = 0, complete = 0, failed = 0,
+            exhausted = 0;
+    uint32_t width = 0;
+    dec.GetString(&b.name);
+    dec.GetString(&b.algorithm);
+    dec.GetU8(&has_resume);
+    dec.GetString(&b.run_state);
+    dec.GetString(&b.frontier);
+    if (!dec.GetU32(&width) || width > 65535) {
+      return Status::IOError("federation state: malformed backend entry");
+    }
+    HDSKY_RETURN_IF_ERROR(
+        GetTuplePool(&dec, width, "candidate", &b.cand_ids, &b.cand_tuples));
+    dec.GetI64(&b.prev_confirmed);
+    dec.GetI64(&b.prev_paid);
+    dec.GetI64(&b.last_round_paid);
+    dec.GetI64(&b.last_round_new);
+    dec.GetI64(&b.rounds);
+    dec.GetI64(&b.paid);
+    dec.GetI64(&b.pruned);
+    dec.GetU8(&health);
+    dec.GetI64(&b.probe_attempts);
+    dec.GetI64(&b.next_probe_round);
+    dec.GetI64(&b.recoveries);
+    dec.GetU8(&complete);
+    dec.GetU8(&failed);
+    if (!dec.GetU8(&exhausted) || !dec.GetString(&b.error)) {
+      return Status::IOError("federation state: truncated backend entry");
+    }
+    HDSKY_RETURN_IF_ERROR(GetTuplePool(&dec, width, "observed",
+                                       &b.observed_ids, &b.observed_tuples));
+    b.has_resume = has_resume != 0;
+    b.health = health;
+    b.complete = complete != 0;
+    b.failed = failed != 0;
+    b.backend_exhausted = exhausted != 0;
+    if (b.health > 2) {
+      return Status::IOError("federation state: unknown health value " +
+                             std::to_string(b.health));
+    }
+    state.backends.push_back(std::move(b));
+  }
+  if (!dec.exhausted()) {
+    return Status::IOError("federation state carries trailing bytes");
+  }
+  return state;
+}
+
+Status SaveFederationState(const std::string& dir,
+                           const FederationSessionState& state) {
+  std::string framed;
+  AppendFrame(EncodeFederationState(state), &framed);
+  const std::string path = dir + "/" + kFederationStateFileName;
+  CrashPointHit("federation.checkpoint.pre_state");
+  HDSKY_RETURN_IF_ERROR(common::AtomicWriteFile(path, framed));
+  CrashPointHit("federation.checkpoint.post_state");
+  return Status::OK();
+}
+
+Result<FederationSessionState> LoadFederationState(const std::string& dir) {
+  const std::string path = dir + "/" + kFederationStateFileName;
+  std::string data;
+  HDSKY_ASSIGN_OR_RETURN(data, common::ReadFileToString(path));
+  JournalContents frame;
+  {
+    // Reuse the journal frame parser on the single-record STATE file; it
+    // was written atomically, so a torn or trailing byte is damage, not
+    // an interrupted append.
+    auto parsed = ReadJournalFile(path);
+    HDSKY_RETURN_IF_ERROR(parsed.status());
+    frame = std::move(parsed).value();
+  }
+  if (frame.torn || frame.payloads.size() != 1 ||
+      frame.valid_bytes != static_cast<int64_t>(data.size())) {
+    return Status::IOError(path + ": federation state framing damaged");
+  }
+  auto state = DecodeFederationState(frame.payloads[0]);
+  if (!state.ok()) {
+    return Status::IOError(path + ": " + state.status().message());
+  }
+  return state;
+}
+
+}  // namespace recovery
+}  // namespace hdsky

@@ -195,6 +195,38 @@ Result<interface::QueryResult> JournalingDatabase::Execute(
   return answer;
 }
 
+Status JournalingDatabase::ResolvePending() {
+  if (!pending_signature_.has_value()) return Status::OK();
+  // Rebuild the query from its journaled signature (one {lower, upper}
+  // Value pair per attribute — Query::Signature is injective over
+  // intervals) and push it through Execute: the resend-of-pending path
+  // re-sends it under the original wire seq, so the server replays or
+  // charges exactly once and the intent clears.
+  const std::string signature = *pending_signature_;
+  const int width = backend_->schema().num_attributes();
+  if (signature.size() !=
+      static_cast<size_t>(width) * 2 * sizeof(data::Value)) {
+    return Status::Internal(
+        "journaled intent signature does not match the schema width");
+  }
+  interface::Query q(width);
+  const char* p = signature.data();
+  for (int attr = 0; attr < width; ++attr) {
+    data::Value lo = 0;
+    data::Value hi = 0;
+    std::memcpy(&lo, p, sizeof(lo));
+    p += sizeof(lo);
+    std::memcpy(&hi, p, sizeof(hi));
+    p += sizeof(hi);
+    if (lo != interface::Interval::kMin) q.AddAtLeast(attr, lo);
+    if (hi != interface::Interval::kMax) q.AddAtMost(attr, hi);
+  }
+  if (q.Signature() != signature) {
+    return Status::Internal("journaled intent signature failed to roundtrip");
+  }
+  return Execute(q).status();
+}
+
 Status JournalingDatabase::Checkpoint(const std::string& state_blob) {
   CrashPointHit("checkpoint.pre_snapshot");
   HDSKY_RETURN_IF_ERROR(writer_->Sync());

@@ -134,6 +134,20 @@ class JournalingDatabase : public interface::HiddenDatabase {
     return pending_signature_;
   }
 
+  /// Settles the dangling intent (if any) by re-executing its exact query
+  /// under its original wire sequence number. The server either replays
+  /// the answer it already charged for (free) or executes it fresh
+  /// (charged exactly once); either way the intent resolves and the
+  /// session's sequence numbers stay aligned with the server's. Used by
+  /// federation re-probes: a backend that failed mid-round may resume
+  /// against a *newer* dominance snapshot, so its next fresh query can
+  /// legitimately differ from the dangling one — the intent must be
+  /// settled before the run restarts, not treated as divergence. Simply
+  /// dropping it instead would desynchronize the wire sequence (the
+  /// server enforces strictly consecutive numbers and replays stale
+  /// ones silently). No-op when nothing is pending.
+  common::Status ResolvePending();
+
   const Stats& stats() const { return stats_; }
   int64_t entries() const { return static_cast<int64_t>(order_.size()); }
   int64_t epoch() const { return epoch_; }

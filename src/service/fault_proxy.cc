@@ -137,6 +137,21 @@ void FaultInjectingProxy::Pump(Connection* conn, bool client_to_server,
       kill_connection();
       return;
     }
+    // Blackout schedule: a deterministic window of client queries during
+    // which the backend is dark — the connection dies exactly as if the
+    // server were gone, and comes back once the window has passed.
+    if (client_to_server && frame.type == FrameType::kQuery &&
+        policy_.blackout_after_queries >= 0) {
+      const int64_t arrival =
+          queries_seen_.fetch_add(1, std::memory_order_acq_rel);
+      if (arrival >= policy_.blackout_after_queries &&
+          arrival < policy_.blackout_after_queries +
+                        policy_.blackout_queries) {
+        BumpStat(&Stats::queries_blacked_out);
+        kill_connection();
+        return;
+      }
+    }
     // Spurious rate limit: only meaningful for client queries, and the
     // reply goes straight back to the client.
     if (client_to_server && frame.type == FrameType::kQuery &&

@@ -54,6 +54,17 @@ class FaultInjectingProxy {
     /// Probability a frame is delayed by `delay_ms` before forwarding.
     double delay_prob = 0.0;
     int delay_ms = 0;
+    /// Deterministic kill/revive schedule, counted in client Query
+    /// frames seen across all connections: queries with 0-based arrival
+    /// index in [blackout_after_queries, blackout_after_queries +
+    /// blackout_queries) kill the connection instead of reaching the
+    /// upstream, then the proxy recovers. Because a blacked-out client
+    /// retry arrives as a fresh Query frame, each blacked-out logical
+    /// query consumes max_attempts arrivals — the schedule is a query
+    /// counter, not wall clock, so it is exactly reproducible. -1
+    /// disables.
+    int64_t blackout_after_queries = -1;
+    int64_t blackout_queries = 0;
   };
 
   struct Options {
@@ -70,6 +81,8 @@ class FaultInjectingProxy {
     int64_t frames_truncated = 0;
     int64_t rate_limits_injected = 0;
     int64_t delays_injected = 0;
+    /// Client queries killed by the blackout schedule.
+    int64_t queries_blacked_out = 0;
   };
 
   static common::Result<std::unique_ptr<FaultInjectingProxy>> Start(
@@ -119,6 +132,9 @@ class FaultInjectingProxy {
   Options options_;
   net::ServerSocket listener_;
   std::atomic<bool> stopping_{false};
+  /// Arrival index for the blackout schedule (client Query frames,
+  /// counted across every connection).
+  std::atomic<int64_t> queries_seen_{0};
 
   mutable std::mutex stats_mu_;
   Stats stats_;

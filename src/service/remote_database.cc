@@ -227,18 +227,18 @@ Result<interface::QueryResult> RemoteHiddenDatabase::Execute(
                                  " frame in response to a query");
   }
 
-  // Retries exhausted: fail with the last underlying cause, descriptively.
-  // A run of kRateLimited bounces means the server is shedding load —
-  // Unavailable, so callers (exit codes, federation failover) can tell it
-  // apart from a spent budget (ResourceExhausted) and from protocol
-  // failure (IOError).
-  const std::string detail = "remote query failed after " +
+  // Retries exhausted: the backend is unreachable right now, whether the
+  // last symptom was server-side shedding (kRateLimited bounces) or link
+  // trouble (connect refused, timeouts, torn frames). Both are
+  // Unavailable — "site is down or busy, come back later" — distinct from
+  // a spent budget (ResourceExhausted) and from interior protocol
+  // corruption, which surfaces as IOError from the attempt itself, not
+  // here. Federation health machines and exit-code mapping key off this.
+  stats_.failed_queries += 1;
+  return Status::Unavailable("backend unreachable: remote query failed "
+                             "after " +
                              std::to_string(options_.max_attempts) +
-                             " attempts: " + last_error.ToString();
-  if (last_error.IsUnavailable()) {
-    return Status::Unavailable(detail);
-  }
-  return Status::IOError(detail);
+                             " attempts: " + last_error.ToString());
 }
 
 }  // namespace service

@@ -15,12 +15,14 @@
 //    common::Status model: kBudgetExhausted maps to ResourceExhausted,
 //    exactly what in-process discovery sees when TopKInterface's budget
 //    runs dry, so anytime behavior is identical locally and remotely.
-//  * When retries run out, Execute fails with a descriptive Status carrying
-//    the last underlying error — it never hangs and never lies. A session
-//    that dies because the server kept shedding load (kRateLimited past the
-//    retry budget) fails with Unavailable, distinct from the
-//    ResourceExhausted a spent query budget produces, so callers can tell
-//    "site is busy, come back later" from "budget is gone".
+//  * When retries run out, Execute fails Unavailable with a descriptive
+//    message carrying the last underlying error — it never hangs and never
+//    lies. Whether the backend kept shedding load (kRateLimited past the
+//    retry budget) or the link itself kept dying, the meaning is the same:
+//    the site is unreachable right now, come back later — distinct from
+//    the ResourceExhausted a spent query budget produces ("budget is
+//    gone") and from IOError (interior protocol corruption). Federation
+//    failover and the 69/EX_UNAVAILABLE exit code key off this.
 //
 // Retries cannot double-count queries: every query carries a session-scoped
 // sequence number and the server replays its cached answer for a sequence
@@ -86,6 +88,10 @@ class RemoteHiddenDatabase : public interface::HiddenDatabase {
     int64_t bytes_received = 0;
     /// Total milliseconds spent asleep in retry backoff.
     int64_t backoff_ms = 0;
+    /// Queries that exhausted the retry budget and failed Unavailable.
+    /// The federation coordinator's health machine reads this as its
+    /// wire-level failure signal.
+    int64_t failed_queries = 0;
   };
 
   /// Connects, performs the Hello/Descriptor handshake, and captures the

@@ -112,14 +112,60 @@ expect_usage "federation-json-without-federate" \
   "$DISCOVER" --connect 127.0.0.1:1 --federation-json /tmp/f.json
 expect_usage "round-budget-garbage" \
   "$DISCOVER" --connect 127.0.0.1:1 --federate union --round-budget 8x
-expect_usage "federate-with-journal" \
-  "$DISCOVER" --connect 127.0.0.1:1 --federate union --journal /tmp/j
 expect_usage "federate-with-cache" \
   "$DISCOVER" --connect 127.0.0.1:1 --federate union --cache
 expect_usage "federate-with-trace" \
   "$DISCOVER" --connect 127.0.0.1:1 --federate union --trace /tmp/t.csv
 expect_usage "federate-bad-algorithm" \
   "$DISCOVER" --connect 127.0.0.1:1 --federate union --algorithm baseline
+
+# Health-machine knobs ride only on --federate, and their ranges hold.
+expect_usage "probe-attempts-without-federate" \
+  "$DISCOVER" --connect 127.0.0.1:1 --probe-attempts 5
+expect_usage "probe-backoff-without-federate" \
+  "$DISCOVER" --connect 127.0.0.1:1 --probe-backoff 3
+expect_usage "probe-attempts-garbage" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --probe-attempts 5x
+expect_usage "probe-attempts-negative" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --probe-attempts -1
+expect_usage "probe-backoff-zero" \
+  "$DISCOVER" --connect 127.0.0.1:1 --federate union --probe-backoff 0
+
+# Exit-code contract for unreachable backends: a FRESH run that cannot
+# connect is an ordinary failure (1), but when a journal directory shows
+# an existing session the same failure is 69/EX_UNAVAILABLE — "the
+# session is intact, the site is down, retry later" — for both the
+# single-site and the federated resume paths.
+expect_unavailable_on_resume() {
+  label=$1
+  shift
+  "$@" >/dev/null 2>&1
+  code=$?
+  if [ "$code" -ne 69 ]; then
+    echo "FAIL($label): exit $code, want 69" >&2
+    failures=$((failures + 1))
+  fi
+}
+tmpj=$(mktemp -d)
+# Fresh journal, dead endpoint: nothing to preserve, plain failure.
+"$DISCOVER" --connect 127.0.0.1:1 --journal "$tmpj/fresh" >/dev/null 2>&1
+code=$?
+if [ "$code" -ne 1 ]; then
+  echo "FAIL(fresh-connect-failure-exit): exit $code, want 1" >&2
+  failures=$((failures + 1))
+fi
+# Single-site resume: a MANIFEST marks an existing session.
+mkdir -p "$tmpj/single"
+: > "$tmpj/single/MANIFEST"
+expect_unavailable_on_resume "single-resume-backend-down" \
+  "$DISCOVER" --connect 127.0.0.1:1 --journal "$tmpj/single"
+# Federated resume: a STATE checkpoint marks an existing session.
+mkdir -p "$tmpj/fed"
+: > "$tmpj/fed/STATE"
+expect_unavailable_on_resume "federated-resume-backend-down" \
+  "$DISCOVER" --connect 127.0.0.1:1,127.0.0.1:2 --federate union \
+  --journal "$tmpj/fed"
+rm -rf "$tmpj"
 
 # --dump-data is a local-table affair.
 expect_usage "dump-data-with-connect" \

@@ -2,19 +2,23 @@
 // pruning decorator, entity merge, and end-to-end federated discovery
 // over multiple local backends.
 
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/rq_db_sky.h"
 #include "dataset/blue_nile.h"
+#include "dataset/synthetic.h"
 #include "federation/budget_scheduler.h"
 #include "federation/entity_merge.h"
 #include "federation/federated_discovery.h"
 #include "federation/pruning_database.h"
+#include "recovery/federation_state.h"
 #include "skyline/compute.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_index.h"
@@ -506,6 +510,293 @@ TEST(FederatedDiscoveryTest, JoinModeInnerJoinsOnSharedKey) {
   EXPECT_EQ(r->joined[0].rank_values, Tuple({15, 5}));
   EXPECT_EQ(r->joined[1].key, 3);
   EXPECT_EQ(r->joined[1].rank_values, Tuple({5, 15}));
+}
+
+// ---------------------------------------------------------------------------
+// Durable sessions: round-barrier checkpoints, resume, backend revival.
+
+/// Delegating backend that records the signature of every query it is
+/// actually asked (pruned queries never get here), so resume tests can
+/// prove the two lives of a resumed session pay for disjoint queries.
+class RecordingBackend : public interface::HiddenDatabase {
+ public:
+  explicit RecordingBackend(interface::HiddenDatabase* inner)
+      : inner_(inner) {}
+  const data::Schema& schema() const override { return inner_->schema(); }
+  int k() const override { return inner_->k(); }
+  common::Result<interface::QueryResult> Execute(
+      const interface::Query& q) override {
+    signatures_.push_back(q.Signature());
+    return inner_->Execute(q);
+  }
+  const std::vector<std::string>& signatures() const { return signatures_; }
+
+ private:
+  interface::HiddenDatabase* inner_;
+  std::vector<std::string> signatures_;
+};
+
+struct RecordedFleet {
+  std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+  std::vector<std::unique_ptr<RecordingBackend>> recorders;
+  std::vector<interface::HiddenDatabase*> backends;
+};
+
+RecordedFleet MakeFleet(const std::vector<Table>& sites) {
+  RecordedFleet f;
+  for (const Table& t : sites) {
+    f.ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+    f.recorders.push_back(
+        std::make_unique<RecordingBackend>(f.ifaces.back().get()));
+    f.backends.push_back(f.recorders.back().get());
+  }
+  return f;
+}
+
+/// The durable-session contract, for whichever driver `algorithm`
+/// resolves to on `sites`:
+///  * every round barrier's FederationSessionState — embedded
+///    DiscoveryRun and frontier codecs included — round-trips through
+///    Encode/Decode byte-identically,
+///  * a fresh coordinator resumed from a barrier finishes with the
+///    uninterrupted run's exact skyline, paid totals, and round count,
+///  * the resumed life never re-pays a query the first life paid for.
+void CheckDurableResume(const std::vector<Table>& sites,
+                        const std::string& algorithm) {
+  FederationOptions base;
+  base.mode = FederationOptions::Mode::kUnion;
+  base.round_budget = 16;
+  base.algorithm = algorithm;
+
+  // Reference: one uninterrupted run.
+  RecordedFleet ref_fleet = MakeFleet(sites);
+  auto ref = RunFederatedDiscovery(ref_fleet.backends, base);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  ASSERT_TRUE(ref->complete);
+
+  // First life: identical run stopped after three rounds, every barrier
+  // captured.
+  std::vector<recovery::FederationSessionState> barriers;
+  RecordedFleet first = MakeFleet(sites);
+  FederationOptions stopped_opts = base;
+  stopped_opts.max_rounds = 3;
+  stopped_opts.on_round_checkpoint =
+      [&barriers](const recovery::FederationSessionState& s) {
+        barriers.push_back(s);
+        return common::Status::OK();
+      };
+  auto stopped = RunFederatedDiscovery(first.backends, stopped_opts);
+  ASSERT_TRUE(stopped.ok()) << stopped.status();
+  ASSERT_EQ(barriers.size(), 3u);
+
+  // Codec round trip at every round boundary. The frontier blob is the
+  // part a corrupted byte would silently derail, so it is compared
+  // explicitly on top of whole-state re-encode equality.
+  bool saw_paused_frontier = false;
+  for (const auto& s : barriers) {
+    const std::string blob = recovery::EncodeFederationState(s);
+    auto decoded = recovery::DecodeFederationState(blob);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(recovery::EncodeFederationState(*decoded), blob);
+    ASSERT_EQ(decoded->backends.size(), s.backends.size());
+    for (size_t i = 0; i < s.backends.size(); ++i) {
+      EXPECT_EQ(decoded->backends[i].has_resume, s.backends[i].has_resume);
+      EXPECT_EQ(decoded->backends[i].frontier, s.backends[i].frontier);
+      EXPECT_EQ(decoded->backends[i].run_state, s.backends[i].run_state);
+      saw_paused_frontier |= s.backends[i].has_resume;
+    }
+  }
+  // Round slicing must actually have paused someone mid-traversal, or
+  // this test is not exercising the frontier codec at all.
+  EXPECT_TRUE(saw_paused_frontier);
+
+  // Second life: fresh backends resume from the last barrier — through
+  // the decoded copy, so the test proves the PERSISTED form carries
+  // everything the coordinator needs.
+  auto restored =
+      recovery::DecodeFederationState(
+          recovery::EncodeFederationState(barriers.back()));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  RecordedFleet second = MakeFleet(sites);
+  FederationOptions resume_opts = base;
+  resume_opts.resume_state = &*restored;
+  auto resumed = RunFederatedDiscovery(second.backends, resume_opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->complete);
+  EXPECT_FALSE(resumed->partial_coverage);
+  EXPECT_EQ(FederatedValues(*resumed), FederatedValues(*ref));
+  // Accounting is cumulative across lives and must land exactly on the
+  // uninterrupted totals: nothing lost, nothing double-counted.
+  EXPECT_EQ(resumed->total_paid, ref->total_paid);
+  EXPECT_EQ(resumed->total_pruned, ref->total_pruned);
+  EXPECT_EQ(resumed->rounds, ref->rounds);
+
+  // Zero replayed backend queries: the two lives' paid queries are
+  // disjoint per backend.
+  for (size_t b = 0; b < sites.size(); ++b) {
+    const auto& life1 = first.recorders[b]->signatures();
+    const std::set<std::string> paid_once(life1.begin(), life1.end());
+    for (const std::string& sig : second.recorders[b]->signatures()) {
+      EXPECT_EQ(paid_once.count(sig), 0u)
+          << "backend " << b << " re-paid a first-life query on resume";
+    }
+  }
+}
+
+TEST(FederatedDurabilityTest, RqResumeReplaysNothingAndMatches) {
+  // Blue Nile sites are all-RQ, so "auto" resolves the RQ driver: this
+  // exercises the RQ stack frontier codec at round boundaries.
+  CheckDurableResume(ThreeSites(200), "auto");
+}
+
+TEST(FederatedDurabilityTest, SqResumeReplaysNothingAndMatches) {
+  // SQ-interface sites force the SQ driver and its BFS queue codec.
+  std::vector<Table> sites;
+  for (int s = 21; s <= 23; ++s) {
+    dataset::SyntheticOptions o;
+    o.num_tuples = 300;
+    o.num_attributes = 3;
+    o.domain_size = 8;
+    o.distribution = dataset::Distribution::kAntiCorrelated;
+    o.iface = data::InterfaceType::kSQ;
+    o.seed = static_cast<uint64_t>(s);
+    sites.push_back(std::move(dataset::GenerateSynthetic(o)).value());
+  }
+  CheckDurableResume(sites, "sq");
+}
+
+TEST(FederatedDurabilityTest, CheckpointFailureAbortsRun) {
+  // A session that cannot persist must not pretend to be durable: the
+  // first failed round checkpoint surfaces as the run's own error.
+  const std::vector<Table> sites = ThreeSites(100);
+  RecordedFleet fleet = MakeFleet(sites);
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 16;
+  opts.on_round_checkpoint =
+      [](const recovery::FederationSessionState&) {
+        return common::Status::IOError("disk full");
+      };
+  auto r = RunFederatedDiscovery(fleet.backends, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(FederatedDurabilityTest, ResumeValidatesBackendSet) {
+  // A checkpoint from a three-backend session must not be adopted by a
+  // coordinator connected to two.
+  const std::vector<Table> sites = ThreeSites(100);
+  std::vector<recovery::FederationSessionState> barriers;
+  RecordedFleet first = MakeFleet(sites);
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 16;
+  opts.max_rounds = 1;
+  opts.on_round_checkpoint =
+      [&barriers](const recovery::FederationSessionState& s) {
+        barriers.push_back(s);
+        return common::Status::OK();
+      };
+  ASSERT_TRUE(RunFederatedDiscovery(first.backends, opts).ok());
+  ASSERT_FALSE(barriers.empty());
+
+  const std::vector<Table> fewer = {sites[0], sites[1]};
+  RecordedFleet second = MakeFleet(fewer);
+  FederationOptions resume_opts;
+  resume_opts.mode = FederationOptions::Mode::kUnion;
+  resume_opts.round_budget = 16;
+  resume_opts.resume_state = &barriers.back();
+  auto r = RunFederatedDiscovery(second.backends, resume_opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+/// Delegating backend that is dark for a window of Execute calls — the
+/// failed attempts count too — then answers again: a site rebooting
+/// mid-federation. Counting calls instead of wall clock keeps the
+/// kill/revive schedule exactly reproducible.
+class BlackoutBackend : public interface::HiddenDatabase {
+ public:
+  BlackoutBackend(interface::HiddenDatabase* inner, int64_t dark_from,
+                  int64_t dark_until)
+      : inner_(inner), dark_from_(dark_from), dark_until_(dark_until) {}
+  const data::Schema& schema() const override { return inner_->schema(); }
+  int k() const override { return inner_->k(); }
+  common::Result<interface::QueryResult> Execute(
+      const interface::Query& q) override {
+    const int64_t call = calls_++;
+    if (call >= dark_from_ && call < dark_until_) {
+      return common::Status::Unavailable("backend dark");
+    }
+    return inner_->Execute(q);
+  }
+
+ private:
+  interface::HiddenDatabase* inner_;
+  int64_t dark_from_;
+  int64_t dark_until_;
+  int64_t calls_ = 0;
+};
+
+TEST(FederatedDiscoveryTest, RevivedBackendRestoresFullCoverage) {
+  const std::vector<Table> sites = ThreeSites(200);
+  std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+  for (const Table& t : sites) {
+    ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+  }
+  // Dark for calls [12, 20): the first failure degrades the backend, the
+  // next 7 re-probes fail into backoff, the 8th probe answers again.
+  BlackoutBackend flaky(ifaces[1].get(), 12, 20);
+  std::vector<interface::HiddenDatabase*> backends = {
+      ifaces[0].get(), &flaky, ifaces[2].get()};
+
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 16;
+  opts.max_probe_attempts = 100;
+  opts.probe_backoff_rounds = 1;
+  auto r = RunFederatedDiscovery(backends, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  // Reintegration upgrades coverage back to FULL, and the result is the
+  // no-fault result — the outage cost retries, not answers.
+  EXPECT_TRUE(r->complete);
+  EXPECT_FALSE(r->partial_coverage);
+  ASSERT_EQ(r->backends.size(), 3u);
+  EXPECT_FALSE(r->backends[1].failed);
+  EXPECT_TRUE(r->backends[1].complete);
+  EXPECT_EQ(r->backends[1].health, federation::BackendHealth::kHealthy);
+  EXPECT_GE(r->backends[1].recoveries, 1);
+  EXPECT_EQ(FederatedValues(*r), MergedGroundTruth(sites));
+}
+
+TEST(FederatedDiscoveryTest, ProbeBudgetExhaustionStillDegradesGracefully) {
+  // A backend that never comes back must burn its probe budget and land
+  // DEAD — the pre-health-machine partial-coverage contract.
+  const std::vector<Table> sites = ThreeSites(100);
+  std::vector<std::unique_ptr<interface::TopKInterface>> ifaces;
+  for (const Table& t : sites) {
+    ifaces.push_back(MakeInterface(&t, MakeSumRanking(), 10));
+  }
+  BlackoutBackend dead(ifaces[1].get(), 8,
+                       std::numeric_limits<int64_t>::max());
+  std::vector<interface::HiddenDatabase*> backends = {
+      ifaces[0].get(), &dead, ifaces[2].get()};
+
+  FederationOptions opts;
+  opts.mode = FederationOptions::Mode::kUnion;
+  opts.round_budget = 16;
+  opts.max_probe_attempts = 2;
+  opts.probe_backoff_rounds = 1;
+  auto r = RunFederatedDiscovery(backends, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->partial_coverage);
+  EXPECT_FALSE(r->complete);
+  ASSERT_EQ(r->backends.size(), 3u);
+  EXPECT_TRUE(r->backends[1].failed);
+  EXPECT_EQ(r->backends[1].health, federation::BackendHealth::kDead);
+  EXPECT_EQ(r->backends[1].recoveries, 0);
+  EXPECT_TRUE(r->backends[0].complete);
+  EXPECT_TRUE(r->backends[2].complete);
 }
 
 TEST(FederatedDiscoveryTest, JoinNeedsJoinAttr) {

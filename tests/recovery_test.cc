@@ -22,6 +22,7 @@
 #include "interface/ranking.h"
 #include "interface/top_k_interface.h"
 #include "recovery/checkpoint.h"
+#include "recovery/federation_state.h"
 #include "recovery/journal.h"
 #include "recovery/journaling_database.h"
 #include "tests/test_util.h"
@@ -495,6 +496,82 @@ TEST(JournalingDatabaseTest, DanglingIntentResendsUnderSameSeq) {
   EXPECT_FALSE((*diverged)->Execute(other).ok());
 }
 
+/// Backend whose Execute fails while `dead` is set — a site that is down
+/// exactly when the coordinator probes it.
+class RevivableDatabase : public interface::HiddenDatabase {
+ public:
+  explicit RevivableDatabase(interface::HiddenDatabase* backend)
+      : backend_(backend) {}
+  using interface::HiddenDatabase::Execute;
+  common::Result<QueryResult> Execute(const Query& q) override {
+    if (dead) return common::Status::Unavailable("backend dark");
+    ++executes_;
+    return backend_->Execute(q);
+  }
+  const data::Schema& schema() const override { return backend_->schema(); }
+  int k() const override { return backend_->k(); }
+
+  bool dead = false;
+  int64_t executes() const { return executes_; }
+
+ private:
+  interface::HiddenDatabase* backend_;
+  int64_t executes_ = 0;
+};
+
+TEST(JournalingDatabaseTest, ResolvePendingSettlesUnderOriginalSeq) {
+  const Table t = MakeSqTable();
+  auto iface = MakeInterface(&t, interface::MakeSumRanking(), 5);
+  RevivableDatabase flaky(iface.get());
+  ScopedDir dir("resolve");
+
+  Query paid(3);
+  paid.AddEquals(0, 1);
+  Query in_flight(3);
+  in_flight.AddEquals(0, 2);
+
+  JournalingDatabase::Options opts;
+  {
+    auto journal = JournalingDatabase::Open(&flaky, dir.path, opts);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE((*journal)->Execute(paid).ok());
+  }
+  // Crash between paying and journaling the answer: a bare intent.
+  {
+    auto contents = ReadJournalFile(dir.path + "/journal-000001");
+    ASSERT_TRUE(contents.ok());
+    auto writer = JournalWriter::OpenForAppend(
+        dir.path + "/journal-000001", contents->valid_bytes, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(
+        (*writer)->Append(EncodeIntentRecord(2, in_flight.Signature())).ok());
+  }
+
+  auto journal = JournalingDatabase::Open(&flaky, dir.path, opts);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  ASSERT_TRUE((*journal)->pending_intent_signature().has_value());
+
+  // While the backend is still dark, resolving fails and the intent
+  // stays: the next attempt retries under the SAME wire sequence, so the
+  // server can still replay-or-charge exactly once.
+  flaky.dead = true;
+  EXPECT_FALSE((*journal)->ResolvePending().ok());
+  EXPECT_TRUE((*journal)->pending_intent_signature().has_value());
+  EXPECT_EQ((*journal)->next_wire_seq(), 2u);
+
+  // Once the backend answers, the intent settles under seq 2 — the query
+  // is reconstructed from its journaled signature, nothing else needed.
+  flaky.dead = false;
+  ASSERT_TRUE((*journal)->ResolvePending().ok());
+  EXPECT_FALSE((*journal)->pending_intent_signature().has_value());
+  EXPECT_EQ((*journal)->next_wire_seq(), 3u);
+  EXPECT_EQ(flaky.executes(), 2);  // the paid query + the settled intent
+
+  // Resolving with nothing pending is a no-op.
+  ASSERT_TRUE((*journal)->ResolvePending().ok());
+  EXPECT_EQ(flaky.executes(), 2);
+}
+
 TEST(JournalingDatabaseTest, WidthMismatchIsRejected) {
   const Table t = MakeSqTable();
   auto iface = MakeInterface(&t, interface::MakeSumRanking(), 5);
@@ -512,6 +589,111 @@ TEST(JournalingDatabaseTest, WidthMismatchIsRejected) {
   const Table other = std::move(dataset::GenerateSmallDomain(o)).value();
   auto other_iface = MakeInterface(&other, interface::MakeSumRanking(), 5);
   EXPECT_FALSE(JournalingDatabase::Open(other_iface.get(), dir.path, {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FederationSessionState: the coordinator's round checkpoint.
+
+FederationSessionState PopulatedFederationState() {
+  FederationSessionState s;
+  s.mode = "union";
+  s.algorithm = "auto";
+  s.rounds = 7;
+  s.total_remaining = 123;
+  s.backends.resize(2);
+
+  FederatedBackendState& a = s.backends[0];
+  a.name = "alpha:4000";
+  a.algorithm = "rq";
+  a.has_resume = true;
+  // Binary-hostile blobs: embedded NULs and high bytes must survive.
+  a.run_state = std::string("run\0state\xff", 10);
+  a.frontier = std::string("\0\x01\x02stack", 8);
+  a.cand_ids = {3, 9};
+  a.cand_tuples = {{1, 2}, {4, 0}};
+  a.prev_confirmed = 5;
+  a.prev_paid = 40;
+  a.last_round_paid = 12;
+  a.last_round_new = 2;
+  a.rounds = 6;
+  a.paid = 52;
+  a.pruned = 8;
+  a.health = 1;  // degraded, mid-backoff
+  a.probe_attempts = 2;
+  a.next_probe_round = 11;
+  a.recoveries = 1;
+  a.observed_ids = {3, 9, 14};
+  a.observed_tuples = {{1, 2}, {4, 0}, {5, 5}};
+
+  FederatedBackendState& b = s.backends[1];
+  b.name = "beta:4001";
+  b.algorithm = "sq";
+  b.complete = true;
+  b.failed = true;
+  b.backend_exhausted = true;
+  b.error = "backend unreachable: gone";
+  b.paid = 17;
+  return s;
+}
+
+TEST(FederationStateTest, EncodeDecodeRoundTrip) {
+  const FederationSessionState s = PopulatedFederationState();
+  const std::string blob = EncodeFederationState(s);
+  auto decoded = DecodeFederationState(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Re-encode equality covers every field at once...
+  EXPECT_EQ(EncodeFederationState(*decoded), blob);
+  // ...and the fields a resumed coordinator steers by are spot-checked.
+  EXPECT_EQ(decoded->rounds, 7);
+  EXPECT_EQ(decoded->total_remaining, 123);
+  ASSERT_EQ(decoded->backends.size(), 2u);
+  EXPECT_EQ(decoded->backends[0].frontier, s.backends[0].frontier);
+  EXPECT_EQ(decoded->backends[0].run_state, s.backends[0].run_state);
+  EXPECT_EQ(decoded->backends[0].cand_tuples, s.backends[0].cand_tuples);
+  EXPECT_EQ(decoded->backends[0].observed_tuples,
+            s.backends[0].observed_tuples);
+  EXPECT_EQ(decoded->backends[0].health, 1);
+  EXPECT_EQ(decoded->backends[0].next_probe_round, 11);
+  EXPECT_TRUE(decoded->backends[1].failed);
+  EXPECT_EQ(decoded->backends[1].error, "backend unreachable: gone");
+}
+
+TEST(FederationStateTest, SaveLoadAndDamageRejected) {
+  ScopedDir dir("fedstate");
+  // No checkpoint yet: NotFound, the fresh-session signal.
+  EXPECT_TRUE(LoadFederationState(dir.path).status().IsNotFound());
+
+  const FederationSessionState s = PopulatedFederationState();
+  ASSERT_TRUE(SaveFederationState(dir.path, s).ok());
+  auto loaded = LoadFederationState(dir.path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(EncodeFederationState(*loaded), EncodeFederationState(s));
+
+  // Atomic replace: a second checkpoint fully supersedes the first.
+  FederationSessionState later = s;
+  later.rounds = 8;
+  ASSERT_TRUE(SaveFederationState(dir.path, later).ok());
+  auto reloaded = LoadFederationState(dir.path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->rounds, 8);
+
+  // A torn STATE (truncated tail) is rejected whole, never partially
+  // adopted.
+  const std::string state_path =
+      dir.path + "/" + kFederationStateFileName;
+  const auto full_size = std::filesystem::file_size(state_path);
+  std::filesystem::resize_file(state_path, full_size - 3);
+  EXPECT_FALSE(LoadFederationState(dir.path).ok());
+
+  // Trailing garbage after the frame is damage too, not slack.
+  ASSERT_TRUE(SaveFederationState(dir.path, later).ok());
+  {
+    std::FILE* f = std::fopen(state_path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("xx", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadFederationState(dir.path).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,12 @@
 //   --join-attr NAME    entity key for --federate join
 //   --round-budget N    paid queries per federation scheduling round
 //                       (0 = auto)
+//   --probe-attempts N  re-probes a transiently failed (DEGRADED)
+//                       backend gets before it is declared DEAD and
+//                       dropped (default 3; 0 drops on first failure)
+//   --probe-backoff N   base backoff, in scheduling rounds, before the
+//                       first re-probe; doubles per failed probe
+//                       (default 2)
 //   --federation-json PATH
 //                       write the federation summary as benchmark JSON
 //                       (gated in CI by scripts/compare_bench.py)
@@ -48,7 +54,13 @@
 //   --journal DIR       durable session: write-ahead query journal +
 //                       atomic checkpoints in DIR; re-running with the
 //                       same DIR resumes a crashed/interrupted run with
-//                       zero re-charged queries (docs/robustness.md)
+//                       zero re-charged queries (docs/robustness.md).
+//                       Works under --federate too: DIR holds one
+//                       journal per backend plus the coordinator's
+//                       round-barrier state, so a killed federated run
+//                       resumes with zero replayed backend queries and
+//                       byte-identical outputs (docs/federation.md,
+//                       "Durable federation")
 //   --sync-every N      journal group-fsync interval (default 1)
 //   --checkpoint-every N  paid queries between checkpoints (default 256)
 //   --trace PATH        write the anytime progress trace as CSV
@@ -67,9 +79,11 @@
 // remote interfaces.
 //
 // Exit codes: 0 success (including anytime-partial results), 64 usage,
-// 69 the server (or a federation backend at connect time) is shedding
-// load — retry later; the backend is alive but refusing work — and 1 for
-// everything else (protocol failure, bad data, I/O).
+// 69 (EX_UNAVAILABLE) the backend is unreachable right now but nothing
+// is broken — the server is shedding load, or a durable session being
+// RESUMED cannot reach a backend it must replay against (retry later;
+// the journal keeps every paid answer) — and 1 for everything else
+// (protocol failure, bad data, I/O).
 //
 // SIGINT/SIGTERM interrupt the discovery cooperatively: the run unwinds
 // as an anytime partial result, the journal (if any) takes a final
@@ -144,6 +158,8 @@ struct Args {
   std::string federate;               // "" | "union" | "join"
   std::string join_attr;
   int64_t round_budget = 0;
+  int64_t probe_attempts = 3;
+  int64_t probe_backoff = 2;
   std::string federation_json;
   std::string dump_data;
   int64_t n = 0;
@@ -186,6 +202,10 @@ void Usage() {
       "  --join-attr NAME    entity key for --federate join\n"
       "  --round-budget N    paid queries per federation round (0 = "
       "auto)\n"
+      "  --probe-attempts N  re-probes before a failed backend is "
+      "dropped (default 3)\n"
+      "  --probe-backoff N   rounds before the first re-probe "
+      "(default 2)\n"
       "  --federation-json PATH  write the federation benchmark JSON\n"
       "  --dump-data PATH    write the local dataset as CSV and exit\n"
       "  --n N               demo dataset size\n"
@@ -295,6 +315,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->join_attr = value;
     } else if (flag == "--round-budget") {
       if (!int_flag(0, INT64_MAX, &args->round_budget)) return false;
+    } else if (flag == "--probe-attempts") {
+      if (!int_flag(0, INT64_MAX, &args->probe_attempts)) return false;
+    } else if (flag == "--probe-backoff") {
+      if (!int_flag(1, 1 << 20, &args->probe_backoff)) return false;
     } else if (flag == "--federation-json" && need_value(&value)) {
       args->federation_json = value;
     } else if (flag == "--dump-data" && need_value(&value)) {
@@ -401,7 +425,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
     for (const char* single_site :
-         {"--band", "--cache", "--cache-file", "--journal", "--trace"}) {
+         {"--band", "--cache", "--cache-file", "--trace"}) {
       if (seen.count(single_site)) {
         std::fprintf(stderr, "%s is a single-site feature; it cannot be "
                              "combined with --federate\n",
@@ -411,7 +435,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   } else {
     for (const char* federate_only :
-         {"--round-budget", "--federation-json"}) {
+         {"--round-budget", "--federation-json", "--probe-attempts",
+          "--probe-backoff"}) {
       if (seen.count(federate_only)) {
         std::fprintf(stderr, "%s requires --federate\n", federate_only);
         return false;
@@ -764,11 +789,35 @@ common::Status WriteFederationJson(const Args& args,
 
 /// Federated discovery over every --connect endpoint: connect to each,
 /// run the round-scheduled coordinator, report, and write the optional
-/// benchmark JSON / skyline CSV.
+/// benchmark JSON / skyline CSV. Under --journal the session is durable:
+/// DIR/backend-<i> holds each backend's write-ahead journal (plus the
+/// persisted session id the server's replay cache is keyed by) and
+/// DIR/STATE the coordinator's latest round-barrier checkpoint, so a
+/// killed run resumed with the same flags replays its paid prefix for
+/// free and produces byte-identical outputs.
 int RunFederation(const Args& args) {
+  const bool durable = !args.journal.empty();
+  bool resuming = false;
+  if (durable) {
+    if (::mkdir(args.journal.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "journal: mkdir %s: %s\n", args.journal.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    // A coordinator checkpoint on disk means a previous run paid for
+    // queries this one is expected to replay; losing a backend now is
+    // "come back when the site is up" (69), not a fresh-run failure.
+    struct stat st;
+    const std::string state_path =
+        args.journal + "/" + recovery::kFederationStateFileName;
+    resuming = ::stat(state_path.c_str(), &st) == 0;
+  }
+
   std::vector<std::unique_ptr<service::RemoteHiddenDatabase>> remotes;
+  std::vector<std::unique_ptr<recovery::JournalingDatabase>> journals;
   std::vector<interface::HiddenDatabase*> backends;
-  for (const std::string& endpoint : args.connects) {
+  for (size_t i = 0; i < args.connects.size(); ++i) {
+    const std::string& endpoint = args.connects[i];
     std::string host;
     uint16_t port = 0;
     const common::Status parsed =
@@ -778,14 +827,76 @@ int RunFederation(const Args& args) {
       return 64;
     }
     service::RemoteHiddenDatabase::Options ropts;
+    std::string backend_dir;
+    if (durable) {
+      backend_dir = args.journal + "/backend-" + std::to_string(i);
+      if (::mkdir(backend_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        std::fprintf(stderr, "journal: mkdir %s: %s\n", backend_dir.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      auto session_id = LoadOrCreateSessionId(backend_dir);
+      if (!session_id.ok()) {
+        std::fprintf(stderr, "journal: %s\n",
+                     session_id.status().ToString().c_str());
+        return 1;
+      }
+      ropts.session_id = *session_id;
+    }
     auto remote = service::RemoteHiddenDatabase::Connect(host, port, ropts);
     if (!remote.ok()) {
+      if (resuming && (remote.status().IsIOError() ||
+                       remote.status().IsUnavailable())) {
+        std::fprintf(stderr, "connect %s: %s\n", endpoint.c_str(),
+                     remote.status().ToString().c_str());
+        std::fprintf(stderr,
+                     "connect %s: backend unreachable while resuming a "
+                     "durable federated session; the journals keep every "
+                     "paid answer — retry when the backend is back\n",
+                     endpoint.c_str());
+        return 69;
+      }
       return FailureExit(remote.status(),
                          ("connect " + endpoint).c_str());
     }
     std::fprintf(stderr, "remote  : %s, %s, k=%d\n", endpoint.c_str(),
                  (*remote)->schema().ToString().c_str(), (*remote)->k());
-    backends.push_back(remote->get());
+    if (durable) {
+      recovery::JournalingDatabase::Options jopts;
+      jopts.sync_every = static_cast<int>(args.sync_every);
+      jopts.checkpoint_every = args.checkpoint_every;
+      // Between queries every point is consistent for pure replay; the
+      // coordinator's own frontier state lives in DIR/STATE, not here.
+      jopts.auto_checkpoint = true;
+      recovery::SessionState alg_only;
+      alg_only.algorithm = args.algorithm;
+      jopts.auto_checkpoint_state = recovery::EncodeSessionState(alg_only);
+      service::RemoteHiddenDatabase* r = remote->get();
+      jopts.seq_provider = [r] { return r->next_seq(); };
+      auto journal = recovery::JournalingDatabase::Open(remote->get(),
+                                                        backend_dir, jopts);
+      if (!journal.ok()) {
+        std::fprintf(stderr, "journal: %s: %s\n", endpoint.c_str(),
+                     journal.status().ToString().c_str());
+        return 1;
+      }
+      // Continue the wire sequence where the journal left off; a dangling
+      // intent re-sends under its original number and hits the server's
+      // replay cache instead of the budget.
+      (*remote)->set_next_seq((*journal)->next_wire_seq());
+      if ((*journal)->resumed()) {
+        std::fprintf(stderr,
+                     "journal : %s resuming (%lld journaled answers, "
+                     "epoch %lld)\n",
+                     endpoint.c_str(),
+                     static_cast<long long>((*journal)->entries()),
+                     static_cast<long long>((*journal)->epoch()));
+      }
+      backends.push_back(journal->get());
+      journals.push_back(std::move(journal).value());
+    } else {
+      backends.push_back(remote->get());
+    }
     remotes.push_back(std::move(remote).value());
   }
 
@@ -798,7 +909,37 @@ int RunFederation(const Args& args) {
   fopts.num_threads = static_cast<int>(args.threads);
   fopts.algorithm = args.algorithm;
   fopts.join_attr = args.join_attr;
+  fopts.max_probe_attempts = args.probe_attempts;
+  fopts.probe_backoff_rounds = args.probe_backoff;
   fopts.interrupt = [] { return g_interrupt.load(); };
+
+  recovery::FederationSessionState restored;
+  if (durable) {
+    if (resuming) {
+      auto loaded = recovery::LoadFederationState(args.journal);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "journal: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      restored = std::move(loaded).value();
+      fopts.resume_state = &restored;
+      std::fprintf(stderr,
+                   "journal : resuming federated session at round %lld\n",
+                   static_cast<long long>(restored.rounds));
+    }
+    fopts.on_round_checkpoint =
+        [&args, &journals](const recovery::FederationSessionState& s)
+        -> common::Status {
+      // The backend journals must be durable before the coordinator
+      // state that presumes their payments (a no-op at --sync-every 1).
+      for (auto& j : journals) HDSKY_RETURN_IF_ERROR(j->Sync());
+      return recovery::SaveFederationState(args.journal, s);
+    };
+    fopts.on_backend_reprobe = [&journals](size_t i) {
+      return journals[i]->ResolvePending();
+    };
+  }
 
   const auto start = std::chrono::steady_clock::now();
   auto result =
@@ -807,6 +948,23 @@ int RunFederation(const Args& args) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
+  const bool interrupted = g_interrupt.load();
+  if (durable) {
+    // Final compaction, on success AND on interrupt/failure: every paid
+    // answer (torn-round payments included) folds into each backend's
+    // snapshot, and the last consistent round barrier in DIR/STATE is
+    // what a rerun resumes from.
+    recovery::SessionState alg_only;
+    alg_only.algorithm = args.algorithm;
+    const std::string blob = recovery::EncodeSessionState(alg_only);
+    for (size_t i = 0; i < journals.size(); ++i) {
+      const common::Status s = journals[i]->Finish(blob);
+      if (!s.ok()) {
+        std::fprintf(stderr, "journal: %s: final checkpoint: %s\n",
+                     args.connects[i].c_str(), s.ToString().c_str());
+      }
+    }
+  }
   if (!result.ok()) return FailureExit(result.status(), "federation");
   const federation::FederatedResult& fr = *result;
 
@@ -836,32 +994,54 @@ int RunFederation(const Args& args) {
     const federation::BackendReport& r = fr.backends[i];
     std::fprintf(stderr,
                  "backend : %s  paid %lld  pruned %lld  confirmed %lld  "
-                 "rounds %lld  %s%s\n",
+                 "rounds %lld  health %s  recovered %lld  %s%s\n",
                  r.name.c_str(), static_cast<long long>(r.paid_queries),
                  static_cast<long long>(r.pruned_queries),
                  static_cast<long long>(r.confirmed),
                  static_cast<long long>(r.rounds),
+                 federation::BackendHealthName(r.health),
+                 static_cast<long long>(r.recoveries),
                  r.failed ? "FAILED: " : (r.complete ? "complete" : "stopped"),
                  r.failed ? r.error.c_str() : "");
     if (i < remotes.size()) {
       const service::RemoteHiddenDatabase::Stats& t = remotes[i]->stats();
       std::fprintf(stderr,
                    "network : %s  %lld remote queries, %lld retries, "
-                   "%lld reconnects, %lld rate-limited, %lld B out, "
-                   "%lld B in, %lld ms backoff\n",
+                   "%lld reconnects, %lld rate-limited, %lld failed, "
+                   "%lld B out, %lld B in, %lld ms backoff\n",
                    r.name.c_str(),
                    static_cast<long long>(t.remote_queries),
                    static_cast<long long>(t.retries),
                    static_cast<long long>(t.reconnects),
                    static_cast<long long>(t.rate_limited),
+                   static_cast<long long>(t.failed_queries),
                    static_cast<long long>(t.bytes_sent),
                    static_cast<long long>(t.bytes_received),
                    static_cast<long long>(t.backoff_ms));
     }
+    if (i < journals.size()) {
+      const recovery::JournalingDatabase::Stats& js = journals[i]->stats();
+      std::fprintf(stderr,
+                   "journal : %s  %lld replayed, %lld paid, %lld errors, "
+                   "epoch %lld\n",
+                   r.name.c_str(), static_cast<long long>(js.replayed),
+                   static_cast<long long>(js.paid),
+                   static_cast<long long>(js.errors),
+                   static_cast<long long>(journals[i]->epoch()));
+    }
+  }
+  if (interrupted && durable) {
+    std::fprintf(stderr,
+                 "interrupted: rerun with --journal %s to resume\n",
+                 args.journal.c_str());
   }
 
   if (!args.federation_json.empty()) {
-    const common::Status s = WriteFederationJson(args, fr, elapsed_ms);
+    // A durable session's outputs must be byte-identical between an
+    // uninterrupted run and a crash-then-resume (the chaos smoke diffs
+    // them), so the one nondeterministic field is pinned under --journal.
+    const common::Status s =
+        WriteFederationJson(args, fr, durable ? 0.0 : elapsed_ms);
     if (!s.ok()) {
       std::fprintf(stderr, "federation-json: %s\n", s.ToString().c_str());
       return 1;
@@ -1004,6 +1184,25 @@ int main(int argc, char** argv) {
     auto remote_result =
         service::RemoteHiddenDatabase::Connect(host, port, ropts);
     if (!remote_result.ok()) {
+      if (!args.journal.empty() && (remote_result.status().IsIOError() ||
+                                    remote_result.status().IsUnavailable())) {
+        // A journal manifest on disk means a previous run paid for
+        // answers this one would replay: the backend being down is
+        // "retry later" (69), exactly like live-run load shedding —
+        // nothing is lost and nothing is broken.
+        struct stat st;
+        const std::string manifest =
+            args.journal + "/" + recovery::kManifestFileName;
+        if (::stat(manifest.c_str(), &st) == 0) {
+          std::fprintf(stderr, "connect: %s\n",
+                       remote_result.status().ToString().c_str());
+          std::fprintf(stderr,
+                       "connect: backend unreachable while resuming a "
+                       "durable session; the journal keeps every paid "
+                       "answer — retry when the backend is back\n");
+          return 69;
+        }
+      }
       return FailureExit(remote_result.status(), "connect");
     }
     remote = std::move(remote_result).value();

@@ -19,6 +19,12 @@
 //   --rate-limit P        probability a Query is bounced BUSY   [0,1]
 //   --delay P             probability a frame is delayed        [0,1]
 //   --delay-ms MS         delay length for --delay (default 20)
+//   --blackout-after N    deterministic kill/revive schedule: client
+//                         queries with arrival index [N, N+M) (counted
+//                         across connections, retries included) kill the
+//                         connection as if the backend died; the proxy
+//                         recovers afterwards. -1 disables (default)
+//   --blackout-queries M  blackout window length for --blackout-after
 //   --io-timeout-ms MS    per-connection I/O backstop (default 30000)
 //
 // Prints exactly one "listening on ADDR:PORT" line to stdout once ready
@@ -57,6 +63,8 @@ struct Args {
   double rate_limit = 0.0;
   double delay = 0.0;
   int64_t delay_ms = 20;
+  int64_t blackout_after = -1;
+  int64_t blackout_queries = 0;
   int64_t io_timeout_ms = 30000;
 };
 
@@ -72,6 +80,10 @@ void Usage() {
       "  --rate-limit P      spurious BUSY probability [0,1]\n"
       "  --delay P           frame delay probability [0,1]\n"
       "  --delay-ms MS       delay length (default 20)\n"
+      "  --blackout-after N  kill queries [N, N+M) then recover; -1 "
+      "disables\n"
+      "  --blackout-queries M\n"
+      "                      blackout window length (default 0)\n"
       "  --io-timeout-ms MS  per-connection I/O backstop (default "
       "30000)\n");
 }
@@ -145,6 +157,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!prob_flag(&args->delay)) return false;
     } else if (flag == "--delay-ms") {
       if (!int_flag(0, 60000, &args->delay_ms)) return false;
+    } else if (flag == "--blackout-after") {
+      if (!int_flag(-1, INT64_MAX, &args->blackout_after)) return false;
+    } else if (flag == "--blackout-queries") {
+      if (!int_flag(0, INT64_MAX, &args->blackout_queries)) return false;
     } else if (flag == "--io-timeout-ms") {
       if (!int_flag(1, INT64_MAX, &args->io_timeout_ms)) return false;
     } else {
@@ -185,6 +201,8 @@ int main(int argc, char** argv) {
   policy.rate_limit_prob = args.rate_limit;
   policy.delay_prob = args.delay;
   policy.delay_ms = static_cast<int>(args.delay_ms);
+  policy.blackout_after_queries = args.blackout_after;
+  policy.blackout_queries = args.blackout_queries;
 
   service::FaultInjectingProxy::Options options;
   options.bind_address = args.bind;
@@ -223,12 +241,13 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "proxied : %lld connections, %lld frames forwarded "
                "(%lld dropped, %lld truncated, %lld rate-limited, %lld "
-               "delayed)\n",
+               "delayed, %lld blacked out)\n",
                static_cast<long long>(stats.connections),
                static_cast<long long>(stats.frames_forwarded),
                static_cast<long long>(stats.frames_dropped),
                static_cast<long long>(stats.frames_truncated),
                static_cast<long long>(stats.rate_limits_injected),
-               static_cast<long long>(stats.delays_injected));
+               static_cast<long long>(stats.delays_injected),
+               static_cast<long long>(stats.queries_blacked_out));
   return 0;
 }
